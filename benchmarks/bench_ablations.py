@@ -1,0 +1,66 @@
+"""Ablation benches — the design-choice sweeps DESIGN.md calls out.
+
+Not paper figures; these quantify the axes the paper leaves to future
+work (daemon interval/thresholds) and the modelling choices
+(transition cost, fabric speed, node count).
+"""
+
+from repro.experiments.ablations import (
+    daemon_interval_study,
+    daemon_threshold_study,
+    network_speed_study,
+    scaling_study,
+    transition_latency_study,
+)
+from repro.experiments.report import render_table
+
+from benchmarks.conftest import emit
+
+
+def _render(points, setting_label):
+    rows = [
+        (f"{p.setting:g}", f"{p.norm_delay:.3f}", f"{p.norm_energy:.3f}")
+        for p in points
+    ]
+    return render_table([setting_label, "Norm delay", "Norm energy"], rows)
+
+
+def test_ablation_daemon_interval(benchmark):
+    points = benchmark.pedantic(daemon_interval_study, rounds=1, iterations=1)
+    emit("Ablation: CPUSPEED polling interval (FT.B.8)",
+         _render(points, "interval (s)"))
+    assert len(points) == 6
+
+
+def test_ablation_daemon_thresholds(benchmark):
+    points = benchmark.pedantic(daemon_threshold_study, rounds=1, iterations=1)
+    emit("Ablation: CPUSPEED usage threshold (MG.B.8) — the regime flip",
+         _render(points, "usage threshold (%)"))
+    # below the flip the daemon never downscales; above it does
+    assert points[0].norm_energy > points[-1].norm_energy
+
+
+def test_ablation_transition_latency(benchmark):
+    points = benchmark.pedantic(transition_latency_study, rounds=1, iterations=1)
+    emit("Ablation: DVS transition latency vs INTERNAL FT scheduling",
+         _render(points, "latency (s)"))
+    # savings must be stable at SpeedStep-scale latencies and erode at
+    # pathological ones (granularity condition, paper Section 2).
+    assert abs(points[0].norm_energy - points[1].norm_energy) < 0.01
+    assert points[-1].norm_delay > points[0].norm_delay + 0.02
+
+
+def test_ablation_network_speed(benchmark):
+    points = benchmark.pedantic(network_speed_study, rounds=1, iterations=1)
+    emit("Ablation: fabric bandwidth vs INTERNAL FT savings",
+         _render(points, "bandwidth scale"))
+    savings = [p.energy_saving for p in points]
+    assert savings == sorted(savings, reverse=True)  # faster net, less slack
+
+
+def test_ablation_scaling(benchmark):
+    points = benchmark.pedantic(scaling_study, rounds=1, iterations=1)
+    emit("Ablation: node count vs INTERNAL FT savings",
+         _render(points, "nodes"))
+    # strong scaling pushes the comm share (and savings) up with p
+    assert points[-1].energy_saving >= points[0].energy_saving

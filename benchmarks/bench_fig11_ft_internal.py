@@ -1,0 +1,24 @@
+"""Figure 11 — FT under INTERNAL (1400/600) vs EXTERNAL vs CPUSPEED."""
+
+from repro.experiments.figures import figure11_ft_internal
+from repro.experiments.report import render_internal
+
+from benchmarks.conftest import emit
+
+
+def test_fig11_ft_internal(benchmark, sweeps):
+    fig = benchmark.pedantic(
+        figure11_ft_internal, kwargs=dict(sweep=sweeps["FT"]), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 11: FT case study (paper: INTERNAL saves 36% with no "
+        "noticeable delay; EXTERNAL@600 saves 38% but +13% delay; "
+        "CPUSPEED saves 24% at +4%)",
+        render_internal(fig),
+    )
+    d_int, e_int = fig.internal["internal"]
+    assert d_int <= 1.01
+    assert e_int <= 0.72
+    d_auto, e_auto = fig.auto
+    assert e_int < e_auto
+    assert fig.external[600.0][0] > 1.10

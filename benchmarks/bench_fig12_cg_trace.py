@@ -1,0 +1,20 @@
+"""Figure 12 — CG.C.8 performance trace (asymmetric rank groups)."""
+
+from repro.experiments.figures import figure12_cg_trace
+from repro.experiments.report import render_trace_observations
+
+from benchmarks.conftest import emit
+
+
+def test_fig12_cg_trace(benchmark):
+    fig = benchmark.pedantic(figure12_cg_trace, rounds=1, iterations=1)
+    emit(
+        "Figure 12: CG trace (paper: frequent sync, Wait/Send dominant, "
+        "short cycles, ranks 4-7 more comm-bound than 0-3)",
+        render_trace_observations(fig),
+    )
+    heavy = [r.comm_to_comp_ratio for r in fig.stats.ranks[:4]]
+    light = [r.comm_to_comp_ratio for r in fig.stats.ranks[4:]]
+    assert min(light) > max(heavy)
+    # cycles are short: individual exchanges are well under a second
+    assert fig.stats.mean_event_duration("recv") < 0.5

@@ -1,0 +1,23 @@
+"""Figure 14 — CG under heterogeneous INTERNAL vs EXTERNAL vs CPUSPEED."""
+
+from repro.experiments.figures import figure14_cg_internal
+from repro.experiments.report import render_internal
+
+from benchmarks.conftest import emit
+
+
+def test_fig14_cg_internal(benchmark, sweeps):
+    fig = benchmark.pedantic(
+        figure14_cg_internal, kwargs=dict(sweep=sweeps["CG"]), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 14: CG case study (paper: INTERNAL I -23%E/+8%D, "
+        "INTERNAL II -16%E/+8%D; neither significantly better than "
+        "EXTERNAL@800)",
+        render_internal(fig),
+    )
+    d800, e800 = fig.external[800.0]
+    for label, (d, e) in fig.internal.items():
+        assert d <= 1.09, label
+        assert 0.70 <= e <= 0.87, label
+        assert e >= e800 - 0.03, label

@@ -1,0 +1,18 @@
+"""Figure 1 — node power breakdown under load vs idle (Pentium III)."""
+
+from repro.experiments.figures import figure1_power_breakdown
+from repro.experiments.report import render_breakdown
+
+from benchmarks.conftest import emit
+
+
+def test_fig1_power_breakdown(benchmark):
+    fig = benchmark.pedantic(
+        figure1_power_breakdown, kwargs=dict(run_seconds=20.0), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 1: CPU dominates node power (paper: 35% load / 15% idle)",
+        render_breakdown(fig),
+    )
+    assert 0.28 <= fig.cpu_share_load <= 0.45
+    assert 0.10 <= fig.cpu_share_idle <= 0.22

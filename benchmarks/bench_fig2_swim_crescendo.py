@@ -1,0 +1,18 @@
+"""Figure 2 — swim single-node energy-delay crescendo."""
+
+from repro.experiments.figures import figure2_swim_crescendo
+from repro.experiments.report import render_sweep
+
+from benchmarks.conftest import emit
+
+
+def test_fig2_swim(benchmark):
+    sweep = benchmark.pedantic(figure2_swim_crescendo, rounds=1, iterations=1)
+    emit(
+        "Figure 2: swim crescendo "
+        "(paper: ~25% delay at 600MHz; ~8% energy saving at 1200MHz)",
+        render_sweep(sweep, "swim, one NEMO node"),
+    )
+    d600, e600 = sweep.normalized[600.0]
+    assert 1.18 <= d600 <= 1.32
+    assert e600 < 0.75

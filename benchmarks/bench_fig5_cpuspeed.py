@@ -1,0 +1,37 @@
+"""Figure 5 — CPUSPEED daemon scheduling across the NPB suite."""
+
+from repro.experiments.calibration import PAPER_CLAIMS
+from repro.experiments.figures import figure5_cpuspeed
+from repro.experiments.report import render_comparison, render_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_cpuspeed(benchmark):
+    comp = benchmark.pedantic(figure5_cpuspeed, rounds=1, iterations=1)
+    paper = PAPER_CLAIMS["cpuspeed"]
+    rows = [
+        (
+            code,
+            f"{d:.3f}",
+            f"{e:.3f}",
+            f"{1 + paper[code]['delay_increase']:.2f}",
+            f"{1 - paper[code]['energy_saving']:.2f}",
+        )
+        for code, d, e in comp.sorted_by_delay()
+    ]
+    emit(
+        "Figure 5: CPUSPEED v1.2.1 (sorted by delay; paper values right)",
+        render_table(
+            ["Code", "Delay", "Energy", "Paper D", "Paper E"], rows
+        ),
+    )
+    # Daemon helps the comm-bound codes without large delay...
+    assert comp.points["FT"][1] < 0.85 and comp.points["FT"][0] < 1.12
+    assert comp.points["IS"][1] < 0.80 and comp.points["IS"][0] < 1.10
+    # ...but mispredicts the fast-alternating codes (MG/BT).
+    assert comp.points["MG"][0] > 1.15
+    assert comp.points["BT"][0] > 1.15
+    # ...and never leaves top speed for the compute-bound ones.
+    assert comp.points["EP"][0] < 1.03
+    assert comp.points["LU"][0] < 1.03

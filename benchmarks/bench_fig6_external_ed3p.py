@@ -1,0 +1,23 @@
+"""Figure 6 — EXTERNAL scheduling with ED3P-selected operating points."""
+
+from repro.experiments.figures import figure6_external_ed3p
+from repro.experiments.report import render_selection
+
+from benchmarks.conftest import emit
+
+
+def test_fig6_external_ed3p(benchmark, sweeps):
+    sel = benchmark.pedantic(
+        figure6_external_ed3p, kwargs=dict(sweeps=sweeps), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 6: EXTERNAL control with ED3P "
+        "(paper: FT -30%E/+7%D; CG -20%/+4%; IS saves energy AND time; "
+        "BT/EP/LU/MG unchanged)",
+        render_selection(sel),
+    )
+    for code in ("BT", "EP", "LU", "MG"):
+        assert sel.selected_mhz[code] == 1400.0
+    for code in ("FT", "CG", "SP", "IS"):
+        d, e = sel.points[code]
+        assert e < 0.85 and d <= 1.10

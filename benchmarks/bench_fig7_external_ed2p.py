@@ -1,0 +1,22 @@
+"""Figure 7 — EXTERNAL scheduling with ED2P-selected operating points."""
+
+from repro.experiments.figures import figure6_external_ed3p, figure7_external_ed2p
+from repro.experiments.report import render_selection
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_external_ed2p(benchmark, sweeps):
+    sel = benchmark.pedantic(
+        figure7_external_ed2p, kwargs=dict(sweeps=sweeps), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 7: EXTERNAL control with ED2P "
+        "(paper: FT -38%E/+13%D at 600MHz; CG -28%/+8%; SP -19%/+3%)",
+        render_selection(sel),
+    )
+    ed3 = figure6_external_ed3p(sweeps=sweeps)
+    # ED2P trades more delay for more energy than ED3P, never less.
+    for code in sel.selected_mhz:
+        assert sel.selected_mhz[code] <= ed3.selected_mhz[code]
+    assert sel.selected_mhz["FT"] == 600.0

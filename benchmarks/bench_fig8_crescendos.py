@@ -1,0 +1,20 @@
+"""Figure 8 — energy-delay crescendos and the Type I-IV taxonomy."""
+
+from repro.experiments.calibration import PAPER_CRESCENDO_TYPES
+from repro.experiments.figures import figure8_crescendos
+from repro.experiments.report import render_crescendos
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_crescendos(benchmark, sweeps):
+    fig = benchmark.pedantic(
+        figure8_crescendos, kwargs=dict(sweeps=sweeps), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 8: crescendos (paper groups: I=EP; II=BT,MG,LU; "
+        "III=FT,CG,SP; IV=IS)",
+        render_crescendos(fig),
+    )
+    for code, expected in PAPER_CRESCENDO_TYPES.items():
+        assert fig.types[code].value == expected, code

@@ -1,0 +1,20 @@
+"""Figure 9 — FT.C.8 performance trace (MPE/Jumpshot analogue)."""
+
+from repro.experiments.figures import figure9_ft_trace
+from repro.experiments.report import render_trace_observations
+
+from benchmarks.conftest import emit
+
+
+def test_fig9_ft_trace(benchmark):
+    fig = benchmark.pedantic(figure9_ft_trace, rounds=1, iterations=1)
+    emit(
+        "Figure 9: FT trace (paper: comm-bound ~2:1, all-to-all dominant, "
+        "long iterations, balanced)",
+        render_trace_observations(fig) + "\n\n" + fig.timeline(width=96),
+    )
+    assert 1.5 <= fig.comm_to_comp_ratio <= 3.2
+    assert abs(fig.stats.imbalance - 1.0) < 0.05
+    assert fig.stats.dominant_ops(1)[0][0] == "alltoall"
+    # iteration granularity: mean all-to-all long vs DVS transition cost
+    assert fig.stats.mean_event_duration("alltoall") > 1.0

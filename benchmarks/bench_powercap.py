@@ -1,0 +1,55 @@
+"""Beyond the paper: cluster power capping.
+
+Sweeps a facility power budget over FT and reports the resulting
+delay/energy trade-off, with the observed peak power proving the cap
+held.  (The machine-room flip side of the paper's Section 1 operating-
+cost argument: sometimes the budget is a hard constraint, not a
+preference.)
+"""
+
+from repro.core import (
+    NoDvsStrategy,
+    PowerCapConfig,
+    PowerCapStrategy,
+    run_workload,
+)
+from repro.experiments.report import render_table
+from repro.workloads import get_workload
+
+from benchmarks.conftest import emit
+
+
+def test_powercap_sweep(benchmark):
+    w = get_workload("FT", klass="C")
+
+    def study():
+        base = run_workload(w, NoDvsStrategy())
+        nominal_w = base.energy_j / base.elapsed_s
+        points = []
+        for frac in (1.0, 0.9, 0.8, 0.7, 0.6):
+            cap = frac * nominal_w
+            strategy = PowerCapStrategy(PowerCapConfig(cap_w=cap))
+            m = run_workload(w, strategy)
+            d, e = m.normalized_against(base)
+            points.append((frac, cap, d, e, strategy.max_observed_power_w()))
+        return nominal_w, points
+
+    nominal_w, points = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [
+        (f"{frac:.0%}", f"{cap:.0f} W", f"{d:.3f}", f"{e:.3f}", f"{peak:.0f} W")
+        for frac, cap, d, e, peak in points
+    ]
+    emit(
+        f"Power capping FT.C.8 (uncapped average {nominal_w:.0f} W)",
+        render_table(
+            ["Cap (% nominal)", "Budget", "Norm delay", "Norm energy", "Observed peak"],
+            rows,
+        ),
+    )
+    for frac, cap, _d, _e, peak in points:
+        assert peak <= cap * 1.001, frac
+    # monotone trade-off
+    delays = [d for _f, _c, d, _e, _p in points]
+    energies = [e for _f, _c, _d, e, _p in points]
+    assert delays == sorted(delays)
+    assert energies == sorted(energies, reverse=True)

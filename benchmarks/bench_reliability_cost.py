@@ -1,0 +1,72 @@
+"""Section 1's motivating claims, quantified on the simulator.
+
+Not a numbered figure: the paper's introduction argues power-aware
+scheduling pays off in (a) operating cost and (b) Arrhenius-law
+component life.  This bench runs FT with and without the INTERNAL
+schedule, tracks per-node CPU temperature, and reports both quantities.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import ThermalModel, arrhenius_life_factor, nemo_cluster, operating_cost_usd
+from repro.mpi import launch
+from repro.core.strategies import InternalStrategy, PhasePolicy
+from repro.workloads import get_workload
+
+from benchmarks.conftest import emit
+
+
+def _run_with_thermal(policy=None):
+    w = get_workload("FT", klass="C")
+    env = Environment()
+    cluster = nemo_cluster(env, w.nprocs, with_batteries=False)
+    models = [ThermalModel(node) for node in cluster]
+    hooks = (
+        InternalStrategy(policy).hooks(w) if policy is not None else None
+    )
+    program = w.make_program(hooks) if hooks is not None else w.make_program()
+    handle = launch(cluster, program, nprocs=w.nprocs, cost=w.cost_model())
+    env.run(handle.done)
+    handle.check()
+    mean_t = sum(m.mean_temperature_c() for m in models) / len(models)
+    peak_t = max(m.peak_temperature_c() for m in models)
+    return handle.elapsed(), cluster.total_energy_j(), mean_t, peak_t
+
+
+def test_reliability_and_cost(benchmark):
+    def study():
+        base = _run_with_thermal()
+        scheduled = _run_with_thermal(
+            PhasePolicy({"alltoall"}, low_mhz=600, high_mhz=1400)
+        )
+        return base, scheduled
+
+    (b_el, b_en, b_mean, b_peak), (s_el, s_en, s_mean, s_peak) = benchmark.pedantic(
+        study, rounds=1, iterations=1
+    )
+    life = arrhenius_life_factor(s_mean, b_mean)
+    # Scale the per-run cluster energy difference to the paper's
+    # petaflop scenario: same relative saving on a 100 MW machine, $100/MWh.
+    saving_frac = 1.0 - (s_en / b_en)
+    petaflop_hourly = operating_cost_usd(100e6 * 3600.0)
+    emit(
+        "Reliability & operating cost (paper Section 1 motivation)",
+        "\n".join(
+            [
+                f"no DVS     : {b_el:7.1f}s  {b_en:8.0f}J  mean CPU {b_mean:5.1f}C  peak {b_peak:5.1f}C",
+                f"internal FT: {s_el:7.1f}s  {s_en:8.0f}J  mean CPU {s_mean:5.1f}C  peak {s_peak:5.1f}C",
+                f"energy saving          : {saving_frac:.1%}",
+                f"mean CPU cooling       : {b_mean - s_mean:.1f} C",
+                f"Arrhenius life factor  : x{life:.2f} (x2 per 10C, paper Section 1)",
+                f"petaflop-machine anchor: ${petaflop_hourly:,.0f}/h at peak (paper: $10,000)",
+                f"  -> saving {saving_frac:.1%} of that: "
+                f"${petaflop_hourly * saving_frac:,.0f}/h",
+            ]
+        ),
+    )
+    assert s_en < b_en * 0.75
+    assert s_el < b_el * 1.01
+    assert s_mean < b_mean - 2.0
+    assert life > 1.1
+    assert petaflop_hourly == pytest.approx(10_000.0)

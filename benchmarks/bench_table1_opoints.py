@@ -1,0 +1,13 @@
+"""Table 1 — Pentium M operating points."""
+
+from repro.experiments.report import render_table1
+from repro.experiments.tables import table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1(benchmark):
+    points = benchmark(table1)
+    emit("Table 1: operating points for the Pentium M 1.4GHz processor",
+         render_table1(points))
+    assert points[0] == (1.4, 1.484)

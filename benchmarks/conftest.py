@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure at class C on the
+simulated NEMO cluster and prints the same rows/series the paper
+reports (paper reference values alongside, where published).
+pytest-benchmark times the regeneration; the printed output is the
+reproduction artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import table2
+
+
+@pytest.fixture(scope="session")
+def t2rows():
+    """The full class-C Table 2 grid, shared by the table/figure benches
+    that derive from the same sweeps (6/7/8)."""
+    return table2()
+
+
+@pytest.fixture(scope="session")
+def sweeps(t2rows):
+    return {code: row.sweep for code, row in t2rows.items()}
+
+
+def emit(title: str, text: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(text)

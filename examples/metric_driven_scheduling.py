@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Metric-driven EXTERNAL scheduling (paper Section 4.5 / Figures 6-7).
+
+The paper's workflow for user-driven external control:
+
+1. run the PowerPack microbenchmarks across the frequency sweep to see
+   how each workload *category* (CPU-, memory-, communication-bound)
+   responds to DVS;
+2. profile the target application across the sweep;
+3. let a fused energy-performance metric (EDP / ED2P / ED3P) pick the
+   operating point — more delay-weight means a more conservative pick;
+4. set that frequency cluster-wide before launching.
+
+Here we do all four steps for CG and show how the chosen point moves
+with the metric.
+"""
+
+from repro.core import ED2P, ED3P, EDP, ExternalStrategy, run_workload
+from repro.core.metrics import select_operating_point
+from repro.experiments.runner import frequency_sweep
+from repro.workloads import get_workload
+
+
+def microbenchmark_database() -> None:
+    """Step 1: category sensitivities from the PowerPack microbenchmarks."""
+    print("microbenchmark DVS sensitivity (normalized delay at 600 MHz):")
+    for name, kwargs in (
+        ("UB-CPU", dict(seconds=5.0)),
+        ("UB-MEM", dict(seconds=5.0)),
+        ("UB-COMM", dict(nprocs=2, rounds=20, nbytes=1e6)),
+    ):
+        sweep = frequency_sweep(get_workload(name, **kwargs), [600, 1400])
+        d, e = sweep.normalized[600.0]
+        print(f"  {name:<8} delay x{d:.2f}   energy x{e:.2f}")
+    print()
+
+
+def main() -> None:
+    microbenchmark_database()
+
+    cg = get_workload("CG", klass="C", nprocs=8)
+    print(f"profiling {cg.tag} across the frequency sweep...")
+    sweep = frequency_sweep(cg)
+    for mhz, (d, e) in sorted(sweep.normalized.items()):
+        print(f"  {mhz:6.0f} MHz: delay {d:.3f}  energy {e:.3f}")
+    print()
+
+    for metric in (EDP, ED2P, ED3P):
+        mhz = select_operating_point(sweep.normalized, metric)
+        d, e = sweep.normalized[mhz]
+        # This is what ExternalStrategy(profile=..., metric=...) automates:
+        strategy = ExternalStrategy(profile=sweep.normalized, metric=metric)
+        assert strategy.mhz == mhz
+        print(
+            f"{metric.name:>5} selects {mhz:6.0f} MHz -> "
+            f"{1 - e:5.1%} energy saved at {d - 1:+5.1%} delay"
+        )
+    print()
+    print("more delay-weight (EDP -> ED3P) = more conservative selection,")
+    print("exactly the paper's lever for performance-constrained scheduling.")
+
+
+if __name__ == "__main__":
+    main()

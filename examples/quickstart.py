@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: compare all three DVS scheduling strategies on FT.
+
+This is the paper's headline experiment (Figure 11) in ~30 lines: run
+NAS FT on the simulated NEMO cluster under
+
+* no DVS (the normalization baseline),
+* the CPUSPEED daemon (system-driven, external),
+* EXTERNAL static setting at 600 MHz (user-driven, external),
+* INTERNAL phase scheduling: 600 MHz during the all-to-all, 1400 MHz
+  otherwise (user-driven, internal — Figure 10's instrumentation).
+
+Expected output shape: INTERNAL saves ~1/3 of the energy with no
+noticeable delay, EXTERNAL@600 saves slightly more but pays ~14 %
+delay, CPUSPEED sits in between.
+"""
+
+from repro.core import (
+    CpuspeedDaemonStrategy,
+    ExternalStrategy,
+    InternalStrategy,
+    NoDvsStrategy,
+    PhasePolicy,
+    run_workload,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    ft = get_workload("FT", klass="C", nprocs=8)
+
+    strategies = [
+        NoDvsStrategy(),
+        CpuspeedDaemonStrategy(),
+        ExternalStrategy(mhz=600),
+        InternalStrategy(
+            PhasePolicy({"alltoall"}, low_mhz=600, high_mhz=1400),
+            label="FT 1400/600",
+        ),
+    ]
+
+    baseline = run_workload(ft, strategies[0])
+    print(f"workload: {ft.tag}")
+    print(f"{'strategy':<28} {'delay':>7} {'energy':>7} {'saved':>7} {'DVS calls':>10}")
+    for strategy in strategies:
+        m = run_workload(ft, strategy)
+        d, e = m.normalized_against(baseline)
+        print(
+            f"{strategy.describe():<28} {d:>7.3f} {e:>7.3f} "
+            f"{1 - e:>6.1%} {m.dvs_transitions:>10}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The schedule advisor — automating the paper's whole methodology.
+
+The paper closes with: "our techniques are largely manual and more work
+is needed to fully automate the process."  This package's
+:class:`~repro.core.advisor.ScheduleAdvisor` is that automation: one
+call profiles the application, sweeps external settings, derives
+internal policies from the trace (phase-based and rank-heterogeneous),
+runs the daemon, and ranks everything by the user's fused metric.
+
+Here we advise three very different codes — FT (long comm phases), CG
+(rank asymmetry) and EP (nothing to exploit) — under ED3P, plus one run
+under a hard "no slowdown" constraint.
+"""
+
+from repro.core import ED3P, ScheduleAdvisor
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    advisor = ScheduleAdvisor(metric=ED3P)
+
+    for code in ("FT", "CG", "EP"):
+        workload = get_workload(code, klass="B")
+        advice = advisor.advise(workload)
+        print(advice.render())
+        best = advice.best
+        print(
+            f"-> {best.label}: {best.energy_saving:.0%} energy saved "
+            f"at {best.delay_increase:+.1%} delay\n"
+        )
+
+    # A performance-constrained user: never slow down at all.
+    strict = ScheduleAdvisor(metric=ED3P, max_delay_increase=0.005)
+    advice = strict.advise(get_workload("FT", klass="B"))
+    print(advice.render())
+    print(
+        "\nwith the 0.5% delay cap the advisor still finds the internal"
+        "\nall-to-all schedule — energy savings without performance loss,"
+        "\nthe paper's stated goal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of *Performance-constrained Distributed DVS
+Scheduling for Scientific Applications on Power-aware Clusters*
+(Ge, Feng, Cameron — SC'05).
+
+The package simulates the paper's NEMO power-aware cluster end to end —
+DVS-capable Pentium M nodes, Fast Ethernet fabric, a virtual MPI layer,
+NPB-like workload models, ACPI/Baytech measurement channels — and
+implements the paper's contribution on top: the CPUSPEED daemon,
+EXTERNAL and INTERNAL distributed DVS scheduling strategies, fused
+energy-performance metrics (EDP/ED2P/ED3P) for operating-point
+selection, and the Type I-IV application taxonomy.
+
+Quickstart::
+
+    from repro.core import run_workload, InternalStrategy, PhasePolicy
+    from repro.workloads import get_workload
+
+    ft = get_workload("FT", klass="C")
+    baseline = run_workload(ft)
+    internal = run_workload(
+        ft, InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400))
+    )
+    delay, energy = internal.normalized_against(baseline)
+    print(f"{1 - energy:.0%} energy saved at {delay - 1:+.1%} delay")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: distributed DVS scheduling.
+
+* :mod:`repro.core.metrics` — fused energy-performance metrics
+  (EDP, ED2P, ED3P) and metric-driven operating-point selection
+  (paper Section 4.5).
+* :mod:`repro.core.crescendo` — energy-delay crescendos and the
+  Type I–IV application taxonomy (paper Section 5.2 / Figure 8).
+* :mod:`repro.core.strategies` — the three scheduling strategies:
+  CPUSPEED daemon, EXTERNAL static setting, INTERNAL source-level
+  control (paper Section 3).
+* :mod:`repro.core.framework` — the PowerPack-style experiment runner
+  producing directly-measured (delay, energy) results.
+"""
+
+from repro.core.metrics import (
+    EDP,
+    ED2P,
+    ED3P,
+    FusedMetric,
+    normalize_profile,
+    select_operating_point,
+)
+from repro.core.crescendo import Crescendo, CrescendoType, classify_crescendo
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies import (
+    BetaConfig,
+    BetaDaemonStrategy,
+    CpuspeedDaemonStrategy,
+    ExternalStrategy,
+    InternalStrategy,
+    NoDvsStrategy,
+    PhasePolicy,
+    PowerCapConfig,
+    PowerCapStrategy,
+    PredictiveConfig,
+    PredictiveDaemonStrategy,
+    RankPolicy,
+    Strategy,
+)
+from repro.core.strategies.auto import (
+    WorkloadProfile,
+    derive_phase_policy,
+    derive_rank_policy,
+    profile_workload,
+)
+from repro.core.advisor import Advice, CandidateResult, ScheduleAdvisor
+
+__all__ = [
+    "Advice",
+    "BetaConfig",
+    "BetaDaemonStrategy",
+    "CandidateResult",
+    "Crescendo",
+    "CrescendoType",
+    "CpuspeedDaemonStrategy",
+    "ED2P",
+    "ED3P",
+    "EDP",
+    "ExternalStrategy",
+    "FusedMetric",
+    "InternalStrategy",
+    "Measurement",
+    "NoDvsStrategy",
+    "PhasePolicy",
+    "PowerCapConfig",
+    "PowerCapStrategy",
+    "PredictiveConfig",
+    "PredictiveDaemonStrategy",
+    "RankPolicy",
+    "Strategy",
+    "ScheduleAdvisor",
+    "WorkloadProfile",
+    "classify_crescendo",
+    "derive_phase_policy",
+    "derive_rank_policy",
+    "normalize_profile",
+    "profile_workload",
+    "run_workload",
+    "select_operating_point",
+]

@@ -1,0 +1,97 @@
+"""Energy-delay crescendos and the Type I–IV taxonomy (paper Figure 8).
+
+A *crescendo* is the frequency sweep of normalized delay and energy.
+The paper groups the NPB codes into four types:
+
+* **Type I** (EP): near-zero energy benefit, linear delay increase.
+* **Type II** (BT, MG, LU): energy falls about as fast as delay rises.
+* **Type III** (FT, CG, SP): energy falls faster than delay rises.
+* **Type IV** (IS): near-zero delay increase, linear energy saving.
+
+Types III and IV save energy under external DVS; Types I and II do not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+__all__ = ["CrescendoType", "Crescendo", "classify_crescendo"]
+
+
+class CrescendoType(enum.Enum):
+    """The paper's four energy-delay crescendo categories."""
+
+    TYPE_I = "I"
+    TYPE_II = "II"
+    TYPE_III = "III"
+    TYPE_IV = "IV"
+
+    @property
+    def saves_energy(self) -> bool:
+        """Whether external DVS is worthwhile for this category."""
+        return self in (CrescendoType.TYPE_III, CrescendoType.TYPE_IV)
+
+
+@dataclass(frozen=True)
+class Crescendo:
+    """A normalized frequency sweep for one code.
+
+    ``points`` maps frequency (MHz) to normalized ``(delay, energy)``;
+    the fastest frequency is the (1.0, 1.0) baseline.
+    """
+
+    code: str
+    points: Mapping[float, Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a crescendo needs at least two operating points")
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        return tuple(sorted(self.points))
+
+    @property
+    def max_delay_increase(self) -> float:
+        """Delay increase at the slowest point (``D(f_min) - 1``)."""
+        return self.points[self.frequencies[0]][0] - 1.0
+
+    @property
+    def max_energy_saving(self) -> float:
+        """Energy saving at the slowest point (``1 - E(f_min)``)."""
+        return 1.0 - self.points[self.frequencies[0]][1]
+
+    @property
+    def best_energy_saving(self) -> float:
+        """Largest saving anywhere on the sweep."""
+        return max(1.0 - e for _d, e in self.points.values())
+
+    def classify(
+        self,
+        flat_threshold: float = 0.06,
+        type3_ratio: float = 0.75,
+    ) -> CrescendoType:
+        """Classify per the paper's taxonomy.
+
+        ``flat_threshold`` bounds "near zero" energy benefit / delay
+        increase; ``type3_ratio`` is the delay/energy slope ratio below
+        which energy clearly falls faster than delay rises (Type III).
+        """
+        d_up = self.max_delay_increase
+        e_down = self.max_energy_saving
+        if e_down <= flat_threshold:
+            return CrescendoType.TYPE_I
+        if d_up <= flat_threshold:
+            return CrescendoType.TYPE_IV
+        if d_up <= type3_ratio * e_down:
+            return CrescendoType.TYPE_III
+        return CrescendoType.TYPE_II
+
+
+def classify_crescendo(
+    code: str, points: Mapping[float, Tuple[float, float]]
+) -> CrescendoType:
+    """Convenience wrapper: classify a normalized sweep directly."""
+    return Crescendo(code, points).classify()

@@ -1,0 +1,168 @@
+"""Experiment runner: application × strategy → measured (delay, energy).
+
+One call builds a fresh NEMO-like cluster, installs the strategy
+(static settings / daemons / source hooks), launches the workload's
+rank program, and measures delay and energy — exactly, plus optionally
+through the paper's ACPI and Baytech channels and the MPE-like tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.hardware.cluster import Cluster, nemo_cluster
+from repro.hardware.network import NetworkParameters
+from repro.hardware.opoints import OperatingPointTable, PENTIUM_M_TABLE
+from repro.hardware.power import NEMO_POWER, NodePowerParameters
+from repro.mpi.launcher import launch
+from repro.powerpack.collector import DataCollector, EnergyReport
+from repro.trace.events import TraceLog
+from repro.workloads.base import CompositeHooks, NO_HOOKS, PhaseHooks, Workload
+from repro.core.strategies.base import NoDvsStrategy, Strategy
+
+__all__ = ["Measurement", "run_workload"]
+
+
+@dataclass
+class Measurement:
+    """Directly measured outcome of one run."""
+
+    workload: str
+    strategy: str
+    elapsed_s: float
+    energy_j: float
+    per_node_energy_j: dict[int, float]
+    dvs_transitions: int
+    time_at_mhz: dict[float, float]
+    acpi_energy_j: Optional[float] = None
+    baytech_energy_j: Optional[float] = None
+    trace: Optional[TraceLog] = None
+    report: Optional[EnergyReport] = None
+    extras: dict = field(default_factory=dict)
+
+    def normalized_against(self, baseline: "Measurement") -> tuple[float, float]:
+        """(normalized delay, normalized energy) vs a no-DVS baseline."""
+        if baseline.elapsed_s <= 0 or baseline.energy_j <= 0:
+            raise ValueError("invalid baseline measurement")
+        return (
+            self.elapsed_s / baseline.elapsed_s,
+            self.energy_j / baseline.energy_j,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload} under {self.strategy}: "
+            f"{self.elapsed_s:.2f}s, {self.energy_j:.0f}J, "
+            f"{self.dvs_transitions} transitions"
+        )
+
+
+def run_workload(
+    workload: Workload,
+    strategy: Optional[Strategy] = None,
+    seed: int = 0,
+    trace: bool = False,
+    measurement_channels: bool = False,
+    network_params: Optional[NetworkParameters] = None,
+    power: NodePowerParameters = NEMO_POWER,
+    opoints: OperatingPointTable = PENTIUM_M_TABLE,
+    transition_latency_s: float = 20e-6,
+    cluster: Optional[Cluster] = None,
+    extra_hooks: Optional[PhaseHooks] = None,
+) -> Measurement:
+    """Run ``workload`` under ``strategy`` on a fresh cluster.
+
+    Parameters
+    ----------
+    measurement_channels:
+        Also measure through the simulated ACPI batteries and Baytech
+        strip (slower; adds sampling processes).  The exact meters are
+        always read.
+    trace:
+        Attach an MPE-like :class:`TraceLog` (returned on the
+        measurement).
+    cluster:
+        Reuse a prepared cluster instead of building one (advanced; the
+        cluster must be fresh — meters accumulate from construction).
+    extra_hooks:
+        Additional :class:`PhaseHooks` composed with the strategy's own
+        (e.g. a :class:`~repro.trace.phasestats.PhaseRecorder` profiling
+        the run the strategy is scheduling).
+    """
+    strategy = strategy or NoDvsStrategy()
+    if cluster is None:
+        env = Environment()
+        cluster = nemo_cluster(
+            env,
+            n_nodes=workload.nprocs,
+            power=power,
+            opoints=opoints,
+            network_params=network_params,
+            transition_latency_s=transition_latency_s,
+            with_batteries=measurement_channels,
+            seed=seed,
+        )
+    else:
+        env = cluster.env
+        if len(cluster) < workload.nprocs:
+            raise ValueError(
+                f"cluster has {len(cluster)} nodes; workload needs {workload.nprocs}"
+            )
+    node_ids = list(range(workload.nprocs))
+
+    hooks = strategy.hooks(workload)
+    if extra_hooks is not None:
+        hooks = CompositeHooks(hooks, extra_hooks) if hooks is not NO_HOOKS else extra_hooks
+    tracer = TraceLog() if trace else None
+    collector = (
+        DataCollector(cluster, node_ids)
+        if measurement_channels
+        else None
+    )
+
+    strategy.setup(cluster, node_ids)
+    begin_energy = {nid: cluster[nid].energy_j() for nid in node_ids}
+    begin_transitions = sum(cluster[nid].cpu.stats.transitions for nid in node_ids)
+    if collector is not None:
+        collector.begin()
+
+    handle = launch(
+        cluster,
+        workload.make_program(hooks),
+        nprocs=workload.nprocs,
+        node_ids=node_ids,
+        cost=workload.cost_model(),
+        tracer=tracer,
+    )
+    env.run(handle.done)
+    handle.check()
+    strategy.teardown(cluster)
+
+    report = collector.end() if collector is not None else None
+    per_node = {
+        nid: cluster[nid].energy_j() - begin_energy[nid] for nid in node_ids
+    }
+    time_at: dict[float, float] = {}
+    transitions = -begin_transitions
+    for nid in node_ids:
+        cpu = cluster[nid].cpu
+        cpu.busy_seconds()  # flush accounting to `now`
+        transitions += cpu.stats.transitions
+        for mhz, secs in cpu.stats.time_at_mhz.items():
+            time_at[mhz] = time_at.get(mhz, 0.0) + secs
+
+    return Measurement(
+        workload=workload.tag,
+        strategy=strategy.describe(),
+        elapsed_s=handle.elapsed(),
+        energy_j=sum(per_node.values()),
+        per_node_energy_j=per_node,
+        dvs_transitions=transitions,
+        time_at_mhz=time_at,
+        acpi_energy_j=report.total_acpi_j if report is not None else None,
+        baytech_energy_j=report.total_baytech_j if report is not None else None,
+        trace=tracer,
+        report=report,
+    )

@@ -1,0 +1,132 @@
+"""Energy-performance efficiency metrics (paper Section 4.5).
+
+When the operating point changes, both energy and delay move; a fused
+metric ranks the trade-off.  The paper uses ED2P (``E·D²``) and ED3P
+(``E·D³``) — the higher the delay exponent, the more the metric
+penalises performance loss, so ED3P selects more conservative
+frequencies than ED2P (compare Figures 6 and 7).
+
+All metrics operate on *normalized* delay and energy: values divided by
+the measurement at the highest frequency, as the paper does throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+__all__ = [
+    "FusedMetric",
+    "EDP",
+    "ED2P",
+    "ED3P",
+    "normalize_profile",
+    "select_operating_point",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class FusedMetric:
+    """``E · D^weight`` — energy-delay product family.
+
+    ``weight`` = 1 is EDP (workstation-class), 2 is ED2P (server-class,
+    Brooks et al.), 3 is ED3P (the paper's performance-constrained
+    choice for HPC).
+    """
+
+    delay_weight: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.delay_weight < 0:
+            raise ValueError("delay weight must be non-negative")
+        if not self.name:
+            object.__setattr__(self, "name", f"ED{self.delay_weight:g}P")
+
+    def __call__(self, delay: float, energy: float) -> float:
+        """Metric value for normalized (delay, energy)."""
+        if delay <= 0 or energy < 0:
+            raise ValueError(f"invalid normalized point ({delay}, {energy})")
+        return energy * delay**self.delay_weight
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Energy-delay product (E·D).
+EDP = FusedMetric(1.0, "EDP")
+#: Energy-delay-squared product (E·D²).
+ED2P = FusedMetric(2.0, "ED2P")
+#: Energy-delay-cubed product (E·D³) — the paper's headline metric.
+ED3P = FusedMetric(3.0, "ED3P")
+
+
+def normalize_profile(
+    profile: Mapping[float, Tuple[float, float]],
+    reference_mhz: float | None = None,
+) -> dict[float, tuple[float, float]]:
+    """Normalize a raw ``{mhz: (delay_s, energy_j)}`` profile.
+
+    Division is by the value at ``reference_mhz`` (default: the highest
+    frequency present — the paper's no-DVS baseline).
+    """
+    if not profile:
+        raise ValueError("empty profile")
+    ref = reference_mhz if reference_mhz is not None else max(profile)
+    if ref not in profile:
+        raise KeyError(f"reference frequency {ref} MHz not in profile")
+    ref_delay, ref_energy = profile[ref]
+    if ref_delay <= 0 or ref_energy <= 0:
+        raise ValueError("reference delay/energy must be positive")
+    return {
+        mhz: (delay / ref_delay, energy / ref_energy)
+        for mhz, (delay, energy) in profile.items()
+    }
+
+
+def pareto_front(
+    normalized: Mapping[float, Tuple[float, float]],
+) -> list[float]:
+    """Frequencies on the energy-delay Pareto front, sorted by delay.
+
+    A point is dominated when another point has both lower-or-equal
+    delay and lower-or-equal energy (and is strictly better in one).
+    Any fused-metric optimum lies on this front, so it is the complete
+    menu of defensible operating points for a code.
+    """
+    if not normalized:
+        raise ValueError("empty profile")
+    points = sorted(normalized.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+    front: list[float] = []
+    best_energy = float("inf")
+    for mhz, (delay, energy) in points:
+        if energy < best_energy - 1e-12:
+            front.append(mhz)
+            best_energy = energy
+    return front
+
+
+def select_operating_point(
+    normalized: Mapping[float, Tuple[float, float]],
+    metric: FusedMetric = ED3P,
+) -> float:
+    """Choose the frequency minimising ``metric`` (paper Section 5.2).
+
+    Ties (within numerical noise) break toward the *best-performing*
+    point, exactly as the paper specifies: "If two points have the same
+    ED³ value, choose the point with best performance."
+    """
+    if not normalized:
+        raise ValueError("empty profile")
+    best_mhz = None
+    best_value = float("inf")
+    best_delay = float("inf")
+    for mhz in sorted(normalized):
+        delay, energy = normalized[mhz]
+        value = metric(delay, energy)
+        tie = abs(value - best_value) <= 1e-12 * max(1.0, abs(best_value))
+        if value < best_value - 1e-12 or (tie and delay < best_delay):
+            best_mhz, best_value, best_delay = mhz, value, delay
+    assert best_mhz is not None
+    return best_mhz

@@ -1,0 +1,36 @@
+"""The three distributed DVS scheduling strategies (paper Section 3)."""
+
+from repro.core.strategies.base import NoDvsStrategy, Strategy
+from repro.core.strategies.cpuspeed import CpuspeedConfig, CpuspeedDaemonStrategy
+from repro.core.strategies.beta import BetaConfig, BetaDaemonStrategy
+from repro.core.strategies.external import ExternalStrategy
+from repro.core.strategies.powercap import PowerCapConfig, PowerCapStrategy
+from repro.core.strategies.predictive import (
+    PredictiveConfig,
+    PredictiveDaemonStrategy,
+)
+from repro.core.strategies.internal import (
+    InternalStrategy,
+    PhasePolicy,
+    RankPolicy,
+)
+# NOTE: repro.core.strategies.auto is exported via repro.core (it
+# depends on the framework, which depends on this package — importing
+# it here would be circular).
+
+__all__ = [
+    "BetaConfig",
+    "BetaDaemonStrategy",
+    "CpuspeedConfig",
+    "CpuspeedDaemonStrategy",
+    "ExternalStrategy",
+    "InternalStrategy",
+    "NoDvsStrategy",
+    "PhasePolicy",
+    "PowerCapConfig",
+    "PowerCapStrategy",
+    "PredictiveConfig",
+    "PredictiveDaemonStrategy",
+    "RankPolicy",
+    "Strategy",
+]

@@ -1,0 +1,152 @@
+"""Automated INTERNAL scheduling (the paper's Section 7 future work).
+
+The paper designs its INTERNAL schedules by hand: read the Jumpshot
+trace, find long communication phases (FT) or rank asymmetry (CG),
+insert ``set_cpuspeed`` calls.  This module automates exactly that
+workflow from one profiling run:
+
+* :func:`derive_phase_policy` — find phases that are (a) dominated by
+  communication, (b) long enough to amortize the DVS transition cost,
+  and (c) a meaningful share of the runtime; schedule them at a low
+  operating point (the FT recipe, automated).
+* :func:`derive_rank_policy` — measure per-rank slack relative to the
+  busiest rank and assign each rank the slowest operating point that
+  still hides its extra compute time inside the slack (the CG recipe,
+  automated; in spirit of Chen et al.'s critical-path scaling).
+* :func:`profile_workload` — the shared profiling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.opoints import OperatingPointTable, PENTIUM_M_TABLE
+from repro.trace.phasestats import PhaseProfile, PhaseRecorder, profile_phases
+from repro.trace.stats import analyze
+from repro.workloads.base import Workload
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies.base import NoDvsStrategy
+from repro.core.strategies.internal import PhasePolicy, RankPolicy
+
+__all__ = [
+    "WorkloadProfile",
+    "profile_workload",
+    "derive_phase_policy",
+    "derive_rank_policy",
+]
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything one profiling run yields."""
+
+    measurement: Measurement
+    phases: dict[str, PhaseProfile]
+    #: busy seconds per rank (compute share of the run)
+    rank_compute_s: dict[int, float]
+    #: explicitly blocked/idle seconds per rank
+    rank_wait_s: dict[int, float]
+    #: time inside MPI (active + blocked) per rank
+    rank_comm_s: dict[int, float]
+
+    def rank_slack_s(self, rank: int) -> float:
+        """Estimated absorbable slack of one rank.
+
+        Explicit wait/idle time plus the rank's *excess* MPI time over
+        the least-communicating rank — the blocked share hiding inside
+        blocking sends/receives (Figure 12's asymmetry signal).
+        """
+        min_comm = min(self.rank_comm_s.values(), default=0.0)
+        return self.rank_wait_s.get(rank, 0.0) + (
+            self.rank_comm_s.get(rank, 0.0) - min_comm
+        )
+
+
+def profile_workload(workload: Workload, seed: int = 0) -> WorkloadProfile:
+    """Run once at full speed with tracing + phase recording."""
+    recorder = PhaseRecorder()
+    m = run_workload(
+        workload, NoDvsStrategy(), seed=seed, trace=True, extra_hooks=recorder
+    )
+    phases = profile_phases(recorder, m.trace)
+    stats = analyze(m.trace)
+    compute = {p.rank: p.compute_s for p in stats.ranks}
+    wait = {p.rank: p.wait_s + p.idle_s for p in stats.ranks}
+    comm = {p.rank: p.comm_s + p.wait_s for p in stats.ranks}
+    return WorkloadProfile(m, phases, compute, wait, comm)
+
+
+def derive_phase_policy(
+    profile: WorkloadProfile,
+    opoints: OperatingPointTable = PENTIUM_M_TABLE,
+    transition_latency_s: float = 20e-6,
+    min_comm_fraction: float = 0.6,
+    min_amortization: float = 1000.0,
+    min_runtime_share: float = 0.05,
+) -> Optional[PhasePolicy]:
+    """Automate the FT recipe (Figure 10).
+
+    Returns ``None`` when no phase qualifies — the honest outcome for
+    codes like EP or LU, where the paper also finds nothing to scale.
+    """
+    low_phases = set()
+    for name, phase in profile.phases.items():
+        long_enough = phase.mean_seconds >= min_amortization * transition_latency_s
+        if phase.is_communication_phase and long_enough and (
+            phase.share_of_runtime >= min_runtime_share
+        ):
+            if phase.comm_fraction >= min_comm_fraction:
+                low_phases.add(name)
+    if not low_phases:
+        return None
+    return PhasePolicy(
+        low_phases,
+        low_mhz=opoints.slowest.frequency_mhz,
+        high_mhz=opoints.fastest.frequency_mhz,
+        min_phase_seconds=min_amortization * transition_latency_s,
+    )
+
+
+def derive_rank_policy(
+    profile: WorkloadProfile,
+    opoints: OperatingPointTable = PENTIUM_M_TABLE,
+    min_slack_fraction: float = 0.05,
+    aggressiveness: float = 3.0,
+) -> Optional[RankPolicy]:
+    """Automate the CG recipe (Figure 13) / critical-path scaling.
+
+    For each rank, :meth:`WorkloadProfile.rank_slack_s` estimates how
+    much it waits on others.  Slowing a rank from ``f_max`` to ``f``
+    stretches its compute by ``compute * (f_max/f - 1)``; the policy
+    picks the slowest operating point whose stretch stays within
+    ``aggressiveness * slack`` (1.0 = strictly hide inside the slack;
+    the default trades a little delay for more energy, as the paper's
+    hand-designed CG schedules do).  Ranks without meaningful slack
+    stay at full speed.  Returns ``None`` when no rank has slack to
+    exploit (balanced codes).
+    """
+    if aggressiveness <= 0:
+        raise ValueError("aggressiveness must be positive")
+    f_max = opoints.fastest.frequency_hz
+    speeds: dict[int, float] = {}
+    any_scaled = False
+    for rank, compute in profile.rank_compute_s.items():
+        slack = profile.rank_slack_s(rank)
+        total = compute + slack
+        if total <= 0 or compute <= 0 or slack / total < min_slack_fraction:
+            speeds[rank] = opoints.fastest.frequency_mhz
+            continue
+        budget = aggressiveness * slack
+        chosen = opoints.fastest
+        for point in opoints:  # slow -> fast; take the first that fits
+            stretch = compute * (f_max / point.frequency_hz - 1.0)
+            if stretch <= budget:
+                chosen = point
+                break
+        speeds[rank] = chosen.frequency_mhz
+        if chosen is not opoints.fastest:
+            any_scaled = True
+    if not any_scaled:
+        return None
+    return RankPolicy(speeds)

@@ -1,0 +1,59 @@
+"""Strategy interface shared by the three scheduling approaches."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.hardware.cluster import Cluster
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+
+__all__ = ["Strategy", "NoDvsStrategy"]
+
+
+class Strategy(abc.ABC):
+    """A distributed DVS scheduling strategy.
+
+    The framework drives a strategy through three touch points:
+
+    * :meth:`hooks` — instrumentation handed to the workload program
+      (only the INTERNAL strategy uses this; it is how ``set_cpuspeed``
+      calls are "inserted into the source", Figure 3).
+    * :meth:`setup` — before the job starts: set static frequencies
+      (EXTERNAL) or start per-node daemon processes (CPUSPEED).
+    * :meth:`teardown` — after the job: stop daemons.
+    """
+
+    #: short display name, e.g. ``"cpuspeed"``.
+    name: str = "?"
+
+    def hooks(self, workload: Workload) -> PhaseHooks:
+        """Source-level instrumentation (default: none)."""
+        return NO_HOOKS
+
+    def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        """Prepare the participating nodes before launch."""
+
+    def teardown(self, cluster: Cluster) -> None:
+        """Undo :meth:`setup` after the job completes."""
+
+    def describe(self) -> str:
+        """One-line human description for reports."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<Strategy {self.describe()}>"
+
+
+class NoDvsStrategy(Strategy):
+    """Baseline: every node pinned at the highest operating point.
+
+    This is the paper's normalization reference ("energy and delay
+    values without any DVS activity").
+    """
+
+    name = "no-dvs"
+
+    def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        for nid in node_ids:
+            cluster[nid].cpu.set_speed_index(cluster.opoints.max_index)

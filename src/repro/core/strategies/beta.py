@@ -1,0 +1,134 @@
+"""β-adaptive, performance-constrained DVS daemon.
+
+The paper's title promises *performance-constrained* scheduling; its
+future work asks for "better prediction methods more suitable to
+high-performance computing applications".  The approach the follow-up
+literature converged on (Hsu & Feng's β-adaptation; Ge et al.'s own
+CPU MISER) reads hardware performance counters instead of /proc
+utilization:
+
+1. over each window, estimate the **frequency-sensitive share**
+   ``w_on`` of execution time from the retired-cycle counter
+   (``on-chip seconds = Δcycles / f``; everything else — memory stalls,
+   network waits — does not scale with the clock);
+2. given a user delay constraint ``D(f) ≤ 1 + δ`` and the model
+   ``D(f) = w_on · f_max/f + (1 − w_on)``, the slowest admissible
+   frequency is ``f* = f_max · w_on / (δ + w_on)``;
+3. set the slowest operating point **at or above** ``f*``.
+
+Unlike utilization heuristics, this distinguishes a memory-stalled CPU
+(busy in /proc but insensitive to frequency) from an on-chip-bound one
+— exactly the failure mode that makes CPUSPEED mispredict MG and BT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import CpuCore
+from repro.hardware.opoints import OperatingPointTable
+from repro.core.strategies.base import Strategy
+
+__all__ = ["BetaConfig", "BetaDaemonStrategy", "required_frequency_ratio"]
+
+
+def required_frequency_ratio(w_on: float, delta: float) -> float:
+    """Slowest admissible ``f / f_max`` for sensitivity ``w_on`` and
+    delay budget ``δ`` (from ``D(f) = w_on·f_max/f + 1 − w_on ≤ 1+δ``).
+    """
+    if not 0.0 <= w_on <= 1.0:
+        raise ValueError("w_on must lie in [0, 1]")
+    if delta < 0.0:
+        raise ValueError("delay budget must be non-negative")
+    if w_on == 0.0:
+        return 0.0
+    return w_on / (delta + w_on)
+
+
+@dataclass(frozen=True)
+class BetaConfig:
+    """β-daemon tuning."""
+
+    #: user delay budget: execution time may grow by at most this
+    #: fraction (the performance constraint).
+    delta: float = 0.05
+    interval_s: float = 1.0
+    #: EMA smoothing of the w_on estimate across windows.
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError("delta must be non-negative")
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.smoothing <= 1:
+            raise ValueError("smoothing must lie in (0, 1]")
+
+
+class BetaDaemonStrategy(Strategy):
+    """Per-node counter-driven, delay-budgeted DVS daemon."""
+
+    name = "beta"
+
+    def __init__(self, config: Optional[BetaConfig] = None) -> None:
+        self.config = config or BetaConfig()
+        self._daemons: list[Process] = []
+
+    def describe(self) -> str:
+        return f"beta-daemon(delta={self.config.delta:g})"
+
+    # ------------------------------------------------------------------
+    def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        for nid in node_ids:
+            cpu = cluster[nid].cpu
+            self._daemons.append(
+                cluster.env.process(self._daemon(cpu), name=f"beta@{nid}")
+            )
+
+    def teardown(self, cluster: Cluster) -> None:
+        for proc in self._daemons:
+            if proc.is_alive:
+                proc.interrupt("stop")
+        self._daemons.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pick_point(opoints: OperatingPointTable, ratio: float) -> int:
+        """Index of the slowest point with ``f/f_max >= ratio``."""
+        f_max = opoints.fastest.frequency_hz
+        for index, point in enumerate(opoints):  # slow -> fast
+            if point.frequency_hz / f_max >= ratio - 1e-12:
+                return index
+        return opoints.max_index
+
+    def _daemon(self, cpu: CpuCore):
+        cfg = self.config
+        env = cpu.env
+        prev_cycles = cpu.cycles_retired_now()
+        prev_time = env.now
+        w_on_ema: Optional[float] = None
+        try:
+            while True:
+                yield env.timeout(cfg.interval_s)
+                now = env.now
+                cycles = cpu.cycles_retired_now()
+                window = now - prev_time
+                if window <= 0:
+                    continue
+                # On-chip share of the window at the *current* clock.
+                onchip_s = (cycles - prev_cycles) / cpu.frequency_hz
+                w_on = min(1.0, max(0.0, onchip_s / window))
+                prev_cycles, prev_time = cycles, now
+                w_on_ema = (
+                    w_on
+                    if w_on_ema is None
+                    else (1 - cfg.smoothing) * w_on_ema + cfg.smoothing * w_on
+                )
+                ratio = required_frequency_ratio(w_on_ema, cfg.delta)
+                cpu.set_speed_index(self.pick_point(cpu.opoints, ratio))
+        except Interrupt:
+            return

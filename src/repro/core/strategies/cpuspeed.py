@@ -1,0 +1,135 @@
+"""Strategy #1 — the CPUSPEED daemon (paper Section 3.1).
+
+System-driven, external control: an autonomous per-node process polls
+/proc-style CPU utilization every ``interval`` seconds and migrates the
+operating point with the paper's threshold algorithm::
+
+    while true:
+        poll %CPU-usage
+        if   %CPU < minimum-threshold:   S = 0         (jump to slowest)
+        elif %CPU > maximum-threshold:   S = m         (jump to fastest)
+        elif %CPU < CPU-usage-threshold: S = max(S-1, 0)
+        else:                            S = min(S+1, m)
+        set-cpu-speed(speed[S]); sleep(interval)
+
+Two presets mirror the versions the paper evaluates: v1.1 (Fedora 2,
+0.1 s interval — effectively never leaves top speed on NPB codes) and
+v1.2.1 (Fedora 3, 2 s interval — the version Figure 5 reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import CpuCore
+from repro.core.strategies.base import Strategy
+
+__all__ = ["CpuspeedConfig", "CpuspeedDaemonStrategy"]
+
+
+@dataclass(frozen=True)
+class CpuspeedConfig:
+    """Daemon tuning knobs.
+
+    Thresholds are percentages of the polling window spent busy.
+    """
+
+    interval_s: float = 2.0
+    minimum_threshold: float = 50.0
+    usage_threshold: float = 80.0
+    maximum_threshold: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if not (
+            0
+            <= self.minimum_threshold
+            <= self.usage_threshold
+            <= self.maximum_threshold
+            <= 100
+        ):
+            raise ValueError(
+                "need 0 <= minimum <= usage <= maximum <= 100 thresholds"
+            )
+
+    @classmethod
+    def v1_1(cls) -> "CpuspeedConfig":
+        """Fedora Core 2 default: 0.1 s interval, low thresholds.
+
+        The paper observes v1.1 "always chooses the highest CPU speed
+        for most NPB codes": its thresholds sit so low that any NPB
+        utilization saturates them.
+        """
+        return cls(
+            interval_s=0.1,
+            minimum_threshold=5.0,
+            usage_threshold=15.0,
+            maximum_threshold=30.0,
+        )
+
+    @classmethod
+    def v1_2_1(cls) -> "CpuspeedConfig":
+        """Fedora Core 3 default: 2 s transition interval."""
+        return cls(interval_s=2.0)
+
+
+class CpuspeedDaemonStrategy(Strategy):
+    """Run one CPUSPEED daemon per participating node."""
+
+    name = "cpuspeed"
+
+    def __init__(self, config: Optional[CpuspeedConfig] = None) -> None:
+        self.config = config or CpuspeedConfig.v1_2_1()
+        self._daemons: list[Process] = []
+
+    def describe(self) -> str:
+        return f"cpuspeed(interval={self.config.interval_s:g}s)"
+
+    # ------------------------------------------------------------------
+    def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        env = cluster.env
+        for nid in node_ids:
+            cpu = cluster[nid].cpu
+            proc = env.process(self._daemon(cpu), name=f"cpuspeed@{nid}")
+            self._daemons.append(proc)
+
+    def teardown(self, cluster: Cluster) -> None:
+        for proc in self._daemons:
+            if proc.is_alive:
+                proc.interrupt("stop")
+        self._daemons.clear()
+
+    # ------------------------------------------------------------------
+    def _daemon(self, cpu: CpuCore):
+        cfg = self.config
+        env = cpu.env
+        prev_busy = cpu.busy_seconds()
+        prev_time = env.now
+        try:
+            while True:
+                yield env.timeout(cfg.interval_s)
+                busy = cpu.busy_seconds()
+                now = env.now
+                window = now - prev_time
+                usage = 100.0 * (busy - prev_busy) / window if window > 0 else 0.0
+                prev_busy, prev_time = busy, now
+                index = self._next_index(cpu.index, cpu.opoints.max_index, usage)
+                cpu.set_speed_index(index)
+        except Interrupt:
+            return
+
+    def _next_index(self, current: int, max_index: int, usage_pct: float) -> int:
+        """The paper's threshold/saturation rule."""
+        cfg = self.config
+        if usage_pct < cfg.minimum_threshold:
+            return 0
+        if usage_pct > cfg.maximum_threshold:
+            return max_index
+        if usage_pct < cfg.usage_threshold:
+            return max(current - 1, 0)
+        return min(current + 1, max_index)

@@ -1,0 +1,127 @@
+"""Strategy #3 — INTERNAL source-level scheduling (paper Section 3.3).
+
+User-driven, internal control: ``set_cpuspeed`` calls inserted in the
+application around phases.  Two policy shapes cover the paper's two
+case studies:
+
+* :class:`PhasePolicy` — FT (Figure 10): drop to ``low_mhz`` when a
+  named phase (the all-to-all) begins, restore ``high_mhz`` when it
+  ends.
+* :class:`RankPolicy` — CG (Figure 13): set a static per-rank speed at
+  MPI_Init time (heterogeneous scheduling for asymmetric codes).
+
+Policies are :class:`~repro.workloads.base.PhaseHooks`, i.e. exactly
+the instrumentation surface every workload program exposes at the
+source locations where the paper inserts its API calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.mpi.communicator import RankContext
+from repro.workloads.base import PhaseHooks, Workload
+from repro.core.strategies.base import Strategy
+
+__all__ = ["PhasePolicy", "RankPolicy", "InternalStrategy"]
+
+
+class PhasePolicy(PhaseHooks):
+    """Scale down during named phases, restore afterwards.
+
+    Parameters
+    ----------
+    low_phases:
+        Phase names that run at ``low_mhz`` (e.g. ``{"alltoall"}``).
+    low_mhz / high_mhz:
+        The two operating points (paper FT: 600 / 1400).
+    min_phase_seconds:
+        Optional guard: policies can refuse to switch for phases known
+        to be shorter than the transition cost is worth (0 disables).
+    """
+
+    def __init__(
+        self,
+        low_phases: Iterable[str],
+        low_mhz: float = 600.0,
+        high_mhz: float = 1400.0,
+        min_phase_seconds: float = 0.0,
+    ) -> None:
+        self.low_phases = frozenset(low_phases)
+        if not self.low_phases:
+            raise ValueError("need at least one phase to scale down")
+        self.low_mhz = low_mhz
+        self.high_mhz = high_mhz
+        self.min_phase_seconds = min_phase_seconds
+        self._phase_t0: dict[tuple[int, str], float] = {}
+
+    def on_init(self, ctx: RankContext) -> None:
+        ctx.set_cpuspeed(self.high_mhz)
+
+    def phase_begin(self, ctx: RankContext, phase: str) -> None:
+        if phase in self.low_phases:
+            ctx.set_cpuspeed(self.low_mhz)
+
+    def phase_end(self, ctx: RankContext, phase: str) -> None:
+        if phase in self.low_phases:
+            ctx.set_cpuspeed(self.high_mhz)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhasePolicy({sorted(self.low_phases)}, "
+            f"low={self.low_mhz:g}, high={self.high_mhz:g})"
+        )
+
+
+class RankPolicy(PhaseHooks):
+    """Static heterogeneous per-rank speeds set at MPI_Init.
+
+    ``speed_of`` maps a rank to its MHz; the convenience constructor
+    :meth:`split` reproduces the paper's CG policy (Figure 13): the
+    first ``n_high`` ranks at ``high_mhz``, the rest at ``low_mhz``.
+    """
+
+    def __init__(self, speed_of: Callable[[int], float] | Mapping[int, float]) -> None:
+        if isinstance(speed_of, Mapping):
+            mapping = dict(speed_of)
+            self._speed_of = lambda rank: mapping[rank]
+        else:
+            self._speed_of = speed_of
+
+    @classmethod
+    def split(
+        cls, n_high: int, high_mhz: float, low_mhz: float
+    ) -> "RankPolicy":
+        """Ranks ``< n_high`` run at ``high_mhz``, others at ``low_mhz``."""
+        return cls(lambda rank: high_mhz if rank < n_high else low_mhz)
+
+    def on_init(self, ctx: RankContext) -> None:
+        ctx.set_cpuspeed(self._speed_of(ctx.rank))
+
+    def __repr__(self) -> str:
+        return "RankPolicy(...)"
+
+
+class InternalStrategy(Strategy):
+    """Wrap a phase/rank policy as a scheduling strategy."""
+
+    name = "internal"
+
+    def __init__(self, policy: PhaseHooks, label: Optional[str] = None) -> None:
+        self.policy = policy
+        self.label = label
+
+    def describe(self) -> str:
+        if self.label:
+            return f"internal[{self.label}]"
+        return f"internal({self.policy!r})"
+
+    def hooks(self, workload: Workload) -> PhaseHooks:
+        if isinstance(self.policy, PhasePolicy):
+            unknown = self.policy.low_phases - set(workload.phases)
+            if unknown:
+                raise ValueError(
+                    f"policy targets phases {sorted(unknown)} that "
+                    f"{workload.tag} never announces (has {workload.phases})"
+                )
+        return self.policy

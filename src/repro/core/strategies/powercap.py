@@ -1,0 +1,169 @@
+"""Cluster-wide power capping.
+
+The paper motivates power-aware scheduling with machine-room realities
+(a petaflop machine drawing ~100 MW, Section 1).  Facilities enforce
+those realities as *power caps*: the cluster may not exceed a budget,
+whatever the workload does.  This strategy is the follow-on literature's
+answer (GEOPM-style centralized capping) built on the same actuation
+the paper uses:
+
+* a coordinator samples every node's power each interval;
+* while the cluster is over budget, it steps down the
+  highest-powered node (one operating point per offender per interval);
+* while comfortably under budget (below ``cap * headroom``), it steps
+  the slowest node back up.
+
+The cap is enforced on *observed* power; transitions take effect
+immediately, so overshoot is bounded by one interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+from repro.core.strategies.base import Strategy
+
+__all__ = ["PowerCapConfig", "PowerCapStrategy"]
+
+
+@dataclass(frozen=True)
+class PowerCapConfig:
+    """Cap controller tuning."""
+
+    #: cluster power budget in watts (participating nodes only).
+    cap_w: float
+    interval_s: float = 0.5
+    #: step back up only when below ``cap_w * headroom``.
+    headroom: float = 0.92
+    #: how many nodes may be stepped *up* per interval (shedding is
+    #: always immediate for every offender).
+    max_steps_per_interval: int = 2
+    #: raise speed only if the node would stay under budget even at
+    #: full activity (True keeps worst-case power under the cap; False
+    #: reacts to instantaneous power and may overshoot transiently).
+    conservative_raise: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0:
+            raise ValueError("cap must be positive")
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.headroom <= 1:
+            raise ValueError("headroom must lie in (0, 1]")
+        if self.max_steps_per_interval < 1:
+            raise ValueError("need at least one step per interval")
+
+
+class PowerCapStrategy(Strategy):
+    """Keep the participating nodes' total power under a budget."""
+
+    name = "powercap"
+
+    def __init__(self, config: PowerCapConfig) -> None:
+        self.config = config
+        self._proc: Optional[Process] = None
+        #: samples of (time, total power) taken by the controller.
+        self.power_samples: list[tuple[float, float]] = []
+
+    def describe(self) -> str:
+        return f"powercap({self.config.cap_w:.0f}W)"
+
+    # ------------------------------------------------------------------
+    def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
+        # Pre-shed: start every node at the fastest uniform point whose
+        # worst-case total stays under the cap, so the budget holds from
+        # t=0 rather than after the first control interval.
+        nodes = [cluster[nid] for nid in node_ids]
+        for index in range(cluster.opoints.max_index, -1, -1):
+            worst = sum(self._worst_case_node_w(n, index) for n in nodes)
+            if worst <= self.config.cap_w or index == 0:
+                for node in nodes:
+                    node.cpu.set_speed_index(index)
+                break
+        self._proc = cluster.env.process(
+            self._controller(cluster, list(node_ids)), name="powercap"
+        )
+
+    def teardown(self, cluster: Cluster) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    # ------------------------------------------------------------------
+    def _controller(self, cluster: Cluster, node_ids: list[int]):
+        cfg = self.config
+        env = cluster.env
+        nodes = [cluster[nid] for nid in node_ids]
+        try:
+            while True:
+                yield env.timeout(cfg.interval_s)
+                total = sum(node.power_w() for node in nodes)
+                self.power_samples.append((env.now, total))
+                worst = self._worst_case_total(nodes)
+                if total > cfg.cap_w:
+                    # shed: every node above the floor steps down, the
+                    # biggest consumers first, until projected under cap
+                    offenders = sorted(
+                        (n for n in nodes if n.cpu.index > 0),
+                        key=lambda n: n.power_w(),
+                        reverse=True,
+                    )
+                    projected = total
+                    for node in offenders:
+                        before = node.power_w()
+                        node.cpu.step_down()
+                        projected -= before - node.power_w()
+                        if projected <= cfg.cap_w * cfg.headroom:
+                            break
+                elif total < cfg.cap_w * cfg.headroom:
+                    # recover performance: speed the slowest nodes up,
+                    # against the worst-case (full activity) budget so a
+                    # phase change cannot blow the cap
+                    candidates = sorted(
+                        (n for n in nodes if n.cpu.index < n.cpu.opoints.max_index),
+                        key=lambda n: n.cpu.frequency_hz,
+                    )
+                    budget = cfg.cap_w - (
+                        worst if cfg.conservative_raise else total
+                    )
+                    stepped = 0
+                    for node in candidates:
+                        if stepped >= cfg.max_steps_per_interval:
+                            break
+                        delta = self._worst_case_step_delta(node)
+                        if delta > budget:
+                            continue
+                        node.cpu.step_up()
+                        budget -= delta
+                        stepped += 1
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _worst_case_node_w(node, index: int) -> float:
+        """Node power at operating point ``index``, flat out."""
+        op = node.cpu.opoints[index]
+        return node.power_params.node_power_w(
+            op, cpu_activity=1.0, mem_activity=0.6, nic_activity=0.5
+        )
+
+    def _worst_case_total(self, nodes) -> float:
+        return sum(self._worst_case_node_w(n, n.cpu.index) for n in nodes)
+
+    def _worst_case_step_delta(self, node) -> float:
+        current = self._worst_case_node_w(node, node.cpu.index)
+        raised = self._worst_case_node_w(node, node.cpu.index + 1)
+        return raised - current
+
+    def max_observed_power_w(self) -> float:
+        return max((p for _t, p in self.power_samples), default=0.0)
+
+    def mean_observed_power_w(self) -> float:
+        if not self.power_samples:
+            return 0.0
+        return sum(p for _t, p in self.power_samples) / len(self.power_samples)

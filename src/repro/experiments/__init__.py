@@ -1,0 +1,30 @@
+"""Reproduction harness for every table and figure in the paper.
+
+* :mod:`repro.experiments.calibration` — the paper's published numbers
+  (Table 2, figure claims) used as references in reports and tests.
+* :mod:`repro.experiments.runner` — grid runners (frequency sweeps,
+  strategy comparisons) with normalization.
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` —
+  one function per paper table/figure, returning structured results.
+* :mod:`repro.experiments.report` — plain-text rendering.
+* :mod:`repro.experiments.cli` — ``repro-experiments`` entry point.
+"""
+
+from repro.experiments.runner import (
+    SweepResult,
+    frequency_sweep,
+    normalized_point,
+    run_baseline,
+)
+from repro.experiments import calibration, figures, tables, report
+
+__all__ = [
+    "SweepResult",
+    "calibration",
+    "figures",
+    "frequency_sweep",
+    "normalized_point",
+    "report",
+    "run_baseline",
+    "tables",
+]

@@ -1,0 +1,182 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+The paper leaves several axes to "future work"; these studies sweep
+them on the simulator:
+
+* :func:`daemon_interval_study` — the v1.1 → v1.2.1 change was the
+  polling interval: sweep it (the paper's Section 5.1 motivation).
+* :func:`daemon_threshold_study` — "we intend to study the affects of
+  varying thresholds" (Section 5.1).
+* :func:`transition_latency_study` — INTERNAL scheduling granularity vs
+  DVS mode-transition cost (Section 3.3's trade-off).
+* :func:`network_speed_study` — how comm-phase savings shrink as the
+  fabric gets faster (the substrate choice behind NEMO's 100 Mb study).
+* :func:`scaling_study` — savings vs node count for one code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware.network import NetworkParameters
+from repro.core.framework import run_workload
+from repro.core.strategies import (
+    CpuspeedConfig,
+    CpuspeedDaemonStrategy,
+    InternalStrategy,
+    NoDvsStrategy,
+    PhasePolicy,
+)
+from repro.workloads import get_workload
+
+__all__ = [
+    "AblationPoint",
+    "daemon_interval_study",
+    "daemon_threshold_study",
+    "transition_latency_study",
+    "network_speed_study",
+    "scaling_study",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One swept setting and its normalized outcome."""
+
+    setting: float
+    norm_delay: float
+    norm_energy: float
+
+    @property
+    def energy_saving(self) -> float:
+        return 1.0 - self.norm_energy
+
+
+def _normalized(workload, strategy, seed=0, **kwargs):
+    base = run_workload(workload, NoDvsStrategy(), seed=seed, **kwargs)
+    m = run_workload(workload, strategy, seed=seed, **kwargs)
+    return m.normalized_against(base)
+
+
+def daemon_interval_study(
+    code: str = "FT",
+    klass: str = "B",
+    intervals_s: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 4.0, 8.0),
+    seed: int = 0,
+) -> list[AblationPoint]:
+    """CPUSPEED polling interval sweep on one code.
+
+    Too short and the daemon reacts to noise inside phases (v1.1's
+    regime); too long and it lags every phase change.
+    """
+    workload = get_workload(code, klass=klass)
+    points = []
+    for interval in intervals_s:
+        strategy = CpuspeedDaemonStrategy(CpuspeedConfig(interval_s=interval))
+        d, e = _normalized(workload, strategy, seed=seed)
+        points.append(AblationPoint(interval, d, e))
+    return points
+
+
+def daemon_threshold_study(
+    code: str = "MG",
+    klass: str = "B",
+    usage_thresholds: Sequence[float] = (60.0, 70.0, 80.0, 90.0),
+    seed: int = 0,
+) -> list[AblationPoint]:
+    """Step-down threshold sweep (paper's stated future work).
+
+    Lower thresholds keep the daemon fast (less saving, less delay);
+    higher thresholds make it slide toward the slowest point.
+    """
+    workload = get_workload(code, klass=klass)
+    points = []
+    for usage in usage_thresholds:
+        config = CpuspeedConfig(
+            interval_s=2.0,
+            minimum_threshold=min(50.0, usage - 10.0),
+            usage_threshold=usage,
+            maximum_threshold=max(95.0, usage + 5.0),
+        )
+        d, e = _normalized(workload, CpuspeedDaemonStrategy(config), seed=seed)
+        points.append(AblationPoint(usage, d, e))
+    return points
+
+
+def transition_latency_study(
+    code: str = "FT",
+    klass: str = "B",
+    latencies_s: Sequence[float] = (10e-6, 100e-6, 1e-3, 10e-3, 100e-3),
+    low_phase: Optional[str] = None,
+    seed: int = 0,
+) -> list[AblationPoint]:
+    """INTERNAL phase scheduling vs DVS transition cost.
+
+    At 10 us (SpeedStep) the FT policy is free; by ~100 ms per
+    transition the policy's delay cost eats the gains — the paper's
+    granularity condition ("period duration outweighs voltage state
+    transition costs") made quantitative.
+    """
+    workload = get_workload(code, klass=klass)
+    phase = low_phase or ("alltoall" if "alltoall" in workload.phases else workload.phases[-1])
+    policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
+    points = []
+    for latency in latencies_s:
+        d, e = _normalized(
+            workload,
+            InternalStrategy(policy, label=f"lat={latency:g}"),
+            seed=seed,
+            transition_latency_s=latency,
+        )
+        points.append(AblationPoint(latency, d, e))
+    return points
+
+
+def network_speed_study(
+    code: str = "FT",
+    klass: str = "B",
+    bandwidth_scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    seed: int = 0,
+) -> list[AblationPoint]:
+    """How INTERNAL comm-phase savings change with fabric bandwidth.
+
+    Faster networks shrink the communication share, and with it the
+    slack DVS exploits — total energy saving falls even though the
+    policy stays optimal for its phase.
+    """
+    workload = get_workload(code, klass=klass)
+    base_params = NetworkParameters()
+    phase = "alltoall" if "alltoall" in workload.phases else workload.phases[-1]
+    policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
+    points = []
+    for scale in bandwidth_scales:
+        params = NetworkParameters(
+            bandwidth_Bps=base_params.bandwidth_Bps * scale,
+            latency_s=base_params.latency_s,
+        )
+        d, e = _normalized(
+            workload,
+            InternalStrategy(policy, label=f"bw x{scale:g}"),
+            seed=seed,
+            network_params=params,
+        )
+        points.append(AblationPoint(scale, d, e))
+    return points
+
+
+def scaling_study(
+    code: str = "FT",
+    klass: str = "B",
+    node_counts: Sequence[int] = (2, 4, 8, 16),
+    seed: int = 0,
+) -> list[AblationPoint]:
+    """Savings vs node count under INTERNAL scheduling for one code."""
+    points = []
+    for n in node_counts:
+        workload = get_workload(code, klass=klass, nprocs=n)
+        phase = "alltoall" if "alltoall" in workload.phases else workload.phases[-1]
+        policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
+        d, e = _normalized(workload, InternalStrategy(policy), seed=seed)
+        points.append(AblationPoint(float(n), d, e))
+    return points

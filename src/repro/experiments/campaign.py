@@ -1,0 +1,162 @@
+"""Full reproduction campaign — everything, one artifact.
+
+Runs every table and figure (plus fidelity scoring and, optionally, the
+extension benches) and writes a single markdown report.  This is the
+"rebuild the paper" button:
+
+    repro-experiments report            # writes REPORT.md
+    python -m repro.experiments.campaign --out REPORT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.experiments import figures, report, tables
+from repro.experiments.plotting import crescendo_chart
+from repro.experiments.validation import score_table2
+
+__all__ = ["run_campaign", "main"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def run_campaign(
+    klass: str = "C",
+    seed: int = 0,
+    codes: Optional[Sequence[str]] = None,
+    with_charts: bool = True,
+) -> str:
+    """Regenerate every table/figure; return the markdown report."""
+    t_start = time.perf_counter()
+    parts: list[str] = []
+    parts.append(
+        "# Reproduction report\n\n"
+        "*Performance-constrained Distributed DVS Scheduling for "
+        "Scientific Applications on Power-aware Clusters* (SC'05) — "
+        f"regenerated on the simulated NEMO cluster (class {klass}, "
+        f"seed {seed}).\n"
+    )
+
+    # Tables ------------------------------------------------------------
+    parts.append(_section("Table 1 — operating points",
+                          report.render_table1(tables.table1())))
+    rows = tables.table2(codes=codes, klass=klass, seed=seed)
+    sweeps = {c: r.sweep for c, r in rows.items()}
+    parts.append(_section("Table 2 — energy-performance profiles",
+                          report.render_table2(rows)))
+    fidelity = score_table2(rows)
+    parts.append(_section("Fidelity vs the published Table 2",
+                          fidelity.render()))
+
+    # Figures -----------------------------------------------------------
+    parts.append(_section(
+        "Figure 1 — node power breakdown",
+        report.render_breakdown(figures.figure1_power_breakdown()),
+    ))
+    swim = figures.figure2_swim_crescendo(seed=seed)
+    body = report.render_sweep(swim, "swim, one node")
+    if with_charts:
+        body += "\n\n" + crescendo_chart(swim.normalized, title="swim crescendo")
+    parts.append(_section("Figure 2 — swim energy-delay crescendo", body))
+
+    parts.append(_section(
+        "Figure 5 — CPUSPEED daemon",
+        report.render_comparison(
+            figures.figure5_cpuspeed(codes=codes, klass=klass, seed=seed)
+        ),
+    ))
+    parts.append(_section(
+        "Figure 6 — EXTERNAL with ED3P",
+        report.render_selection(
+            figures.figure6_external_ed3p(codes=codes, klass=klass, seed=seed,
+                                          sweeps=sweeps)
+        ),
+    ))
+    parts.append(_section(
+        "Figure 7 — EXTERNAL with ED2P",
+        report.render_selection(
+            figures.figure7_external_ed2p(codes=codes, klass=klass, seed=seed,
+                                          sweeps=sweeps)
+        ),
+    ))
+    fig8 = figures.figure8_crescendos(codes=codes, klass=klass, seed=seed,
+                                      sweeps=sweeps)
+    body = report.render_crescendos(fig8)
+    if with_charts:
+        for code in sorted(fig8.crescendos):
+            body += "\n\n" + crescendo_chart(
+                dict(fig8.crescendos[code].points),
+                title=f"{code} (Type {fig8.types[code].value})",
+                height=10,
+            )
+    parts.append(_section("Figure 8 — crescendos and taxonomy", body))
+
+    ft_trace = figures.figure9_ft_trace(klass=klass, seed=seed)
+    parts.append(_section(
+        "Figure 9 — FT trace",
+        report.render_trace_observations(ft_trace)
+        + "\n\n" + ft_trace.timeline(width=96),
+    ))
+    parts.append(_section(
+        "Figure 11 — FT INTERNAL case study",
+        report.render_internal(
+            figures.figure11_ft_internal(klass=klass, seed=seed,
+                                         sweep=sweeps.get("FT"))
+        ),
+    ))
+    parts.append(_section(
+        "Figure 12 — CG trace",
+        report.render_trace_observations(
+            figures.figure12_cg_trace(klass=klass, seed=seed)
+        ),
+    ))
+    parts.append(_section(
+        "Figure 14 — CG INTERNAL case study",
+        report.render_internal(
+            figures.figure14_cg_internal(klass=klass, seed=seed,
+                                         sweep=sweeps.get("CG"))
+        ),
+    ))
+
+    elapsed = time.perf_counter() - t_start
+    parts.append(
+        f"---\n\n*Campaign wall time: {elapsed:.1f}s; "
+        f"mean Table 2 errors: delay {fidelity.mean_delay_error:.3f}, "
+        f"energy {fidelity.mean_energy_error:.3f}.*\n"
+    )
+    return "\n".join(parts)
+
+
+def write_report(
+    path: Union[str, Path],
+    klass: str = "C",
+    seed: int = 0,
+    codes: Optional[Sequence[str]] = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(run_campaign(klass=klass, seed=seed, codes=codes))
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the full reproduction report."
+    )
+    parser.add_argument("--out", default="REPORT.md")
+    parser.add_argument("--class", dest="klass", default="C")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--codes", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    path = write_report(args.out, klass=args.klass, seed=args.seed, codes=args.codes)
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

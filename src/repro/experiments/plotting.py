@@ -1,0 +1,84 @@
+"""ASCII plotting for terminal reports.
+
+Small, dependency-free renderers used by the CLI and benches to show
+the *shape* of figures (crescendos, ablation curves) without matplotlib
+— two series per chart, one glyph each, on a labelled grid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "crescendo_chart"]
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    glyphs: str = "*o+x#@",
+) -> str:
+    """Plot numeric series against shared x values.
+
+    Values are mapped onto a ``width`` x ``height`` character grid with
+    min/max autoscaling; each series gets one glyph; the legend and the
+    y-range annotate the frame.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be legible")
+    if not x or not series:
+        raise ValueError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length does not match x")
+
+    all_values = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for xi, yi in zip(x, ys):
+            col = round((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yi - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.3f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:8.3f} +" + "-" * width + "+")
+    lines.append(f"{'':9} {x_lo:<10.4g}{'':{max(0, width - 20)}}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def crescendo_chart(
+    normalized: Mapping[float, tuple[float, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 14,
+) -> str:
+    """Render one code's energy-delay crescendo (Figure 2/8 style)."""
+    freqs = sorted(normalized)
+    delays = [normalized[f][0] for f in freqs]
+    energies = [normalized[f][1] for f in freqs]
+    return ascii_chart(
+        freqs,
+        {"delay": delays, "energy": energies},
+        width=width,
+        height=height,
+        title=title or "energy-delay crescendo (x: MHz)",
+    )

@@ -1,0 +1,154 @@
+"""Grid runners and normalization helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies import ExternalStrategy, NoDvsStrategy, Strategy
+from repro.workloads.base import Workload
+
+__all__ = [
+    "RepeatSummary",
+    "SweepResult",
+    "frequency_sweep",
+    "normalized_point",
+    "run_baseline",
+    "run_repeated",
+    "summarize_repeats",
+]
+
+
+@dataclass
+class SweepResult:
+    """A frequency sweep for one workload.
+
+    ``raw`` maps MHz → :class:`Measurement`; ``normalized`` maps MHz →
+    (delay, energy) relative to the fastest frequency.
+    """
+
+    workload: str
+    raw: dict[float, Measurement]
+    baseline_mhz: float
+
+    @property
+    def normalized(self) -> dict[float, tuple[float, float]]:
+        base = self.raw[self.baseline_mhz]
+        return {
+            mhz: m.normalized_against(base) for mhz, m in sorted(self.raw.items())
+        }
+
+    @property
+    def profile(self) -> dict[float, tuple[float, float]]:
+        """Alias used by metric-driven selection code."""
+        return self.normalized
+
+
+def run_baseline(workload: Workload, seed: int = 0, **kwargs) -> Measurement:
+    """The paper's no-DVS reference run (all nodes at top speed)."""
+    return run_workload(workload, NoDvsStrategy(), seed=seed, **kwargs)
+
+
+def frequency_sweep(
+    workload: Workload,
+    frequencies_mhz: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    **kwargs,
+) -> SweepResult:
+    """Run the workload at every static frequency (Table 2 columns)."""
+    if frequencies_mhz is None:
+        from repro.hardware.opoints import PENTIUM_M_TABLE
+
+        frequencies_mhz = PENTIUM_M_TABLE.frequencies_mhz()
+    raw: dict[float, Measurement] = {}
+    for mhz in frequencies_mhz:
+        raw[float(mhz)] = run_workload(
+            workload, ExternalStrategy(mhz=mhz), seed=seed, **kwargs
+        )
+    return SweepResult(
+        workload=workload.tag, raw=raw, baseline_mhz=float(max(frequencies_mhz))
+    )
+
+
+def normalized_point(
+    workload: Workload,
+    strategy: Strategy,
+    baseline: Optional[Measurement] = None,
+    seed: int = 0,
+    **kwargs,
+) -> tuple[float, float, Measurement]:
+    """Run one strategy and normalize against the no-DVS baseline.
+
+    Returns ``(norm_delay, norm_energy, measurement)``.
+    """
+    if baseline is None:
+        baseline = run_baseline(workload, seed=seed, **kwargs)
+    m = run_workload(workload, strategy, seed=seed, **kwargs)
+    d, e = m.normalized_against(baseline)
+    return d, e, m
+
+
+@dataclass(frozen=True)
+class RepeatSummary:
+    """Mean/spread of repeated measurements (paper: ">= 3 times or more
+    to identify outliers")."""
+
+    n: int
+    mean_elapsed_s: float
+    std_elapsed_s: float
+    mean_energy_j: float
+    std_energy_j: float
+    mean_acpi_energy_j: Optional[float]
+    std_acpi_energy_j: Optional[float]
+
+    @property
+    def acpi_relative_spread(self) -> Optional[float]:
+        """Coefficient of variation of the ACPI channel — the paper's
+        reason for repeating: sensor jitter, not application noise."""
+        if self.mean_acpi_energy_j in (None, 0.0):
+            return None
+        return (self.std_acpi_energy_j or 0.0) / self.mean_acpi_energy_j
+
+
+def summarize_repeats(measurements: Sequence[Measurement]) -> RepeatSummary:
+    """Aggregate repeated runs of the same configuration."""
+    if not measurements:
+        raise ValueError("nothing to summarize")
+    import math
+
+    def stats(values):
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        return mean, math.sqrt(var)
+
+    me, se = stats([m.elapsed_s for m in measurements])
+    mj, sj = stats([m.energy_j for m in measurements])
+    acpi = [m.acpi_energy_j for m in measurements]
+    if any(a is None for a in acpi):
+        ma = sa = None
+    else:
+        ma, sa = stats(acpi)
+    return RepeatSummary(
+        n=len(measurements),
+        mean_elapsed_s=me,
+        std_elapsed_s=se,
+        mean_energy_j=mj,
+        std_energy_j=sj,
+        mean_acpi_energy_j=ma,
+        std_acpi_energy_j=sa,
+    )
+
+
+def run_repeated(
+    workload: Workload,
+    strategy: Strategy,
+    seeds: Iterable[int] = (0, 1, 2),
+    **kwargs,
+) -> list[Measurement]:
+    """Repeat a run with different seeds (the paper repeats >= 3x).
+
+    Measurement-channel jitter (battery refresh) differs per seed; the
+    simulated application itself is deterministic.
+    """
+    return [run_workload(workload, strategy, seed=s, **kwargs) for s in seeds]

@@ -1,0 +1,82 @@
+"""Persisting experiment results.
+
+Results are plain dataclasses over floats, so a JSON round-trip covers
+archiving, diffing between calibrations, and feeding external plotting
+tools.  Only measurement *summaries* are stored (not traces), matching
+what the paper's data-collection software keeps per run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.core.framework import Measurement
+from repro.experiments.runner import SweepResult
+
+__all__ = [
+    "measurement_to_dict",
+    "measurement_from_dict",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def measurement_to_dict(m: Measurement) -> dict[str, Any]:
+    """Serializable summary of one measurement (drops trace/report)."""
+    return {
+        "workload": m.workload,
+        "strategy": m.strategy,
+        "elapsed_s": m.elapsed_s,
+        "energy_j": m.energy_j,
+        "per_node_energy_j": {str(k): v for k, v in m.per_node_energy_j.items()},
+        "dvs_transitions": m.dvs_transitions,
+        "time_at_mhz": {str(k): v for k, v in m.time_at_mhz.items()},
+        "acpi_energy_j": m.acpi_energy_j,
+        "baytech_energy_j": m.baytech_energy_j,
+    }
+
+
+def measurement_from_dict(data: Mapping[str, Any]) -> Measurement:
+    return Measurement(
+        workload=data["workload"],
+        strategy=data["strategy"],
+        elapsed_s=float(data["elapsed_s"]),
+        energy_j=float(data["energy_j"]),
+        per_node_energy_j={int(k): float(v) for k, v in data["per_node_energy_j"].items()},
+        dvs_transitions=int(data["dvs_transitions"]),
+        time_at_mhz={float(k): float(v) for k, v in data["time_at_mhz"].items()},
+        acpi_energy_j=data.get("acpi_energy_j"),
+        baytech_energy_j=data.get("baytech_energy_j"),
+    )
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
+    return {
+        "workload": sweep.workload,
+        "baseline_mhz": sweep.baseline_mhz,
+        "raw": {str(mhz): measurement_to_dict(m) for mhz, m in sweep.raw.items()},
+    }
+
+
+def sweep_from_dict(data: Mapping[str, Any]) -> SweepResult:
+    return SweepResult(
+        workload=data["workload"],
+        raw={float(mhz): measurement_from_dict(m) for mhz, m in data["raw"].items()},
+        baseline_mhz=float(data["baseline_mhz"]),
+    )
+
+
+def save_json(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
+    """Write a results payload (already dict-ified) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,77 @@
+"""Table regeneration (Table 1 and Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware.opoints import PENTIUM_M_TABLE, OperatingPointTable
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies import CpuspeedDaemonStrategy
+from repro.experiments.calibration import FREQUENCIES_MHZ, PAPER_TABLE2
+from repro.experiments.runner import SweepResult, frequency_sweep
+from repro.workloads import get_workload
+
+__all__ = ["table1", "Table2Row", "table2", "NPB_CODES"]
+
+#: the paper's eight codes with their rank counts (C class).
+NPB_CODES: dict[str, int] = {
+    "BT": 9,
+    "CG": 8,
+    "EP": 8,
+    "FT": 8,
+    "IS": 8,
+    "LU": 8,
+    "MG": 8,
+    "SP": 9,
+}
+
+
+def table1(opoints: OperatingPointTable = PENTIUM_M_TABLE) -> list[tuple[float, float]]:
+    """Table 1: (frequency GHz, supply voltage V), fastest first."""
+    return [
+        (p.frequency_hz / 1e9, p.voltage_v) for p in reversed(list(opoints))
+    ]
+
+
+@dataclass
+class Table2Row:
+    """One code's measured Table 2 row."""
+
+    code: str
+    tag: str
+    #: column ("auto" or MHz string) -> (norm delay, norm energy)
+    columns: dict[str, tuple[float, float]]
+    sweep: SweepResult
+    auto: Measurement
+
+    def paper_row(self) -> dict[str, Optional[tuple[float, float]]]:
+        return PAPER_TABLE2.get(self.code, {})
+
+
+def table2(
+    codes: Optional[Sequence[str]] = None,
+    klass: str = "C",
+    seed: int = 0,
+) -> dict[str, Table2Row]:
+    """Regenerate Table 2: NPB × {auto, 600..1400 MHz} profiles.
+
+    Each code runs once per static frequency plus once under the
+    CPUSPEED daemon; all values are normalized to the 1400 MHz run.
+    """
+    rows: dict[str, Table2Row] = {}
+    for code in codes or NPB_CODES:
+        code = code.upper()
+        workload = get_workload(code, klass=klass, nprocs=NPB_CODES[code])
+        sweep = frequency_sweep(workload, FREQUENCIES_MHZ, seed=seed)
+        auto = run_workload(workload, CpuspeedDaemonStrategy(), seed=seed)
+        baseline = sweep.raw[sweep.baseline_mhz]
+        columns: dict[str, tuple[float, float]] = {
+            "auto": auto.normalized_against(baseline)
+        }
+        for mhz, point in sweep.normalized.items():
+            columns[f"{mhz:.0f}"] = point
+        rows[code] = Table2Row(
+            code=code, tag=workload.tag, columns=columns, sweep=sweep, auto=auto
+        )
+    return rows

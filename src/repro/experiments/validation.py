@@ -1,0 +1,136 @@
+"""Fidelity scoring against the paper's published numbers.
+
+Quantifies how close a regenerated Table 2 sits to the published one —
+per cell, per code and overall — so fidelity regressions show up as a
+single number.  Used by EXPERIMENTS.md, the reproduction tests and the
+``table2`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.experiments.calibration import PAPER_TABLE2
+from repro.experiments.tables import Table2Row
+
+__all__ = ["CellError", "FidelityReport", "score_table2"]
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Measured-vs-paper error of one Table 2 cell."""
+
+    code: str
+    column: str
+    measured_delay: float
+    paper_delay: float
+    measured_energy: float | None
+    paper_energy: float | None
+
+    @property
+    def delay_error(self) -> float:
+        return abs(self.measured_delay - self.paper_delay)
+
+    @property
+    def energy_error(self) -> float | None:
+        if self.measured_energy is None or self.paper_energy is None:
+            return None
+        return abs(self.measured_energy - self.paper_energy)
+
+
+@dataclass
+class FidelityReport:
+    """Aggregate fidelity of a Table 2 regeneration."""
+
+    cells: list[CellError] = field(default_factory=list)
+    include_auto: bool = False
+
+    @property
+    def delay_errors(self) -> list[float]:
+        return [c.delay_error for c in self.cells]
+
+    @property
+    def energy_errors(self) -> list[float]:
+        return [c.energy_error for c in self.cells if c.energy_error is not None]
+
+    @property
+    def mean_delay_error(self) -> float:
+        errs = self.delay_errors
+        return sum(errs) / len(errs) if errs else 0.0
+
+    @property
+    def mean_energy_error(self) -> float:
+        errs = self.energy_errors
+        return sum(errs) / len(errs) if errs else 0.0
+
+    @property
+    def max_delay_error(self) -> float:
+        return max(self.delay_errors, default=0.0)
+
+    @property
+    def max_energy_error(self) -> float:
+        return max(self.energy_errors, default=0.0)
+
+    def worst_cells(self, n: int = 5) -> list[CellError]:
+        """Cells ranked by combined error, worst first."""
+        def key(c: CellError) -> float:
+            e = c.energy_error if c.energy_error is not None else 0.0
+            return c.delay_error + e
+
+        return sorted(self.cells, key=key, reverse=True)[:n]
+
+    def render(self) -> str:
+        lines = [
+            "Fidelity vs paper Table 2"
+            + (" (static + auto columns)" if self.include_auto else " (static columns)"),
+            f"  cells compared     : {len(self.cells)}",
+            f"  mean |delay error| : {self.mean_delay_error:.3f}"
+            f"   (max {self.max_delay_error:.3f})",
+            f"  mean |energy error|: {self.mean_energy_error:.3f}"
+            f"   (max {self.max_energy_error:.3f})",
+            "  worst cells:",
+        ]
+        for c in self.worst_cells(3):
+            e = f"{c.energy_error:.3f}" if c.energy_error is not None else "  -  "
+            lines.append(
+                f"    {c.code}@{c.column}: dD={c.delay_error:.3f} dE={e}"
+            )
+        return "\n".join(lines)
+
+
+def score_table2(
+    rows: Mapping[str, Table2Row], include_auto: bool = False
+) -> FidelityReport:
+    """Score regenerated Table 2 rows against the published table.
+
+    ``include_auto`` also scores the CPUSPEED column — an emergent
+    behaviour rather than a calibration target, so it is reported
+    separately by default.
+    """
+    report = FidelityReport(include_auto=include_auto)
+    columns = ("600", "800", "1000", "1200")
+    if include_auto:
+        columns = ("auto",) + columns
+    for code, row in rows.items():
+        paper_row = PAPER_TABLE2.get(code.upper())
+        if paper_row is None:
+            continue
+        for column in columns:
+            paper_cell = paper_row.get(column)
+            measured = row.columns.get(column)
+            if paper_cell is None or measured is None:
+                continue
+            paper_d, paper_e = paper_cell
+            measured_d, measured_e = measured
+            report.cells.append(
+                CellError(
+                    code=code.upper(),
+                    column=column,
+                    measured_delay=measured_d,
+                    paper_delay=paper_d,
+                    measured_energy=measured_e if paper_e is not None else None,
+                    paper_energy=paper_e,
+                )
+            )
+    return report

@@ -1,0 +1,65 @@
+"""Power-aware cluster hardware models.
+
+Everything the paper's NEMO testbed provides, as simulation models:
+
+* :mod:`repro.hardware.opoints` — DVS operating points (Table 1 of the
+  paper is the built-in ``PENTIUM_M_TABLE``).
+* :mod:`repro.hardware.power` — calibrated CMOS node power model with a
+  per-component breakdown (CPU dynamic/leakage, DRAM, NIC, disk, board).
+* :mod:`repro.hardware.cpu` — a DVS-capable CPU core: frequency-scaled
+  work execution, mode-transition latency, /proc-style utilization
+  accounting.
+* :mod:`repro.hardware.battery` — ACPI smart-battery measurement channel
+  (mWh quantization, slow refresh).
+* :mod:`repro.hardware.node` — a node assembling CPU + memory + NIC +
+  battery + rest-of-system.
+* :mod:`repro.hardware.network` — switched network with link bandwidth,
+  latency and a congestion model.
+* :mod:`repro.hardware.cluster` — cluster factory; ``nemo_cluster()``
+  builds the paper's 16-node testbed.
+"""
+
+from repro.hardware.opoints import (
+    OperatingPoint,
+    OperatingPointTable,
+    PENTIUM_M_TABLE,
+)
+from repro.hardware.power import (
+    NodePowerParameters,
+    PowerBreakdown,
+    NEMO_POWER,
+    PENTIUM3_POWER,
+)
+from repro.hardware.cpu import CpuCore, CpuStats
+from repro.hardware.battery import AcpiBattery
+from repro.hardware.node import Node
+from repro.hardware.network import Network, NetworkParameters
+from repro.hardware.cluster import Cluster, nemo_cluster
+from repro.hardware.thermal import (
+    ThermalModel,
+    ThermalParameters,
+    arrhenius_life_factor,
+    operating_cost_usd,
+)
+
+__all__ = [
+    "AcpiBattery",
+    "Cluster",
+    "CpuCore",
+    "CpuStats",
+    "NEMO_POWER",
+    "NetworkParameters",
+    "Network",
+    "Node",
+    "NodePowerParameters",
+    "OperatingPoint",
+    "OperatingPointTable",
+    "PENTIUM3_POWER",
+    "PENTIUM_M_TABLE",
+    "PowerBreakdown",
+    "ThermalModel",
+    "ThermalParameters",
+    "arrhenius_life_factor",
+    "nemo_cluster",
+    "operating_cost_usd",
+]

@@ -1,0 +1,114 @@
+"""Switched cluster network model.
+
+NEMO's interconnect is 100 Mb Fast Ethernet through a single Cisco 2950
+switch.  We model:
+
+* per-node full-duplex links: one transmit and one receive channel per
+  node, serialized at link bandwidth (the switch backplane itself is
+  non-blocking, as the 2950's is at this scale);
+* per-message wire latency;
+* deadlock-free two-phase channel acquisition (tx before rx).
+
+Point-to-point transfers go through :meth:`Network.transfer`.  Collective
+operations are costed analytically in :mod:`repro.mpi.costmodel` (they
+would otherwise dominate simulation run time) but use the same
+parameters, so p2p-heavy and collective-heavy codes see a consistent
+fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Environment
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+
+__all__ = ["NetworkParameters", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Fabric constants.
+
+    Attributes
+    ----------
+    bandwidth_Bps:
+        Link bandwidth in bytes/second (100 Mb/s ~ 11.9 MB/s effective
+        after TCP/IP + MPICH ch_p4 framing).
+    latency_s:
+        Per-message one-way latency (switch + stack).
+    """
+
+    bandwidth_Bps: float = 11.2e6
+    latency_s: float = 75e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def serialization_s(self, nbytes: float) -> float:
+        """Time to push ``nbytes`` through one link."""
+        return nbytes / self.bandwidth_Bps
+
+    def p2p_time_s(self, nbytes: float) -> float:
+        """Uncontended end-to-end transfer time for one message."""
+        return self.latency_s + self.serialization_s(nbytes)
+
+
+class Network:
+    """The cluster fabric: per-node duplex channels plus a flow counter."""
+
+    def __init__(self, env: Environment, n_nodes: int, params: NetworkParameters) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.env = env
+        self.params = params
+        self.n_nodes = n_nodes
+        self._tx = [Resource(env, capacity=1) for _ in range(n_nodes)]
+        self._rx = [Resource(env, capacity=1) for _ in range(n_nodes)]
+        self._active_flows = 0
+        self.stats_bytes = 0.0
+        self.stats_messages = 0
+        self.stats_peak_flows = 0
+
+    @property
+    def active_flows(self) -> int:
+        return self._active_flows
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Process:
+        """Move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the transfer process (an event succeeding at delivery).
+        Same-node transfers complete after a fast memcpy-speed copy.
+        """
+        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+            raise ValueError(f"transfer endpoints out of range: {src}->{dst}")
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        return self.env.process(self._transfer(src, dst, nbytes), name=f"xfer{src}->{dst}")
+
+    def _transfer(self, src: int, dst: int, nbytes: float):
+        self.stats_messages += 1
+        self.stats_bytes += nbytes
+        if src == dst:
+            # Loopback: memory-speed copy, no NIC involvement.
+            yield self.env.timeout(nbytes / (400e6))
+            return
+        # Acquire tx before rx everywhere: resource ordering prevents
+        # hold-and-wait cycles between opposing transfers.
+        tx_req = self._tx[src].request()
+        yield tx_req
+        rx_req = self._rx[dst].request()
+        yield rx_req
+        self._active_flows += 1
+        self.stats_peak_flows = max(self.stats_peak_flows, self._active_flows)
+        try:
+            yield self.env.timeout(self.params.serialization_s(nbytes))
+        finally:
+            self._active_flows -= 1
+            tx_req.release()
+            rx_req.release()
+        yield self.env.timeout(self.params.latency_s)

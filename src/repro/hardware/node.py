@@ -1,0 +1,129 @@
+"""A power-aware cluster node and its exact energy meter."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.hardware.battery import AcpiBattery
+from repro.hardware.cpu import CpuCore
+from repro.hardware.opoints import OperatingPointTable
+from repro.hardware.power import NodePowerParameters, PowerBreakdown
+
+__all__ = ["EnergyMeter", "Node"]
+
+
+class EnergyMeter:
+    """Exact piecewise-constant power integrator.
+
+    Between simulator events node power is constant, so integrating at
+    every state-change notification is exact.  This is the ground truth
+    the ACPI and Baytech measurement channels subsample.
+    """
+
+    def __init__(self, env: Environment, power_fn: Callable[[], float]) -> None:
+        self.env = env
+        self._power_fn = power_fn
+        self._last_time = env.now
+        self._last_power = power_fn()
+        self._energy_j = 0.0
+
+    def update(self) -> None:
+        """Integrate the interval since the last change; refresh power.
+
+        Must be called *after* every power-relevant state change (the
+        cached pre-change power is applied over the elapsed interval).
+        """
+        now = self.env.now
+        dt = now - self._last_time
+        if dt > 0:
+            self._energy_j += self._last_power * dt
+            self._last_time = now
+        self._last_power = self._power_fn()
+
+    def energy_j(self) -> float:
+        """Exact consumed energy up to the current simulation time."""
+        return self._energy_j + self._last_power * (self.env.now - self._last_time)
+
+    @property
+    def power_w(self) -> float:
+        return self._last_power
+
+
+class Node:
+    """One node: DVS CPU + memory + NIC + disk + board + battery.
+
+    The node wires CPU state changes into its energy meter and exposes
+    the measurement channels the paper uses (exact meter, ACPI battery;
+    the Baytech outlet channel lives in :mod:`repro.powerpack.baytech`
+    and wraps the same meter).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        opoints: OperatingPointTable,
+        power: NodePowerParameters,
+        transition_latency_s: float = 20e-6,
+        battery_capacity_mwh: float = 53000.0,
+        rng: Optional[np.random.Generator] = None,
+        with_battery: bool = True,
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.power_params = power
+        self.cpu = CpuCore(
+            env,
+            opoints,
+            power,
+            transition_latency_s=transition_latency_s,
+            name=f"cpu{node_id}",
+        )
+        self.meter = EnergyMeter(env, self.power_w)
+        self.cpu.on_change = self._on_state_change
+        self._listeners: list[Callable[[], None]] = []
+        self.battery: Optional[AcpiBattery] = None
+        if with_battery:
+            self.battery = AcpiBattery(
+                env,
+                self.meter.energy_j,
+                capacity_mwh=battery_capacity_mwh,
+                rng=rng,
+            )
+
+    # ------------------------------------------------------------------
+    def power_w(self) -> float:
+        """Instantaneous node power for the current activity state."""
+        cpu = self.cpu
+        return self.power_params.node_power_w(
+            cpu.opoint, cpu.dyn_activity, cpu.mem_activity, cpu.nic_activity
+        )
+
+    def breakdown(self) -> PowerBreakdown:
+        cpu = self.cpu
+        return self.power_params.breakdown(
+            cpu.opoint, cpu.dyn_activity, cpu.mem_activity, cpu.nic_activity
+        )
+
+    def energy_j(self) -> float:
+        """Exact energy consumed so far (ground truth)."""
+        return self.meter.energy_j()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register a callback run after every power-relevant change."""
+        self._listeners.append(callback)
+
+    def _on_state_change(self) -> None:
+        self.meter.update()
+        for listener in self._listeners:
+            listener()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.node_id} @{self.cpu.frequency_mhz:.0f}MHz "
+            f"{self.power_w():.1f}W>"
+        )

@@ -1,0 +1,134 @@
+"""DVS operating points.
+
+The paper's Table 1 lists the five Enhanced SpeedStep operating points
+of the Pentium M 1.4 GHz used in NEMO; :data:`PENTIUM_M_TABLE` encodes
+it.  An :class:`OperatingPointTable` is an immutable, sorted collection
+indexed the way the CPUSPEED pseudocode indexes speeds: index ``0`` is
+the slowest point, index ``m`` (``len - 1``) the fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["OperatingPoint", "OperatingPointTable", "PENTIUM_M_TABLE"]
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPoint:
+    """One DVS voltage/frequency pair.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Core clock frequency in Hz.
+    voltage_v:
+        Supply voltage in volts.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage must be positive, got {self.voltage_v}")
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.frequency_hz / 1e6
+
+    @property
+    def v2f(self) -> float:
+        """``V^2 * f`` — the CMOS dynamic-power scaling factor (eq. 1)."""
+        return self.voltage_v**2 * self.frequency_hz
+
+    def __str__(self) -> str:
+        return f"{self.frequency_mhz:.0f}MHz@{self.voltage_v:.3f}V"
+
+
+class OperatingPointTable(Sequence[OperatingPoint]):
+    """Sorted (slow → fast) table of operating points.
+
+    Supports lookup by index, by frequency in MHz, and nearest-match
+    lookup for schedulers that request arbitrary frequencies.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise ValueError("an operating point table needs at least one point")
+        ordered = sorted(points, key=lambda p: p.frequency_hz)
+        freqs = [p.frequency_hz for p in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("duplicate frequencies in operating point table")
+        volts = [p.voltage_v for p in ordered]
+        if any(b < a for a, b in zip(volts, volts[1:])):
+            raise ValueError("voltage must be non-decreasing with frequency")
+        self._points = tuple(ordered)
+
+    # -- Sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __getitem__(self, index) -> OperatingPoint:
+        return self._points[index]
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperatingPointTable):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self._points)
+        return f"OperatingPointTable([{inner}])"
+
+    # -- lookups -----------------------------------------------------------
+    @property
+    def slowest(self) -> OperatingPoint:
+        return self._points[0]
+
+    @property
+    def fastest(self) -> OperatingPoint:
+        return self._points[-1]
+
+    @property
+    def max_index(self) -> int:
+        """``m`` in the CPUSPEED pseudocode: index of the fastest point."""
+        return len(self._points) - 1
+
+    def index_of(self, point: OperatingPoint) -> int:
+        return self._points.index(point)
+
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        return tuple(p.frequency_mhz for p in self._points)
+
+    def by_mhz(self, mhz: float) -> OperatingPoint:
+        """Exact lookup by frequency in MHz."""
+        for p in self._points:
+            if abs(p.frequency_mhz - mhz) < 1e-9:
+                return p
+        raise KeyError(f"no operating point at {mhz} MHz in {self!r}")
+
+    def nearest(self, mhz: float) -> OperatingPoint:
+        """The operating point whose frequency is closest to ``mhz``."""
+        return min(self._points, key=lambda p: abs(p.frequency_mhz - mhz))
+
+
+#: Table 1 of the paper: Pentium M 1.4 GHz Enhanced SpeedStep points.
+PENTIUM_M_TABLE = OperatingPointTable(
+    [
+        OperatingPoint(1.4e9, 1.484),
+        OperatingPoint(1.2e9, 1.436),
+        OperatingPoint(1.0e9, 1.308),
+        OperatingPoint(0.8e9, 1.180),
+        OperatingPoint(0.6e9, 0.956),
+    ]
+)

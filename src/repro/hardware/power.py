@@ -1,0 +1,193 @@
+"""Node power models.
+
+The model follows the paper's equation (1): dynamic CPU power scales as
+``A * C * V^2 * f``.  On top of that we keep a voltage-dependent leakage
+term and frequency-insensitive "rest of system" components (board, DRAM,
+NIC, disk), each with idle + activity-proportional parts.
+
+Two calibrated presets ship with the package:
+
+* :data:`NEMO_POWER` — the Pentium M laptop node of the paper's NEMO
+  cluster, calibrated so a fully CPU-bound code (EP) sees a node power
+  ratio of ~0.49 at 600 MHz vs 1400 MHz, matching Table 2's EP row
+  (energy 1.15 at delay 2.35).
+* :data:`PENTIUM3_POWER` — the Pentium III server node of the paper's
+  Figure 1, where the CPU draws ~35 % of system power under load and
+  ~15 % when idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hardware.opoints import (
+    PENTIUM_M_TABLE,
+    OperatingPoint,
+    OperatingPointTable,
+)
+
+__all__ = [
+    "PowerBreakdown",
+    "NodePowerParameters",
+    "NEMO_POWER",
+    "PENTIUM3_POWER",
+]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous node power split by component, in watts."""
+
+    cpu_w: float
+    memory_w: float
+    nic_w: float
+    disk_w: float
+    board_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.cpu_w + self.memory_w + self.nic_w + self.disk_w + self.board_w
+
+    def fractions(self) -> Mapping[str, float]:
+        """Each component's share of total node power."""
+        total = self.total_w
+        return {
+            "cpu": self.cpu_w / total,
+            "memory": self.memory_w / total,
+            "nic": self.nic_w / total,
+            "disk": self.disk_w / total,
+            "board": self.board_w / total,
+        }
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            self.cpu_w + other.cpu_w,
+            self.memory_w + other.memory_w,
+            self.nic_w + other.nic_w,
+            self.disk_w + other.disk_w,
+            self.board_w + other.board_w,
+        )
+
+
+@dataclass(frozen=True)
+class NodePowerParameters:
+    """Calibrated constants of the node power model.
+
+    CPU power at operating point ``op`` with dynamic activity ``a``::
+
+        P_cpu = leak_max * (V / V_ref)^2  +  a * dyn_max * (V^2 f) / (V_ref^2 f_ref)
+
+    Memory and NIC have idle power plus an activity-proportional extra;
+    board and disk are constant.
+    """
+
+    cpu_dynamic_max_w: float
+    cpu_leakage_max_w: float
+    board_w: float
+    memory_idle_w: float
+    memory_active_w: float
+    nic_idle_w: float
+    nic_active_w: float
+    disk_w: float
+    reference_point: OperatingPoint
+    #: Dynamic-activity floor when the CPU has nothing to run (halt loop).
+    cpu_idle_activity: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_dynamic_max_w",
+            "cpu_leakage_max_w",
+            "board_w",
+            "memory_idle_w",
+            "memory_active_w",
+            "nic_idle_w",
+            "nic_active_w",
+            "disk_w",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.cpu_idle_activity <= 1.0:
+            raise ValueError("cpu_idle_activity must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def cpu_power_w(self, op: OperatingPoint, activity: float) -> float:
+        """CPU power at ``op`` with dynamic activity factor ``activity``."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must lie in [0, 1], got {activity}")
+        ref = self.reference_point
+        leak = self.cpu_leakage_max_w * (op.voltage_v / ref.voltage_v) ** 2
+        dyn = self.cpu_dynamic_max_w * activity * (op.v2f / ref.v2f)
+        return leak + dyn
+
+    def memory_power_w(self, activity: float) -> float:
+        return self.memory_idle_w + self.memory_active_w * activity
+
+    def nic_power_w(self, activity: float) -> float:
+        return self.nic_idle_w + self.nic_active_w * activity
+
+    def breakdown(
+        self,
+        op: OperatingPoint,
+        cpu_activity: float,
+        mem_activity: float = 0.0,
+        nic_activity: float = 0.0,
+    ) -> PowerBreakdown:
+        """Instantaneous component breakdown for the given activity state."""
+        return PowerBreakdown(
+            cpu_w=self.cpu_power_w(op, cpu_activity),
+            memory_w=self.memory_power_w(mem_activity),
+            nic_w=self.nic_power_w(nic_activity),
+            disk_w=self.disk_w,
+            board_w=self.board_w,
+        )
+
+    def node_power_w(
+        self,
+        op: OperatingPoint,
+        cpu_activity: float,
+        mem_activity: float = 0.0,
+        nic_activity: float = 0.0,
+    ) -> float:
+        return self.breakdown(op, cpu_activity, mem_activity, nic_activity).total_w
+
+    @property
+    def max_node_power_w(self) -> float:
+        """Node power flat-out at the reference point (all components busy)."""
+        return self.node_power_w(self.reference_point, 1.0, 1.0, 1.0)
+
+
+#: Pentium M / Dell Inspiron 8600 node of the NEMO cluster (calibrated
+#: against Table 2's EP row; see DESIGN.md section 5).
+NEMO_POWER = NodePowerParameters(
+    cpu_dynamic_max_w=19.6,
+    cpu_leakage_max_w=3.0,
+    board_w=8.4,
+    memory_idle_w=2.5,
+    memory_active_w=2.0,
+    nic_idle_w=1.0,
+    nic_active_w=1.5,
+    disk_w=0.5,
+    reference_point=PENTIUM_M_TABLE.fastest,
+)
+
+#: Single operating point of a Pentium III server node (Figure 1).
+_P3_POINT = OperatingPoint(frequency_hz=933e6, voltage_v=1.75)
+
+#: Pentium III server node used only to reproduce Figure 1's breakdown
+#: (CPU ~35 % of system power under load, ~15 % idle).
+PENTIUM3_POWER = NodePowerParameters(
+    cpu_dynamic_max_w=31.0,
+    cpu_leakage_max_w=4.5,
+    board_w=30.0,
+    memory_idle_w=9.0,
+    memory_active_w=5.0,
+    nic_idle_w=3.5,
+    nic_active_w=2.0,
+    disk_w=6.5,
+    reference_point=_P3_POINT,
+    cpu_idle_activity=0.18,
+)
+
+#: Operating point table for the Figure 1 node (no DVS).
+PENTIUM3_TABLE = OperatingPointTable([_P3_POINT])

@@ -1,0 +1,151 @@
+"""Thermal and reliability model (paper Section 1's motivation).
+
+The paper motivates power-aware clusters with two arguments beyond the
+power bill:
+
+* **Operating cost** — "at $100 per megawatt(-hour), peak operation of
+  this petaflop machine is $10,000 per hour".
+* **Reliability** — "according to formula based on the Arrhenius Law,
+  component life expectancy decreases 50% for every 10°C temperature
+  increase".
+
+This module quantifies both on top of the simulator's power traces:
+
+* :class:`ThermalModel` — a first-order RC thermal node: the component
+  temperature relaxes toward ``T_ambient + R_th * P`` with time
+  constant ``tau``; integrating it over a run's piecewise-constant
+  power gives exact temperature trajectories.
+* :func:`arrhenius_life_factor` — relative life expectancy between two
+  operating temperatures (×2 per 10 °C decrease, as the paper states).
+* :func:`operating_cost_usd` — energy → dollars at a $/MWh rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Environment
+from repro.hardware.node import Node
+
+__all__ = [
+    "ThermalParameters",
+    "ThermalModel",
+    "arrhenius_life_factor",
+    "operating_cost_usd",
+    "PAPER_USD_PER_MWH",
+]
+
+#: the paper's "$100 per megawatt" (per hour, i.e. $0.10/kWh).
+PAPER_USD_PER_MWH = 100.0
+
+
+@dataclass(frozen=True)
+class ThermalParameters:
+    """First-order thermal constants of one component/node.
+
+    ``r_th_c_per_w`` is the junction-to-ambient thermal resistance;
+    ``tau_s`` the thermal time constant; laptop-class CPU+heatpipe
+    defaults.
+    """
+
+    ambient_c: float = 24.0
+    r_th_c_per_w: float = 1.4
+    tau_s: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0 or self.tau_s <= 0:
+            raise ValueError("thermal resistance and time constant must be positive")
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature at constant ``power_w``."""
+        return self.ambient_c + self.r_th_c_per_w * power_w
+
+
+class ThermalModel:
+    """Tracks one node's component temperature during a simulation.
+
+    Subscribe-and-integrate: on every power-state change the model
+    advances the closed-form RC solution over the elapsed interval
+    (power is piecewise constant between events, so this is exact).
+    By default it follows the CPU component's power.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        params: Optional[ThermalParameters] = None,
+        power_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.node = node
+        self.env: Environment = node.env
+        self.params = params or ThermalParameters()
+        self._power_fn = power_fn or (lambda: node.breakdown().cpu_w)
+        self._last_time = self.env.now
+        self._last_power = self._power_fn()
+        self._temp_c = self.params.steady_state_c(self._last_power)
+        self._peak_c = self._temp_c
+        self._time_weighted_c = 0.0
+        self._weight_s = 0.0
+        node.subscribe(self._on_change)
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        dt = now - self._last_time
+        if dt > 0:
+            target = self.params.steady_state_c(self._last_power)
+            decay = math.exp(-dt / self.params.tau_s)
+            # time-weighted mean of the exact exponential segment
+            mean_seg = target + (self._temp_c - target) * (
+                self.params.tau_s * (1.0 - decay) / dt
+            )
+            self._time_weighted_c += mean_seg * dt
+            self._weight_s += dt
+            self._temp_c = target + (self._temp_c - target) * decay
+            self._peak_c = max(self._peak_c, self._temp_c, mean_seg)
+            self._last_time = now
+
+    def _on_change(self) -> None:
+        self._advance(self.env.now)
+        self._last_power = self._power_fn()
+
+    # ------------------------------------------------------------------
+    def temperature_c(self) -> float:
+        """Current component temperature (advances to ``env.now``)."""
+        self._advance(self.env.now)
+        return self._temp_c
+
+    def mean_temperature_c(self) -> float:
+        """Time-averaged temperature since construction."""
+        self._advance(self.env.now)
+        if self._weight_s <= 0:
+            return self._temp_c
+        return self._time_weighted_c / self._weight_s
+
+    def peak_temperature_c(self) -> float:
+        self._advance(self.env.now)
+        return self._peak_c
+
+
+def arrhenius_life_factor(temp_c: float, reference_c: float) -> float:
+    """Relative component life expectancy at ``temp_c`` vs a reference.
+
+    The paper's rule: life expectancy halves for every 10 °C increase
+    (equivalently doubles per 10 °C decrease), i.e.
+    ``2 ** ((reference - temp) / 10)``.
+    """
+    return 2.0 ** ((reference_c - temp_c) / 10.0)
+
+
+def operating_cost_usd(
+    energy_j: float, usd_per_mwh: float = PAPER_USD_PER_MWH
+) -> float:
+    """Energy cost in dollars (1 MWh = 3.6e9 J).
+
+    Sanity anchor from the paper's introduction: 100 MW sustained for
+    one hour at $100/MWh is $10,000.
+    """
+    if energy_j < 0:
+        raise ValueError("energy must be non-negative")
+    return energy_j / 3.6e9 * usd_per_mwh

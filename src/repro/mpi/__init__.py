@@ -1,0 +1,53 @@
+"""Virtual MPI over the simulated cluster.
+
+Rank programs are generator functions ``def program(ctx): yield from
+ctx...`` where ``ctx`` is a :class:`~repro.mpi.communicator.RankContext`
+offering the MPI-ish surface the paper's benchmarks need:
+
+* blocking and non-blocking point-to-point (eager + rendezvous
+  protocols, like MPICH 1.2.5's ch_p4 device),
+* the collectives used by the NAS Parallel Benchmarks (barrier, bcast,
+  reduce, allreduce, allgather, alltoall, alltoallv),
+* explicit compute phases (on-chip cycles + off-chip stall seconds),
+* the PowerPack application-level DVS call ``set_cpuspeed``.
+
+Timing comes from :class:`~repro.mpi.costmodel.CostModel` +
+the :class:`~repro.hardware.network.Network`; power/utilization
+signatures of blocking calls come from the CPU wait-state machinery, so
+the CPUSPEED daemon observes realistic /proc utilization.
+"""
+
+from repro.mpi.costmodel import CostModel
+from repro.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MpiError,
+    RankContext,
+    Request,
+)
+from repro.mpi.launcher import RunHandle, launch
+from repro.mpi.algorithms import (
+    dissemination_barrier,
+    pairwise_alltoall,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    tree_bcast,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "CostModel",
+    "MpiError",
+    "RankContext",
+    "Request",
+    "RunHandle",
+    "dissemination_barrier",
+    "launch",
+    "pairwise_alltoall",
+    "recursive_doubling_allreduce",
+    "ring_allgather",
+    "tree_bcast",
+]

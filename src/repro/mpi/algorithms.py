@@ -1,0 +1,120 @@
+"""Message-level collective algorithms.
+
+The communicator's built-in collectives are costed analytically (fast,
+calibrated).  This module implements the classic algorithms *out of
+point-to-point messages* instead — binomial-tree broadcast, recursive
+doubling, ring allgather, pairwise-exchange all-to-all — for two
+purposes:
+
+* **model validation**: tests check the analytic durations against the
+  message-level implementations (they must agree within a small
+  factor on this fabric);
+* **research flexibility**: workloads that need algorithm-accurate
+  network contention can call these instead of the analytic ones.
+
+All functions are generators over a :class:`RankContext` and must be
+called collectively (every rank, same order), like real MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mpi.communicator import RankContext
+
+__all__ = [
+    "tree_bcast",
+    "recursive_doubling_allreduce",
+    "ring_allgather",
+    "pairwise_alltoall",
+    "dissemination_barrier",
+]
+
+_TAG_BASE = 7_000_000  # keep algorithm traffic away from app tags
+
+
+def tree_bcast(ctx: RankContext, nbytes: float, root: int = 0) -> Generator:
+    """Binomial-tree broadcast (MPICH's algorithm).
+
+    Rank numbering is rotated so the root is virtual rank 0; each rank
+    receives once from its parent, then forwards to its subtree.
+    """
+    size = ctx.size
+    if size == 1:
+        return
+    vrank = (ctx.rank - root) % size
+    # Phase 1: receive from the parent (the rank that differs in the
+    # lowest set bit of vrank).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent_v = vrank - mask
+            yield from ctx.recv((parent_v + root) % size, tag=_TAG_BASE + 1)
+            break
+        mask <<= 1
+    # Phase 2: forward to children (higher vranks within reach).
+    mask >>= 1
+    while mask >= 1:
+        child_v = vrank + mask
+        if child_v < size:
+            yield from ctx.send((child_v + root) % size, nbytes, tag=_TAG_BASE + 1)
+        mask >>= 1
+
+
+def recursive_doubling_allreduce(ctx: RankContext, nbytes: float) -> Generator:
+    """Recursive-doubling allreduce (power-of-two ranks only)."""
+    size = ctx.size
+    if size & (size - 1):
+        raise ValueError("recursive doubling needs a power-of-two rank count")
+    mask = 1
+    while mask < size:
+        partner = ctx.rank ^ mask
+        yield from ctx.sendrecv(partner, nbytes, src=partner, tag=_TAG_BASE + 100 + mask)
+        # local reduction cost
+        yield from ctx.compute(cycles=0.5 * nbytes, mem_activity=0.4)
+        mask *= 2
+
+
+def ring_allgather(ctx: RankContext, nbytes: float) -> Generator:
+    """Ring allgather: ``p - 1`` steps, each passing one block."""
+    size = ctx.size
+    if size == 1:
+        return
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    for step in range(size - 1):
+        yield from ctx.sendrecv(right, nbytes, src=left, tag=_TAG_BASE + 200 + step)
+
+
+def pairwise_alltoall(ctx: RankContext, bytes_per_pair: float) -> Generator:
+    """Pairwise-exchange all-to-all: ``p - 1`` rounds, partner ``rank ^ r``
+    (power-of-two ranks) or rotation otherwise."""
+    size = ctx.size
+    if size == 1:
+        return
+    pow2 = not (size & (size - 1))
+    for round_ in range(1, size):
+        if pow2:
+            partner = ctx.rank ^ round_
+        else:
+            partner = (round_ - ctx.rank) % size
+        if partner == ctx.rank:
+            continue
+        yield from ctx.sendrecv(
+            partner, bytes_per_pair, src=partner, tag=_TAG_BASE + 300 + round_
+        )
+
+
+def dissemination_barrier(ctx: RankContext) -> Generator:
+    """Dissemination barrier: ``ceil(log2 p)`` rounds of 1-byte tokens."""
+    size = ctx.size
+    if size == 1:
+        return
+    round_ = 0
+    dist = 1
+    while dist < size:
+        to = (ctx.rank + dist) % size
+        frm = (ctx.rank - dist) % size
+        yield from ctx.sendrecv(to, 1, src=frm, tag=_TAG_BASE + 400 + round_)
+        dist *= 2
+        round_ += 1

@@ -1,0 +1,525 @@
+"""The communicator and per-rank MPI surface."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.events import AnyOf, Event, Timeout
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import CpuCore
+from repro.mpi.costmodel import CostModel
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MpiError",
+    "Message",
+    "RankContext",
+    "Request",
+]
+
+#: Wildcard source for :meth:`RankContext.irecv` (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+class MpiError(RuntimeError):
+    """Invalid use of the virtual MPI (mismatched collectives etc.)."""
+
+
+class Message:
+    """An in-flight point-to-point message."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "eager", "sent_at", "delivered", "cts")
+
+    def __init__(
+        self,
+        env: Environment,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: float,
+        eager: bool,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.eager = eager
+        self.sent_at = env.now
+        #: Triggers when payload bytes have fully arrived at ``dst``.
+        self.delivered = Event(env)
+        #: Rendezvous clear-to-send (None for eager messages).
+        self.cts: Optional[Event] = None if eager else Event(env)
+
+    def matches(self, src: int, tag: int) -> bool:
+        return (src == ANY_SOURCE or src == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+    def __repr__(self) -> str:
+        proto = "eager" if self.eager else "rndv"
+        return f"<Message {self.src}->{self.dst} tag={self.tag} {self.nbytes:.0f}B {proto}>"
+
+
+class Request:
+    """Handle for a non-blocking operation (isend/irecv)."""
+
+    __slots__ = ("kind", "peer", "tag", "nbytes", "done", "message")
+
+    def __init__(self, env: Environment, kind: str, peer: int, tag: int, nbytes: float) -> None:
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        #: Succeeds when the operation is complete (buffer reusable /
+        #: message received).  Value: the :class:`Message`.
+        self.done = Event(env)
+        self.message: Optional[Message] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} peer={self.peer} tag={self.tag} {state}>"
+
+
+class _CollectiveSlot:
+    """Rendezvous point for one collective call site."""
+
+    __slots__ = ("kind", "expected", "bytes_by_rank", "done", "first_arrival", "all_arrived_at")
+
+    def __init__(self, env: Environment, kind: str, expected: int) -> None:
+        self.kind = kind
+        self.expected = expected
+        self.bytes_by_rank: dict[int, float] = {}
+        self.done = Event(env)
+        self.first_arrival: Optional[float] = None
+        self.all_arrived_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.bytes_by_rank) == self.expected
+
+    @property
+    def max_bytes(self) -> float:
+        return max(self.bytes_by_rank.values()) if self.bytes_by_rank else 0.0
+
+
+class Communicator:
+    """MPI_COMM_WORLD over a set of cluster nodes.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster.
+    node_ids:
+        Node index for each rank (rank ``i`` runs on
+        ``cluster[node_ids[i]]``).  Defaults to the first ``n`` nodes.
+    cost:
+        Communication cost model.
+    tracer:
+        Optional object with ``record(rank, op, t_begin, t_end, nbytes,
+        peer)`` — the MPE-like hook used by :mod:`repro.trace`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        nprocs: Optional[int] = None,
+        node_ids: Optional[Sequence[int]] = None,
+        cost: Optional[CostModel] = None,
+        tracer: Any = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        if node_ids is None:
+            n = nprocs if nprocs is not None else len(cluster)
+            node_ids = list(range(n))
+        if nprocs is not None and nprocs != len(node_ids):
+            raise ValueError("nprocs does not match node_ids length")
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("each rank needs its own node")
+        for nid in node_ids:
+            if not 0 <= nid < len(cluster):
+                raise ValueError(f"node id {nid} out of range")
+        self.node_ids = list(node_ids)
+        self.size = len(self.node_ids)
+        self.cost = cost or CostModel()
+        self.tracer = tracer
+        # Unmatched delivered-or-announced messages per destination rank.
+        self._mailboxes: list[list[Message]] = [[] for _ in range(self.size)]
+        # Posted-but-unmatched receives per destination rank.
+        self._pending_recvs: list[list[tuple[Request, int, int]]] = [
+            [] for _ in range(self.size)
+        ]
+        self._coll_slots: dict[int, _CollectiveSlot] = {}
+
+    # ------------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        return self.node_ids[rank]
+
+    def cpu_of(self, rank: int) -> CpuCore:
+        return self.cluster[self.node_ids[rank]].cpu
+
+    def context(self, rank: int) -> "RankContext":
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range (size {self.size})")
+        return RankContext(self, rank)
+
+    # ------------------------------------------------------------------
+    # matching engine
+    # ------------------------------------------------------------------
+    def _post_message(self, msg: Message) -> None:
+        """A message (eager payload or rendezvous RTS) reached ``dst``."""
+        queue = self._pending_recvs[msg.dst]
+        for i, (req, src, tag) in enumerate(queue):
+            if msg.matches(src, tag):
+                del queue[i]
+                self._match(req, msg)
+                return
+        self._mailboxes[msg.dst].append(msg)
+
+    def _post_recv(self, rank: int, req: Request, src: int, tag: int) -> None:
+        box = self._mailboxes[rank]
+        for i, msg in enumerate(box):
+            if msg.matches(src, tag):
+                del box[i]
+                self._match(req, msg)
+                return
+        self._pending_recvs[rank].append((req, src, tag))
+
+    def _match(self, req: Request, msg: Message) -> None:
+        req.message = msg
+        if msg.eager:
+            # Payload already delivered (eager messages are posted on
+            # delivery).
+            req.done.succeed(msg)
+        else:
+            # Clear-to-send; completion follows payload delivery.
+            msg.cts.succeed()
+            msg.delivered.callbacks.append(lambda _e: req.done.succeed(msg))
+
+    def _slot(self, seq: int, kind: str) -> _CollectiveSlot:
+        slot = self._coll_slots.get(seq)
+        if slot is None:
+            slot = _CollectiveSlot(self.env, kind, self.size)
+            self._coll_slots[seq] = slot
+        elif slot.kind != kind:
+            raise MpiError(
+                f"collective mismatch at call site {seq}: "
+                f"{slot.kind!r} vs {kind!r}"
+            )
+        return slot
+
+    def _max_freq_ratio(self) -> float:
+        fastest = self.cluster.opoints.fastest.frequency_hz
+        return max(self.cpu_of(r).frequency_hz for r in range(self.size)) / fastest
+
+
+class RankContext:
+    """Per-rank MPI interface handed to rank programs.
+
+    All blocking operations are generators — use ``yield from`` inside a
+    rank program.  Non-blocking ``isend``/``irecv`` return a
+    :class:`Request` immediately.
+    """
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self.env = comm.env
+        self.node = comm.cluster[comm.node_of(rank)]
+        self.cpu = self.node.cpu
+        self._coll_seq = 0
+        #: count of application-level DVS calls made by this rank.
+        self.dvs_calls = 0
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _trace(self, op: str, t_begin: float, nbytes: float = 0.0, peer: int = -1) -> None:
+        tracer = self.comm.tracer
+        if tracer is not None:
+            tracer.record(self.rank, op, t_begin, self.env.now, nbytes, peer)
+
+    # ------------------------------------------------------------------
+    # compute / idle
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        seconds: Optional[float] = None,
+        cycles: Optional[float] = None,
+        offchip_seconds: float = 0.0,
+        mem_activity: float = 0.3,
+        activity: float = 1.0,
+        busy: float = 1.0,
+    ) -> Generator:
+        """Run a compute segment on this rank's CPU.
+
+        ``seconds`` is shorthand for on-chip work sized in seconds *at
+        the fastest operating point*; ``cycles`` gives it exactly.
+        ``offchip_seconds`` is the frequency-insensitive (memory-stall)
+        share.
+        """
+        if (seconds is None) == (cycles is None):
+            raise ValueError("specify exactly one of seconds= or cycles=")
+        if cycles is None:
+            cycles = seconds * self.cpu.opoints.fastest.frequency_hz
+        t0 = self.env.now
+        yield self.cpu.run_work(
+            cycles,
+            offchip_seconds=offchip_seconds,
+            activity=activity,
+            busy=busy,
+            mem_activity=mem_activity,
+        )
+        self._trace("compute", t0)
+
+    def idle(self, seconds: float) -> Generator:
+        """Sleep without occupying the CPU (load-imbalance slack)."""
+        t0 = self.env.now
+        yield self.env.timeout(seconds)
+        self._trace("idle", t0)
+
+    # ------------------------------------------------------------------
+    # DVS control (the PowerPack application API)
+    # ------------------------------------------------------------------
+    def set_cpuspeed(self, mhz: float) -> None:
+        """INTERNAL-strategy DVS actuation (paper Figure 3/10/13).
+
+        Charges the cost model's software actuation overhead in
+        addition to the hardware transition latency.
+        """
+        self.dvs_calls += 1
+        t0 = self.env.now
+        self.cpu.stall(self.comm.cost.dvs_call_overhead_s)
+        self.cpu.set_speed_mhz(mhz)
+        self._trace("set_cpuspeed", t0, nbytes=mhz)
+
+    def set_cpuspeed_index(self, index: int) -> None:
+        self.dvs_calls += 1
+        t0 = self.env.now
+        self.cpu.stall(self.comm.cost.dvs_call_overhead_s)
+        self.cpu.set_speed_index(index)
+        self._trace("set_cpuspeed", t0, nbytes=self.cpu.frequency_mhz)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, dst: int, nbytes: float, tag: int = 0) -> Request:
+        """Start a non-blocking send of ``nbytes`` to rank ``dst``."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range")
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        comm = self.comm
+        msg = Message(
+            self.env, self.rank, dst, tag, nbytes, comm.cost.is_eager(nbytes)
+        )
+        req = Request(self.env, "send", dst, tag, nbytes)
+        self.env.process(self._send_proc(msg, req), name=f"send{self.rank}->{dst}")
+        return req
+
+    def _send_proc(self, msg: Message, req: Request):
+        comm = self.comm
+        cost = comm.cost
+        net = comm.cluster.network
+        src_node = comm.node_of(self.rank)
+        dst_node = comm.node_of(msg.dst)
+        dst_cpu = comm.cpu_of(msg.dst)
+        # Congestion collisions on saturating p2p patterns (paper 5.2):
+        # stretch the wire bytes by the sender-frequency-dependent factor.
+        wire_bytes = msg.nbytes
+        if cost.collision_applies_p2p:
+            ratio = self.cpu.frequency_hz / self.cpu.opoints.fastest.frequency_hz
+            wire_bytes *= cost.collision_factor(ratio)
+        # Sender software cost (scales with this rank's clock).
+        yield self.cpu.run_work(
+            cost.send_cycles(msg.nbytes), activity=1.0, busy=1.0, nic_activity=0.4
+        )
+        if msg.eager:
+            # Buffer copied out: MPI_Send may return now.
+            req.message = msg
+            req.done.succeed(msg)
+            yield net.transfer(src_node, dst_node, wire_bytes)
+            msg.delivered.succeed()
+            comm._post_message(msg)
+        else:
+            # Rendezvous: announce (RTS rides one latency), await CTS,
+            # then stream the payload with both CPUs in progress state.
+            yield self.env.timeout(net.params.latency_s)
+            comm._post_message(msg)
+            yield msg.cts
+            tok_s = self.cpu.push_wait_state(*cost.comm_progress.as_tuple())
+            tok_r = dst_cpu.push_wait_state(*cost.comm_progress.as_tuple())
+            try:
+                yield net.transfer(src_node, dst_node, wire_bytes)
+            finally:
+                self.cpu.pop_wait_state(tok_s)
+                dst_cpu.pop_wait_state(tok_r)
+            msg.delivered.succeed()
+            req.done.succeed(msg)
+
+    def irecv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG, nbytes_hint: float = 0.0
+    ) -> Request:
+        """Post a non-blocking receive."""
+        if src != ANY_SOURCE and not 0 <= src < self.size:
+            raise ValueError(f"source rank {src} out of range")
+        req = Request(self.env, "recv", src, tag, nbytes_hint)
+        self.comm._post_recv(self.rank, req, src, tag)
+        return req
+
+    def wait(self, request: Request, _op: Optional[str] = None) -> Generator:
+        """Block until ``request`` completes; returns its message."""
+        cost = self.comm.cost
+        t0 = self.env.now
+        if not request.done.triggered:
+            token = self.cpu.push_wait_state(*cost.blocked_wait.as_tuple())
+            try:
+                yield request.done
+            finally:
+                self.cpu.pop_wait_state(token)
+        msg: Message = request.done.value
+        if request.kind == "recv":
+            # Receiver-side unpack (scales with clock).
+            yield self.cpu.run_work(
+                cost.recv_cycles(msg.nbytes), activity=1.0, busy=1.0,
+                mem_activity=0.4, nic_activity=0.3,
+            )
+        self._trace(_op or f"wait_{request.kind}", t0, msg.nbytes, peer=request.peer)
+        return msg
+
+    def waitall(self, requests: Sequence[Request]) -> Generator:
+        """Block until every request completes; returns their messages."""
+        results = []
+        for req in requests:
+            msg = yield from self.wait(req)
+            results.append(msg)
+        return results
+
+    def waitany(self, requests: Sequence[Request]) -> Generator:
+        """Block until one request completes; returns (index, message)."""
+        pending = [r for r in requests if not r.completed]
+        if pending:
+            cost = self.comm.cost
+            token = self.cpu.push_wait_state(*cost.blocked_wait.as_tuple())
+            try:
+                yield AnyOf(self.env, [r.done for r in pending])
+            finally:
+                self.cpu.pop_wait_state(token)
+        for i, req in enumerate(requests):
+            if req.completed:
+                msg = yield from self.wait(req)  # runs unpack if needed
+                return i, msg
+        raise MpiError("waitany: no completed request found")  # pragma: no cover
+
+    def send(self, dst: int, nbytes: float, tag: int = 0) -> Generator:
+        """Blocking send (returns when the buffer is reusable)."""
+        t0 = self.env.now
+        req = self.isend(dst, nbytes, tag)
+        if not req.done.triggered:
+            cost = self.comm.cost
+            token = self.cpu.push_wait_state(*cost.blocked_wait.as_tuple())
+            try:
+                yield req.done
+            finally:
+                self.cpu.pop_wait_state(token)
+        self._trace("send", t0, nbytes, peer=dst)
+        return req.message
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the matched message."""
+        req = self.irecv(src, tag)
+        msg = yield from self.wait(req, _op="recv")
+        return msg
+
+    def sendrecv(
+        self, dst: int, nbytes: float, src: int = ANY_SOURCE, tag: int = 0
+    ) -> Generator:
+        """Exchange: isend to ``dst`` + recv from ``src`` concurrently."""
+        sreq = self.isend(dst, nbytes, tag)
+        msg = yield from self.recv(src, tag)
+        yield from self.wait(sreq)
+        return msg
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _collective(self, kind: str, wire_bytes: float, copy_bytes: float) -> Generator:
+        comm = self.comm
+        cost = comm.cost
+        t0 = self.env.now
+        seq = self._coll_seq
+        self._coll_seq += 1
+        slot = comm._slot(seq, kind)
+        # Local software + pack cost before joining.
+        yield self.cpu.run_work(
+            cost.collective_overhead_cycles + cost.pack_cycles_per_byte * copy_bytes,
+            activity=1.0,
+            busy=1.0,
+            mem_activity=0.4,
+        )
+        token = self.cpu.push_wait_state(*cost.comm_progress.as_tuple())
+        try:
+            if slot.first_arrival is None:
+                slot.first_arrival = self.env.now
+            slot.bytes_by_rank[self.rank] = wire_bytes
+            if slot.complete:
+                slot.all_arrived_at = self.env.now
+                duration = cost.collective_seconds(
+                    kind,
+                    comm.size,
+                    slot.max_bytes,
+                    comm.cluster.network.params,
+                    freq_ratio=comm._max_freq_ratio(),
+                )
+                done = slot.done
+                Timeout(self.env, duration).callbacks.append(
+                    lambda _e: done.succeed()
+                )
+            yield slot.done
+        finally:
+            self.cpu.pop_wait_state(token)
+        self._trace(kind, t0, wire_bytes)
+
+    def barrier(self) -> Generator:
+        yield from self._collective("barrier", 0.0, 0.0)
+
+    def bcast(self, nbytes: float, root: int = 0) -> Generator:
+        yield from self._collective("bcast", nbytes, nbytes if self.rank == root else 0.0)
+
+    def reduce(self, nbytes: float, root: int = 0) -> Generator:
+        yield from self._collective("reduce", nbytes, nbytes)
+
+    def allreduce(self, nbytes: float) -> Generator:
+        yield from self._collective("allreduce", nbytes, nbytes)
+
+    def scatter(self, nbytes: float, root: int = 0) -> Generator:
+        """Root distributes ``nbytes`` to each rank."""
+        copy = nbytes * (self.size - 1) if self.rank == root else nbytes
+        yield from self._collective("scatter", nbytes, copy)
+
+    def gather(self, nbytes: float, root: int = 0) -> Generator:
+        """Each rank sends ``nbytes`` to the root."""
+        copy = nbytes * (self.size - 1) if self.rank == root else nbytes
+        yield from self._collective("gather", nbytes, copy)
+
+    def allgather(self, nbytes: float) -> Generator:
+        wire = nbytes * (self.size - 1)
+        yield from self._collective("allgather", wire, nbytes)
+
+    def alltoall(self, bytes_per_pair: float) -> Generator:
+        wire = self.comm.cost.alltoall_bytes(self.size, bytes_per_pair)
+        yield from self._collective("alltoall", wire, wire)
+
+    def alltoallv(self, total_send_bytes: float) -> Generator:
+        """Irregular all-to-all; pass this rank's total outgoing bytes."""
+        yield from self._collective("alltoallv", total_send_bytes, total_send_bytes)

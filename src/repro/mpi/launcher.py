@@ -1,0 +1,88 @@
+"""``mpirun`` analogue: start a rank program on every node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import AllOf, Event
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+from repro.mpi.communicator import Communicator, RankContext
+from repro.mpi.costmodel import CostModel
+
+__all__ = ["RunHandle", "launch"]
+
+#: A rank program: callable taking the rank's context, returning a generator.
+RankProgram = Callable[[RankContext], Generator]
+
+
+@dataclass
+class RunHandle:
+    """A launched parallel job."""
+
+    comm: Communicator
+    processes: list[Process]
+    contexts: list[RankContext]
+    done: Event
+    started_at: float
+
+    @property
+    def env(self) -> Environment:
+        return self.comm.env
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def elapsed(self) -> float:
+        """Wall time of the job (raises if not finished)."""
+        if not self.finished:
+            raise RuntimeError("job has not finished")
+        return max(p.value for p in self.processes) - self.started_at
+
+    def check(self) -> None:
+        """Raise if the job is still unfinished after the event queue drained
+        (the virtual-MPI equivalent of a deadlocked mpirun)."""
+        if not self.finished:
+            alive = [p.name for p in self.processes if p.is_alive]
+            raise SimulationError(
+                f"parallel job deadlocked; still-blocked ranks: {alive}"
+            )
+
+
+def launch(
+    cluster: Cluster,
+    program: RankProgram,
+    nprocs: Optional[int] = None,
+    node_ids: Optional[Sequence[int]] = None,
+    cost: Optional[CostModel] = None,
+    tracer: Any = None,
+) -> RunHandle:
+    """Start ``program`` on ``nprocs`` ranks of ``cluster``.
+
+    Each rank process records the simulation time at which it returned;
+    :meth:`RunHandle.elapsed` reports the job's makespan.  Run the
+    environment (``env.run(handle.done)``) to execute.
+    """
+    comm = Communicator(cluster, nprocs=nprocs, node_ids=node_ids, cost=cost, tracer=tracer)
+    env = cluster.env
+    started = env.now
+    contexts = [comm.context(r) for r in range(comm.size)]
+
+    def wrapper(ctx: RankContext):
+        yield from program(ctx)
+        return env.now
+
+    processes = [
+        env.process(wrapper(ctx), name=f"rank{ctx.rank}") for ctx in contexts
+    ]
+    done = AllOf(env, processes)
+    return RunHandle(
+        comm=comm,
+        processes=processes,
+        contexts=contexts,
+        done=done,
+        started_at=started,
+    )

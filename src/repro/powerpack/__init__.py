@@ -1,0 +1,51 @@
+"""PowerPack — measurement & control framework (paper Section 4).
+
+The software suite the paper builds around NEMO, as simulation-side
+tooling:
+
+* :mod:`repro.powerpack.api` — application/CLI DVS control
+  (``set_cpuspeed``, ``psetcpuspeed``).
+* :mod:`repro.powerpack.acpi` — ``libbattery.a`` analogue: coordinated
+  ACPI battery polling across nodes, with the real channel's
+  quantization and refresh-lag error.
+* :mod:`repro.powerpack.baytech` — the Baytech power-strip channel:
+  per-outlet power polling on a 1-minute cadence plus remote outlet
+  control, used as the redundant cross-check.
+* :mod:`repro.powerpack.collector` — multi-node collection, filtering
+  and alignment of measurement series into per-run energy reports.
+* :mod:`repro.powerpack.profiles` — power/performance profile objects.
+"""
+
+from repro.powerpack.api import psetcpuspeed, set_cpuspeed
+from repro.powerpack.acpi import AcpiCoordinator, BatterySample
+from repro.powerpack.baytech import BaytechStrip, OutletSample
+from repro.powerpack.collector import DataCollector, EnergyReport, NodeEnergy
+from repro.powerpack.profiles import PowerProfile, PowerSample
+from repro.powerpack.analysis import (
+    Series,
+    align,
+    energy_from_series,
+    moving_average,
+    resample,
+    total_power_series,
+)
+
+__all__ = [
+    "AcpiCoordinator",
+    "BatterySample",
+    "BaytechStrip",
+    "DataCollector",
+    "EnergyReport",
+    "NodeEnergy",
+    "OutletSample",
+    "PowerProfile",
+    "PowerSample",
+    "Series",
+    "align",
+    "energy_from_series",
+    "moving_average",
+    "resample",
+    "total_power_series",
+    "psetcpuspeed",
+    "set_cpuspeed",
+]

@@ -1,0 +1,123 @@
+"""Measurement-series analysis: filtering and alignment (Section 4.3).
+
+"Lastly, we created software to filter and align data sets from
+individual nodes for use in power and performance analysis and
+optimization."  These are those utilities: resampling irregular
+per-node series onto a common timebase, simple smoothing, cluster-wide
+aggregation and energy-delay scatter extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Series",
+    "resample",
+    "align",
+    "moving_average",
+    "total_power_series",
+    "energy_from_series",
+]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A timestamped scalar series from one node/channel."""
+
+    times: np.ndarray
+    values: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=float)
+        v = np.asarray(self.values, dtype=float)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError("times and values must be 1-D and equal length")
+        if t.size >= 2 and np.any(np.diff(t) < 0):
+            raise ValueError("times must be non-decreasing")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "values", v)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[tuple[float, float]], label: str = "") -> "Series":
+        pairs = sorted(samples)
+        if not pairs:
+            raise ValueError("empty series")
+        t, v = zip(*pairs)
+        return cls(np.array(t), np.array(v), label)
+
+
+def resample(series: Series, grid: np.ndarray) -> Series:
+    """Sample-and-hold resampling onto ``grid``.
+
+    Power readings are step signals (the sensor reports the last
+    observation), so zero-order hold is the faithful interpolation —
+    linear interpolation would invent power levels that never occurred.
+    """
+    if len(series) == 0:
+        raise ValueError("cannot resample an empty series")
+    grid = np.asarray(grid, dtype=float)
+    idx = np.searchsorted(series.times, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(series) - 1)
+    return Series(grid, series.values[idx], series.label)
+
+
+def align(series_list: Sequence[Series], step_s: float) -> list[Series]:
+    """Resample many node series onto one shared grid.
+
+    The grid spans the *intersection* of the series' time ranges (the
+    window where every node has data), at ``step_s`` resolution.
+    """
+    if not series_list:
+        raise ValueError("nothing to align")
+    if step_s <= 0:
+        raise ValueError("step must be positive")
+    t0 = max(s.times[0] for s in series_list)
+    t1 = min(s.times[-1] for s in series_list)
+    if t1 < t0:
+        raise ValueError("series do not overlap in time")
+    n = max(2, int(np.floor((t1 - t0) / step_s)) + 1)
+    grid = t0 + step_s * np.arange(n)
+    grid = grid[grid <= t1 + 1e-12]
+    return [resample(s, grid) for s in series_list]
+
+
+def moving_average(series: Series, window: int) -> Series:
+    """Centered moving-average smoothing (window clipped at the edges)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or len(series) <= 1:
+        return series
+    kernel = np.ones(min(window, len(series)))
+    smoothed = np.convolve(series.values, kernel / kernel.size, mode="same")
+    # fix edge bias: renormalize by the actual number of samples used
+    counts = np.convolve(np.ones_like(series.values), kernel, mode="same")
+    smoothed = smoothed * kernel.size / counts
+    return Series(series.times, smoothed, series.label)
+
+
+def total_power_series(aligned: Sequence[Series]) -> Series:
+    """Cluster-wide power: element-wise sum of aligned node series."""
+    if not aligned:
+        raise ValueError("nothing to sum")
+    base = aligned[0].times
+    for s in aligned[1:]:
+        if s.times.shape != base.shape or not np.allclose(s.times, base):
+            raise ValueError("series are not aligned; call align() first")
+    total = np.sum([s.values for s in aligned], axis=0)
+    return Series(base, total, "cluster")
+
+
+def energy_from_series(series: Series) -> float:
+    """Energy (J) of a power series, zero-order-hold integrated."""
+    if len(series) < 2:
+        return 0.0
+    dt = np.diff(series.times)
+    return float(np.sum(series.values[:-1] * dt))

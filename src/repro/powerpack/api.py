@@ -1,0 +1,35 @@
+"""PowerPack DVS control API (paper Figures 3/10/13).
+
+``set_cpuspeed`` is the application-level call the INTERNAL strategy
+inserts into source (rank programs reach it more conveniently through
+:meth:`repro.mpi.communicator.RankContext.set_cpuspeed`, which adds
+tracing).  ``psetcpuspeed`` is the cluster-wide command-line setting
+used by the EXTERNAL strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import Node
+
+__all__ = ["set_cpuspeed", "psetcpuspeed"]
+
+
+def set_cpuspeed(node: Node, mhz: float) -> float:
+    """Set one node's operating point (CPUFreq actuation path).
+
+    Returns the frequency actually in effect (MHz).
+    """
+    node.cpu.set_speed_mhz(mhz)
+    return node.cpu.frequency_mhz
+
+
+def psetcpuspeed(
+    cluster: Cluster, mhz: float, node_ids: Optional[Sequence[int]] = None
+) -> None:
+    """Set a static frequency on many nodes (``psetcpuspeed 600``)."""
+    ids = range(len(cluster)) if node_ids is None else node_ids
+    for nid in ids:
+        cluster[nid].cpu.set_speed_mhz(mhz)

@@ -1,0 +1,120 @@
+"""Baytech power-strip channel (paper Section 4.2, second technique).
+
+Remote management hardware polls per-outlet power once per minute over
+SNMP and can switch outlets (the paper uses it to disconnect wall power
+before battery measurements).  The model samples each node's true
+instantaneous power on the same slow cadence; energy estimates
+integrate those sparse samples (trapezoid), which is why the paper
+treats this channel as redundancy rather than the primary measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+
+__all__ = ["OutletSample", "BaytechStrip"]
+
+
+@dataclass(frozen=True)
+class OutletSample:
+    """One SNMP power report for an outlet."""
+
+    time_s: float
+    outlet: int
+    power_w: float
+
+
+class BaytechStrip:
+    """A managed power strip with one outlet per participating node."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_ids: Optional[Sequence[int]] = None,
+        poll_interval_s: float = 60.0,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.node_ids = list(node_ids) if node_ids is not None else list(range(len(cluster)))
+        self.poll_interval_s = poll_interval_s
+        self.samples: list[OutletSample] = []
+        self._outlet_on = {nid: True for nid in self.node_ids}
+        self._proc: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # outlet control (used to force battery operation before runs)
+    # ------------------------------------------------------------------
+    def outlet_is_on(self, node_id: int) -> bool:
+        return self._outlet_on[node_id]
+
+    def disconnect_all(self) -> None:
+        """Drop wall power so nodes run from battery (paper step 2)."""
+        for nid in self._outlet_on:
+            self._outlet_on[nid] = False
+
+    def reconnect_all(self) -> None:
+        for nid in self._outlet_on:
+            self._outlet_on[nid] = True
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            raise RuntimeError("strip already polling")
+        self._poll_once()
+        self._proc = self.env.process(self._poll_loop(), name="baytech")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._poll_once()
+        self._proc = None
+
+    def _poll_once(self) -> None:
+        now = self.env.now
+        for nid in self.node_ids:
+            self.samples.append(OutletSample(now, nid, self.cluster[nid].power_w()))
+
+    def _poll_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.poll_interval_s)
+                self._poll_once()
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    def outlet_series(self, node_id: int) -> list[OutletSample]:
+        return [s for s in self.samples if s.outlet == node_id]
+
+    def energy_j(self, node_id: int, t_begin: float, t_end: float) -> float:
+        """Trapezoid-integrated energy estimate for one outlet."""
+        series = [
+            s for s in self.outlet_series(node_id) if t_begin - 1e-9 <= s.time_s <= t_end + 1e-9
+        ]
+        if len(series) < 2:
+            # Too few samples inside the window (short run): fall back
+            # to the nearest reading times the window length.
+            all_series = self.outlet_series(node_id)
+            if not all_series:
+                raise ValueError(f"no samples for outlet {node_id}")
+            nearest = min(
+                all_series, key=lambda s: min(abs(s.time_s - t_begin), abs(s.time_s - t_end))
+            )
+            return nearest.power_w * (t_end - t_begin)
+        energy = 0.0
+        for a, b in zip(series, series[1:]):
+            energy += 0.5 * (a.power_w + b.power_w) * (b.time_s - a.time_s)
+        return energy
+
+    def total_energy_j(self, t_begin: float, t_end: float) -> float:
+        return sum(self.energy_j(nid, t_begin, t_end) for nid in self.node_ids)

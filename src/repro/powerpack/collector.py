@@ -1,0 +1,129 @@
+"""Data collection and alignment (paper Section 4.3, last paragraph).
+
+The collector owns all measurement channels for a run — exact meters,
+the ACPI coordinator and the Baytech strip — starts and stops them
+around a job window, and merges their outputs into one per-node
+:class:`EnergyReport`, the aligned data set the paper's analysis
+software produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware.cluster import Cluster
+from repro.powerpack.acpi import AcpiCoordinator
+from repro.powerpack.baytech import BaytechStrip
+
+__all__ = ["NodeEnergy", "EnergyReport", "DataCollector"]
+
+
+@dataclass(frozen=True)
+class NodeEnergy:
+    """Energy of one node over a run window, per channel (joules)."""
+
+    node_id: int
+    exact_j: float
+    acpi_j: Optional[float]
+    baytech_j: Optional[float]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Aligned multi-channel energy for one run."""
+
+    t_begin: float
+    t_end: float
+    nodes: tuple[NodeEnergy, ...]
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_begin
+
+    @property
+    def total_exact_j(self) -> float:
+        return sum(n.exact_j for n in self.nodes)
+
+    @property
+    def total_acpi_j(self) -> Optional[float]:
+        vals = [n.acpi_j for n in self.nodes]
+        return None if any(v is None for v in vals) else sum(vals)
+
+    @property
+    def total_baytech_j(self) -> Optional[float]:
+        vals = [n.baytech_j for n in self.nodes]
+        return None if any(v is None for v in vals) else sum(vals)
+
+    def cross_check_error(self) -> Optional[float]:
+        """Relative ACPI-vs-exact disagreement (the paper's redundancy
+        check between its two direct-measurement channels)."""
+        acpi = self.total_acpi_j
+        exact = self.total_exact_j
+        if acpi is None or exact <= 0:
+            return None
+        return abs(acpi - exact) / exact
+
+
+class DataCollector:
+    """Start/stop measurement channels around a job and report energy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_ids: Optional[Sequence[int]] = None,
+        with_acpi: bool = True,
+        with_baytech: bool = True,
+        acpi_poll_s: float = 5.0,
+        baytech_poll_s: float = 60.0,
+    ) -> None:
+        self.cluster = cluster
+        self.node_ids = list(node_ids) if node_ids is not None else list(range(len(cluster)))
+        self.acpi = (
+            AcpiCoordinator(cluster, self.node_ids, acpi_poll_s)
+            if with_acpi and all(cluster[n].battery is not None for n in self.node_ids)
+            else None
+        )
+        self.baytech = (
+            BaytechStrip(cluster, self.node_ids, baytech_poll_s)
+            if with_baytech
+            else None
+        )
+        self._t_begin: Optional[float] = None
+        self._begin_exact: dict[int, float] = {}
+
+    def begin(self) -> None:
+        """Snapshot exact meters and start the sampled channels."""
+        self._t_begin = self.cluster.env.now
+        self._begin_exact = {
+            nid: self.cluster[nid].energy_j() for nid in self.node_ids
+        }
+        if self.acpi is not None:
+            self.acpi.start()
+        if self.baytech is not None:
+            self.baytech.start()
+
+    def end(self) -> EnergyReport:
+        """Stop channels and produce the aligned report."""
+        if self._t_begin is None:
+            raise RuntimeError("collector.begin() was never called")
+        t_end = self.cluster.env.now
+        if self.acpi is not None:
+            self.acpi.stop()
+        if self.baytech is not None:
+            self.baytech.stop()
+        nodes = []
+        for nid in self.node_ids:
+            exact = self.cluster[nid].energy_j() - self._begin_exact[nid]
+            acpi = (
+                self.acpi.energy_j(nid, self._t_begin, t_end)
+                if self.acpi is not None
+                else None
+            )
+            baytech = (
+                self.baytech.energy_j(nid, self._t_begin, t_end)
+                if self.baytech is not None
+                else None
+            )
+            nodes.append(NodeEnergy(nid, exact, acpi, baytech))
+        return EnergyReport(self._t_begin, t_end, tuple(nodes))

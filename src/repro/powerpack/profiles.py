@@ -1,0 +1,116 @@
+"""Power/performance profiles.
+
+A :class:`PowerProfile` is a regular-cadence sampling of node power —
+the data product PowerPack's collection software filters and aligns for
+analysis.  It powers the Figure 1-style component breakdowns and is
+handy for inspecting scheduler behaviour over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+from repro.hardware.cluster import Cluster
+
+__all__ = ["PowerSample", "PowerProfile"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One instantaneous multi-component power observation."""
+
+    time_s: float
+    node_id: int
+    cpu_w: float
+    memory_w: float
+    nic_w: float
+    disk_w: float
+    board_w: float
+    frequency_mhz: float
+
+    @property
+    def total_w(self) -> float:
+        return self.cpu_w + self.memory_w + self.nic_w + self.disk_w + self.board_w
+
+
+class PowerProfile:
+    """Samples component power on every node at a fixed cadence."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_ids: Optional[Sequence[int]] = None,
+        interval_s: float = 0.1,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.node_ids = list(node_ids) if node_ids is not None else list(range(len(cluster)))
+        self.interval_s = interval_s
+        self.samples: list[PowerSample] = []
+        self._proc: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            raise RuntimeError("profile already sampling")
+        self._sample_once()
+        self._proc = self.env.process(self._loop(), name="power-profile")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _sample_once(self) -> None:
+        now = self.env.now
+        for nid in self.node_ids:
+            node = self.cluster[nid]
+            b = node.breakdown()
+            self.samples.append(
+                PowerSample(
+                    now,
+                    nid,
+                    b.cpu_w,
+                    b.memory_w,
+                    b.nic_w,
+                    b.disk_w,
+                    b.board_w,
+                    node.cpu.frequency_mhz,
+                )
+            )
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval_s)
+                self._sample_once()
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    def node_series(self, node_id: int) -> list[PowerSample]:
+        return [s for s in self.samples if s.node_id == node_id]
+
+    def mean_breakdown(self, node_id: int) -> dict[str, float]:
+        """Time-averaged component watts for one node."""
+        series = self.node_series(node_id)
+        if not series:
+            raise ValueError(f"no samples for node {node_id}")
+        arr = np.array(
+            [[s.cpu_w, s.memory_w, s.nic_w, s.disk_w, s.board_w] for s in series]
+        )
+        mean = arr.mean(axis=0)
+        return dict(zip(("cpu", "memory", "nic", "disk", "board"), mean.tolist()))
+
+    def mean_fractions(self, node_id: int) -> dict[str, float]:
+        """Time-averaged component shares of node power (Figure 1)."""
+        mean = self.mean_breakdown(node_id)
+        total = sum(mean.values())
+        return {k: v / total for k, v in mean.items()}

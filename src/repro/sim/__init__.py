@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free, SimPy-flavoured discrete-event kernel.  All of
+the hardware, network and MPI substrates in :mod:`repro` run on top of
+this engine: processes are Python generators that ``yield`` events, the
+:class:`~repro.sim.engine.Environment` advances virtual time from event
+to event, and power meters integrate piecewise-constant power between
+events.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Environment` — the event loop and clock.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf` —
+  the things processes wait on.
+* :class:`~repro.sim.process.Process` / ``env.process(gen)`` — running
+  coroutine processes, with :meth:`~repro.sim.process.Process.interrupt`.
+* :class:`~repro.sim.resources.Store` and
+  :class:`~repro.sim.resources.Resource` — queued synchronisation
+  primitives used by the network and MPI layers.
+"""
+
+from repro.sim.engine import Environment, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StopSimulation",
+    "Timeout",
+]

@@ -1,0 +1,175 @@
+"""The simulation environment: clock + event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure escaped a process."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Keeps the virtual clock and the pending-event heap, creates events
+    and processes, and advances time event-by-event.
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(2.5)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    2.5
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start running ``generator`` as a process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> Event:
+        from repro.sim.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        while self._queue:
+            when, _, event = self._queue[0]
+            if isinstance(event, Timeout) and event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return when
+        return float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        while True:
+            if not self._queue:
+                raise IndexError("no more events")
+            when, _, event = heapq.heappop(self._queue)
+            if isinstance(event, Timeout) and event.cancelled:
+                continue
+            break
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError(f"event scheduled in the past: {when} < {self._now}")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event.ok and not event._defused:
+            raise SimulationError(
+                f"unhandled failure in simulation: {event._value!r}"
+            ) from (event._value if isinstance(event._value, BaseException) else None)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain;
+            a number — run until the clock reaches that time;
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value if stop_event.ok else None
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        try:
+            while True:
+                when = self.peek()
+                if when == float("inf"):
+                    break
+                if when > stop_time:
+                    self._now = stop_time
+                    break
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event.ok:
+                raise SimulationError(
+                    f"awaited event failed: {stop_event._value!r}"
+                ) from stop_event._value
+            return stop_event.value
+
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event triggered"
+            )
+        if stop_time != float("inf") and self._now < stop_time:
+            self._now = stop_time
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()

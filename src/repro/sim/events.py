@@ -1,0 +1,215 @@
+"""Event primitives for the discrete-event kernel.
+
+Events follow SimPy-like semantics:
+
+* An event starts *untriggered*; :meth:`Event.succeed` or
+  :meth:`Event.fail` triggers it, scheduling its callbacks to run at the
+  current simulation time.
+* Processes wait on events by ``yield``-ing them; the process resumes
+  with the event's value (or the failure exception is raised inside the
+  generator).
+* :class:`Timeout` is an event triggered automatically after a delay.
+* :class:`AllOf` / :class:`AnyOf` compose events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Event", "Timeout", "Interrupt", "AllOf", "AnyOf", "ConditionValue"]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event once it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (succeeded or failed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been dispatched."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded.  Only meaningful if triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._value is _PENDING:
+            raise AttributeError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carried by ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time.
+
+    Supports :meth:`cancel` while still pending, which is used by the
+    CPU model to reschedule work completions when the operating point
+    changes mid-segment.
+    """
+
+    __slots__ = ("_delay", "_cancelled")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._cancelled = False
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent a pending timeout from firing (no effect if processed)."""
+        self._cancelled = True
+
+
+class ConditionValue(dict):
+    """Ordered mapping of event -> value produced by condition events."""
+
+    def of(self, event: Event) -> Any:
+        return self[event]
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(ConditionValue())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        # Only *processed* events contribute (their callbacks ran, so
+        # they have observably happened); a Timeout carries its value
+        # from creation but has not occurred until processed.
+        result = ConditionValue()
+        for ev in self.events:
+            if ev.processed and ev.ok:
+                result[ev] = ev.value
+        return result
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggered once *all* component events have succeeded.
+
+    Fails as soon as any component fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Triggered as soon as *any* component event succeeds."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed(self._collect_values())

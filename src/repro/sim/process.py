@@ -1,0 +1,124 @@
+"""Coroutine processes for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running generator.  The process *is* an event that triggers with
+    the generator's return value when it finishes (or fails with the
+    exception that escaped it).
+
+    Processes are created through :meth:`Environment.process`; the
+    generator advances every time an event it yielded is processed.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if running
+        #: or finished).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current time via an initialisation
+        # event so that creation order does not matter.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "active"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target event
+        itself is unaffected and may still trigger later).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self} has already terminated")
+        if self.env._active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from the event we were waiting on (if the process has
+        # not started yet, the interrupt simply lands right after its
+        # initialisation event).
+        target = self._target
+        if (
+            target is not None
+            and target.callbacks is not None
+            and self._resume in target.callbacks
+        ):
+            target.callbacks.remove(self._resume)
+        carrier = Event(self.env)
+        carrier.callbacks.append(self._resume)
+        carrier._ok = False
+        carrier._defused = True
+        carrier._value = Interrupt(cause)
+        self.env._schedule(carrier)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event.ok:
+                next_event = self._generator.send(event._value if event.triggered else None)
+            else:
+                event.defuse()
+                next_event = self._generator.throw(event._value)
+        except StopIteration as exc:
+            self.env._active_process = None
+            self.succeed(exc.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.env is not self.env:
+            raise ValueError("process yielded an event from another environment")
+        if next_event.processed:
+            # Already happened: resume immediately (at the current time).
+            carrier = Event(self.env)
+            carrier.callbacks.append(self._resume)
+            carrier._ok = next_event.ok
+            carrier._value = next_event._value
+            if not next_event.ok:
+                next_event.defuse()
+                carrier._defused = True
+            self.env._schedule(carrier)
+            self._target = carrier
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event

@@ -1,0 +1,179 @@
+"""Queued synchronisation primitives built on the event kernel.
+
+Only the pieces the upper layers need:
+
+* :class:`Store` — an unbounded (or bounded) FIFO of items; ``put`` and
+  ``get`` return events.  Used for message queues in the virtual MPI
+  layer.
+* :class:`Resource` — a counted resource with FIFO (or priority) queuing
+  of requests.  Used for network link arbitration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Store", "Resource", "Request"]
+
+
+class Store:
+    """FIFO item store.
+
+    ``put(item)`` returns an event that succeeds once the item is
+    accepted (immediately unless the store is full).  ``get(filter)``
+    returns an event that succeeds with the first item matching
+    ``filter`` (any item if omitted); it blocks until one is available.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        event = Event(self.env)
+        self._getters.append((event, filter))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move accepted puts into the store.
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            # Satisfy getters in FIFO order; a getter whose filter matches
+            # nothing stays queued without blocking later getters.
+            if self._getters and self.items:
+                unmatched: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+                while self._getters and self.items:
+                    event, flt = self._getters.popleft()
+                    matched_index = None
+                    if flt is None:
+                        matched_index = 0
+                    else:
+                        for i, item in enumerate(self.items):
+                            if flt(item):
+                                matched_index = i
+                                break
+                    if matched_index is None:
+                        unmatched.append((event, flt))
+                        continue
+                    item = self.items[matched_index]
+                    del self.items[matched_index]
+                    event.succeed(item)
+                    progress = True
+                self._getters.extendleft(reversed(unmatched))
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; succeed == acquired."""
+
+    __slots__ = ("resource", "priority", "amount", "_released")
+
+    def __init__(self, resource: "Resource", priority: float, amount: int) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.amount = amount
+        self._released = False
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """Counted resource with priority queuing.
+
+    ``request(priority=...)`` returns a :class:`Request` event that
+    succeeds when ``amount`` units are granted.  Lower priority values
+    are served first; ties break FIFO.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0, amount: int = 1) -> Request:
+        if amount < 1 or amount > self.capacity:
+            raise ValueError(f"cannot request {amount} of capacity {self.capacity}")
+        req = Request(self, priority, amount)
+        self._seq += 1
+        import heapq
+
+        heapq.heappush(self._waiting, (priority, self._seq, req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        if request._released:
+            return  # idempotent: releasing twice must not corrupt counts
+        request._released = True
+        if not request.triggered:
+            # Cancel a queued request.
+            self._waiting = [(p, s, r) for (p, s, r) in self._waiting if r is not request]
+            import heapq
+
+            heapq.heapify(self._waiting)
+            return
+        self._in_use -= request.amount
+        if self._in_use < 0:  # pragma: no cover - defensive
+            raise RuntimeError("resource released more than acquired")
+        self._grant()
+
+    def _grant(self) -> None:
+        import heapq
+
+        while self._waiting:
+            priority, seq, req = self._waiting[0]
+            if self._in_use + req.amount > self.capacity:
+                break
+            heapq.heappop(self._waiting)
+            self._in_use += req.amount
+            req.succeed()

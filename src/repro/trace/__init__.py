@@ -1,0 +1,39 @@
+"""MPE-like tracing (paper Figures 9 and 12).
+
+The virtual MPI layer records every operation through an attached
+:class:`~repro.trace.events.TraceLog` (the ``-mpilog`` analogue);
+:mod:`repro.trace.stats` computes the observations the paper reads off
+its Jumpshot visualisations — communication-to-computation ratios,
+dominant events, per-rank asymmetry, iteration granularity — and
+:mod:`repro.trace.jumpshot` renders an ASCII timeline.
+"""
+
+from repro.trace.events import TraceEvent, TraceLog, OP_CATEGORIES, categorize_op
+from repro.trace.stats import RankProfile, TraceStats, analyze
+from repro.trace.jumpshot import render_timeline
+from repro.trace.phasestats import (
+    PhaseInterval,
+    PhaseProfile,
+    PhaseRecorder,
+    profile_phases,
+)
+from repro.trace.slog import load_trace, save_trace, trace_from_csv, trace_to_csv
+
+__all__ = [
+    "OP_CATEGORIES",
+    "PhaseInterval",
+    "PhaseProfile",
+    "PhaseRecorder",
+    "RankProfile",
+    "TraceEvent",
+    "TraceLog",
+    "TraceStats",
+    "analyze",
+    "categorize_op",
+    "load_trace",
+    "profile_phases",
+    "render_timeline",
+    "save_trace",
+    "trace_from_csv",
+    "trace_to_csv",
+]

@@ -1,0 +1,111 @@
+"""Trace analysis — the numbers the paper reads off Jumpshot.
+
+For FT (Figure 9) the paper observes: communication-bound with a ~2:1
+comm/comp ratio, all-to-all dominant, long iterations, balanced load.
+For CG (Figure 12): communication-intensive, Wait/Send dominant, short
+cycles, and per-rank asymmetry (ranks 4–7 wait more than 0–3).
+:func:`analyze` extracts exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.trace.events import TraceEvent, TraceLog
+
+__all__ = ["RankProfile", "TraceStats", "analyze"]
+
+
+@dataclass
+class RankProfile:
+    """Per-rank time breakdown."""
+
+    rank: int
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+    wait_s: float = 0.0
+    idle_s: float = 0.0
+    op_seconds: dict[str, float] = field(default_factory=dict)
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def comm_total_s(self) -> float:
+        """All non-compute MPI time (active comm + blocked wait)."""
+        return self.comm_s + self.wait_s
+
+    @property
+    def comm_to_comp_ratio(self) -> float:
+        """The paper's communication-to-computation ratio."""
+        if self.compute_s <= 0:
+            return float("inf")
+        return self.comm_total_s / self.compute_s
+
+    def dominant_ops(self, n: int = 3) -> list[tuple[str, float]]:
+        """Top operations by accumulated time."""
+        return sorted(self.op_seconds.items(), key=lambda kv: -kv[1])[:n]
+
+
+@dataclass
+class TraceStats:
+    """Whole-job trace summary."""
+
+    ranks: list[RankProfile]
+    duration_s: float
+
+    @property
+    def comm_to_comp_ratio(self) -> float:
+        comm = sum(r.comm_total_s for r in self.ranks)
+        comp = sum(r.compute_s for r in self.ranks)
+        return comm / comp if comp > 0 else float("inf")
+
+    @property
+    def imbalance(self) -> float:
+        """Spread of per-rank comm/comp ratios: max/min (1.0 = balanced).
+
+        Finite only when every rank computes; the paper's FT trace shows
+        ~1, CG's shows a clear split between rank groups.
+        """
+        ratios = [r.comm_to_comp_ratio for r in self.ranks if r.compute_s > 0]
+        if len(ratios) < 2 or min(ratios) <= 0:
+            return float("inf")
+        return max(ratios) / min(ratios)
+
+    def dominant_ops(self, n: int = 3) -> list[tuple[str, float]]:
+        total: dict[str, float] = defaultdict(float)
+        for r in self.ranks:
+            for op, secs in r.op_seconds.items():
+                total[op] += secs
+        return sorted(total.items(), key=lambda kv: -kv[1])[:n]
+
+    def mean_event_duration(self, op: str) -> float:
+        secs = sum(r.op_seconds.get(op, 0.0) for r in self.ranks)
+        count = sum(r.op_counts.get(op, 0) for r in self.ranks)
+        return secs / count if count else 0.0
+
+
+def analyze(log: TraceLog) -> TraceStats:
+    """Aggregate a trace log into per-rank and whole-job statistics."""
+    profiles: dict[int, RankProfile] = {}
+    for event in log:
+        prof = profiles.setdefault(event.rank, RankProfile(event.rank))
+        _accumulate(prof, event)
+    ranks = [profiles[r] for r in sorted(profiles)]
+    duration = log.t_max - log.t_min
+    return TraceStats(ranks=ranks, duration_s=duration)
+
+
+def _accumulate(prof: RankProfile, event: TraceEvent) -> None:
+    d = event.duration
+    cat = event.category
+    if cat == "compute":
+        prof.compute_s += d
+    elif cat == "wait":
+        prof.wait_s += d
+    elif cat == "idle":
+        prof.idle_s += d
+    elif cat == "comm":
+        prof.comm_s += d
+    # DVS events are effectively instantaneous; count but don't bin time.
+    prof.op_seconds[event.op] = prof.op_seconds.get(event.op, 0.0) + d
+    prof.op_counts[event.op] = prof.op_counts.get(event.op, 0) + 1

@@ -1,0 +1,40 @@
+"""Application models.
+
+The NAS Parallel Benchmarks (and SPEC swim) are modelled as *phase
+programs*: rank programs that issue the same sequence of compute
+segments (on-chip cycles + off-chip stall time) and MPI operations as
+the real codes, with per-code constants calibrated against the paper's
+Table 2 frequency sweep (see ``repro/experiments/calibration.py`` and
+EXPERIMENTS.md for the calibration story).
+
+Each workload exposes **phase hooks** — the points where the paper's
+INTERNAL strategy inserts ``set_cpuspeed`` calls into the source
+(Figures 10 and 13).
+"""
+
+from repro.workloads.base import (
+    NO_HOOKS,
+    CompositeHooks,
+    PhaseHooks,
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from repro.workloads.phases import Loop, Phase, PhaseProgramWorkload
+from repro.workloads import npb  # noqa: F401  (registers the NPB codes)
+from repro.workloads import spec  # noqa: F401  (registers swim)
+from repro.workloads import microbench  # noqa: F401 (registers microbenchmarks)
+
+__all__ = [
+    "NO_HOOKS",
+    "CompositeHooks",
+    "Loop",
+    "Phase",
+    "PhaseHooks",
+    "PhaseProgramWorkload",
+    "Workload",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+]

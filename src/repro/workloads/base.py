@@ -1,0 +1,128 @@
+"""Workload base classes, phase hooks and the registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.costmodel import CostModel
+
+__all__ = [
+    "PhaseHooks",
+    "NO_HOOKS",
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+]
+
+
+class PhaseHooks:
+    """Instrumentation points a workload exposes to DVS policies.
+
+    The paper's INTERNAL strategy works by inserting ``set_cpuspeed``
+    calls into application source around phases (Figure 10) or at rank
+    initialisation (Figure 13).  Workload programs call these hooks at
+    exactly those source locations; the default implementation does
+    nothing (an uninstrumented binary).
+    """
+
+    def on_init(self, ctx: RankContext) -> None:
+        """Called once per rank, right after MPI_Init."""
+
+    def phase_begin(self, ctx: RankContext, phase: str) -> None:
+        """Called immediately before a named phase starts on ``ctx``."""
+
+    def phase_end(self, ctx: RankContext, phase: str) -> None:
+        """Called immediately after a named phase ends on ``ctx``."""
+
+
+#: Shared do-nothing hooks (uninstrumented run).
+NO_HOOKS = PhaseHooks()
+
+
+class CompositeHooks(PhaseHooks):
+    """Fan out hook calls to several hooks objects (e.g. a DVS policy
+    plus a phase recorder profiling the same run)."""
+
+    def __init__(self, *hooks: PhaseHooks) -> None:
+        self.hooks = tuple(h for h in hooks if h is not NO_HOOKS)
+
+    def on_init(self, ctx) -> None:
+        for h in self.hooks:
+            h.on_init(ctx)
+
+    def phase_begin(self, ctx, phase: str) -> None:
+        for h in self.hooks:
+            h.phase_begin(ctx, phase)
+
+    def phase_end(self, ctx, phase: str) -> None:
+        # Unwind in reverse so policies that set state on begin restore
+        # it after any observers saw the end.
+        for h in reversed(self.hooks):
+            h.phase_end(ctx, phase)
+
+
+class Workload(abc.ABC):
+    """A parallel application model.
+
+    Subclasses define :meth:`make_program` returning a rank program for
+    :func:`repro.mpi.launch`, plus the communication cost model the code
+    should run under (per-code congestion behaviour, Section 5.2).
+    """
+
+    #: short code name, e.g. ``"FT"``.
+    name: str = "?"
+    #: NPB problem class letter (``"T"`` is our tiny test class).
+    klass: str = "C"
+    #: number of MPI ranks the model is defined for.
+    nprocs: int = 8
+
+    @property
+    def tag(self) -> str:
+        """Paper-style experiment tag, e.g. ``FT.C.8``."""
+        return f"{self.name}.{self.klass}.{self.nprocs}"
+
+    @abc.abstractmethod
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        """Build the rank program, instrumented with ``hooks``."""
+
+    def cost_model(self) -> CostModel:
+        """Communication cost model for this code (default: stock)."""
+        return CostModel()
+
+    #: phases that this workload announces through its hooks, for
+    #: documentation and policy validation.
+    phases: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.tag}>"
+
+
+_REGISTRY: Dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload(name: str, factory: Callable[..., Workload]) -> None:
+    """Register a workload factory under ``name`` (case-insensitive)."""
+    key = name.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"workload {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload, e.g. ``get_workload("FT")``."""
+    try:
+        factory = _REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def workload_names() -> list[str]:
+    return sorted(_REGISTRY)

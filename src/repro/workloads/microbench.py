@@ -1,0 +1,160 @@
+"""PowerPack microbenchmarks (paper Section 4.4).
+
+Three pure-signature codes used to build the DVS-effect database that
+the EXTERNAL and INTERNAL strategies consult: CPU-bound, memory-bound
+and communication-bound.  Running each across the frequency sweep
+yields the per-category energy/delay sensitivity that lets a scheduler
+map application phases to operating points a priori.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload, register_workload
+
+__all__ = ["CpuBound", "MemoryBound", "CommBound"]
+
+
+class CpuBound(Workload):
+    """Register/cache-resident arithmetic: fully frequency-sensitive."""
+
+    name = "UB-CPU"
+    klass = "U"
+    phases = ("compute",)
+
+    def __init__(self, nprocs: int = 1, seconds: float = 10.0, **_ignored) -> None:
+        self.nprocs = nprocs
+        self.seconds = seconds
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            hooks.phase_begin(ctx, "compute")
+            yield from ctx.compute(seconds=self.seconds, mem_activity=0.05)
+            hooks.phase_end(ctx, "compute")
+
+        return program
+
+
+class MemoryBound(Workload):
+    """Pointer-chasing / streaming: dominated by off-chip stalls."""
+
+    name = "UB-MEM"
+    klass = "U"
+    phases = ("stream",)
+
+    #: on-chip share of runtime at full clock (STREAM-like: ~10 %).
+    ON_FRACTION = 0.1
+
+    def __init__(self, nprocs: int = 1, seconds: float = 10.0, **_ignored) -> None:
+        self.nprocs = nprocs
+        self.seconds = seconds
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            hooks.phase_begin(ctx, "stream")
+            yield from ctx.compute(
+                seconds=self.seconds * self.ON_FRACTION,
+                offchip_seconds=self.seconds * (1.0 - self.ON_FRACTION),
+                mem_activity=0.9,
+            )
+            hooks.phase_end(ctx, "stream")
+
+        return program
+
+
+class CommBound(Workload):
+    """Ping-pong / exchange loop: dominated by wire time."""
+
+    name = "UB-COMM"
+    klass = "U"
+    phases = ("exchange",)
+
+    def __init__(
+        self,
+        nprocs: int = 2,
+        rounds: int = 50,
+        nbytes: float = 1e6,
+        **_ignored,
+    ) -> None:
+        if nprocs < 2 or nprocs % 2:
+            raise ValueError("communication microbenchmark needs an even rank count")
+        self.nprocs = nprocs
+        self.rounds = rounds
+        self.nbytes = nbytes
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            partner = ctx.rank ^ 1
+            for _ in range(self.rounds):
+                hooks.phase_begin(ctx, "exchange")
+                if ctx.rank % 2 == 0:
+                    yield from ctx.send(partner, self.nbytes, tag=7)
+                    yield from ctx.recv(partner, tag=7)
+                else:
+                    yield from ctx.recv(partner, tag=7)
+                    yield from ctx.send(partner, self.nbytes, tag=7)
+                hooks.phase_end(ctx, "exchange")
+
+        return program
+
+
+class DiskBound(Workload):
+    """I/O-wait dominated loop (the paper's "future study" category).
+
+    The CPU idles while the (constant-power) disk streams; the paper
+    predicts such codes "will provide more opportunities to DVS for
+    energy saving" — which the model confirms: delay is insensitive to
+    frequency while idle-period CPU power still scales down.
+    """
+
+    name = "UB-DISK"
+    klass = "U"
+    phases = ("read", "process")
+
+    #: CPU share of each read+process cycle at full clock.
+    CPU_FRACTION = 0.08
+
+    def __init__(
+        self, nprocs: int = 1, seconds: float = 10.0, cycles_count: int = 20, **_ignored
+    ) -> None:
+        if cycles_count < 1:
+            raise ValueError("need at least one I/O cycle")
+        self.nprocs = nprocs
+        self.seconds = seconds
+        self.cycles_count = cycles_count
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        per_cycle = self.seconds / self.cycles_count
+
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            for _ in range(self.cycles_count):
+                hooks.phase_begin(ctx, "read")
+                yield from ctx.idle(per_cycle * (1.0 - self.CPU_FRACTION))
+                hooks.phase_end(ctx, "read")
+                hooks.phase_begin(ctx, "process")
+                yield from ctx.compute(
+                    seconds=per_cycle * self.CPU_FRACTION, mem_activity=0.4
+                )
+                hooks.phase_end(ctx, "process")
+
+        return program
+
+
+register_workload("UB-CPU", CpuBound)
+register_workload("UB-MEM", MemoryBound)
+register_workload("UB-COMM", CommBound)
+register_workload("UB-DISK", DiskBound)

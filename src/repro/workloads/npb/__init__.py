@@ -1,0 +1,38 @@
+"""NAS Parallel Benchmark models (EP, MG, CG, FT, IS, LU, SP, BT).
+
+Each module encodes one code's phase structure — the communication
+pattern and the on-chip/off-chip compute split the paper's profiles
+reveal — with per-code constants calibrated against the paper's Table 2
+frequency sweep.  See EXPERIMENTS.md for paper-vs-model numbers.
+"""
+
+from repro.workloads.base import register_workload
+from repro.workloads.npb.params import CLASS_SCALE, ClassScale, scale_for
+from repro.workloads.npb.ep import EP
+from repro.workloads.npb.ft import FT
+from repro.workloads.npb.cg import CG
+from repro.workloads.npb.is_ import IS
+from repro.workloads.npb.mg import MG
+from repro.workloads.npb.lu import LU
+from repro.workloads.npb.bt import BT
+from repro.workloads.npb.sp import SP
+
+ALL_CODES = {"EP": EP, "FT": FT, "CG": CG, "IS": IS, "MG": MG, "LU": LU, "BT": BT, "SP": SP}
+
+for _name, _cls in ALL_CODES.items():
+    register_workload(_name, _cls)
+
+__all__ = [
+    "ALL_CODES",
+    "BT",
+    "CG",
+    "CLASS_SCALE",
+    "ClassScale",
+    "EP",
+    "FT",
+    "IS",
+    "LU",
+    "MG",
+    "SP",
+    "scale_for",
+]

@@ -1,0 +1,95 @@
+"""CG — conjugate gradient kernel.
+
+The paper's profile (Figure 12): communication-intensive with
+synchronisation every cycle, Wait/Send dominant, short cycles (DVS
+transition overhead non-negligible), and *asymmetric* behaviour —
+ranks 4–7 show a larger communication-to-computation ratio than ranks
+0–3.  That asymmetry is what the INTERNAL strategy exploits with
+heterogeneous per-rank speeds (Figure 13).
+
+Calibration: Table 2 gives D(600) = 1.14 → w_on ≈ 0.105 of step time on
+the dominant (compute-heavy) rank group; the rest is memory stall plus
+the partner exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+from repro.workloads.npb.params import scale_for
+
+__all__ = ["CG"]
+
+
+class CG(Workload):
+    """NAS CG phase program (two asymmetric rank groups)."""
+
+    name = "CG"
+    phases = ("matvec", "exchange", "residual")
+
+    BASE_OUTER = 25
+    INNER = 20
+    # heavy group (ranks < nprocs/2): on-chip + off-chip per inner step
+    HEAVY_ON_S = 0.0131
+    HEAVY_OFF_S = 0.0569
+    # light group: less compute, waits on the heavy group every step
+    LIGHT_ON_S = 0.0155
+    LIGHT_OFF_S = 0.0480
+    EXCHANGE_BYTES = 560e3
+    MEM_ACTIVITY = 0.6
+
+    def __init__(self, klass: str = "C", nprocs: int = 8) -> None:
+        if nprocs < 2 or nprocs % 2:
+            raise ValueError("CG model needs an even rank count >= 2")
+        self.klass = klass.upper()
+        self.nprocs = nprocs
+        s = scale_for(self.klass)
+        rank_scale = 8.0 / nprocs
+        self.outer = s.n_iters(self.BASE_OUTER)
+        self.inner = self.INNER
+        self.heavy_on = self.HEAVY_ON_S * s.seconds * rank_scale
+        self.heavy_off = self.HEAVY_OFF_S * s.seconds * rank_scale
+        self.light_on = self.LIGHT_ON_S * s.seconds * rank_scale
+        self.light_off = self.LIGHT_OFF_S * s.seconds * rank_scale
+        self.exchange_bytes = self.EXCHANGE_BYTES * s.bytes * rank_scale
+
+    def is_heavy(self, rank: int) -> bool:
+        """Ranks 0..p/2-1 are the compute-heavy group (paper: 0-3)."""
+        return rank < self.nprocs // 2
+
+    def partner(self, rank: int) -> int:
+        """Transpose partner: heavy rank i pairs with light rank i+p/2."""
+        half = self.nprocs // 2
+        return rank + half if rank < half else rank - half
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            heavy = self.is_heavy(ctx.rank)
+            on = self.heavy_on if heavy else self.light_on
+            off = self.heavy_off if heavy else self.light_off
+            partner = self.partner(ctx.rank)
+            for _ in range(self.outer):
+                for _ in range(self.inner):
+                    hooks.phase_begin(ctx, "matvec")
+                    yield from ctx.compute(
+                        seconds=on,
+                        offchip_seconds=off,
+                        mem_activity=self.MEM_ACTIVITY,
+                    )
+                    hooks.phase_end(ctx, "matvec")
+                    hooks.phase_begin(ctx, "exchange")
+                    yield from ctx.sendrecv(
+                        partner, self.exchange_bytes, src=partner, tag=3
+                    )
+                    hooks.phase_end(ctx, "exchange")
+                hooks.phase_begin(ctx, "residual")
+                yield from ctx.allreduce(8)
+                yield from ctx.allreduce(8)
+                hooks.phase_end(ctx, "residual")
+
+        return program

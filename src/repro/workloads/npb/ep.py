@@ -1,0 +1,57 @@
+"""EP — embarrassingly parallel kernel.
+
+Pure register/cache-resident random-number computation with three tiny
+terminal reductions.  The paper's Type I crescendo: delay scales almost
+linearly with 1/f (Table 2: D(600) = 2.35), no energy benefit from DVS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+from repro.workloads.npb.params import scale_for
+
+__all__ = ["EP"]
+
+
+class EP(Workload):
+    """NAS EP phase program."""
+
+    name = "EP"
+    phases = ("gaussian", "reduce")
+
+    BASE_CHUNKS = 20
+    ON_S_TOTAL = 100.0
+    OFF_S_TOTAL = 1.5
+    MEM_ACTIVITY = 0.08
+
+    def __init__(self, klass: str = "C", nprocs: int = 8) -> None:
+        self.klass = klass.upper()
+        self.nprocs = nprocs
+        s = scale_for(self.klass)
+        rank_scale = 8.0 / nprocs
+        self.chunks = s.n_iters(self.BASE_CHUNKS)
+        self.on_s = self.ON_S_TOTAL * s.seconds * rank_scale / self.chunks
+        self.off_s = self.OFF_S_TOTAL * s.seconds * rank_scale / self.chunks
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            for _ in range(self.chunks):
+                hooks.phase_begin(ctx, "gaussian")
+                yield from ctx.compute(
+                    seconds=self.on_s,
+                    offchip_seconds=self.off_s,
+                    mem_activity=self.MEM_ACTIVITY,
+                )
+                hooks.phase_end(ctx, "gaussian")
+            hooks.phase_begin(ctx, "reduce")
+            for _ in range(3):
+                yield from ctx.allreduce(8)
+            hooks.phase_end(ctx, "reduce")
+
+        return program

@@ -1,0 +1,98 @@
+"""FT — 3-D FFT kernel.
+
+The paper's profile (Figure 9): communication-bound, comm:comp ≈ 2:1,
+dominated by all-to-all transposes, balanced across ranks, iterations
+long enough that DVS transition cost is negligible.  This is the
+INTERNAL strategy's showcase (Figure 10/11): scale down around the
+all-to-all, restore afterwards.
+
+Calibration (class C, 8 ranks): Table 2 gives D(600 MHz) = 1.13 →
+frequency-sensitive share w_on ≈ 0.0975 of base runtime; the remaining
+compute time is off-chip (FFT is memory bound), and wire time is sized
+to the 2:1 comm/comp ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.costmodel import CostModel, WaitSignature
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+from repro.workloads.npb.params import scale_for
+
+__all__ = ["FT"]
+
+
+class FT(Workload):
+    """NAS FT phase program."""
+
+    name = "FT"
+    phases = ("setup", "evolve", "alltoall", "checksum")
+
+    # class-C per-iteration constants (seconds at 1400 MHz / bytes)
+    BASE_ITERS = 12
+    ON_S = 0.78
+    OFF_S = 1.42
+    BYTES_PER_PAIR = 6.96e6
+    SETUP_ON_S = 0.8
+    SETUP_OFF_S = 1.2
+    MEM_ACTIVITY = 0.55
+
+    def __init__(self, klass: str = "C", nprocs: int = 8) -> None:
+        if nprocs < 2:
+            raise ValueError("FT model needs at least 2 ranks")
+        self.klass = klass.upper()
+        self.nprocs = nprocs
+        s = scale_for(self.klass)
+        # Per-rank work shrinks as ranks grow (strong scaling vs the
+        # 8-rank calibration point); wire bytes per pair shrink as 1/p².
+        rank_scale = 8.0 / nprocs
+        self.iters = s.n_iters(self.BASE_ITERS)
+        self.on_s = self.ON_S * s.seconds * rank_scale
+        self.off_s = self.OFF_S * s.seconds * rank_scale
+        self.bytes_per_pair = self.BYTES_PER_PAIR * s.bytes * rank_scale**2
+        self.setup_on_s = self.SETUP_ON_S * s.seconds * rank_scale
+        self.setup_off_s = self.SETUP_OFF_S * s.seconds * rank_scale
+
+    def cost_model(self) -> CostModel:
+        # The transpose keeps the CPU fully busy packing/unpacking and
+        # driving the NIC (MPICH alltoall progress loop) — this is what
+        # makes scaling down *during* the all-to-all so profitable
+        # (Figure 11) — while /proc still reports mixed utilization.
+        return CostModel(
+            comm_progress=WaitSignature(
+                activity=1.0, busy=0.45, mem_activity=0.25, nic_activity=1.0
+            )
+        )
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            hooks.phase_begin(ctx, "setup")
+            yield from ctx.compute(
+                seconds=self.setup_on_s,
+                offchip_seconds=self.setup_off_s,
+                mem_activity=self.MEM_ACTIVITY,
+            )
+            hooks.phase_end(ctx, "setup")
+            for _ in range(self.iters):
+                hooks.phase_begin(ctx, "evolve")
+                yield from ctx.compute(
+                    seconds=self.on_s,
+                    offchip_seconds=self.off_s,
+                    mem_activity=self.MEM_ACTIVITY,
+                )
+                hooks.phase_end(ctx, "evolve")
+                # This is the source location of Figure 10's
+                # set_cpuspeed(low) ... mpi_alltoall ... set_cpuspeed(high).
+                hooks.phase_begin(ctx, "alltoall")
+                yield from ctx.alltoall(self.bytes_per_pair)
+                hooks.phase_end(ctx, "alltoall")
+            hooks.phase_begin(ctx, "checksum")
+            yield from ctx.allreduce(16)
+            hooks.phase_end(ctx, "checksum")
+
+        return program

@@ -1,0 +1,45 @@
+"""Problem-class scaling shared by all NPB models.
+
+The paper runs class C; smaller classes scale down iteration counts,
+per-phase durations and message sizes.  Class ``T`` (tiny) is this
+package's addition for fast unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ClassScale", "CLASS_SCALE", "scale_for"]
+
+
+@dataclass(frozen=True)
+class ClassScale:
+    """Multipliers applied to a code's class-C constants."""
+
+    iters: float
+    seconds: float
+    bytes: float
+
+    def n_iters(self, base: int, minimum: int = 2) -> int:
+        """Scaled iteration count (never below ``minimum``)."""
+        return max(minimum, int(math.ceil(base * self.iters)))
+
+
+CLASS_SCALE: dict[str, ClassScale] = {
+    "C": ClassScale(1.0, 1.0, 1.0),
+    "B": ClassScale(0.6, 0.7, 0.7),
+    "A": ClassScale(0.4, 0.45, 0.45),
+    "W": ClassScale(0.25, 0.2, 0.2),
+    "S": ClassScale(0.15, 0.08, 0.08),
+    "T": ClassScale(0.08, 0.03, 0.03),
+}
+
+
+def scale_for(klass: str) -> ClassScale:
+    try:
+        return CLASS_SCALE[klass.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem class {klass!r}; known: {sorted(CLASS_SCALE)}"
+        ) from None

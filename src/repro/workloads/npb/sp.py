@@ -1,0 +1,88 @@
+"""SP — scalar-pentadiagonal pseudo-application (square rank grid).
+
+Same ADI skeleton as BT but with less computation per exchanged byte:
+Type III crescendo (Table 2: D(600) = 1.18 → w_on ≈ 0.135) with a mild
+congestion dip at the top clock (the paper measures D(1200) = 0.99 and
+SP saving energy *and* time under ED3P selection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.costmodel import CostModel, WaitSignature
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+from repro.workloads.npb.params import scale_for
+
+__all__ = ["SP"]
+
+
+class SP(Workload):
+    """NAS SP phase program (3×3 grid by default, like SP.C.9)."""
+
+    name = "SP"
+    phases = ("solve_x", "solve_y", "solve_z", "face_exchange")
+
+    BASE_ITERS = 60
+    ON_S = 0.28
+    OFF_S = 0.68
+    FACE_BYTES = 1.17e6
+    MEM_ACTIVITY = 0.55
+    COLLISION_COEFF = 0.12
+
+    def __init__(self, klass: str = "C", nprocs: int = 9) -> None:
+        side = int(round(math.sqrt(nprocs)))
+        if side * side != nprocs or nprocs < 4:
+            raise ValueError("SP needs a square rank count >= 4 (paper runs 9)")
+        self.side = side
+        self.klass = klass.upper()
+        self.nprocs = nprocs
+        s = scale_for(self.klass)
+        rank_scale = 9.0 / nprocs
+        self.iters = s.n_iters(self.BASE_ITERS)
+        self.on_s = self.ON_S * s.seconds * rank_scale
+        self.off_s = self.OFF_S * s.seconds * rank_scale
+        self.face_bytes = self.FACE_BYTES * s.bytes * rank_scale
+
+    def cost_model(self) -> CostModel:
+        return CostModel(
+            collision_coeff=self.COLLISION_COEFF,
+            collision_applies_p2p=True,
+            comm_progress=WaitSignature(
+                activity=0.85, busy=0.30, mem_activity=0.25, nic_activity=1.0
+            ),
+        )
+
+    def neighbors(self, rank: int) -> dict[str, tuple[int, int]]:
+        side = self.side
+        row, col = divmod(rank, side)
+        return {
+            "solve_x": (row * side + (col + 1) % side, row * side + (col - 1) % side),
+            "solve_y": (((row + 1) % side) * side + col, ((row - 1) % side) * side + col),
+            "solve_z": ((rank + side + 1) % self.nprocs, (rank - side - 1) % self.nprocs),
+        }
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            nbrs = self.neighbors(ctx.rank)
+            for _ in range(self.iters):
+                for direction in ("solve_x", "solve_y", "solve_z"):
+                    fwd, bwd = nbrs[direction]
+                    hooks.phase_begin(ctx, direction)
+                    yield from ctx.compute(
+                        seconds=self.on_s / 3.0,
+                        offchip_seconds=self.off_s / 3.0,
+                        mem_activity=self.MEM_ACTIVITY,
+                    )
+                    hooks.phase_end(ctx, direction)
+                    hooks.phase_begin(ctx, "face_exchange")
+                    yield from ctx.sendrecv(fwd, self.face_bytes, src=bwd, tag=41)
+                    yield from ctx.sendrecv(bwd, self.face_bytes, src=fwd, tag=42)
+                    hooks.phase_end(ctx, "face_exchange")
+
+        return program

@@ -1,0 +1,224 @@
+"""Declarative phase-program IR.
+
+The built-in NPB models are hand-written generator programs.  For user
+workloads, this module offers a small declarative alternative: describe
+an application as a list of :class:`Phase` steps (optionally nested in
+:class:`Loop`), and :class:`PhaseProgramWorkload` turns it into a rank
+program with hooks announced around every named phase — so EXTERNAL,
+INTERNAL and daemon scheduling all apply to it unchanged.
+
+Example::
+
+    program = [
+        Phase.compute("init", seconds=0.5, offchip_seconds=0.5),
+        Loop(20, [
+            Phase.compute("stencil", seconds=0.05, offchip_seconds=0.1),
+            Phase.exchange("halo", neighbor="right", nbytes=500_000),
+            Phase.collective("residual", kind="allreduce", nbytes=8),
+        ]),
+    ]
+    workload = PhaseProgramWorkload("STENCIL", program, nprocs=8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional, Sequence, Union
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.costmodel import CostModel
+from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
+
+__all__ = ["Phase", "Loop", "PhaseProgramWorkload"]
+
+#: neighbour selectors for exchange phases.
+_NEIGHBORS: dict[str, Callable[[int, int], int]] = {
+    "left": lambda rank, size: (rank - 1) % size,
+    "right": lambda rank, size: (rank + 1) % size,
+    "pair": lambda rank, size: rank ^ 1 if (rank ^ 1) < size else rank,
+    "opposite": lambda rank, size: (rank + size // 2) % size,
+}
+
+_COLLECTIVES = ("barrier", "bcast", "reduce", "allreduce", "allgather",
+                "alltoall", "alltoallv")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named step of a phase program.
+
+    Use the constructors (:meth:`compute`, :meth:`exchange`,
+    :meth:`collective`, :meth:`idle`) rather than filling fields by
+    hand.
+    """
+
+    name: str
+    kind: str
+    seconds: float = 0.0
+    offchip_seconds: float = 0.0
+    mem_activity: float = 0.3
+    nbytes: float = 0.0
+    neighbor: str = "right"
+    collective: str = "barrier"
+    #: optional per-rank scale factor for compute phases (imbalance).
+    rank_scale: Optional[Callable[[int, int], float]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(
+        cls,
+        name: str,
+        seconds: float,
+        offchip_seconds: float = 0.0,
+        mem_activity: float = 0.3,
+        rank_scale: Optional[Callable[[int, int], float]] = None,
+    ) -> "Phase":
+        """On-chip + off-chip computation (scales with the clock)."""
+        if seconds < 0 or offchip_seconds < 0:
+            raise ValueError("compute durations must be non-negative")
+        return cls(
+            name,
+            "compute",
+            seconds=seconds,
+            offchip_seconds=offchip_seconds,
+            mem_activity=mem_activity,
+            rank_scale=rank_scale,
+        )
+
+    @classmethod
+    def exchange(cls, name: str, neighbor: str, nbytes: float) -> "Phase":
+        """Symmetric sendrecv with a topological neighbour.
+
+        ``neighbor`` is one of ``left``, ``right``, ``pair``,
+        ``opposite``.
+        """
+        if neighbor not in _NEIGHBORS:
+            raise ValueError(
+                f"unknown neighbor {neighbor!r}; choose from {sorted(_NEIGHBORS)}"
+            )
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return cls(name, "exchange", nbytes=nbytes, neighbor=neighbor)
+
+    @classmethod
+    def collective(cls, name: str, kind: str, nbytes: float = 0.0) -> "Phase":
+        """One of the supported MPI collectives."""
+        if kind not in _COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {kind!r}; choose from {_COLLECTIVES}"
+            )
+        return cls(name, "collective", nbytes=nbytes, collective=kind)
+
+    @classmethod
+    def idle(cls, name: str, seconds: float) -> "Phase":
+        """Plain slack (no CPU occupancy)."""
+        if seconds < 0:
+            raise ValueError("idle duration must be non-negative")
+        return cls(name, "idle", seconds=seconds)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: RankContext, hooks: PhaseHooks) -> Generator:
+        hooks.phase_begin(ctx, self.name)
+        if self.kind == "compute":
+            scale = self.rank_scale(ctx.rank, ctx.size) if self.rank_scale else 1.0
+            yield from ctx.compute(
+                seconds=self.seconds * scale,
+                offchip_seconds=self.offchip_seconds * scale,
+                mem_activity=self.mem_activity,
+            )
+        elif self.kind == "exchange":
+            send_to = _NEIGHBORS[self.neighbor](ctx.rank, ctx.size)
+            # Receive from whoever sends to *us* (the inverse mapping),
+            # so every send has a matching receive for any rank count.
+            if self.neighbor == "right":
+                recv_from = (ctx.rank - 1) % ctx.size
+            elif self.neighbor == "left":
+                recv_from = (ctx.rank + 1) % ctx.size
+            elif self.neighbor == "opposite":
+                recv_from = (ctx.rank - ctx.size // 2) % ctx.size
+            else:  # pair: an involution (self-mapped at the odd tail)
+                recv_from = send_to
+            if send_to == ctx.rank:
+                yield from ctx.idle(0.0)
+            else:
+                req = ctx.isend(send_to, self.nbytes, tag=hash(self.name) % 1000)
+                if recv_from != ctx.rank:
+                    yield from ctx.recv(recv_from, tag=hash(self.name) % 1000)
+                yield from ctx.wait(req)
+        elif self.kind == "collective":
+            op = getattr(ctx, self.collective)
+            if self.collective == "barrier":
+                yield from op()
+            else:
+                yield from op(self.nbytes)
+        elif self.kind == "idle":
+            yield from ctx.idle(self.seconds)
+        else:  # pragma: no cover - constructor-guarded
+            raise ValueError(f"unknown phase kind {self.kind!r}")
+        hooks.phase_end(ctx, self.name)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat a block of steps."""
+
+    iterations: int
+    body: Sequence[Union["Phase", "Loop"]]
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+
+    def run(self, ctx: RankContext, hooks: PhaseHooks) -> Generator:
+        for _ in range(self.iterations):
+            for step in self.body:
+                yield from step.run(ctx, hooks)
+
+
+def _collect_phases(steps: Sequence[Union[Phase, Loop]]) -> tuple[str, ...]:
+    names: list[str] = []
+    for step in steps:
+        if isinstance(step, Loop):
+            for name in _collect_phases(step.body):
+                if name not in names:
+                    names.append(name)
+        else:
+            if step.name not in names:
+                names.append(step.name)
+    return tuple(names)
+
+
+class PhaseProgramWorkload(Workload):
+    """A workload assembled from a declarative phase program."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: Sequence[Union[Phase, Loop]],
+        nprocs: int = 8,
+        klass: str = "U",
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if not steps:
+            raise ValueError("a phase program needs at least one step")
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.name = name
+        self.klass = klass
+        self.nprocs = nprocs
+        self.steps = list(steps)
+        self._cost = cost
+        self.phases = _collect_phases(self.steps)
+
+    def cost_model(self) -> CostModel:
+        return self._cost or CostModel()
+
+    def make_program(
+        self, hooks: PhaseHooks = NO_HOOKS
+    ) -> Callable[[RankContext], Generator]:
+        def program(ctx: RankContext) -> Generator:
+            hooks.on_init(ctx)
+            for step in self.steps:
+                yield from step.run(ctx, hooks)
+
+        return program

@@ -1,0 +1,49 @@
+"""Advisor with the beyond-the-paper daemons enabled."""
+
+import pytest
+
+from repro.core import ED3P, ScheduleAdvisor
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ft_advice_future():
+    return ScheduleAdvisor(
+        metric=ED3P, include_future_daemons=True
+    ).advise(get_workload("FT", klass="T"))
+
+
+def test_future_daemons_in_candidate_list(ft_advice_future):
+    labels = " ".join(c.label for c in ft_advice_future.candidates)
+    assert "predictive daemon" in labels
+    assert "beta daemon" in labels
+
+
+def test_candidates_still_ranked(ft_advice_future):
+    values = [c.metric_value for c in ft_advice_future.candidates]
+    assert values == sorted(values)
+
+
+def test_beta_uses_delay_cap_as_budget():
+    advice = ScheduleAdvisor(
+        metric=ED3P,
+        include_future_daemons=True,
+        include_daemon=False,
+        max_delay_increase=0.10,
+    ).advise(get_workload("EP", klass="T"))
+    labels = [c.label for c in advice.candidates]
+    assert any("delta=0.1" in label for label in labels)
+
+
+def test_compliant_candidates_outrank_violators():
+    advice = ScheduleAdvisor(
+        metric=ED3P,
+        include_future_daemons=True,
+        max_delay_increase=0.02,
+    ).advise(get_workload("CG", klass="T"))
+    seen_violation = False
+    for c in advice.candidates:
+        violates = c.delay_increase > 0.02 + 1e-9
+        if seen_violation:
+            assert violates, "a compliant candidate was ranked below a violator"
+        seen_violation = seen_violation or violates

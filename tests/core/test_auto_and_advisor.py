@@ -1,0 +1,134 @@
+"""Automated INTERNAL derivation and the schedule advisor."""
+
+import pytest
+
+from repro.core import (
+    ED2P,
+    ED3P,
+    ScheduleAdvisor,
+    derive_phase_policy,
+    derive_rank_policy,
+    profile_workload,
+    run_workload,
+    InternalStrategy,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ft_profile():
+    return profile_workload(get_workload("FT", klass="T"))
+
+
+@pytest.fixture(scope="module")
+def cg_profile():
+    return profile_workload(get_workload("CG", klass="T"))
+
+
+@pytest.fixture(scope="module")
+def ep_profile():
+    return profile_workload(get_workload("EP", klass="T"))
+
+
+class TestDerivePhasePolicy:
+    def test_ft_derives_the_paper_policy(self, ft_profile):
+        """The automation must rediscover Figure 10 from the profile."""
+        policy = derive_phase_policy(ft_profile)
+        assert policy is not None
+        assert policy.low_phases == frozenset({"alltoall"})
+        assert policy.low_mhz == 600.0
+        assert policy.high_mhz == 1400.0
+
+    def test_ep_has_nothing_to_scale(self, ep_profile):
+        assert derive_phase_policy(ep_profile) is None
+
+    def test_amortization_guard(self, ft_profile):
+        """With a (hypothetically) enormous transition cost, even FT's
+        all-to-all is too short to scale."""
+        policy = derive_phase_policy(
+            ft_profile, transition_latency_s=1.0, min_amortization=10.0
+        )
+        assert policy is None
+
+    def test_derived_policy_actually_saves(self, ft_profile):
+        w = get_workload("FT", klass="T")
+        policy = derive_phase_policy(ft_profile)
+        m = run_workload(w, InternalStrategy(policy, label="auto"))
+        d, e = m.normalized_against(ft_profile.measurement)
+        assert e < 0.85
+        assert d < 1.03
+
+
+class TestDeriveRankPolicy:
+    def test_cg_gets_heterogeneous_speeds(self, cg_profile):
+        """CG's light group has slack -> lower static speed (Figure 13
+        rediscovered: ranks 0-3 fast, 4-7 slow)."""
+        policy = derive_rank_policy(cg_profile)
+        assert policy is not None
+        heavy_speeds = [policy._speed_of(r) for r in range(4)]
+        light_speeds = [policy._speed_of(r) for r in range(4, 8)]
+        assert max(light_speeds) < min(heavy_speeds)
+
+    def test_balanced_code_returns_none(self, ep_profile):
+        assert derive_rank_policy(ep_profile) is None
+
+    def test_speeds_never_exceed_budget(self, cg_profile):
+        from repro.hardware.opoints import PENTIUM_M_TABLE
+
+        policy = derive_rank_policy(cg_profile, aggressiveness=2.0)
+        assert policy is not None
+        f_max = PENTIUM_M_TABLE.fastest.frequency_hz
+        for rank, compute in cg_profile.rank_compute_s.items():
+            mhz = policy._speed_of(rank)
+            stretch = compute * (f_max / (mhz * 1e6) - 1.0)
+            assert stretch <= 2.0 * cg_profile.rank_slack_s(rank) + 1e-9
+
+    def test_aggressiveness_monotone(self, cg_profile):
+        """A larger delay budget never picks faster points."""
+        gentle = derive_rank_policy(cg_profile, aggressiveness=2.0)
+        bold = derive_rank_policy(cg_profile, aggressiveness=10.0)
+        assert gentle is not None and bold is not None
+        for rank in cg_profile.rank_compute_s:
+            assert bold._speed_of(rank) <= gentle._speed_of(rank)
+
+    def test_invalid_aggressiveness(self, cg_profile):
+        with pytest.raises(ValueError):
+            derive_rank_policy(cg_profile, aggressiveness=0.0)
+
+
+class TestAdvisor:
+    @pytest.fixture(scope="class")
+    def ft_advice(self):
+        return ScheduleAdvisor(metric=ED3P).advise(get_workload("FT", klass="T"))
+
+    def test_candidates_include_all_families(self, ft_advice):
+        labels = " ".join(c.label for c in ft_advice.candidates)
+        assert "no-dvs" in labels
+        assert "external" in labels
+        assert "auto-internal" in labels
+        assert "cpuspeed" in labels
+
+    def test_ranked_by_metric(self, ft_advice):
+        values = [c.metric_value for c in ft_advice.candidates]
+        assert values == sorted(values)
+
+    def test_ft_recommends_internal_phase_policy(self, ft_advice):
+        assert "auto-internal phases" in ft_advice.best.label
+        assert ft_advice.best.energy_saving > 0.15
+        assert ft_advice.best.delay_increase < 0.03
+
+    def test_render_mentions_recommendation(self, ft_advice):
+        text = ft_advice.render()
+        assert "recommended" in text
+        assert "FT.T.8" in text
+
+    def test_delay_cap_reorders(self):
+        advice = ScheduleAdvisor(
+            metric=ED2P, max_delay_increase=0.0, include_daemon=False
+        ).advise(get_workload("EP", klass="T"))
+        # With a zero delay cap, no-dvs (or an equally-fast point) must
+        # win for a fully CPU-bound code.
+        assert advice.best.delay_increase <= 0.0 + 1e-9
+
+    def test_advice_carries_profile(self, ft_advice):
+        assert "alltoall" in ft_advice.profile.phases

@@ -1,0 +1,78 @@
+"""Crescendo classification — validated against the paper's own data."""
+
+import pytest
+
+from repro.core.crescendo import Crescendo, CrescendoType, classify_crescendo
+from repro.experiments.calibration import (
+    PAPER_CRESCENDO_TYPES,
+    table2_profile,
+)
+
+
+@pytest.mark.parametrize("code,expected", sorted(PAPER_CRESCENDO_TYPES.items()))
+def test_paper_table2_data_classifies_as_paper_figure8(code, expected):
+    """Feeding the paper's published Table 2 numbers through our
+    classifier must reproduce the paper's Figure 8 grouping.
+
+    SP's energy column is unpublished, so SP is checked by our measured
+    sweep elsewhere (tests/experiments)."""
+    profile = table2_profile(code)
+    if code == "SP":
+        pytest.skip("paper's SP energy column is cut off")
+    assert classify_crescendo(code, profile).value == expected
+
+
+def test_type_properties():
+    assert CrescendoType.TYPE_III.saves_energy
+    assert CrescendoType.TYPE_IV.saves_energy
+    assert not CrescendoType.TYPE_I.saves_energy
+    assert not CrescendoType.TYPE_II.saves_energy
+
+
+def test_crescendo_requires_two_points():
+    with pytest.raises(ValueError):
+        Crescendo("X", {1400: (1.0, 1.0)})
+
+
+def test_crescendo_accessors():
+    c = Crescendo("X", {600: (1.5, 0.7), 1000: (1.1, 0.9), 1400: (1.0, 1.0)})
+    assert c.frequencies == (600, 1000, 1400)
+    assert c.max_delay_increase == pytest.approx(0.5)
+    assert c.max_energy_saving == pytest.approx(0.3)
+    assert c.best_energy_saving == pytest.approx(0.3)
+
+
+def test_best_energy_saving_not_necessarily_at_slowest():
+    c = Crescendo("X", {600: (1.5, 0.9), 1000: (1.1, 0.7), 1400: (1.0, 1.0)})
+    assert c.best_energy_saving == pytest.approx(0.3)
+
+
+def test_synthetic_type_boundaries():
+    # flat energy -> Type I even with huge delay
+    assert (
+        Crescendo("a", {600: (2.0, 0.99), 1400: (1.0, 1.0)}).classify()
+        == CrescendoType.TYPE_I
+    )
+    # flat delay + big saving -> Type IV
+    assert (
+        Crescendo("b", {600: (1.02, 0.6), 1400: (1.0, 1.0)}).classify()
+        == CrescendoType.TYPE_IV
+    )
+    # saving >> delay increase -> Type III
+    assert (
+        Crescendo("c", {600: (1.15, 0.6), 1400: (1.0, 1.0)}).classify()
+        == CrescendoType.TYPE_III
+    )
+    # comparable rates -> Type II
+    assert (
+        Crescendo("d", {600: (1.4, 0.7), 1400: (1.0, 1.0)}).classify()
+        == CrescendoType.TYPE_II
+    )
+
+
+def test_energy_increasing_code_is_type_i():
+    """EP's energy *rises* at low frequency — still Type I."""
+    assert (
+        Crescendo("ep", {600: (2.35, 1.15), 1400: (1.0, 1.0)}).classify()
+        == CrescendoType.TYPE_I
+    )

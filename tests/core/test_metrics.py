@@ -1,0 +1,134 @@
+"""Fused metrics and operating-point selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ED2P,
+    ED3P,
+    EDP,
+    FusedMetric,
+    normalize_profile,
+    select_operating_point,
+)
+
+
+def test_metric_values():
+    assert EDP(1.1, 0.8) == pytest.approx(0.88)
+    assert ED2P(1.1, 0.8) == pytest.approx(0.8 * 1.21)
+    assert ED3P(1.1, 0.8) == pytest.approx(0.8 * 1.331)
+
+
+def test_metric_names():
+    assert str(EDP) == "EDP"
+    assert str(ED2P) == "ED2P"
+    assert str(ED3P) == "ED3P"
+    assert FusedMetric(4).name == "ED4P"
+
+
+def test_invalid_weight():
+    with pytest.raises(ValueError):
+        FusedMetric(-1)
+
+
+def test_invalid_point():
+    with pytest.raises(ValueError):
+        EDP(0.0, 1.0)
+    with pytest.raises(ValueError):
+        EDP(1.0, -1.0)
+
+
+def test_normalize_profile_uses_highest_frequency():
+    raw = {600: (10.0, 100.0), 1400: (5.0, 200.0)}
+    norm = normalize_profile(raw)
+    assert norm[1400] == (1.0, 1.0)
+    assert norm[600] == (2.0, 0.5)
+
+
+def test_normalize_profile_custom_reference():
+    raw = {600: (10.0, 100.0), 1400: (5.0, 200.0)}
+    norm = normalize_profile(raw, reference_mhz=600)
+    assert norm[600] == (1.0, 1.0)
+
+
+def test_normalize_profile_errors():
+    with pytest.raises(ValueError):
+        normalize_profile({})
+    with pytest.raises(KeyError):
+        normalize_profile({600: (1, 1)}, reference_mhz=800)
+    with pytest.raises(ValueError):
+        normalize_profile({600: (0.0, 1.0)})
+
+
+class TestSelectionAgainstPaperTable2:
+    """Selections computed from the paper's own Table 2 numbers must
+    reproduce the paper's Figure 6/7 picks."""
+
+    def test_ft_ed3p_picks_800(self):
+        from repro.experiments.calibration import table2_profile
+
+        assert select_operating_point(table2_profile("FT"), ED3P) == 800.0
+
+    def test_ft_ed2p_picks_600(self):
+        from repro.experiments.calibration import table2_profile
+
+        assert select_operating_point(table2_profile("FT"), ED2P) == 600.0
+
+    def test_cg_ed3p_picks_1000(self):
+        from repro.experiments.calibration import table2_profile
+
+        assert select_operating_point(table2_profile("CG"), ED3P) == 1000.0
+
+    def test_cg_ed2p_picks_800(self):
+        from repro.experiments.calibration import table2_profile
+
+        assert select_operating_point(table2_profile("CG"), ED2P) == 800.0
+
+    @pytest.mark.parametrize("code", ["BT", "EP", "LU", "MG"])
+    def test_type_i_ii_codes_stay_at_top_speed_under_ed3p(self, code):
+        from repro.experiments.calibration import table2_profile
+
+        assert select_operating_point(table2_profile(code), ED3P) == 1400.0
+
+    def test_is_saves_energy_and_time(self):
+        from repro.experiments.calibration import table2_profile
+
+        mhz = select_operating_point(table2_profile("IS"), ED3P)
+        d, e = table2_profile("IS")[mhz]
+        assert d < 1.0 and e < 1.0
+
+
+def test_tie_breaks_toward_performance():
+    profile = {600: (2.0, 0.5), 1400: (1.0, 1.0)}  # identical ED (E*D)
+    assert select_operating_point(profile, EDP) == 1400.0
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError):
+        select_operating_point({}, ED3P)
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.5, max_value=3.0), min_size=2, max_size=6),
+    energies=st.lists(st.floats(min_value=0.1, max_value=2.0), min_size=2, max_size=6),
+)
+def test_selection_minimizes_metric(delays, energies):
+    n = min(len(delays), len(energies))
+    profile = {
+        600.0 + 100 * i: (delays[i], energies[i]) for i in range(n)
+    }
+    chosen = select_operating_point(profile, ED2P)
+    chosen_value = ED2P(*profile[chosen])
+    for point in profile.values():
+        assert chosen_value <= ED2P(*point) + 1e-9
+
+
+@given(
+    delay=st.floats(min_value=1.0, max_value=3.0),
+    energy=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_higher_weight_penalizes_delay_more(delay, energy):
+    """For any point slower than baseline, metric value grows with the
+    delay exponent — the reason ED3P is more conservative than ED2P."""
+    assert ED3P(delay, energy) >= ED2P(delay, energy) >= EDP(delay, energy)

@@ -1,0 +1,96 @@
+"""Energy-delay Pareto front."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import ED2P, ED3P, EDP, pareto_front, select_operating_point
+from repro.experiments.calibration import table2_profile
+
+
+def test_simple_front():
+    profile = {
+        1400: (1.0, 1.0),
+        1200: (1.05, 0.9),
+        1000: (1.2, 0.95),  # dominated by 1200
+        600: (1.5, 0.7),
+    }
+    assert pareto_front(profile) == [1400, 1200, 600]
+
+
+def test_paper_ft_front_is_full_sweep():
+    """FT's published crescendo is strictly monotone: every point is
+    Pareto-optimal."""
+    front = pareto_front(table2_profile("FT"))
+    assert front == [1400.0, 1200.0, 1000.0, 800.0, 600.0]
+
+
+def test_paper_is_front_drops_dominated_points():
+    """IS@1000 dominates several other points in the published data."""
+    front = pareto_front(table2_profile("IS"))
+    assert 1000.0 in front
+    assert 1400.0 not in front  # 1000 MHz is faster AND cheaper
+
+
+def test_ep_front_prefers_fast_points():
+    """EP energy rises as it slows: only 1400 MHz is undominated."""
+    assert pareto_front(table2_profile("EP")) == [1400.0]
+
+
+def test_metric_optima_lie_on_front():
+    for code in ("FT", "CG", "IS", "EP", "BT", "LU", "MG"):
+        profile = table2_profile(code)
+        front = set(pareto_front(profile))
+        for metric in (EDP, ED2P, ED3P):
+            assert select_operating_point(profile, metric) in front, code
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError):
+        pareto_front({})
+
+
+@given(
+    data=st.dictionaries(
+        keys=st.floats(min_value=100, max_value=3000),
+        values=st.tuples(
+            st.floats(min_value=0.5, max_value=3.0),
+            st.floats(min_value=0.1, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_front_points_are_mutually_nondominating(data):
+    front = pareto_front(data)
+    assert front  # never empty
+    for a in front:
+        for b in front:
+            if a == b:
+                continue
+            da, ea = data[a]
+            db, eb = data[b]
+            dominated = db <= da and eb <= ea and (db < da or eb < ea)
+            assert not dominated
+
+
+@given(
+    data=st.dictionaries(
+        keys=st.floats(min_value=100, max_value=3000),
+        values=st.tuples(
+            st.floats(min_value=0.5, max_value=3.0),
+            st.floats(min_value=0.1, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_every_non_front_point_is_dominated(data):
+    front = set(pareto_front(data))
+    for mhz, (d, e) in data.items():
+        if mhz in front:
+            continue
+        # dominated up to the implementation's 1e-12 tie tolerance
+        assert any(
+            data[f][0] <= d + 1e-12 and data[f][1] <= e + 1e-12 for f in front
+        )

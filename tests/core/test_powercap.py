@@ -1,0 +1,109 @@
+"""Cluster power capping."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.core import (
+    NoDvsStrategy,
+    PowerCapConfig,
+    PowerCapStrategy,
+    run_workload,
+)
+from repro.workloads import get_workload
+
+
+def uncapped_power(workload):
+    base = run_workload(workload, NoDvsStrategy())
+    return base, base.energy_j / base.elapsed_s
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerCapConfig(cap_w=0)
+        with pytest.raises(ValueError):
+            PowerCapConfig(cap_w=100, interval_s=0)
+        with pytest.raises(ValueError):
+            PowerCapConfig(cap_w=100, headroom=0)
+        with pytest.raises(ValueError):
+            PowerCapConfig(cap_w=100, max_steps_per_interval=0)
+
+    def test_describe(self):
+        assert PowerCapStrategy(PowerCapConfig(cap_w=150)).describe() == "powercap(150W)"
+
+
+class TestCapEnforcement:
+    @pytest.fixture(scope="class")
+    def ft(self):
+        return get_workload("FT", klass="B")
+
+    def test_cap_never_violated(self, ft):
+        base, p_nominal = uncapped_power(ft)
+        cap = 0.7 * p_nominal
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=cap))
+        run_workload(ft, strategy)
+        assert strategy.power_samples
+        assert strategy.max_observed_power_w() <= cap * 1.001
+
+    def test_tighter_cap_costs_more_delay_saves_more_energy(self, ft):
+        base, p_nominal = uncapped_power(ft)
+        outcomes = []
+        for frac in (0.9, 0.6):
+            strategy = PowerCapStrategy(PowerCapConfig(cap_w=frac * p_nominal))
+            m = run_workload(ft, strategy)
+            outcomes.append(m.normalized_against(base))
+        (d_loose, e_loose), (d_tight, e_tight) = outcomes
+        assert d_tight > d_loose
+        assert e_tight < e_loose
+
+    def test_generous_cap_changes_nothing(self, ft):
+        base, p_nominal = uncapped_power(ft)
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=2 * p_nominal))
+        m = run_workload(ft, strategy)
+        d, _e = m.normalized_against(base)
+        assert d == pytest.approx(1.0, abs=0.01)
+
+    def test_impossible_cap_pins_slowest(self):
+        """A cap below even the all-600MHz floor: nodes sit at the
+        floor (best effort) rather than oscillating."""
+        env = Environment()
+        cluster = nemo_cluster(env, 4, with_batteries=False)
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=10.0))
+        strategy.setup(cluster, range(4))
+        env.run(until=5.0)
+        strategy.teardown(cluster)
+        assert all(n.cpu.index == 0 for n in cluster)
+
+    def test_presheds_before_work_starts(self):
+        env = Environment()
+        cluster = nemo_cluster(env, 4, with_batteries=False)
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=80.0))
+        strategy.setup(cluster, range(4))
+        # before any control interval elapsed, nodes already capped
+        assert all(n.cpu.frequency_mhz < 1400 for n in cluster)
+        strategy.teardown(cluster)
+
+    def test_recovers_when_load_drops(self):
+        """After a compute burst ends, idle headroom lets nodes climb."""
+        env = Environment()
+        cluster = nemo_cluster(env, 2, with_batteries=False)
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=60.0, interval_s=0.2))
+        strategy.setup(cluster, range(2))
+        for node in cluster:
+            node.cpu.run_work(cycles=1e9)
+        env.run(until=30.0)
+        strategy.teardown(cluster)
+        # idle worst-case at some mid point fits in 60 W for 2 nodes
+        assert any(n.cpu.frequency_mhz > 600 for n in cluster)
+
+    def test_teardown_stops_controller(self):
+        env = Environment()
+        cluster = nemo_cluster(env, 2, with_batteries=False)
+        strategy = PowerCapStrategy(PowerCapConfig(cap_w=100.0))
+        strategy.setup(cluster, range(2))
+        env.run(until=2.0)
+        strategy.teardown(cluster)
+        n_samples = len(strategy.power_samples)
+        env.run(until=10.0)
+        assert len(strategy.power_samples) == n_samples

@@ -1,0 +1,58 @@
+"""Reference-data integrity."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    FREQUENCIES_MHZ,
+    PAPER_CLAIMS,
+    PAPER_CRESCENDO_TYPES,
+    PAPER_TABLE2,
+    table2_profile,
+)
+
+
+def test_all_eight_codes_present():
+    assert sorted(PAPER_TABLE2) == ["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"]
+    assert sorted(PAPER_CRESCENDO_TYPES) == sorted(PAPER_TABLE2)
+
+
+def test_each_row_has_all_columns():
+    for code, row in PAPER_TABLE2.items():
+        assert set(row) == {"auto", "600", "800", "1000", "1200", "1400"}
+
+
+def test_baseline_column_is_unity():
+    for code, row in PAPER_TABLE2.items():
+        assert row["1400"] == (1.00, 1.00)
+
+
+def test_frequencies_match_table1():
+    assert FREQUENCIES_MHZ == (600.0, 800.0, 1000.0, 1200.0, 1400.0)
+
+
+def test_profile_skips_unpublished_cells():
+    sp = table2_profile("SP")
+    assert set(sp) == {1400.0}  # only the trivial cell is published
+    ft = table2_profile("FT")
+    assert set(ft) == set(FREQUENCIES_MHZ)
+
+
+def test_profile_values_roundtrip():
+    ft = table2_profile("FT")
+    assert ft[600.0] == (1.13, 0.62)
+
+
+def test_claims_cover_all_codes_for_cpuspeed_and_ed3p():
+    assert sorted(PAPER_CLAIMS["cpuspeed"]) == sorted(PAPER_TABLE2)
+    assert sorted(PAPER_CLAIMS["external_ed3p"]) == sorted(PAPER_TABLE2)
+
+
+def test_energy_delay_ranges_sane():
+    for code, row in PAPER_TABLE2.items():
+        for col, cell in row.items():
+            if cell is None:
+                continue
+            d, e = cell
+            assert 0.8 <= d <= 2.5
+            if e is not None:
+                assert 0.5 <= e <= 1.2

@@ -1,0 +1,52 @@
+"""Full-campaign report generation (tiny class)."""
+
+import pytest
+
+from repro.experiments.campaign import run_campaign, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return run_campaign(klass="T", codes=["EP", "FT"], with_charts=True)
+
+
+def test_contains_every_section(report_text):
+    for heading in (
+        "Table 1",
+        "Table 2",
+        "Fidelity",
+        "Figure 1",
+        "Figure 2",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "Figure 8",
+        "Figure 9",
+        "Figure 11",
+        "Figure 12",
+        "Figure 14",
+    ):
+        assert f"## {heading}" in report_text, heading
+
+
+def test_charts_included(report_text):
+    assert "swim crescendo" in report_text
+    assert "* delay   o energy" in report_text
+
+
+def test_wall_time_footer(report_text):
+    assert "Campaign wall time" in report_text
+
+
+def test_write_report_creates_file(tmp_path):
+    path = write_report(tmp_path / "R.md", klass="T", codes=["EP"])
+    assert path.exists()
+    assert path.read_text().startswith("# Reproduction report")
+
+
+def test_cli_report_target(tmp_path, monkeypatch, capsys):
+    from repro.experiments.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["report", "--class", "T", "--codes", "EP"]) == 0
+    assert (tmp_path / "REPORT.md").exists()

@@ -1,0 +1,89 @@
+"""Structural checks on every figure function (tiny classes).
+
+The full-fidelity class-C checks live in test_reproduction.py; these
+verify the figure plumbing itself — shapes, fields, renderability — at
+test speed.
+"""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.figures import (
+    figure2_swim_crescendo,
+    figure5_cpuspeed,
+    figure6_external_ed3p,
+    figure8_crescendos,
+    figure9_ft_trace,
+    figure11_ft_internal,
+    figure12_cg_trace,
+    figure14_cg_internal,
+)
+
+
+CODES = ["EP", "FT"]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    from repro.experiments.runner import frequency_sweep
+    from repro.workloads import get_workload
+
+    return {
+        code: frequency_sweep(get_workload(code, klass="T"))
+        for code in CODES
+    }
+
+
+def test_figure2_structure():
+    sweep = figure2_swim_crescendo()
+    assert set(sweep.normalized) == {600.0, 800.0, 1000.0, 1200.0, 1400.0}
+    assert sweep.normalized[1400.0] == (1.0, 1.0)
+
+
+def test_figure5_structure():
+    comp = figure5_cpuspeed(codes=CODES, klass="T")
+    assert set(comp.points) == set(CODES)
+    assert report.render_comparison(comp)
+
+
+def test_figure6_structure(sweeps):
+    sel = figure6_external_ed3p(codes=CODES, klass="T", sweeps=sweeps)
+    assert set(sel.selected_mhz) == set(CODES)
+    for code, mhz in sel.selected_mhz.items():
+        assert mhz in sweeps[code].normalized
+    assert report.render_selection(sel)
+
+
+def test_figure8_structure(sweeps):
+    fig = figure8_crescendos(codes=CODES, klass="T", sweeps=sweeps)
+    assert set(fig.crescendos) == set(CODES)
+    groups = fig.groups()
+    assert sum(len(v) for v in groups.values()) == len(CODES)
+    assert report.render_crescendos(fig)
+
+
+def test_figure9_structure():
+    fig = figure9_ft_trace(klass="T")
+    assert fig.code == "FT"
+    assert fig.stats.ranks
+    assert fig.timeline(width=40)
+    assert report.render_trace_observations(fig)
+
+
+def test_figure11_structure(sweeps):
+    fig = figure11_ft_internal(klass="T", sweep=sweeps["FT"])
+    assert "internal" in fig.internal
+    assert set(fig.external) == set(sweeps["FT"].normalized)
+    assert len(fig.auto) == 2
+    assert report.render_internal(fig)
+
+
+def test_figure12_structure():
+    fig = figure12_cg_trace(klass="T")
+    assert len(fig.stats.ranks) == 8
+
+
+def test_figure14_structure():
+    fig = figure14_cg_internal(klass="T")
+    assert set(fig.internal) == {"internal I", "internal II"}
+    assert report.render_internal(fig)

@@ -1,0 +1,62 @@
+"""ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.calibration import table2_profile
+from repro.experiments.plotting import ascii_chart, crescendo_chart
+
+
+def test_basic_chart_structure():
+    text = ascii_chart(
+        [0, 1, 2], {"up": [0.0, 1.0, 2.0]}, width=20, height=6, title="t"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].endswith("+" + "-" * 20 + "+")
+    assert len([l for l in lines if l.strip().startswith("|")]) == 6
+    assert "* up" in lines[-1]
+
+
+def test_extreme_points_plotted_at_edges():
+    text = ascii_chart([0, 10], {"s": [0.0, 1.0]}, width=20, height=5)
+    rows = [l for l in text.splitlines() if "|" in l and "+" not in l]
+    # max value in top row, min in bottom row
+    assert "*" in rows[0]
+    assert "*" in rows[-1]
+    assert rows[0].index("*") > rows[-1].index("*")
+
+
+def test_two_series_distinct_glyphs():
+    text = ascii_chart(
+        [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}, width=15, height=5
+    )
+    assert "*" in text and "o" in text
+    assert "* a" in text and "o b" in text
+
+
+def test_constant_series_does_not_crash():
+    text = ascii_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]}, width=12, height=5)
+    assert "*" in text
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([], {"a": []})
+    with pytest.raises(ValueError):
+        ascii_chart([1], {}, width=20)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"a": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_chart([1], {"a": [1.0]}, width=5)
+
+
+def test_crescendo_chart_from_paper_data():
+    text = crescendo_chart(table2_profile("FT"), title="FT")
+    assert "delay" in text and "energy" in text
+    assert "600" in text and "1400" in text
+
+
+def test_y_axis_labels_reflect_range():
+    text = ascii_chart([0, 1], {"s": [0.25, 0.75]}, width=20, height=5)
+    assert "0.750" in text
+    assert "0.250" in text

@@ -1,0 +1,89 @@
+"""Grid runners."""
+
+import pytest
+
+from repro.core.strategies import ExternalStrategy
+from repro.experiments.runner import (
+    frequency_sweep,
+    normalized_point,
+    run_baseline,
+    run_repeated,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return get_workload("FT", klass="T")
+
+
+def test_sweep_contains_requested_frequencies(ft):
+    sweep = frequency_sweep(ft, [600, 1400])
+    assert set(sweep.raw) == {600.0, 1400.0}
+    assert sweep.baseline_mhz == 1400.0
+
+
+def test_sweep_normalized_baseline_is_unity(ft):
+    sweep = frequency_sweep(ft, [600, 1400])
+    assert sweep.normalized[1400.0] == (1.0, 1.0)
+    d, e = sweep.normalized[600.0]
+    assert d > 1.0 and e < 1.0
+
+
+def test_sweep_defaults_to_full_table(ft):
+    sweep = frequency_sweep(ft)
+    assert set(sweep.raw) == {600.0, 800.0, 1000.0, 1200.0, 1400.0}
+
+
+def test_normalized_point_computes_baseline(ft):
+    d, e, m = normalized_point(ft, ExternalStrategy(mhz=600))
+    assert d > 1.0 and e < 1.0
+    assert m.strategy == "external(600MHz)"
+
+
+def test_normalized_point_accepts_baseline(ft):
+    base = run_baseline(ft)
+    d, e, _ = normalized_point(ft, ExternalStrategy(mhz=1400), baseline=base)
+    assert d == pytest.approx(1.0)
+    assert e == pytest.approx(1.0)
+
+
+def test_run_repeated_seeds(ft):
+    results = run_repeated(ft, ExternalStrategy(mhz=1000), seeds=(0, 1))
+    assert len(results) == 2
+    # the application is deterministic; only channel jitter varies
+    assert results[0].elapsed_s == results[1].elapsed_s
+
+
+class TestRepeatSummary:
+    def test_summary_of_repeated_runs(self, ft):
+        from repro.core.strategies import ExternalStrategy
+        from repro.experiments.runner import run_repeated, summarize_repeats
+
+        runs = run_repeated(
+            ft, ExternalStrategy(mhz=1000), seeds=(0, 1, 2),
+            measurement_channels=True,
+        )
+        summary = summarize_repeats(runs)
+        assert summary.n == 3
+        # the simulated application is deterministic...
+        assert summary.std_elapsed_s == pytest.approx(0.0, abs=1e-9)
+        assert summary.std_energy_j == pytest.approx(0.0, abs=1e-6)
+        # ...but the ACPI channel jitters across seeds (why the paper
+        # repeats every experiment)
+        assert summary.mean_acpi_energy_j is not None
+
+    def test_summary_without_channels(self, ft):
+        from repro.core.strategies import ExternalStrategy
+        from repro.experiments.runner import run_repeated, summarize_repeats
+
+        runs = run_repeated(ft, ExternalStrategy(mhz=1400), seeds=(0, 1))
+        summary = summarize_repeats(runs)
+        assert summary.mean_acpi_energy_j is None
+        assert summary.acpi_relative_spread is None
+
+    def test_empty_rejected(self):
+        from repro.experiments.runner import summarize_repeats
+
+        with pytest.raises(ValueError):
+            summarize_repeats([])

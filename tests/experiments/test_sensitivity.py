@@ -1,0 +1,62 @@
+"""Calibration robustness: conclusions survive ±20 % power perturbations."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    PerturbationResult,
+    perturbed_power,
+    power_model_sensitivity,
+)
+from repro.hardware.power import NEMO_POWER
+
+
+def test_perturbed_power_scales_one_field():
+    p = perturbed_power("cpu_dynamic_max_w", 1.5)
+    assert p.cpu_dynamic_max_w == pytest.approx(NEMO_POWER.cpu_dynamic_max_w * 1.5)
+    assert p.board_w == NEMO_POWER.board_w
+
+
+def test_perturbed_power_validation():
+    with pytest.raises(ValueError):
+        perturbed_power("warp_core_w", 1.2)
+    with pytest.raises(ValueError):
+        perturbed_power("board_w", 0.0)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return power_model_sensitivity(
+        parameters=("cpu_dynamic_max_w", "board_w"),
+        scales=(0.8, 1.2),
+        codes=("EP", "FT"),
+        klass="T",
+    )
+
+
+def test_grid_shape(grid):
+    assert len(grid) == 4
+    assert all(isinstance(r, PerturbationResult) for r in grid)
+
+
+def test_taxonomy_robust_across_grid(grid):
+    assert all(r.taxonomy_holds for r in grid)
+
+
+def test_internal_win_robust_across_grid(grid):
+    assert all(r.internal_win_holds for r in grid)
+
+
+def test_delays_power_independent(grid):
+    """Perturbing power constants must not move measured delays."""
+    delays = {round(r.ft_600[0], 9) for r in grid}
+    assert len(delays) == 1
+
+
+def test_more_cpu_power_means_more_relative_saving():
+    results = power_model_sensitivity(
+        parameters=("cpu_dynamic_max_w",), scales=(0.8, 1.2),
+        codes=("FT",), klass="T",
+    )
+    low, high = results
+    # A hotter CPU makes DVS's relative saving larger: E(600) falls.
+    assert high.ft_600[1] < low.ft_600[1]

@@ -1,0 +1,97 @@
+"""Fidelity scoring and result persistence."""
+
+import pytest
+
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies import ExternalStrategy
+from repro.experiments.runner import frequency_sweep
+from repro.experiments.store import (
+    load_json,
+    measurement_from_dict,
+    measurement_to_dict,
+    save_json,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.experiments.tables import table2
+from repro.experiments.validation import CellError, FidelityReport, score_table2
+from repro.workloads import get_workload
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rows = table2(codes=["FT", "EP"])  # two fast codes at class C
+        return score_table2(rows)
+
+    def test_cells_compared(self, report):
+        # 2 codes x 4 static columns, all published
+        assert len(report.cells) == 8
+
+    def test_errors_within_budget(self, report):
+        assert report.max_delay_error < 0.07
+        assert report.max_energy_error < 0.08
+
+    def test_mean_below_max(self, report):
+        assert report.mean_delay_error <= report.max_delay_error
+        assert report.mean_energy_error <= report.max_energy_error
+
+    def test_render_mentions_worst_cells(self, report):
+        text = report.render()
+        assert "mean |delay error|" in text
+        assert "worst cells" in text
+
+    def test_worst_cells_sorted(self, report):
+        worst = report.worst_cells(8)
+        combined = [
+            c.delay_error + (c.energy_error or 0.0) for c in worst
+        ]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_cell_error_accessors(self):
+        c = CellError("FT", "600", 1.14, 1.13, 0.60, 0.62)
+        assert c.delay_error == pytest.approx(0.01)
+        assert c.energy_error == pytest.approx(0.02)
+        c2 = CellError("SP", "600", 1.18, 1.18, None, None)
+        assert c2.energy_error is None
+
+    def test_empty_report(self):
+        r = FidelityReport()
+        assert r.mean_delay_error == 0.0
+        assert r.max_energy_error == 0.0
+
+
+class TestStore:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return run_workload(
+            get_workload("FT", klass="T"), ExternalStrategy(mhz=800)
+        )
+
+    def test_measurement_roundtrip(self, measurement):
+        data = measurement_to_dict(measurement)
+        back = measurement_from_dict(data)
+        assert back.workload == measurement.workload
+        assert back.elapsed_s == measurement.elapsed_s
+        assert back.energy_j == measurement.energy_j
+        assert back.per_node_energy_j == measurement.per_node_energy_j
+        assert back.time_at_mhz == measurement.time_at_mhz
+
+    def test_sweep_roundtrip(self):
+        sweep = frequency_sweep(get_workload("FT", klass="T"), [600, 1400])
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        assert back.workload == sweep.workload
+        assert back.normalized == sweep.normalized
+
+    def test_json_file_roundtrip(self, tmp_path, measurement):
+        path = tmp_path / "results" / "ft.json"
+        save_json(path, {"run": measurement_to_dict(measurement)})
+        loaded = load_json(path)
+        back = measurement_from_dict(loaded["run"])
+        assert back.energy_j == measurement.energy_j
+
+    def test_serialized_form_is_plain_json(self, measurement):
+        import json
+
+        text = json.dumps(measurement_to_dict(measurement))
+        assert "FT.T.8" in text

@@ -1,0 +1,75 @@
+"""ACPI smart-battery channel: quantization + refresh lag."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.hardware.battery import MWH_TO_JOULES, AcpiBattery
+
+
+def make_battery(env, energy_holder, **kwargs):
+    return AcpiBattery(
+        env,
+        lambda: energy_holder[0],
+        rng=np.random.default_rng(0),
+        **kwargs,
+    )
+
+
+def test_initial_reading_is_full(env):
+    holder = [0.0]
+    bat = make_battery(env, holder, capacity_mwh=50000)
+    assert bat.read_remaining_mwh() == 50000
+
+
+def test_reading_is_stale_between_refreshes(env):
+    holder = [0.0]
+    bat = make_battery(env, holder)
+    holder[0] = 720.0  # 200 mWh consumed
+    # No time has passed: report unchanged.
+    assert bat.read_remaining_mwh() == bat.capacity_mwh
+
+
+def test_refresh_updates_after_interval(env):
+    holder = [0.0]
+    bat = make_battery(env, holder)
+    holder[0] = 720.0  # 200 mWh
+    env.run(until=25.0)  # at least one refresh in [15, 20]
+    assert bat.read_remaining_mwh() == bat.capacity_mwh - 200
+
+
+def test_quantization_floors_to_whole_mwh(env):
+    holder = [0.0]
+    bat = make_battery(env, holder)
+    holder[0] = 9.0  # 2.5 mWh
+    env.run(until=25.0)
+    assert bat.read_remaining_mwh() == bat.capacity_mwh - 3  # floor of remaining
+
+
+def test_refresh_interval_within_bounds(env):
+    holder = [0.0]
+    bat = make_battery(env, holder)
+    t0 = bat.last_refresh_time
+    env.run(until=100.0)
+    assert bat.last_refresh_time > t0
+    # With [15, 20] s refresh, after 100 s we've had 5-6 refreshes.
+    assert 80.0 <= bat.last_refresh_time <= 100.0
+
+
+def test_mwh_joule_conversion_constant():
+    assert MWH_TO_JOULES == 3.6
+
+
+def test_depletion_flag(env):
+    holder = [0.0]
+    bat = make_battery(env, holder, capacity_mwh=10.0)
+    assert not bat.is_depleted()
+    holder[0] = 11 * MWH_TO_JOULES
+    assert bat.is_depleted()
+
+
+def test_invalid_parameters(env):
+    with pytest.raises(ValueError):
+        make_battery(env, [0.0], capacity_mwh=-5)
+    with pytest.raises(ValueError):
+        make_battery(env, [0.0], refresh_min_s=20, refresh_max_s=10)

@@ -1,0 +1,61 @@
+"""Cluster assembly and cluster-wide controls."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.hardware.cluster import Cluster
+
+
+def test_nemo_defaults(env):
+    cl = nemo_cluster(env)
+    assert len(cl) == 16
+    assert cl.opoints.fastest.frequency_mhz == 1400.0
+    assert all(n.battery is not None for n in cl)
+
+
+def test_node_ids_sequential(cluster):
+    assert [n.node_id for n in cluster] == [0, 1, 2, 3]
+
+
+def test_set_all_speeds(cluster):
+    cluster.set_all_speeds_mhz(800)
+    assert all(n.cpu.frequency_mhz == 800 for n in cluster)
+
+
+def test_set_heterogeneous_speeds(cluster):
+    cluster.set_speeds_mhz([600, 800, 1000, 1200])
+    assert [n.cpu.frequency_mhz for n in cluster] == [600, 800, 1000, 1200]
+
+
+def test_set_speeds_wrong_length(cluster):
+    with pytest.raises(ValueError):
+        cluster.set_speeds_mhz([600])
+
+
+def test_total_energy_sums_nodes(env, cluster):
+    env.run(until=5.0)
+    assert cluster.total_energy_j() == pytest.approx(
+        sum(n.energy_j() for n in cluster)
+    )
+
+
+def test_total_power(cluster):
+    assert cluster.total_power_w() == pytest.approx(
+        sum(n.power_w() for n in cluster)
+    )
+
+
+def test_batteries_get_distinct_seeds(env):
+    cl = nemo_cluster(env, 4, seed=3)
+    env.run(until=60.0)
+    # refresh jitter differs per node (independent RNG streams)
+    times = {n.battery.last_refresh_time for n in cl}
+    assert len(times) > 1
+
+
+def test_empty_cluster_rejected(env):
+    with pytest.raises(ValueError):
+        nemo_cluster(env, 0)
+    with pytest.raises(ValueError):
+        Cluster(env, [], None)

@@ -1,0 +1,188 @@
+"""CpuCore: work execution, DVS transitions, utilization accounting."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import NEMO_POWER, PENTIUM_M_TABLE
+from repro.hardware.cpu import CpuCore
+
+
+@pytest.fixture
+def fresh_cpu(env):
+    return CpuCore(env, PENTIUM_M_TABLE, NEMO_POWER, transition_latency_s=20e-6)
+
+
+def test_starts_at_fastest(fresh_cpu):
+    assert fresh_cpu.frequency_mhz == 1400.0
+    assert fresh_cpu.index == fresh_cpu.opoints.max_index
+
+
+def test_work_duration_scales_with_cycles(env, fresh_cpu):
+    done = fresh_cpu.run_work(cycles=1.4e9)
+    env.run(done)
+    assert env.now == pytest.approx(1.0)
+
+
+def test_offchip_does_not_scale(env, fresh_cpu):
+    fresh_cpu.set_speed_mhz(600)
+    done = fresh_cpu.run_work(cycles=0.0, offchip_seconds=2.0)
+    env.run(done)
+    assert env.now == pytest.approx(2.0, abs=1e-4)
+
+
+def test_work_at_slow_speed_takes_proportionally_longer(env, fresh_cpu):
+    fresh_cpu.set_speed_mhz(600)
+    done = fresh_cpu.run_work(cycles=0.6e9)
+    env.run(done)
+    assert env.now == pytest.approx(1.0, abs=1e-4)
+
+
+def test_mid_work_downshift_reschedules(env, fresh_cpu):
+    """0.5 s at 1400, then switch: remaining 0.7e9 cycles at 600 MHz."""
+    done = fresh_cpu.run_work(cycles=1.4e9)
+
+    def switcher(env, cpu):
+        yield env.timeout(0.5)
+        cpu.set_speed_mhz(600)
+
+    env.process(switcher(env, fresh_cpu))
+    env.run(done)
+    expected = 0.5 + 20e-6 + 0.7e9 / 0.6e9
+    assert env.now == pytest.approx(expected, rel=1e-9)
+
+
+def test_mid_work_upshift(env):
+    cpu = CpuCore(env, PENTIUM_M_TABLE, NEMO_POWER, start_index=0)
+    done = cpu.run_work(cycles=0.6e9)  # 1 s at 600 MHz
+
+    def switcher(env, cpu):
+        yield env.timeout(0.5)
+        cpu.set_speed_mhz(1400)
+
+    env.process(switcher(env, cpu))
+    env.run(done)
+    expected = 0.5 + 20e-6 + 0.3e9 / 1.4e9
+    assert env.now == pytest.approx(expected, rel=1e-9)
+
+
+def test_set_same_speed_is_free(env, fresh_cpu):
+    fresh_cpu.set_speed_mhz(1400)
+    assert fresh_cpu.stats.transitions == 0
+
+
+def test_transition_counts_and_latency_accumulate(env, fresh_cpu):
+    fresh_cpu.set_speed_mhz(600)
+    fresh_cpu.set_speed_mhz(1400)
+    assert fresh_cpu.stats.transitions == 2
+    assert fresh_cpu.stats.transition_seconds == pytest.approx(40e-6)
+
+
+def test_step_up_down_clamped(env, fresh_cpu):
+    for _ in range(10):
+        fresh_cpu.step_up()
+    assert fresh_cpu.index == fresh_cpu.opoints.max_index
+    for _ in range(10):
+        fresh_cpu.step_down()
+    assert fresh_cpu.index == 0
+
+
+def test_invalid_speed_index(env, fresh_cpu):
+    with pytest.raises(ValueError):
+        fresh_cpu.set_speed_index(99)
+
+
+def test_queued_segments_run_serially(env, fresh_cpu):
+    first = fresh_cpu.run_work(cycles=1.4e9)
+    second = fresh_cpu.run_work(cycles=1.4e9)
+    env.run(second)
+    assert env.now == pytest.approx(2.0)
+    assert first.processed
+
+
+def test_occupy_duration_is_fixed_wall_time(env, fresh_cpu):
+    done = fresh_cpu.occupy(3.0)
+
+    def switcher(env, cpu):
+        yield env.timeout(1.0)
+        cpu.set_speed_mhz(600)
+
+    env.process(switcher(env, fresh_cpu))
+    env.run(done)
+    assert env.now == pytest.approx(3.0, abs=1e-4)
+
+
+def test_busy_seconds_accumulate_only_while_busy(env, fresh_cpu):
+    done = fresh_cpu.run_work(cycles=1.4e9)  # 1 s busy
+    env.run(done)
+    env.run(until=env.now + 5.0)  # 5 s idle
+    assert fresh_cpu.busy_seconds() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_busy_seconds_respect_busy_fraction(env, fresh_cpu):
+    done = fresh_cpu.occupy(2.0, busy=0.25)
+    env.run(done)
+    assert fresh_cpu.busy_seconds() == pytest.approx(0.5, abs=1e-6)
+
+
+def test_wait_state_contributes_busy_and_activity(env, fresh_cpu):
+    token = fresh_cpu.push_wait_state(0.5, 0.4, 0.1, 0.9)
+    assert fresh_cpu.busy_level == 0.4
+    assert fresh_cpu.dyn_activity == 0.5
+    assert fresh_cpu.nic_activity == 0.9
+    env.run(until=2.0)
+    fresh_cpu.pop_wait_state(token)
+    assert fresh_cpu.busy_seconds() == pytest.approx(0.8)
+    assert fresh_cpu.busy_level == 0.0
+
+
+def test_wait_state_stack_top_wins(env, fresh_cpu):
+    t1 = fresh_cpu.push_wait_state(0.2, 0.1)
+    t2 = fresh_cpu.push_wait_state(0.9, 0.8)
+    assert fresh_cpu.dyn_activity == 0.9
+    fresh_cpu.pop_wait_state(t2)
+    assert fresh_cpu.dyn_activity == pytest.approx(0.2)
+    fresh_cpu.pop_wait_state(t1)
+
+
+def test_pop_unknown_wait_state_raises(env, fresh_cpu):
+    with pytest.raises(ValueError):
+        fresh_cpu.pop_wait_state((1.0, 1.0, 1.0, 1.0))
+
+
+def test_active_segment_overrides_wait_state(env, fresh_cpu):
+    fresh_cpu.push_wait_state(0.1, 0.1)
+    fresh_cpu.run_work(cycles=1.4e9, activity=1.0, busy=1.0)
+    assert fresh_cpu.dyn_activity == 1.0
+    assert fresh_cpu.busy_level == 1.0
+
+
+def test_idle_activity_floor(env, fresh_cpu):
+    assert fresh_cpu.dyn_activity == NEMO_POWER.cpu_idle_activity
+
+
+def test_time_at_mhz_histogram(env, fresh_cpu):
+    done = fresh_cpu.run_work(cycles=1.4e9)  # 1 s at 1400
+
+    def switcher(env, cpu):
+        yield env.timeout(0.5)
+        cpu.set_speed_mhz(600)
+
+    env.process(switcher(env, fresh_cpu))
+    env.run(done)
+    fresh_cpu.busy_seconds()  # flush
+    hist = fresh_cpu.stats.time_at_mhz
+    assert hist[1400.0] == pytest.approx(0.5, abs=1e-6)
+    assert hist[600.0] == pytest.approx(env.now - 0.5, abs=1e-6)
+
+
+def test_negative_work_rejected(env, fresh_cpu):
+    with pytest.raises(ValueError):
+        fresh_cpu.run_work(cycles=-1.0)
+    with pytest.raises(ValueError):
+        fresh_cpu.occupy(-1.0)
+
+
+def test_cpu_power_tracks_operating_point(env, fresh_cpu):
+    p_fast = fresh_cpu.cpu_power_w
+    fresh_cpu.set_speed_mhz(600)
+    assert fresh_cpu.cpu_power_w < p_fast

@@ -1,0 +1,138 @@
+"""Property-based invariants of the hardware models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.hardware import NEMO_POWER, PENTIUM_M_TABLE
+from repro.hardware.cpu import CpuCore
+from repro.hardware.node import Node
+
+
+@given(
+    cycles=st.floats(min_value=1e6, max_value=1e10),
+    index=st.integers(min_value=0, max_value=4),
+    offchip=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=60)
+def test_work_duration_formula(cycles, index, offchip):
+    env = Environment()
+    cpu = CpuCore(env, PENTIUM_M_TABLE, NEMO_POWER, start_index=index)
+    done = cpu.run_work(cycles=cycles, offchip_seconds=offchip)
+    env.run(done)
+    expected = cycles / PENTIUM_M_TABLE[index].frequency_hz + offchip
+    assert abs(env.now - expected) <= 1e-9 * max(1.0, expected)
+
+
+@given(
+    cycles=st.floats(min_value=1e8, max_value=5e9),
+    switch_at=st.floats(min_value=0.01, max_value=0.5),
+    idx_a=st.integers(min_value=0, max_value=4),
+    idx_b=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=60)
+def test_speed_change_conserves_cycles(cycles, switch_at, idx_a, idx_b):
+    """Total executed cycles are invariant under mid-segment DVS."""
+    env = Environment()
+    cpu = CpuCore(
+        env, PENTIUM_M_TABLE, NEMO_POWER, transition_latency_s=0.0, start_index=idx_a
+    )
+    f_a = PENTIUM_M_TABLE[idx_a].frequency_hz
+    f_b = PENTIUM_M_TABLE[idx_b].frequency_hz
+    duration_a = cycles / f_a
+    done = cpu.run_work(cycles=cycles)
+
+    def switcher(env, cpu):
+        yield env.timeout(switch_at * duration_a)
+        cpu.set_speed_index(idx_b)
+
+    env.process(switcher(env, cpu))
+    env.run(done)
+    executed = switch_at * duration_a * f_a + (env.now - switch_at * duration_a) * f_b
+    assert abs(executed - cycles) <= 1e-6 * cycles
+
+
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.floats(min_value=1e6, max_value=1e9),  # cycles
+            st.floats(min_value=0.0, max_value=1.0),  # offchip
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    idle_tail=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=40)
+def test_energy_is_integral_of_power(segments, idle_tail):
+    """Node energy equals the piecewise sum of power x duration,
+    cross-checked by sampling power at every event boundary."""
+    env = Environment()
+    node = Node(env, 0, PENTIUM_M_TABLE, NEMO_POWER, with_battery=False)
+    samples = []
+
+    def recorder():
+        samples.append((env.now, node.power_w()))
+
+    node.subscribe(recorder)
+    recorder()
+
+    def driver(env, node):
+        for cycles, off in segments:
+            yield node.cpu.run_work(cycles=cycles, offchip_seconds=off, mem_activity=0.4)
+        yield env.timeout(idle_tail)
+
+    p = env.process(driver(env, node))
+    env.run(p)
+    # Reconstruct the integral from the sampled state changes.
+    samples.append((env.now, node.power_w()))
+    total = 0.0
+    for (t0, p0), (t1, _p1) in zip(samples, samples[1:]):
+        total += p0 * (t1 - t0)
+    assert abs(total - node.energy_j()) <= 1e-6 * max(1.0, total)
+
+
+@given(
+    busy_fracs=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6)
+)
+@settings(max_examples=40)
+def test_busy_seconds_bounded_by_wall_time(busy_fracs):
+    env = Environment()
+    cpu = CpuCore(env, PENTIUM_M_TABLE, NEMO_POWER)
+
+    def driver(env, cpu):
+        for b in busy_fracs:
+            yield cpu.occupy(1.0, busy=b)
+
+    p = env.process(driver(env, cpu))
+    env.run(p)
+    busy = cpu.busy_seconds()
+    assert -1e-9 <= busy <= env.now + 1e-9
+    assert abs(busy - sum(busy_fracs)) <= 1e-6
+
+
+@given(st.data())
+@settings(max_examples=40)
+def test_time_at_mhz_sums_to_wall_time(data):
+    env = Environment()
+    cpu = CpuCore(env, PENTIUM_M_TABLE, NEMO_POWER, transition_latency_s=0.0)
+    switches = data.draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=1.0),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+
+    def driver(env, cpu):
+        for delay, idx in switches:
+            yield env.timeout(delay)
+            cpu.set_speed_index(idx)
+
+    p = env.process(driver(env, cpu))
+    env.run(p)
+    cpu.busy_seconds()  # flush accounting
+    assert abs(sum(cpu.stats.time_at_mhz.values()) - env.now) <= 1e-9

@@ -1,0 +1,92 @@
+"""Fabric model: timing, serialization, deadlock freedom."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware.network import Network, NetworkParameters
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, 4, NetworkParameters(bandwidth_Bps=10e6, latency_s=100e-6))
+
+
+def test_p2p_time_formula():
+    p = NetworkParameters(bandwidth_Bps=10e6, latency_s=1e-4)
+    assert p.p2p_time_s(1e6) == pytest.approx(0.1001)
+    assert p.serialization_s(5e6) == pytest.approx(0.5)
+
+
+def test_single_transfer_time(env, net):
+    done = net.transfer(0, 1, 1e6)
+    env.run(done)
+    assert env.now == pytest.approx(0.1001)
+
+
+def test_loopback_is_memory_speed(env, net):
+    done = net.transfer(2, 2, 4e6)
+    env.run(done)
+    assert env.now == pytest.approx(0.01)
+
+
+def test_disjoint_transfers_run_concurrently(env, net):
+    a = net.transfer(0, 1, 1e6)
+    b = net.transfer(2, 3, 1e6)
+    env.run()
+    assert env.now == pytest.approx(0.1001)
+    assert a.processed and b.processed
+
+
+def test_same_receiver_serializes(env, net):
+    net.transfer(0, 1, 1e6)
+    net.transfer(2, 1, 1e6)
+    env.run()
+    # rx link of node 1 carries 2 MB back-to-back.
+    assert env.now == pytest.approx(0.2001, abs=1e-3)
+
+
+def test_same_sender_serializes(env, net):
+    net.transfer(0, 1, 1e6)
+    net.transfer(0, 2, 1e6)
+    env.run()
+    assert env.now == pytest.approx(0.2001, abs=1e-3)
+
+
+def test_duplex_opposite_directions_concurrent(env, net):
+    net.transfer(0, 1, 1e6)
+    net.transfer(1, 0, 1e6)
+    env.run()
+    assert env.now == pytest.approx(0.1001)
+
+
+def test_opposing_pairs_do_not_deadlock(env, net):
+    """Classic hold-and-wait shape: many transfers criss-crossing."""
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                net.transfer(i, j, 2e5)
+    env.run()  # must terminate
+    assert net.stats_messages == 12
+    assert net.active_flows == 0
+
+
+def test_stats_accumulate(env, net):
+    env.run(net.transfer(0, 1, 5e5))
+    assert net.stats_bytes == 5e5
+    assert net.stats_peak_flows >= 1
+
+
+def test_invalid_endpoints(env, net):
+    with pytest.raises(ValueError):
+        net.transfer(0, 9, 10)
+    with pytest.raises(ValueError):
+        net.transfer(0, 1, -5)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        NetworkParameters(bandwidth_Bps=0)
+    with pytest.raises(ValueError):
+        NetworkParameters(latency_s=-1)
+    with pytest.raises(ValueError):
+        Network(Environment(), 0, NetworkParameters())

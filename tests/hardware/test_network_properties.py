@@ -1,0 +1,91 @@
+"""Property tests on the fabric model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Environment
+from repro.hardware.network import Network, NetworkParameters
+
+
+PARAMS = NetworkParameters(bandwidth_Bps=10e6, latency_s=1e-4)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_nodes=st.integers(min_value=2, max_value=6),
+    n_transfers=st.integers(min_value=1, max_value=25),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_transfer_sets_always_complete(seed, n_nodes, n_transfers):
+    """No schedule of transfers may deadlock, and byte accounting must
+    balance."""
+    rng = random.Random(seed)
+    env = Environment()
+    net = Network(env, n_nodes, PARAMS)
+    total = 0.0
+    procs = []
+    for _ in range(n_transfers):
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes)
+        nbytes = rng.choice([1e3, 1e5, 1e6])
+        total += nbytes
+        procs.append(net.transfer(src, dst, nbytes))
+    env.run(AllOf(env, procs))
+    assert net.stats_bytes == total
+    assert net.stats_messages == n_transfers
+    assert net.active_flows == 0
+
+
+@given(
+    nbytes=st.floats(min_value=1.0, max_value=1e7),
+    fan_in=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_fan_in_time_lower_bound(nbytes, fan_in):
+    """N senders into one receiver cannot beat the rx-link serialization
+    bound N * nbytes / bandwidth."""
+    env = Environment()
+    net = Network(env, fan_in + 1, PARAMS)
+    procs = [net.transfer(i + 1, 0, nbytes) for i in range(fan_in)]
+    env.run(AllOf(env, procs))
+    lower_bound = fan_in * nbytes / PARAMS.bandwidth_Bps
+    assert env.now >= lower_bound - 1e-9
+
+
+@given(nbytes=st.floats(min_value=1.0, max_value=1e7))
+@settings(max_examples=30, deadline=None)
+def test_single_transfer_time_exact(nbytes):
+    env = Environment()
+    net = Network(env, 2, PARAMS)
+    env.run(net.transfer(0, 1, nbytes))
+    expected = PARAMS.latency_s + nbytes / PARAMS.bandwidth_Bps
+    assert abs(env.now - expected) < 1e-12 * max(1.0, expected)
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_makespan_at_least_busiest_link(pairs):
+    """Completion time is bounded below by the most-loaded tx and rx
+    link (each carries its bytes serially)."""
+    nbytes = 1e5
+    env = Environment()
+    net = Network(env, 4, PARAMS)
+    tx_load = {i: 0.0 for i in range(4)}
+    rx_load = {i: 0.0 for i in range(4)}
+    procs = []
+    for src, dst in pairs:
+        procs.append(net.transfer(src, dst, nbytes))
+        if src != dst:
+            tx_load[src] += nbytes
+            rx_load[dst] += nbytes
+    env.run(AllOf(env, procs))
+    busiest = max(max(tx_load.values()), max(rx_load.values()))
+    assert env.now >= busiest / PARAMS.bandwidth_Bps - 1e-9

@@ -1,0 +1,72 @@
+"""Node assembly and exact energy metering."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import NEMO_POWER, PENTIUM_M_TABLE
+from repro.hardware.node import EnergyMeter, Node
+
+
+def test_idle_energy_is_idle_power_times_time(env, node):
+    p_idle = node.power_w()
+    env.run(until=10.0)
+    assert node.energy_j() == pytest.approx(p_idle * 10.0)
+
+
+def test_busy_energy_integrates_exactly(env, node):
+    p_idle = node.power_w()
+    done = node.cpu.run_work(cycles=1.4e9, activity=1.0, mem_activity=0.5)
+    p_busy = node.power_w()
+    assert p_busy > p_idle
+    env.run(done)
+    env.run(until=3.0)
+    expected = p_busy * 1.0 + p_idle * 2.0
+    assert node.energy_j() == pytest.approx(expected, rel=1e-9)
+
+
+def test_energy_with_speed_change_piecewise(env, node):
+    """Energy must integrate the pre-change power over each interval."""
+    cpu = node.cpu
+    p_fast_idle = node.power_w()
+    env.run(until=1.0)
+    cpu.set_speed_mhz(600)
+    p_slow_idle = node.power_w()
+    env.run(until=4.0)
+    expected = p_fast_idle * 1.0 + p_slow_idle * 3.0
+    assert node.energy_j() == pytest.approx(expected, rel=1e-9)
+
+
+def test_breakdown_reflects_current_state(env, node):
+    b_idle = node.breakdown()
+    node.cpu.run_work(cycles=1e9, nic_activity=1.0)
+    b_busy = node.breakdown()
+    assert b_busy.cpu_w > b_idle.cpu_w
+    assert b_busy.nic_w > b_idle.nic_w
+
+
+def test_subscribe_notified_on_change(env, node):
+    hits = []
+    node.subscribe(lambda: hits.append(env.now))
+    done = node.cpu.run_work(cycles=1.4e9)
+    env.run(done)
+    assert hits  # at least start + completion
+
+
+def test_meter_energy_between_updates_uses_cached_power(env):
+    values = [10.0]
+    meter = EnergyMeter(env, lambda: values[0])
+    env.run(until=2.0)
+    assert meter.energy_j() == pytest.approx(20.0)
+    values[0] = 30.0
+    meter.update()  # integrates old 10 W over [0,2], caches 30 W
+    env.run(until=3.0)
+    assert meter.energy_j() == pytest.approx(20.0 + 30.0)
+
+
+def test_node_without_battery(env):
+    node = Node(env, 0, PENTIUM_M_TABLE, NEMO_POWER, with_battery=False)
+    assert node.battery is None
+
+
+def test_repr_mentions_frequency(env, node):
+    assert "1400" in repr(node)

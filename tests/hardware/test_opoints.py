@@ -1,0 +1,92 @@
+"""Operating point tables (Table 1)."""
+
+import pytest
+
+from repro.hardware.opoints import (
+    PENTIUM_M_TABLE,
+    OperatingPoint,
+    OperatingPointTable,
+)
+
+
+def test_table1_contents_match_paper():
+    expected = [
+        (600.0, 0.956),
+        (800.0, 1.180),
+        (1000.0, 1.308),
+        (1200.0, 1.436),
+        (1400.0, 1.484),
+    ]
+    assert [
+        (p.frequency_mhz, p.voltage_v) for p in PENTIUM_M_TABLE
+    ] == expected
+
+
+def test_sorted_slow_to_fast():
+    assert PENTIUM_M_TABLE.slowest.frequency_mhz == 600.0
+    assert PENTIUM_M_TABLE.fastest.frequency_mhz == 1400.0
+    assert PENTIUM_M_TABLE.max_index == 4
+
+
+def test_by_mhz_exact():
+    p = PENTIUM_M_TABLE.by_mhz(1000)
+    assert p.voltage_v == 1.308
+
+
+def test_by_mhz_missing_raises():
+    with pytest.raises(KeyError):
+        PENTIUM_M_TABLE.by_mhz(900)
+
+
+def test_nearest():
+    assert PENTIUM_M_TABLE.nearest(930).frequency_mhz == 1000.0
+    assert PENTIUM_M_TABLE.nearest(0).frequency_mhz == 600.0
+    assert PENTIUM_M_TABLE.nearest(9999).frequency_mhz == 1400.0
+
+
+def test_v2f_scaling_factor():
+    fast = PENTIUM_M_TABLE.fastest
+    slow = PENTIUM_M_TABLE.slowest
+    # Dynamic power scaling (eq. 1): V^2 f ratio ~ 0.178 at 600 MHz.
+    assert slow.v2f / fast.v2f == pytest.approx(0.1777, rel=0.01)
+
+
+def test_invalid_point_rejected():
+    with pytest.raises(ValueError):
+        OperatingPoint(0.0, 1.0)
+    with pytest.raises(ValueError):
+        OperatingPoint(1e9, -1.0)
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        OperatingPointTable([])
+
+
+def test_duplicate_frequency_rejected():
+    with pytest.raises(ValueError):
+        OperatingPointTable(
+            [OperatingPoint(1e9, 1.0), OperatingPoint(1e9, 1.1)]
+        )
+
+
+def test_voltage_must_rise_with_frequency():
+    with pytest.raises(ValueError):
+        OperatingPointTable(
+            [OperatingPoint(1e9, 1.3), OperatingPoint(2e9, 1.0)]
+        )
+
+
+def test_index_of_and_getitem():
+    p = PENTIUM_M_TABLE[2]
+    assert PENTIUM_M_TABLE.index_of(p) == 2
+
+
+def test_equality_and_hash():
+    clone = OperatingPointTable(list(PENTIUM_M_TABLE))
+    assert clone == PENTIUM_M_TABLE
+    assert hash(clone) == hash(PENTIUM_M_TABLE)
+
+
+def test_frequencies_mhz():
+    assert PENTIUM_M_TABLE.frequencies_mhz() == (600.0, 800.0, 1000.0, 1200.0, 1400.0)

@@ -1,0 +1,112 @@
+"""Node power model calibration and invariants."""
+
+import pytest
+
+from repro.hardware.opoints import PENTIUM_M_TABLE
+from repro.hardware.power import NEMO_POWER, PENTIUM3_POWER, NodePowerParameters
+
+
+FAST = PENTIUM_M_TABLE.fastest
+SLOW = PENTIUM_M_TABLE.slowest
+
+
+def test_cpu_power_decreases_with_frequency():
+    powers = [NEMO_POWER.cpu_power_w(p, 1.0) for p in PENTIUM_M_TABLE]
+    assert powers == sorted(powers)
+
+
+def test_cpu_power_increases_with_activity():
+    assert NEMO_POWER.cpu_power_w(FAST, 1.0) > NEMO_POWER.cpu_power_w(FAST, 0.2)
+
+
+def test_activity_bounds_enforced():
+    with pytest.raises(ValueError):
+        NEMO_POWER.cpu_power_w(FAST, 1.5)
+    with pytest.raises(ValueError):
+        NEMO_POWER.cpu_power_w(FAST, -0.1)
+
+
+def test_ep_calibration_power_ratio():
+    """A CPU-bound code's node power ratio at 600 vs 1400 MHz must be
+    ~0.49 (Table 2 EP row: energy 1.15 at delay 2.35)."""
+    busy = dict(cpu_activity=1.0, mem_activity=0.1, nic_activity=0.0)
+    ratio = NEMO_POWER.node_power_w(SLOW, **busy) / NEMO_POWER.node_power_w(
+        FAST, **busy
+    )
+    assert ratio == pytest.approx(0.49, abs=0.03)
+
+
+def test_breakdown_totals_match_node_power():
+    b = NEMO_POWER.breakdown(FAST, 0.7, 0.3, 0.5)
+    assert b.total_w == pytest.approx(
+        NEMO_POWER.node_power_w(FAST, 0.7, 0.3, 0.5)
+    )
+
+
+def test_breakdown_fractions_sum_to_one():
+    fr = NEMO_POWER.breakdown(FAST, 1.0, 1.0, 1.0).fractions()
+    assert sum(fr.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_addition():
+    a = NEMO_POWER.breakdown(FAST, 1.0)
+    total = a + a
+    assert total.cpu_w == pytest.approx(2 * a.cpu_w)
+    assert total.total_w == pytest.approx(2 * a.total_w)
+
+
+def test_pentium3_cpu_share_targets():
+    """Figure 1: CPU ~35 % of node power under load, ~15 % idle."""
+    load = PENTIUM3_POWER.breakdown(
+        PENTIUM3_POWER.reference_point, 1.0, mem_activity=0.8, nic_activity=0.1
+    )
+    idle = PENTIUM3_POWER.breakdown(
+        PENTIUM3_POWER.reference_point, PENTIUM3_POWER.cpu_idle_activity
+    )
+    assert load.fractions()["cpu"] == pytest.approx(0.37, abs=0.06)
+    assert idle.fractions()["cpu"] == pytest.approx(0.15, abs=0.04)
+
+
+def test_negative_parameter_rejected():
+    with pytest.raises(ValueError):
+        NodePowerParameters(
+            cpu_dynamic_max_w=-1.0,
+            cpu_leakage_max_w=0.0,
+            board_w=0.0,
+            memory_idle_w=0.0,
+            memory_active_w=0.0,
+            nic_idle_w=0.0,
+            nic_active_w=0.0,
+            disk_w=0.0,
+            reference_point=FAST,
+        )
+
+
+def test_idle_activity_bounds():
+    with pytest.raises(ValueError):
+        NodePowerParameters(
+            cpu_dynamic_max_w=1.0,
+            cpu_leakage_max_w=0.0,
+            board_w=0.0,
+            memory_idle_w=0.0,
+            memory_active_w=0.0,
+            nic_idle_w=0.0,
+            nic_active_w=0.0,
+            disk_w=0.0,
+            reference_point=FAST,
+            cpu_idle_activity=1.5,
+        )
+
+
+def test_memory_and_nic_activity_terms():
+    assert NEMO_POWER.memory_power_w(1.0) - NEMO_POWER.memory_power_w(0.0) == (
+        pytest.approx(NEMO_POWER.memory_active_w)
+    )
+    assert NEMO_POWER.nic_power_w(1.0) - NEMO_POWER.nic_power_w(0.0) == (
+        pytest.approx(NEMO_POWER.nic_active_w)
+    )
+
+
+def test_max_node_power_is_about_35w():
+    """Dell Inspiron 8600 class node flat out."""
+    assert NEMO_POWER.max_node_power_w == pytest.approx(38.5, abs=2.0)

@@ -1,0 +1,123 @@
+"""Message-level collective algorithms + cost-model crosschecks."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import CostModel, launch
+from repro.mpi.algorithms import (
+    dissemination_barrier,
+    pairwise_alltoall,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    tree_bcast,
+)
+
+
+def run_collective(nprocs, body):
+    env = Environment()
+    cluster = nemo_cluster(env, nprocs, with_batteries=False)
+
+    def program(ctx):
+        yield from body(ctx)
+
+    handle = launch(cluster, program, nprocs=nprocs)
+    env.run(handle.done)
+    handle.check()
+    return handle
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 7, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_tree_bcast_completes_all_sizes(nprocs, root):
+    if root >= nprocs:
+        pytest.skip("root out of range")
+    handle = run_collective(nprocs, lambda ctx: tree_bcast(ctx, 100_000, root=root))
+    assert handle.finished
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_recursive_doubling_completes(nprocs):
+    handle = run_collective(
+        nprocs, lambda ctx: recursive_doubling_allreduce(ctx, 10_000)
+    )
+    assert handle.finished
+
+
+def test_recursive_doubling_rejects_non_pow2(cluster):
+    def program(ctx):
+        yield from recursive_doubling_allreduce(ctx, 100)
+
+    handle = launch(cluster, program, nprocs=3)
+    with pytest.raises(Exception):
+        cluster.env.run(handle.done)
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+def test_ring_allgather_completes(nprocs):
+    handle = run_collective(nprocs, lambda ctx: ring_allgather(ctx, 50_000))
+    assert handle.finished
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_pairwise_alltoall_completes(nprocs):
+    handle = run_collective(nprocs, lambda ctx: pairwise_alltoall(ctx, 20_000))
+    assert handle.finished
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+def test_dissemination_barrier_completes(nprocs):
+    handle = run_collective(nprocs, lambda ctx: dissemination_barrier(ctx))
+    assert handle.finished
+
+
+def test_barrier_synchronizes():
+    after = {}
+
+    def body(ctx):
+        yield from ctx.idle(float(ctx.rank) * 0.5)
+        yield from dissemination_barrier(ctx)
+        after[ctx.rank] = ctx.env.now
+
+    run_collective(4, body)
+    assert min(after.values()) >= 1.5  # latest arrival gates release
+
+
+class TestAnalyticCrosscheck:
+    """The analytic cost model must track the message-level algorithms
+    on this fabric (within a small factor - it was derived from them)."""
+
+    def _analytic(self, kind, nprocs, nbytes, cluster):
+        return CostModel().collective_seconds(
+            kind, nprocs, nbytes, cluster.network.params
+        )
+
+    def test_bcast_agreement(self):
+        nprocs, nbytes = 8, 1e6
+        handle = run_collective(nprocs, lambda ctx: tree_bcast(ctx, nbytes))
+        env = Environment()
+        cluster = nemo_cluster(env, nprocs, with_batteries=False)
+        analytic = self._analytic("bcast", nprocs, nbytes, cluster)
+        # Message-level binomial bcast pipelines down the tree: depth
+        # log2(p) serialization vs the analytic single-serialization
+        # approximation. Expect same order of magnitude.
+        assert handle.elapsed() / analytic < 4.0
+        assert handle.elapsed() / analytic > 0.8
+
+    def test_allgather_agreement(self):
+        nprocs, nbytes = 8, 5e5
+        handle = run_collective(nprocs, lambda ctx: ring_allgather(ctx, nbytes))
+        env = Environment()
+        cluster = nemo_cluster(env, nprocs, with_batteries=False)
+        analytic = self._analytic("allgather", nprocs, nbytes * (nprocs - 1), cluster)
+        assert 0.5 < handle.elapsed() / analytic < 3.0
+
+    def test_alltoall_agreement(self):
+        nprocs, per_pair = 8, 2e5
+        handle = run_collective(nprocs, lambda ctx: pairwise_alltoall(ctx, per_pair))
+        env = Environment()
+        cluster = nemo_cluster(env, nprocs, with_batteries=False)
+        analytic = self._analytic(
+            "alltoall", nprocs, per_pair * (nprocs - 1), cluster
+        )
+        assert 0.5 < handle.elapsed() / analytic < 3.0

@@ -1,0 +1,152 @@
+"""Collective semantics: synchronisation, durations, validation."""
+
+import pytest
+
+from repro.mpi import MpiError, launch
+
+
+def run(cluster, program, **kw):
+    handle = launch(cluster, program, **kw)
+    cluster.env.run(handle.done)
+    handle.check()
+    return handle
+
+
+def test_barrier_synchronizes_all_ranks(cluster):
+    after = {}
+
+    def program(ctx):
+        yield from ctx.idle(float(ctx.rank))  # staggered arrivals 0..3
+        yield from ctx.barrier()
+        after[ctx.rank] = ctx.env.now
+
+    run(cluster, program)
+    assert len(set(round(t, 6) for t in after.values())) == 1
+    assert min(after.values()) >= 3.0  # last arrival gates everyone
+
+
+def test_collective_completes_simultaneously(cluster):
+    finish = {}
+
+    def program(ctx):
+        yield from ctx.alltoall(100_000)
+        finish[ctx.rank] = ctx.env.now
+
+    run(cluster, program)
+    assert len(set(finish.values())) == 1
+
+
+def test_alltoall_duration_scales_with_bytes(cluster):
+    durations = {}
+
+    def make(nbytes, key):
+        def program(ctx):
+            t0 = ctx.env.now
+            yield from ctx.alltoall(nbytes)
+            durations.setdefault(key, ctx.env.now - t0)
+
+        return program
+
+    run(cluster, make(1e6, "small"))
+    run(cluster, make(4e6, "large"))
+    assert durations["large"] > 3 * durations["small"]
+
+
+def test_allreduce_small_is_fast(cluster):
+    def program(ctx):
+        yield from ctx.allreduce(8)
+
+    handle = run(cluster, program)
+    assert handle.elapsed() < 0.01
+
+
+def test_mismatched_collectives_raise(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.barrier()
+        else:
+            yield from ctx.allreduce(8)
+
+    handle = launch(cluster, program)
+    with pytest.raises(Exception):
+        cluster.env.run(handle.done)
+        handle.check()
+
+
+def test_collectives_match_by_call_order(cluster):
+    """Two consecutive collectives pair up call site by call site."""
+    log = []
+
+    def program(ctx):
+        yield from ctx.barrier()
+        yield from ctx.allreduce(64)
+        log.append(ctx.rank)
+
+    run(cluster, program)
+    assert sorted(log) == [0, 1, 2, 3]
+
+
+def test_bcast_reduce_allgather_run(cluster):
+    def program(ctx):
+        yield from ctx.bcast(1000, root=0)
+        yield from ctx.reduce(1000, root=2)
+        yield from ctx.allgather(500)
+
+    run(cluster, program)
+
+
+def test_alltoallv_uses_max_rank_bytes(cluster):
+    """The slowest (largest-sending) rank dictates the exchange time."""
+    durations = {}
+
+    def program(ctx):
+        nbytes = 4e6 if ctx.rank == 0 else 1e3
+        t0 = ctx.env.now
+        yield from ctx.alltoallv(nbytes)
+        durations[ctx.rank] = ctx.env.now - t0
+
+    run(cluster, program)
+    # Everyone pays for rank 0's 4 MB.
+    wire = 4e6 / cluster.network.params.bandwidth_Bps / 0.75
+    assert min(durations.values()) >= 0.9 * wire
+
+
+def test_waiting_rank_shows_comm_utilization(cluster):
+    """A rank blocked in a collective reports the comm busy fraction,
+    not zero — the signature the CPUSPEED daemon reacts to."""
+    observed = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.idle(4.0)  # everyone else waits in barrier
+        else:
+            if ctx.rank == 1:
+                def spy(env, cpu):
+                    yield env.timeout(2.0)
+                    observed["busy"] = cpu.busy_level
+
+                ctx.env.process(spy(ctx.env, ctx.cpu))
+        yield from ctx.alltoall(1000)
+
+    run(cluster, program)
+    cost = launch.__module__  # silence lint
+    assert 0.0 < observed["busy"] < 1.0
+
+
+def test_freq_ratio_uses_fastest_participant(cluster):
+    """Collision penalty keys off the fastest node's clock."""
+    from repro.mpi.costmodel import CostModel
+
+    cost = CostModel(collision_coeff=0.5, collision_onset=0.5)
+    durations = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.set_cpuspeed(600)  # others remain at 1400 -> ratio 1.0
+        t0 = ctx.env.now
+        yield from ctx.alltoall(1e6)
+        durations[ctx.rank] = ctx.env.now - t0
+
+    run(cluster, program, cost=cost)
+    wire_nominal = 3e6 / cluster.network.params.bandwidth_Bps / 0.75
+    assert max(durations.values()) >= 1.4 * wire_nominal

@@ -1,0 +1,100 @@
+"""Communication cost model."""
+
+import math
+
+import pytest
+
+from repro.hardware.network import NetworkParameters
+from repro.mpi.costmodel import CostModel, WaitSignature
+
+
+NET = NetworkParameters(bandwidth_Bps=10e6, latency_s=1e-4)
+
+
+def test_eager_threshold():
+    cm = CostModel(eager_threshold_bytes=1000)
+    assert cm.is_eager(1000)
+    assert not cm.is_eager(1001)
+
+
+def test_send_cycles_cap_at_eager_threshold():
+    cm = CostModel(eager_threshold_bytes=1000, send_overhead_cycles=100,
+                   pack_cycles_per_byte=1.0)
+    assert cm.send_cycles(500) == 600
+    assert cm.send_cycles(5000) == 1100  # copy capped at threshold
+
+
+def test_recv_cycles_scale_with_bytes():
+    cm = CostModel(recv_overhead_cycles=10, unpack_cycles_per_byte=2.0)
+    assert cm.recv_cycles(100) == 210
+
+
+def test_collision_factor_off_by_default():
+    cm = CostModel()
+    assert cm.collision_factor(1.0) == 1.0
+
+
+def test_collision_factor_ramp():
+    cm = CostModel(collision_coeff=0.2, collision_onset=0.5)
+    assert cm.collision_factor(0.4) == 1.0
+    assert cm.collision_factor(0.5) == 1.0
+    assert cm.collision_factor(0.75) == pytest.approx(1.1)
+    assert cm.collision_factor(1.0) == pytest.approx(1.2)
+    assert cm.collision_factor(2.0) == pytest.approx(1.2)  # clamped
+
+
+def test_barrier_time_is_latency_only():
+    cm = CostModel()
+    t = cm.collective_seconds("barrier", 8, 0.0, NET)
+    assert t == pytest.approx(2 * 3 * NET.latency_s)
+
+
+def test_single_rank_collective_is_free():
+    cm = CostModel()
+    assert cm.collective_seconds("alltoall", 1, 1e9, NET) == 0.0
+
+
+def test_bcast_vs_allreduce_shape():
+    cm = CostModel()
+    bcast = cm.collective_seconds("bcast", 8, 1e6, NET)
+    allreduce = cm.collective_seconds("allreduce", 8, 1e6, NET)
+    assert allreduce == pytest.approx(2 * bcast)
+
+
+def test_alltoall_uses_efficiency_derating():
+    cm = CostModel(alltoall_efficiency=0.5)
+    t = cm.collective_seconds("alltoall", 8, 1e6, NET)
+    expected = 7 * NET.latency_s + (1e6 / 10e6) / 0.5
+    assert t == pytest.approx(expected)
+
+
+def test_alltoall_collision_stretches_at_high_clock():
+    cm = CostModel(collision_coeff=0.1, alltoall_efficiency=1.0)
+    slow = cm.collective_seconds("alltoall", 4, 1e6, NET, freq_ratio=0.43)
+    fast = cm.collective_seconds("alltoall", 4, 1e6, NET, freq_ratio=1.0)
+    assert fast == pytest.approx(slow * 1.1)
+
+
+def test_unknown_collective_rejected():
+    with pytest.raises(ValueError):
+        CostModel().collective_seconds("gossip", 4, 0, NET)
+
+
+def test_invalid_nprocs_rejected():
+    with pytest.raises(ValueError):
+        CostModel().collective_seconds("barrier", 0, 0, NET)
+
+
+def test_alltoall_bytes_helper():
+    assert CostModel.alltoall_bytes(8, 100) == 700
+
+
+def test_with_replaces_fields():
+    cm = CostModel().with_(collision_coeff=0.5)
+    assert cm.collision_coeff == 0.5
+    assert cm.eager_threshold_bytes == CostModel().eager_threshold_bytes
+
+
+def test_wait_signature_tuple_roundtrip():
+    sig = WaitSignature(0.1, 0.2, 0.3, 0.4)
+    assert sig.as_tuple() == (0.1, 0.2, 0.3, 0.4)

@@ -1,0 +1,97 @@
+"""Launcher: elapsed, deadlock detection, rank/node mapping."""
+
+import pytest
+
+from repro.sim import SimulationError
+from repro.mpi import launch
+from repro.mpi.communicator import Communicator
+
+
+def test_elapsed_is_makespan(cluster):
+    def program(ctx):
+        yield from ctx.idle(float(ctx.rank))
+
+    handle = launch(cluster, program)
+    cluster.env.run(handle.done)
+    assert handle.elapsed() == pytest.approx(3.0)
+
+
+def test_elapsed_before_finish_raises(cluster):
+    def program(ctx):
+        yield from ctx.idle(1.0)
+
+    handle = launch(cluster, program)
+    with pytest.raises(RuntimeError):
+        handle.elapsed()
+
+
+def test_deadlock_detected_by_check(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.recv(1, tag=1)  # never sent
+
+    handle = launch(cluster, program)
+    cluster.env.run()
+    assert not handle.finished
+    with pytest.raises(SimulationError, match="deadlock"):
+        handle.check()
+
+
+def test_nprocs_subset_of_cluster(cluster):
+    ranks = []
+
+    def program(ctx):
+        ranks.append(ctx.rank)
+        return
+        yield  # pragma: no cover
+
+    handle = launch(cluster, program, nprocs=2)
+    cluster.env.run(handle.done)
+    assert sorted(ranks) == [0, 1]
+    assert handle.comm.size == 2
+
+
+def test_custom_node_mapping(cluster):
+    nodes = {}
+
+    def program(ctx):
+        nodes[ctx.rank] = ctx.node.node_id
+        return
+        yield  # pragma: no cover
+
+    handle = launch(cluster, program, node_ids=[3, 1])
+    cluster.env.run(handle.done)
+    assert nodes == {0: 3, 1: 1}
+
+
+def test_duplicate_node_mapping_rejected(cluster):
+    with pytest.raises(ValueError):
+        Communicator(cluster, node_ids=[0, 0])
+
+
+def test_out_of_range_node_rejected(cluster):
+    with pytest.raises(ValueError):
+        Communicator(cluster, node_ids=[0, 99])
+
+
+def test_nprocs_mismatch_rejected(cluster):
+    with pytest.raises(ValueError):
+        Communicator(cluster, nprocs=3, node_ids=[0, 1])
+
+
+def test_context_rank_range(cluster):
+    comm = Communicator(cluster, nprocs=2)
+    with pytest.raises(ValueError):
+        comm.context(5)
+
+
+def test_set_cpuspeed_from_program(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.set_cpuspeed(600)
+        yield from ctx.idle(0.1)
+
+    handle = launch(cluster, program)
+    cluster.env.run(handle.done)
+    assert cluster[0].cpu.frequency_mhz == 600
+    assert handle.contexts[0].dvs_calls == 1

@@ -1,0 +1,117 @@
+"""Property-based tests on message delivery."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, launch
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_messages=st.integers(min_value=1, max_value=12),
+    nprocs=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_message_delivered_exactly_once(seed, n_messages, nprocs):
+    """Random sends (mixed eager/rendezvous sizes, random peers/tags)
+    against wildcard receivers: every message is received exactly once
+    and sizes are conserved."""
+    rng = random.Random(seed)
+    plan = []  # (src, dst, nbytes, tag)
+    for _ in range(n_messages):
+        src = rng.randrange(nprocs)
+        dst = rng.randrange(nprocs)
+        while dst == src:
+            dst = rng.randrange(nprocs)
+        nbytes = rng.choice([64, 1024, 200_000, 1_000_000])
+        plan.append((src, dst, nbytes, rng.randrange(3)))
+
+    env = Environment()
+    cluster = nemo_cluster(env, nprocs, with_batteries=False)
+    received = []
+
+    def program(ctx):
+        my_sends = [p for p in plan if p[0] == ctx.rank]
+        my_recv_count = sum(1 for p in plan if p[1] == ctx.rank)
+        reqs = [ctx.isend(dst, nbytes, tag) for (_s, dst, nbytes, tag) in my_sends]
+        for _ in range(my_recv_count):
+            msg = yield from ctx.recv(ANY_SOURCE, ANY_TAG)
+            received.append((msg.src, msg.dst, msg.nbytes, msg.tag))
+        yield from ctx.waitall(reqs)
+
+    handle = launch(cluster, program)
+    env.run(handle.done)
+    handle.check()
+    assert sorted(received) == sorted(plan)
+
+
+@given(
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=5.0), min_size=2, max_size=8
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_barrier_never_releases_before_last_arrival(arrivals):
+    env = Environment()
+    cluster = nemo_cluster(env, len(arrivals), with_batteries=False)
+    release_times = []
+
+    def program(ctx):
+        yield from ctx.idle(arrivals[ctx.rank])
+        yield from ctx.barrier()
+        release_times.append(ctx.env.now)
+
+    handle = launch(cluster, program)
+    env.run(handle.done)
+    handle.check()
+    assert min(release_times) >= max(arrivals)
+
+
+@given(
+    nbytes=st.floats(min_value=1.0, max_value=5e7),
+    nprocs=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_alltoall_duration_monotone_in_bytes(nbytes, nprocs):
+    def run_alltoall(b):
+        env = Environment()
+        cluster = nemo_cluster(env, nprocs, with_batteries=False)
+
+        def program(ctx):
+            yield from ctx.alltoall(b)
+
+        handle = launch(cluster, program)
+        env.run(handle.done)
+        handle.check()
+        return handle.elapsed()
+
+    assert run_alltoall(2 * nbytes) >= run_alltoall(nbytes)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None)
+def test_energy_positive_and_finite_under_random_programs(seed):
+    rng = random.Random(seed)
+    env = Environment()
+    cluster = nemo_cluster(env, 3, with_batteries=False)
+    ops = [rng.choice(["compute", "barrier", "allreduce"]) for _ in range(5)]
+
+    def program(ctx):
+        for op in ops:
+            if op == "compute":
+                yield from ctx.compute(seconds=0.01)
+            elif op == "barrier":
+                yield from ctx.barrier()
+            else:
+                yield from ctx.allreduce(1024)
+
+    handle = launch(cluster, program)
+    env.run(handle.done)
+    handle.check()
+    total = cluster.total_energy_j()
+    assert total > 0.0
+    assert total < 1e6

@@ -1,0 +1,153 @@
+"""Message ordering and matching guarantees."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, launch
+
+
+def run(cluster, program, **kw):
+    handle = launch(cluster, program, **kw)
+    cluster.env.run(handle.done)
+    handle.check()
+    return handle
+
+
+def test_non_overtaking_same_channel(cluster):
+    """MPI guarantee: two messages on the same (src, dst, tag) channel
+    arrive in send order, even when the first is rendezvous (slow) and
+    the second eager (fast)."""
+    order = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            r1 = ctx.isend(1, 2_000_000, tag=5)  # rendezvous
+            r2 = ctx.isend(1, 100, tag=5)        # eager
+            yield from ctx.waitall([r1, r2])
+        elif ctx.rank == 1:
+            a = yield from ctx.recv(0, tag=5)
+            b = yield from ctx.recv(0, tag=5)
+            order.extend([a.nbytes, b.nbytes])
+        else:
+            return
+
+    run(cluster, program)
+    assert order == [2_000_000, 100]
+
+
+def test_wildcard_tag_takes_first_posted(cluster):
+    got = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 10, tag=7)
+            yield from ctx.send(1, 20, tag=9)
+        elif ctx.rank == 1:
+            a = yield from ctx.recv(0, ANY_TAG)
+            b = yield from ctx.recv(0, ANY_TAG)
+            got.extend([a.tag, b.tag])
+        else:
+            return
+
+    run(cluster, program)
+    assert got == [7, 9]
+
+
+def test_specific_recv_does_not_steal_wildcards_message(cluster):
+    """A later specific receive must not take a message an earlier
+    wildcard receive should have matched."""
+    got = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.idle(0.1)
+            yield from ctx.send(1, 111, tag=1)
+            yield from ctx.send(1, 222, tag=2)
+        elif ctx.rank == 1:
+            wild = ctx.irecv(ANY_SOURCE, ANY_TAG)
+            spec = ctx.irecv(0, tag=2)
+            m_wild = yield from ctx.wait(wild)
+            m_spec = yield from ctx.wait(spec)
+            got["wild"] = m_wild.tag
+            got["spec"] = m_spec.tag
+        else:
+            return
+
+    run(cluster, program)
+    assert got == {"wild": 1, "spec": 2}
+
+
+def test_interleaved_channels_are_independent(cluster):
+    """Messages on different tags may be consumed in any order without
+    blocking each other."""
+    seen = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            for tag in (3, 4, 3, 4):
+                yield from ctx.send(1, tag * 100, tag=tag)
+        elif ctx.rank == 1:
+            for tag in (4, 4, 3, 3):
+                m = yield from ctx.recv(0, tag=tag)
+                seen.append((m.tag, m.nbytes))
+        else:
+            return
+
+    run(cluster, program)
+    assert seen == [(4, 400), (4, 400), (3, 300), (3, 300)]
+
+
+def test_waitall_with_already_complete_requests(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.isend(1, 64, tag=i) for i in range(3)]
+            yield from ctx.idle(0.5)  # all eager sends completed by now
+            msgs = yield from ctx.waitall(reqs)
+            assert len(msgs) == 3
+        elif ctx.rank == 1:
+            for i in range(3):
+                yield from ctx.recv(0, tag=i)
+        else:
+            return
+
+    run(cluster, program)
+
+
+def test_many_to_one_fan_in(cluster):
+    counts = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            total = 0
+            for _ in range(3 * (ctx.size - 1)):
+                msg = yield from ctx.recv(ANY_SOURCE, ANY_TAG)
+                total += msg.nbytes
+            counts.append(total)
+        else:
+            for i in range(3):
+                yield from ctx.send(0, 1000 + i, tag=i)
+
+    run(cluster, program)
+    assert counts == [3 * 3 * 1000 + 3 * (0 + 1 + 2)]
+
+
+def test_dvs_call_overhead_stalls_subsequent_work(cluster):
+    """The set_cpuspeed software cost must delay the caller's next
+    compute segment (the reason fine-grained switching has a price)."""
+    durations = {}
+
+    def program(ctx):
+        if ctx.rank != 0:
+            return
+        t0 = ctx.env.now
+        yield from ctx.compute(seconds=0.01)
+        durations["plain"] = ctx.env.now - t0
+        t0 = ctx.env.now
+        ctx.set_cpuspeed(1200)
+        ctx.set_cpuspeed(1400)
+        yield from ctx.compute(seconds=0.01)
+        durations["after_dvs"] = ctx.env.now - t0
+
+    run(cluster, program)
+    overhead = durations["after_dvs"] - durations["plain"]
+    # two API calls at 2e-4 s each plus two hardware transitions
+    assert overhead == pytest.approx(2 * 2e-4 + 2 * 20e-6, rel=0.2)

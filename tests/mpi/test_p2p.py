@@ -1,0 +1,232 @@
+"""Point-to-point semantics: matching, protocols, blocking."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, launch
+from repro.mpi.costmodel import CostModel
+
+
+def run(cluster, program, **kw):
+    handle = launch(cluster, program, **kw)
+    cluster.env.run(handle.done)
+    handle.check()
+    return handle
+
+
+def test_simple_send_recv(cluster):
+    received = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 1000, tag=5)
+        elif ctx.rank == 1:
+            msg = yield from ctx.recv(0, tag=5)
+            received["msg"] = msg
+        else:
+            return
+
+    run(cluster, program)
+    assert received["msg"].nbytes == 1000
+    assert received["msg"].src == 0
+    assert received["msg"].tag == 5
+
+
+def test_recv_any_source(cluster):
+    got = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            for _ in range(3):
+                msg = yield from ctx.recv(ANY_SOURCE, ANY_TAG)
+                got.append(msg.src)
+        else:
+            yield from ctx.idle(0.01 * ctx.rank)
+            yield from ctx.send(0, 10, tag=ctx.rank)
+
+    run(cluster, program)
+    assert sorted(got) == [1, 2, 3]
+
+
+def test_tag_matching_out_of_order(cluster):
+    order = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 10, tag=1)
+            yield from ctx.send(1, 10, tag=2)
+        elif ctx.rank == 1:
+            m2 = yield from ctx.recv(0, tag=2)
+            m1 = yield from ctx.recv(0, tag=1)
+            order.extend([m2.tag, m1.tag])
+        else:
+            return
+
+    run(cluster, program)
+    assert order == [2, 1]
+
+
+def test_fifo_within_same_tag(cluster):
+    sizes = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 100, tag=9)
+            yield from ctx.send(1, 200, tag=9)
+        elif ctx.rank == 1:
+            a = yield from ctx.recv(0, tag=9)
+            b = yield from ctx.recv(0, tag=9)
+            sizes.extend([a.nbytes, b.nbytes])
+        else:
+            return
+
+    run(cluster, program)
+    assert sizes == [100, 200]
+
+
+def test_eager_send_completes_before_recv_posted(cluster):
+    """MPI_Send of a small message returns once buffered."""
+    times = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 1000)
+            times["send_done"] = ctx.env.now
+        elif ctx.rank == 1:
+            yield from ctx.idle(5.0)
+            yield from ctx.recv(0)
+            times["recv_done"] = ctx.env.now
+        else:
+            return
+
+    run(cluster, program)
+    assert times["send_done"] < 0.1
+    assert times["recv_done"] >= 5.0
+
+
+def test_rendezvous_send_blocks_until_receiver(cluster):
+    """A rendezvous-size MPI_Send cannot finish before the recv posts."""
+    times = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 5_000_000)
+            times["send_done"] = ctx.env.now
+        elif ctx.rank == 1:
+            yield from ctx.idle(2.0)
+            yield from ctx.recv(0)
+        else:
+            return
+
+    run(cluster, program)
+    assert times["send_done"] > 2.0
+
+
+def test_rendezvous_transfer_time(cluster):
+    """Delivery time ~ bytes / bandwidth after the handshake."""
+    times = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 11.2e6)  # 1 s of wire time
+        elif ctx.rank == 1:
+            yield from ctx.recv(0)
+            times["recv_done"] = ctx.env.now
+        else:
+            return
+
+    run(cluster, program)
+    assert times["recv_done"] == pytest.approx(1.0, rel=0.05)
+
+
+def test_isend_waitall(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.isend(1, 1000, tag=i) for i in range(4)]
+            yield from ctx.waitall(reqs)
+        elif ctx.rank == 1:
+            reqs = [ctx.irecv(0, tag=i) for i in range(4)]
+            msgs = yield from ctx.waitall(reqs)
+            assert sorted(m.tag for m in msgs) == [0, 1, 2, 3]
+        else:
+            return
+
+    run(cluster, program)
+
+
+def test_waitany_returns_first_completion(cluster):
+    winners = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.idle(3.0)
+            yield from ctx.send(2, 10, tag=0)
+        elif ctx.rank == 1:
+            yield from ctx.idle(1.0)
+            yield from ctx.send(2, 10, tag=1)
+        elif ctx.rank == 2:
+            reqs = [ctx.irecv(0, tag=0), ctx.irecv(1, tag=1)]
+            index, msg = yield from ctx.waitany(reqs)
+            winners.append((index, msg.src))
+        else:
+            return
+
+    run(cluster, program)
+    assert winners == [(1, 1)]
+
+
+def test_sendrecv_exchanges_concurrently(cluster):
+    def program(ctx):
+        if ctx.rank in (0, 1):
+            partner = 1 - ctx.rank
+            msg = yield from ctx.sendrecv(partner, 2_000_000, src=partner, tag=4)
+            assert msg.src == partner
+        else:
+            return
+
+    handle = run(cluster, program)
+    # Full-duplex links: both 2 MB transfers overlap (~0.18 s each, not 0.36).
+    assert handle.elapsed() < 0.3
+
+
+def test_self_send(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            req = ctx.isend(0, 500, tag=1)
+            msg = yield from ctx.recv(0, tag=1)
+            assert msg.nbytes == 500
+            yield from ctx.wait(req)
+        else:
+            return
+
+    run(cluster, program)
+
+
+def test_invalid_destination_raises(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.isend(99, 10)
+        return
+        yield  # pragma: no cover
+
+    handle = launch(cluster, program)
+    with pytest.raises(Exception):
+        cluster.env.run(handle.done)
+
+
+def test_wire_bytes_stretched_by_p2p_collision(cluster):
+    """With collision_applies_p2p, top-clock senders see slower wires."""
+    times = {}
+    cost = CostModel(collision_coeff=0.5, collision_applies_p2p=True,
+                     collision_onset=0.5)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 11.2e6)
+        elif ctx.rank == 1:
+            yield from ctx.recv(0)
+            times["t"] = ctx.env.now
+        else:
+            return
+
+    run(cluster, program, cost=cost)
+    assert times["t"] > 1.3  # 1 s of wire stretched by 1.5x

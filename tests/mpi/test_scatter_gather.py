@@ -1,0 +1,80 @@
+"""Scatter/gather collectives."""
+
+import pytest
+
+from repro.mpi import launch
+
+
+def run(cluster, program, **kw):
+    handle = launch(cluster, program, **kw)
+    cluster.env.run(handle.done)
+    handle.check()
+    return handle
+
+
+def test_scatter_completes_synchronously(cluster):
+    finish = {}
+
+    def program(ctx):
+        yield from ctx.scatter(100_000, root=0)
+        finish[ctx.rank] = ctx.env.now
+
+    run(cluster, program)
+    assert len(set(finish.values())) == 1
+
+
+def test_gather_to_non_zero_root(cluster):
+    def program(ctx):
+        yield from ctx.gather(50_000, root=3)
+
+    handle = run(cluster, program)
+    assert handle.elapsed() > 0
+
+
+def test_scatter_gather_roundtrip_times_scale(cluster):
+    durations = {}
+
+    def make(nbytes, key):
+        def program(ctx):
+            t0 = ctx.env.now
+            yield from ctx.scatter(nbytes, root=0)
+            yield from ctx.gather(nbytes, root=0)
+            durations.setdefault(key, ctx.env.now - t0)
+
+        return program
+
+    run(cluster, make(1e5, "small"))
+    run(cluster, make(1e6, "large"))
+    assert durations["large"] > 3 * durations["small"]
+
+
+def test_root_pays_the_copy_cost(cluster):
+    """The root packs (p-1) blocks; leaves pack one — the root's extra
+    software time shows up when the clock is slow."""
+    arrivals = {}
+
+    def program(ctx):
+        # serialize arrivals so only pack cost differs
+        yield from ctx.barrier()
+        t0 = ctx.env.now
+        yield from ctx.scatter(2e6, root=0)
+        arrivals[ctx.rank] = ctx.env.now - t0
+
+    cluster.set_all_speeds_mhz(600)
+    run(cluster, program)
+    # collective ends simultaneously; all ranks report the same wall
+    # duration, which includes the root's larger pack (sanity: > wire).
+    wire = 2e6 / cluster.network.params.bandwidth_Bps
+    assert min(arrivals.values()) > wire * 0.9
+
+
+def test_mismatched_scatter_gather_rejected(cluster):
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.scatter(10, root=0)
+        else:
+            yield from ctx.gather(10, root=0)
+
+    handle = launch(cluster, program)
+    with pytest.raises(Exception):
+        cluster.env.run(handle.done)

@@ -1,0 +1,135 @@
+"""Series filtering/alignment utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.powerpack.analysis import (
+    Series,
+    align,
+    energy_from_series,
+    moving_average,
+    resample,
+    total_power_series,
+)
+
+
+def make(times, values, label=""):
+    return Series(np.array(times, float), np.array(values, float), label)
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make([0, 1], [1, 2, 3])
+        with pytest.raises(ValueError):
+            make([2, 1], [1, 2])
+
+    def test_from_samples_sorts(self):
+        s = Series.from_samples([(2.0, 20.0), (1.0, 10.0)])
+        assert list(s.times) == [1.0, 2.0]
+        assert list(s.values) == [10.0, 20.0]
+
+    def test_from_samples_empty(self):
+        with pytest.raises(ValueError):
+            Series.from_samples([])
+
+
+class TestResample:
+    def test_zero_order_hold(self):
+        s = make([0, 10, 20], [5.0, 7.0, 9.0])
+        r = resample(s, np.array([0, 5, 10, 15, 25]))
+        assert list(r.values) == [5.0, 5.0, 7.0, 7.0, 9.0]
+
+    def test_before_first_sample_clamps(self):
+        s = make([10, 20], [5.0, 7.0])
+        r = resample(s, np.array([0.0]))
+        assert r.values[0] == 5.0
+
+
+class TestAlign:
+    def test_common_window(self):
+        a = make([0, 10, 20], [1, 1, 1], "a")
+        b = make([5, 15, 25], [2, 2, 2], "b")
+        aligned = align([a, b], step_s=5.0)
+        assert all(np.allclose(s.times, aligned[0].times) for s in aligned)
+        assert aligned[0].times[0] == 5.0
+        assert aligned[0].times[-1] <= 20.0
+
+    def test_non_overlapping_rejected(self):
+        a = make([0, 1], [1, 1])
+        b = make([5, 6], [2, 2])
+        with pytest.raises(ValueError):
+            align([a, b], step_s=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            align([], 1.0)
+        with pytest.raises(ValueError):
+            align([make([0, 1], [1, 1])], 0.0)
+
+
+class TestAggregation:
+    def test_total_power_requires_alignment(self):
+        a = make([0, 1], [1, 1])
+        b = make([0, 2], [2, 2])
+        with pytest.raises(ValueError):
+            total_power_series([a, b])
+
+    def test_total_power_sums(self):
+        a = make([0, 1, 2], [1, 1, 1])
+        b = make([0, 1, 2], [2, 3, 4])
+        total = total_power_series([a, b])
+        assert list(total.values) == [3.0, 4.0, 5.0]
+
+    def test_energy_zero_order_hold(self):
+        s = make([0, 1, 3], [10.0, 20.0, 0.0])
+        # 10 W for 1 s + 20 W for 2 s
+        assert energy_from_series(s) == pytest.approx(50.0)
+
+    def test_energy_of_single_point(self):
+        assert energy_from_series(make([0], [10.0])) == 0.0
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        s = make([0, 1, 2], [1.0, 5.0, 9.0])
+        assert list(moving_average(s, 1).values) == [1.0, 5.0, 9.0]
+
+    def test_constant_series_unchanged(self):
+        s = make(range(10), [4.0] * 10)
+        assert np.allclose(moving_average(s, 5).values, 4.0)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        s = make(range(100), rng.normal(10, 2, 100))
+        smooth = moving_average(s, 9)
+        assert np.var(smooth.values) < np.var(s.values)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(make([0, 1], [1, 2]), 0)
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30),
+    step=st.floats(min_value=0.1, max_value=3.0),
+)
+def test_resampled_energy_matches_exact_on_grid_alignment(values, step):
+    """Zero-order-hold resampling onto the original timestamps must
+    conserve the integrated energy exactly."""
+    times = np.arange(len(values), dtype=float)
+    s = make(times, values)
+    r = resample(s, times)
+    assert energy_from_series(r) == pytest.approx(energy_from_series(s))
+
+
+@given(
+    values=st.lists(st.floats(min_value=1.0, max_value=50.0), min_size=3, max_size=20)
+)
+def test_moving_average_preserves_range(values):
+    s = make(range(len(values)), values)
+    smooth = moving_average(s, 3)
+    assert smooth.values.min() >= min(values) - 1e-9
+    assert smooth.values.max() <= max(values) + 1e-9

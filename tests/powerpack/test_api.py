@@ -1,0 +1,27 @@
+"""DVS control API."""
+
+import pytest
+
+from repro.powerpack.api import psetcpuspeed, set_cpuspeed
+
+
+def test_set_cpuspeed_returns_effective_mhz(node):
+    assert set_cpuspeed(node, 800) == 800.0
+    assert node.cpu.frequency_mhz == 800.0
+
+
+def test_set_cpuspeed_unknown_frequency(node):
+    with pytest.raises(KeyError):
+        set_cpuspeed(node, 700)
+
+
+def test_psetcpuspeed_all_nodes(cluster):
+    psetcpuspeed(cluster, 600)
+    assert all(n.cpu.frequency_mhz == 600 for n in cluster)
+
+
+def test_psetcpuspeed_subset(cluster):
+    psetcpuspeed(cluster, 600, node_ids=[1, 2])
+    assert cluster[0].cpu.frequency_mhz == 1400
+    assert cluster[1].cpu.frequency_mhz == 600
+    assert cluster[2].cpu.frequency_mhz == 600

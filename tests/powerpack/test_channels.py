@@ -1,0 +1,152 @@
+"""ACPI coordinator, Baytech strip, collector, profiles."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.powerpack.acpi import AcpiCoordinator
+from repro.powerpack.baytech import BaytechStrip
+from repro.powerpack.collector import DataCollector
+from repro.powerpack.profiles import PowerProfile
+
+
+class TestAcpiCoordinator:
+    def test_polls_all_nodes(self, cluster16):
+        env = cluster16.env
+        coord = AcpiCoordinator(cluster16, node_ids=[0, 1], poll_interval_s=5.0)
+        coord.start()
+        env.run(until=20.0)
+        coord.stop()
+        assert len(coord.node_series(0)) >= 4
+        assert len(coord.node_series(1)) >= 4
+
+    def test_energy_reconstruction_long_window(self, cluster16):
+        env = cluster16.env
+        node = cluster16[0]
+        coord = AcpiCoordinator(cluster16, node_ids=[0], poll_interval_s=5.0)
+        coord.start()
+        done = node.cpu.run_work(cycles=1.4e9 * 120)  # 2 minutes busy
+        env.run(done)
+        env.run(until=env.now + 25.0)  # let the battery refresh
+        coord.stop()
+        acpi = coord.energy_j(0, 0.0, env.now)
+        exact = node.energy_j()
+        assert acpi == pytest.approx(exact, rel=0.15)
+
+    def test_requires_batteries(self, cluster):
+        with pytest.raises(ValueError):
+            AcpiCoordinator(cluster, node_ids=[0])
+
+    def test_no_samples_raises(self, cluster16):
+        coord = AcpiCoordinator(cluster16, node_ids=[0])
+        with pytest.raises(ValueError):
+            coord.energy_j(0, 0, 1)
+
+    def test_double_start_rejected(self, cluster16):
+        coord = AcpiCoordinator(cluster16, node_ids=[0])
+        coord.start()
+        with pytest.raises(RuntimeError):
+            coord.start()
+
+
+class TestBaytech:
+    def test_polls_power(self, cluster):
+        env = cluster.env
+        strip = BaytechStrip(cluster, poll_interval_s=10.0)
+        strip.start()
+        env.run(until=35.0)
+        strip.stop()
+        series = strip.outlet_series(0)
+        assert len(series) >= 4
+        assert all(s.power_w > 0 for s in series)
+
+    def test_energy_trapezoid_on_constant_power(self, cluster):
+        env = cluster.env
+        strip = BaytechStrip(cluster, poll_interval_s=10.0)
+        strip.start()
+        env.run(until=60.0)
+        strip.stop()
+        # Idle cluster: constant power, trapezoid is exact.
+        p_idle = cluster[0].power_w()
+        assert strip.energy_j(0, 0.0, 60.0) == pytest.approx(p_idle * 60.0, rel=1e-6)
+
+    def test_short_window_fallback(self, cluster):
+        env = cluster.env
+        strip = BaytechStrip(cluster, poll_interval_s=60.0)
+        strip.start()
+        env.run(until=5.0)
+        strip.stop()
+        e = strip.energy_j(0, 1.0, 2.0)
+        assert e > 0
+
+    def test_outlet_control(self, cluster):
+        strip = BaytechStrip(cluster)
+        assert strip.outlet_is_on(0)
+        strip.disconnect_all()
+        assert not strip.outlet_is_on(0)
+        strip.reconnect_all()
+        assert strip.outlet_is_on(0)
+
+
+class TestCollector:
+    def test_report_channels(self, cluster16):
+        env = cluster16.env
+        collector = DataCollector(cluster16, node_ids=[0, 1], acpi_poll_s=5.0)
+        collector.begin()
+        done = cluster16[0].cpu.run_work(cycles=1.4e9 * 60)
+        env.run(done)
+        env.run(until=env.now + 25.0)
+        report = collector.end()
+        assert report.duration_s == pytest.approx(env.now)
+        assert report.total_exact_j > 0
+        assert report.total_acpi_j is not None
+        assert report.total_baytech_j is not None
+        assert report.cross_check_error() is not None
+
+    def test_end_before_begin_raises(self, cluster):
+        collector = DataCollector(cluster, with_acpi=False, with_baytech=False)
+        with pytest.raises(RuntimeError):
+            collector.end()
+
+    def test_exact_only_mode(self, cluster):
+        env = cluster.env
+        collector = DataCollector(cluster, with_acpi=False, with_baytech=False)
+        collector.begin()
+        env.run(until=5.0)
+        report = collector.end()
+        assert report.total_acpi_j is None
+        assert report.total_baytech_j is None
+        assert report.cross_check_error() is None
+        assert report.total_exact_j > 0
+
+    def test_acpi_skipped_without_batteries(self, cluster):
+        collector = DataCollector(cluster)  # cluster has no batteries
+        assert collector.acpi is None
+
+
+class TestPowerProfile:
+    def test_samples_breakdown(self, cluster):
+        env = cluster.env
+        profile = PowerProfile(cluster, node_ids=[0], interval_s=0.5)
+        profile.start()
+        done = cluster[0].cpu.run_work(cycles=1.4e9 * 4)
+        env.run(done)
+        profile.stop()
+        series = profile.node_series(0)
+        assert len(series) >= 8
+        assert all(s.total_w > 0 for s in series)
+        assert series[0].frequency_mhz == 1400.0
+
+    def test_mean_fractions_sum_to_one(self, cluster):
+        env = cluster.env
+        profile = PowerProfile(cluster, node_ids=[0], interval_s=0.5)
+        profile.start()
+        env.run(until=3.0)
+        profile.stop()
+        fractions = profile.mean_fractions(0)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_no_samples_raises(self, cluster):
+        profile = PowerProfile(cluster, node_ids=[0])
+        with pytest.raises(ValueError):
+            profile.mean_breakdown(0)

@@ -1,0 +1,169 @@
+"""Environment/event-loop semantics."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.events import Event, Timeout
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(2.5)
+    env.run()
+    assert env.now == 2.5
+
+
+def test_zero_delay_timeout_fires_at_current_time():
+    env = Environment()
+    t = env.timeout(0.0)
+    env.run()
+    assert env.now == 0.0
+    assert t.processed
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_time_processes_events_before_that_time():
+    env = Environment()
+    fired = []
+    t = env.timeout(1.0)
+    t.callbacks.append(lambda e: fired.append(env.now))
+    env.run(until=2.0)
+    assert fired == [1.0]
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(3.0)
+        ev.succeed("payload")
+
+    env.process(trigger(env, ev))
+    assert env.run(ev) == "payload"
+    assert env.now == 3.0
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    env.run()
+    assert env.run(ev) == 42
+
+
+def test_run_out_of_events_with_pending_until_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError):
+        env.run(ev)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        t = env.timeout(delay)
+        t.callbacks.append(lambda e, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+    for label in "abc":
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda e, s=label: order.append(s))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(5.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_peek_empty_is_inf():
+    assert Environment().peek() == float("inf")
+
+
+def test_peek_skips_cancelled_timeouts():
+    env = Environment()
+    t = env.timeout(1.0)
+    env.timeout(2.0)
+    t.cancel()
+    assert env.peek() == 2.0
+
+
+def test_step_processes_one_event():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.step()
+    assert env.now == 1.0
+
+
+def test_step_without_events_raises():
+    with pytest.raises(IndexError):
+        Environment().step()
+
+
+def test_cancelled_timeout_never_fires():
+    env = Environment()
+    t = env.timeout(1.0)
+    hits = []
+    t.callbacks.append(lambda e: hits.append(1))
+    t.cancel()
+    env.run()
+    assert hits == []
+    assert env.now == 0.0
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    env.process(boom(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_event_scheduled_value_preserved():
+    env = Environment()
+    t = env.timeout(1.0, value="v")
+    env.run()
+    assert t.value == "v"

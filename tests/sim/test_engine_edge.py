@@ -1,0 +1,123 @@
+"""Edge-case interplay in the event kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, SimulationError
+
+
+def test_condition_of_conditions(env):
+    a, b, c = env.timeout(1.0, "a"), env.timeout(2.0, "b"), env.timeout(3.0, "c")
+    inner = AllOf(env, [a, b])
+    outer = AnyOf(env, [inner, c])
+    env.run(outer)
+    assert env.now == 2.0
+
+
+def test_run_until_event_that_fails_raises(env):
+    ev = env.event()
+
+    def failer(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("nope"))
+        ev.defuse()
+
+    env.process(failer(env, ev))
+    with pytest.raises(SimulationError):
+        env.run(ev)
+
+
+def test_cancel_after_run_until_time(env):
+    t = env.timeout(5.0)
+    env.run(until=2.0)
+    t.cancel()
+    env.run()
+    assert env.now == 2.0
+
+
+def test_interrupt_chain(env):
+    """A interrupts B which interrupts C; causes propagate correctly."""
+    log = []
+
+    def c_proc(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            log.append(("c", exc.cause))
+
+    def b_proc(env, c):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            log.append(("b", exc.cause))
+            c.interrupt("from-b")
+
+    c = env.process(c_proc(env))
+    b = env.process(b_proc(env, c))
+
+    def a_proc(env, b):
+        yield env.timeout(1.0)
+        b.interrupt("from-a")
+
+    env.process(a_proc(env, b))
+    env.run(c)
+    assert log == [("b", "from-a"), ("c", "from-b")]
+
+
+def test_process_waiting_on_itself_impossible(env):
+    """A process cannot yield its own event (it is not constructed yet
+    inside its body), but it can wait on a sibling started later."""
+
+    def follower(env, leader_holder):
+        value = yield leader_holder[0]
+        return value
+
+    def leader(env):
+        yield env.timeout(2.0)
+        return "led"
+
+    holder = [None]
+    p_lead = env.process(leader(env))
+    holder[0] = p_lead
+    p_follow = env.process(follower(env, holder))
+    env.run()
+    assert p_follow.value == "led"
+
+
+def test_many_events_same_time_all_fire(env):
+    hits = []
+    for i in range(500):
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda e, i=i: hits.append(i))
+    env.run()
+    assert hits == list(range(500))
+
+
+def test_simulation_time_is_monotone_across_phases(env):
+    stamps = []
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(0.1)
+            stamps.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert stamps == sorted(stamps)
+
+
+def test_run_after_exhaustion_is_harmless(env):
+    env.timeout(1.0)
+    env.run()
+    env.run()  # no events left: returns immediately
+    assert env.now == 1.0
+
+
+def test_event_succeed_during_callback(env):
+    """Triggering a second event from a callback works within one step."""
+    second = env.event()
+    first = env.timeout(1.0)
+    first.callbacks.append(lambda e: second.succeed("chained"))
+    env.run(second)
+    assert second.value == "chained"
+    assert env.now == 1.0

@@ -1,0 +1,117 @@
+"""Event primitives: succeed/fail, conditions."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, SimulationError
+from repro.sim.events import ConditionValue, Event
+
+
+def test_event_initially_untriggered(env):
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_succeed_sets_value(env):
+    ev = env.event()
+    ev.succeed(99)
+    assert ev.triggered and ev.ok
+    assert ev.value == 99
+
+
+def test_double_trigger_rejected(env):
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_crashes_run_when_undefused(env):
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_defused_failure_is_silent(env):
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_allof_waits_for_all(env):
+    a, b = env.timeout(1.0, "a"), env.timeout(2.0, "b")
+    cond = AllOf(env, [a, b])
+    env.run(cond)
+    assert env.now == 2.0
+    assert list(cond.value.values()) == ["a", "b"]
+
+
+def test_allof_empty_triggers_immediately(env):
+    cond = AllOf(env, [])
+    assert cond.triggered
+    assert cond.value == ConditionValue()
+
+
+def test_anyof_fires_on_first(env):
+    a, b = env.timeout(5.0, "a"), env.timeout(1.0, "b")
+    cond = AnyOf(env, [a, b])
+    env.run(cond)
+    assert env.now == 1.0
+    assert cond.value.of(b) == "b"
+    assert a not in cond.value
+
+
+def test_allof_with_already_processed_events(env):
+    a = env.timeout(1.0, "a")
+    env.run()
+    b = env.timeout(1.0, "b")
+    cond = AllOf(env, [a, b])
+    env.run(cond)
+    assert cond.value.of(a) == "a"
+    assert cond.value.of(b) == "b"
+
+
+def test_allof_propagates_failure(env):
+    good = env.timeout(2.0)
+    bad = env.event()
+
+    def failer(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("inner"))
+
+    env.process(failer(env, bad))
+    cond = AllOf(env, [good, bad])
+
+    def waiter(env, cond):
+        with pytest.raises(RuntimeError, match="inner"):
+            yield cond
+
+    env.process(waiter(env, cond))
+    env.run()
+
+
+def test_condition_mixing_environments_rejected(env):
+    other = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env, [env.timeout(1), other.timeout(1)])
+
+
+def test_condition_value_of_missing_event_raises(env):
+    a = env.timeout(1.0, "a")
+    cond = AllOf(env, [a])
+    env.run(cond)
+    b = Event(env)
+    with pytest.raises(KeyError):
+        cond.value.of(b)

@@ -1,0 +1,169 @@
+"""Process semantics: return values, interaction, interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_process_returns_generator_value(env):
+    def gen(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    p = env.process(gen(env))
+    env.run()
+    assert p.triggered and p.ok
+    assert p.value == "done"
+
+
+def test_process_is_alive_until_finished(env):
+    def gen(env):
+        yield env.timeout(1.0)
+
+    p = env.process(gen(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_requires_generator(env):
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_yield_non_event_raises(env):
+    def gen(env):
+        yield 42
+
+    env.process(gen(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_processes_can_wait_on_processes(env):
+    def inner(env):
+        yield env.timeout(2.0)
+        return 7
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value * 2
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == 14
+
+
+def test_resume_value_is_event_value(env):
+    def gen(env):
+        got = yield env.timeout(1.5, value="tick")
+        return got
+
+    p = env.process(gen(env))
+    env.run()
+    assert p.value == "tick"
+
+
+def test_waiting_on_processed_event_resumes_immediately(env):
+    ev = env.timeout(1.0, "x")
+    env.run()
+
+    def gen(env):
+        got = yield ev
+        return (env.now, got)
+
+    p = env.process(gen(env))
+    env.run()
+    assert p.value == (1.0, "x")
+
+
+def test_interrupt_raises_inside_process(env):
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            seen.append(exc.cause)
+        return "survived"
+
+    p = env.process(victim(env))
+
+    def attacker(env, p):
+        yield env.timeout(1.0)
+        p.interrupt("why-not")
+
+    env.process(attacker(env, p))
+    env.run()
+    assert seen == ["why-not"]
+    assert p.value == "survived"
+    assert env.now == pytest.approx(100.0)  # the orphan timeout still fires
+
+
+def test_interrupt_finished_process_rejected(env):
+    def gen(env):
+        yield env.timeout(0.1)
+
+    p = env.process(gen(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_failing_process_fails_waiters(env):
+    def inner(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner failure")
+
+    def outer(env):
+        with pytest.raises(ValueError, match="inner failure"):
+            yield env.process(inner(env))
+        return "handled"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_unhandled_failed_inner_process_crashes_run(env):
+    def inner(env):
+        yield env.timeout(1.0)
+        raise ValueError("nobody catches me")
+
+    env.process(inner(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_immediate_return_process(env):
+    def gen(env):
+        return 5
+        yield  # pragma: no cover
+
+    p = env.process(gen(env))
+    env.run()
+    assert p.value == 5
+
+
+def test_two_processes_interleave(env):
+    log = []
+
+    def ticker(env, label, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((env.now, label))
+
+    env.process(ticker(env, "a", 1.0))
+    env.process(ticker(env, "b", 1.5))
+    env.run()
+    # At t=3.0 both fire; b's timeout was scheduled earlier (at t=1.5
+    # vs a's at t=2.0), so b resumes first — same-time events process
+    # in scheduling order.
+    assert log == [
+        (1.0, "a"),
+        (1.5, "b"),
+        (2.0, "a"),
+        (3.0, "b"),
+        (3.0, "a"),
+        (4.5, "b"),
+    ]

@@ -1,0 +1,173 @@
+"""Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def run(env):
+    env.run()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        env.run()
+        assert got.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def getter(env, store):
+            item = yield store.get()
+            results.append((env.now, item))
+
+        def putter(env, store):
+            yield env.timeout(2.0)
+            yield store.put("late")
+
+        env.process(getter(env, store))
+        env.process(putter(env, store))
+        env.run()
+        assert results == [(2.0, "late")]
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = [store.get(), store.get(), store.get()]
+        env.run()
+        assert [g.value for g in got] == [0, 1, 2]
+
+    def test_filtered_get_skips_nonmatching(self, env):
+        store = Store(env)
+        store.put({"tag": 1})
+        store.put({"tag": 2})
+        got = store.get(lambda item: item["tag"] == 2)
+        env.run()
+        assert got.value == {"tag": 2}
+        assert len(store) == 1
+
+    def test_unmatched_filter_getter_does_not_block_others(self, env):
+        store = Store(env)
+        never = store.get(lambda item: item == "never")
+        plain = store.get()
+        store.put("x")
+        env.run()
+        assert plain.triggered and plain.value == "x"
+        assert not never.triggered
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        env.run()
+        assert first.triggered
+        assert not second.triggered
+        got = store.get()
+        env.run()
+        assert got.value == "a"
+        assert second.triggered
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestResource:
+    def test_grant_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        a, b, c = res.request(), res.request(), res.request()
+        env.run()
+        assert a.triggered and b.triggered and not c.triggered
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_next(self, env):
+        res = Resource(env, capacity=1)
+        a = res.request()
+        b = res.request()
+        env.run()
+        a.release()
+        env.run()
+        assert b.triggered
+        assert res.in_use == 1
+
+    def test_priority_order(self, env):
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        low = res.request(priority=10)
+        high = res.request(priority=1)
+        env.run()
+        holder.release()
+        env.run()
+        assert high.triggered and not low.triggered
+
+    def test_release_queued_request_cancels_it(self, env):
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        queued = res.request()
+        env.run()
+        queued.release()  # cancel while still queued
+        holder.release()
+        env.run()
+        assert not queued.triggered
+        assert res.in_use == 0
+
+    def test_context_manager(self, env):
+        res = Resource(env, capacity=1)
+
+        def user(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+            return env.now
+
+        p1 = env.process(user(env, res))
+        p2 = env.process(user(env, res))
+        env.run()
+        assert {p1.value, p2.value} == {1.0, 2.0}
+
+    def test_amount_validation(self, env):
+        res = Resource(env, capacity=2)
+        with pytest.raises(ValueError):
+            res.request(amount=3)
+        with pytest.raises(ValueError):
+            res.request(amount=0)
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_available(self, env):
+        res = Resource(env, capacity=3)
+        res.request(amount=2)
+        env.run()
+        assert res.available == 1
+
+
+class TestReleaseIdempotence:
+    def test_double_release_is_harmless(self, env):
+        res = Resource(env, capacity=1)
+        a = res.request()
+        b = res.request()
+        env.run()
+        a.release()
+        a.release()  # must not steal b's grant
+        env.run()
+        assert b.triggered
+        assert res.in_use == 1
+        b.release()
+        assert res.in_use == 0
+
+    def test_double_cancel_of_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        queued = res.request()
+        env.run()
+        queued.release()
+        queued.release()
+        assert res.queue_length == 0

@@ -1,0 +1,122 @@
+"""Property tests on Store and Resource."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=40),
+    capacity=st.integers(min_value=1, max_value=50),
+)
+def test_store_is_fifo_under_any_capacity(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    got = []
+
+    def producer(env, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in items:
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == items
+
+
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=30)
+)
+def test_filtered_gets_receive_only_matching_items(items):
+    env = Environment()
+    store = Store(env)
+    evens = []
+    odds = []
+
+    def producer(env, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env, store, parity, sink, count):
+        for _ in range(count):
+            item = yield store.get(lambda x, p=parity: x % 2 == p)
+            sink.append(item)
+
+    n_even = sum(1 for i in items if i % 2 == 0)
+    env.process(producer(env, store))
+    env.process(consumer(env, store, 0, evens, n_even))
+    env.process(consumer(env, store, 1, odds, len(items) - n_even))
+    env.run()
+    assert evens == [i for i in items if i % 2 == 0]
+    assert odds == [i for i in items if i % 2 == 1]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    capacity=st.integers(min_value=1, max_value=5),
+    n_users=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(seed, capacity, n_users):
+    rng = random.Random(seed)
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    in_use_samples = []
+
+    def user(env, res, hold):
+        req = res.request()
+        yield req
+        in_use_samples.append(res.in_use)
+        yield env.timeout(hold)
+        req.release()
+
+    for _ in range(n_users):
+        env.process(user(env, res, rng.uniform(0.01, 1.0)))
+    env.run()
+    assert all(0 < sample <= capacity for sample in in_use_samples)
+    assert res.in_use == 0
+    assert len(in_use_samples) == n_users  # everyone got a turn
+
+
+@given(
+    priorities=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=2, max_size=12
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_grants_queued_requests_in_priority_order(priorities):
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    env.run()
+    order = []
+    requests = []
+    for i, prio in enumerate(priorities):
+        req = res.request(priority=prio)
+        req.callbacks.append(lambda e, i=i: order.append(i))
+        requests.append(req)
+    holder.release()
+
+    released = set()
+
+    def drainer(env):
+        for _ in priorities:
+            yield env.timeout(0.1)
+            for i, req in enumerate(requests):
+                if req.triggered and req.processed and i not in released:
+                    released.add(i)
+                    req.release()
+                    break
+
+    env.process(drainer(env))
+    env.run()
+    granted_priorities = [priorities[i] for i in order]
+    assert granted_priorities == sorted(priorities)

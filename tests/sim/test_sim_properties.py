@@ -1,0 +1,79 @@
+"""Property-based tests on the event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for d in delays:
+        t = env.timeout(d)
+        t.callbacks.append(lambda e: fired.append(env.now))
+    env.run()
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=20))
+def test_allof_completes_at_max_anyof_at_min(delays):
+    env = Environment()
+    events = [env.timeout(d) for d in delays]
+    allof = AllOf(env, events)
+    anyof = AnyOf(env, list(events))
+    done = {}
+    allof.callbacks.append(lambda e: done.__setitem__("all", env.now))
+    anyof.callbacks.append(lambda e: done.__setitem__("any", env.now))
+    env.run()
+    assert done["all"] == max(delays)
+    assert done["any"] == min(delays)
+
+
+@given(
+    chain=st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=15)
+)
+def test_sequential_process_time_is_sum_of_delays(chain):
+    env = Environment()
+
+    def proc(env):
+        for d in chain:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert abs(p.value - sum(chain)) < 1e-6 * max(1.0, sum(chain))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_fan_out_fan_in_processes(n, seed):
+    """N workers with deterministic pseudo-random delays; a collector
+    waits for all and must see every result exactly once."""
+    import random
+
+    rng = random.Random(seed)
+    delays = [rng.uniform(0.0, 10.0) for _ in range(n)]
+    env = Environment()
+
+    def worker(env, i):
+        yield env.timeout(delays[i])
+        return i
+
+    workers = [env.process(worker(env, i)) for i in range(n)]
+
+    def collector(env):
+        value = yield AllOf(env, workers)
+        return sorted(value.values())
+
+    c = env.process(collector(env))
+    env.run()
+    assert c.value == list(range(n))
+    assert env.now == max(delays)

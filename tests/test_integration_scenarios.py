@@ -1,0 +1,83 @@
+"""Cross-cutting integration scenarios on the full 16-node testbed."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import launch
+from repro.core.strategies import CpuspeedDaemonStrategy, InternalStrategy, PhasePolicy
+from repro.workloads import get_workload
+
+
+def test_two_jobs_share_the_cluster():
+    """FT on nodes 0-7 and EP on nodes 8-15, concurrently, with
+    independent communicators — like a real space-shared cluster."""
+    env = Environment()
+    cluster = nemo_cluster(env, 16, with_batteries=False)
+    ft = get_workload("FT", klass="T", nprocs=8)
+    ep = get_workload("EP", klass="T", nprocs=8)
+    h_ft = launch(cluster, ft.make_program(), node_ids=list(range(8)),
+                  cost=ft.cost_model())
+    h_ep = launch(cluster, ep.make_program(), node_ids=list(range(8, 16)),
+                  cost=ep.cost_model())
+    env.run()
+    h_ft.check()
+    h_ep.check()
+    # both made progress and consumed energy on their own nodes
+    assert h_ft.elapsed() > 0 and h_ep.elapsed() > 0
+    assert cluster[0].energy_j() > 0
+    assert cluster[8].energy_j() > 0
+
+
+def test_per_job_dvs_policies_are_isolated():
+    """Internal scheduling on job A must not touch job B's nodes."""
+    env = Environment()
+    cluster = nemo_cluster(env, 16, with_batteries=False)
+    ft = get_workload("FT", klass="T", nprocs=8)
+    policy = PhasePolicy({"alltoall"}, low_mhz=600, high_mhz=1400)
+    hooks = InternalStrategy(policy).hooks(ft)
+    h_ft = launch(cluster, ft.make_program(hooks), node_ids=list(range(8)),
+                  cost=ft.cost_model())
+    ep = get_workload("EP", klass="T", nprocs=8)
+    h_ep = launch(cluster, ep.make_program(), node_ids=list(range(8, 16)),
+                  cost=ep.cost_model())
+    env.run()
+    h_ft.check(), h_ep.check()
+    assert all(cluster[n].cpu.stats.transitions > 0 for n in range(8))
+    assert all(cluster[n].cpu.stats.transitions == 0 for n in range(8, 16))
+
+
+def test_daemon_on_shared_cluster_sees_only_its_nodes():
+    env = Environment()
+    cluster = nemo_cluster(env, 4, with_batteries=False)
+    strategy = CpuspeedDaemonStrategy()
+    strategy.setup(cluster, [0, 1])  # daemons only on half the nodes
+    env.run(until=30.0)
+    strategy.teardown(cluster)
+    assert cluster[0].cpu.frequency_mhz == 600  # idle -> daemon descended
+    assert cluster[2].cpu.frequency_mhz == 1400  # untouched
+
+
+def test_full_nemo_ft_16_ranks():
+    """The paper's mpirun -np 16 ft.C.16 shape (tiny class here)."""
+    env = Environment()
+    cluster = nemo_cluster(env, 16, with_batteries=False)
+    ft = get_workload("FT", klass="T", nprocs=16)
+    handle = launch(cluster, ft.make_program(), nprocs=16, cost=ft.cost_model())
+    env.run(handle.done)
+    handle.check()
+    assert handle.comm.size == 16
+
+
+def test_run_is_bit_deterministic():
+    """Two identical runs produce identical energy trajectories."""
+    from repro.core.framework import run_workload
+    from repro.core.strategies import CpuspeedDaemonStrategy
+
+    w = get_workload("MG", klass="T")
+    a = run_workload(w, CpuspeedDaemonStrategy(), seed=3)
+    b = run_workload(w, CpuspeedDaemonStrategy(), seed=3)
+    assert a.elapsed_s == b.elapsed_s
+    assert a.energy_j == b.energy_j
+    assert a.per_node_energy_j == b.per_node_energy_j
+    assert a.time_at_mhz == b.time_at_mhz

@@ -1,0 +1,72 @@
+"""Simulator performance regression guards.
+
+The reproduction harness runs ~50 cluster simulations per Table 2
+regeneration; if the event kernel or MPI layer regresses badly, the
+whole workflow becomes unusable.  These budgets are deliberately loose
+(5-10x headroom on the reference machine) — they catch algorithmic
+regressions (e.g. accidental O(n^2) in matching), not noise.
+"""
+
+import time
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import launch
+from repro.core.framework import run_workload
+from repro.core.strategies import CpuspeedDaemonStrategy
+from repro.workloads import get_workload
+
+
+def wall(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_event_kernel_throughput():
+    """>= ~100k timeout events per second."""
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(50_000):
+            yield env.timeout(0.001)
+
+    env.process(ticker(env))
+    elapsed = wall(env.run)
+    assert elapsed < 5.0
+
+
+def test_p2p_message_rate():
+    """>= ~5k small messages per second through the full MPI stack."""
+    env = Environment()
+    cluster = nemo_cluster(env, 2, with_batteries=False)
+
+    def program(ctx):
+        peer = 1 - ctx.rank
+        for i in range(2_000):
+            if ctx.rank == 0:
+                yield from ctx.send(peer, 64, tag=1)
+            else:
+                yield from ctx.recv(peer, tag=1)
+
+    handle = launch(cluster, program)
+    elapsed = wall(lambda: env.run(handle.done))
+    handle.check()
+    assert elapsed < 4.0
+
+
+def test_class_c_table2_cell_budget():
+    """One class-C CG run (the slowest NPB model) stays under budget."""
+    w = get_workload("CG", klass="C")
+    elapsed = wall(lambda: run_workload(w))
+    assert elapsed < 8.0
+
+
+def test_daemon_overhead_is_small():
+    """Adding per-node daemons must not blow up simulation cost."""
+    w = get_workload("FT", klass="B")
+    plain = wall(lambda: run_workload(w))
+    with_daemon = wall(lambda: run_workload(w, CpuspeedDaemonStrategy()))
+    assert with_daemon < 10 * max(plain, 0.05) + 1.0

@@ -1,0 +1,72 @@
+"""Phase-level profiling (recorder + profiles)."""
+
+import pytest
+
+from repro.core.framework import run_workload
+from repro.trace.phasestats import PhaseRecorder, profile_phases
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ft_profile():
+    w = get_workload("FT", klass="T")
+    recorder = PhaseRecorder()
+    m = run_workload(w, trace=True, extra_hooks=recorder)
+    return recorder, m
+
+
+def test_recorder_captures_all_phases(ft_profile):
+    recorder, _m = ft_profile
+    assert set(recorder.phases()) == {"setup", "evolve", "alltoall", "checksum"}
+
+
+def test_interval_counts(ft_profile):
+    recorder, _m = ft_profile
+    w = get_workload("FT", klass="T")
+    alltoalls = [iv for iv in recorder.intervals if iv.phase == "alltoall"]
+    assert len(alltoalls) == w.iters * w.nprocs
+
+
+def test_profiles_aggregate(ft_profile):
+    recorder, m = ft_profile
+    profiles = profile_phases(recorder, m.trace)
+    a2a = profiles["alltoall"]
+    assert a2a.instances > 0
+    assert a2a.mean_seconds > 0
+    assert a2a.min_seconds <= a2a.mean_seconds <= a2a.max_seconds
+    assert 0 < a2a.share_of_runtime < 1
+    assert set(a2a.per_rank_seconds) == set(range(8))
+
+
+def test_comm_fraction_separates_phase_kinds(ft_profile):
+    recorder, m = ft_profile
+    profiles = profile_phases(recorder, m.trace)
+    assert profiles["alltoall"].comm_fraction > 0.9
+    assert profiles["evolve"].comm_fraction < 0.2
+    assert profiles["alltoall"].is_communication_phase
+    assert not profiles["evolve"].is_communication_phase
+
+
+def test_share_of_runtime_sums_to_one(ft_profile):
+    recorder, m = ft_profile
+    profiles = profile_phases(recorder, m.trace)
+    assert sum(p.share_of_runtime for p in profiles.values()) == pytest.approx(1.0)
+
+
+def test_unbalanced_end_raises():
+    recorder = PhaseRecorder()
+
+    class FakeCtx:
+        rank = 0
+
+        class env:
+            now = 0.0
+
+    with pytest.raises(RuntimeError):
+        recorder.phase_end(FakeCtx(), "never-begun")
+
+
+def test_profile_without_trace_has_no_comm_fraction(ft_profile):
+    recorder, _m = ft_profile
+    profiles = profile_phases(recorder, trace=None)
+    assert profiles["alltoall"].comm_fraction == 0.0

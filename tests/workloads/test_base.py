@@ -1,0 +1,59 @@
+"""Workload registry and phase hooks."""
+
+import pytest
+
+from repro.workloads import PhaseHooks, get_workload, workload_names
+from repro.workloads.base import register_workload
+
+
+def test_all_npb_codes_registered():
+    names = workload_names()
+    for code in ("EP", "MG", "CG", "FT", "IS", "LU", "SP", "BT"):
+        assert code in names
+    assert "SWIM" in names
+    assert "UB-CPU" in names and "UB-MEM" in names and "UB-COMM" in names
+
+
+def test_get_workload_case_insensitive():
+    assert get_workload("ft").name == "FT"
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("NOPE")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register_workload("FT", lambda: None)
+
+
+def test_tag_format():
+    assert get_workload("FT", klass="C", nprocs=8).tag == "FT.C.8"
+    assert get_workload("BT", klass="B", nprocs=9).tag == "BT.B.9"
+
+
+def test_default_hooks_are_noop():
+    hooks = PhaseHooks()
+    hooks.on_init(None)
+    hooks.phase_begin(None, "x")
+    hooks.phase_end(None, "x")  # must not raise
+
+
+def test_workloads_announce_their_phases(cluster16):
+    """Every phase a workload declares is actually announced by a run."""
+    from repro.mpi import launch
+
+    w = get_workload("FT", klass="T")
+    seen = set()
+
+    class Recorder(PhaseHooks):
+        def phase_begin(self, ctx, phase):
+            seen.add(phase)
+
+    handle = launch(
+        cluster16, w.make_program(Recorder()), nprocs=w.nprocs, cost=w.cost_model()
+    )
+    cluster16.env.run(handle.done)
+    handle.check()
+    assert seen == set(w.phases)

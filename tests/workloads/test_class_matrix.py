@@ -1,0 +1,45 @@
+"""Every NPB code runs at every problem class (smoke matrix).
+
+The paper runs class C; the model supports the whole S..C ladder plus
+the tiny test class, and scaling must be sane: bigger classes never
+run faster.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import launch
+from repro.workloads import get_workload
+
+NPROCS = {"BT": 9, "SP": 9}
+CODES = ("EP", "MG", "CG", "FT", "IS", "LU", "SP", "BT")
+
+
+def run(code, klass):
+    w = get_workload(code, klass=klass, nprocs=NPROCS.get(code, 8))
+    env = Environment()
+    cluster = nemo_cluster(env, w.nprocs, with_batteries=False)
+    handle = launch(cluster, w.make_program(), nprocs=w.nprocs, cost=w.cost_model())
+    env.run(handle.done)
+    handle.check()
+    return handle.elapsed()
+
+
+@pytest.mark.parametrize("code", CODES)
+@pytest.mark.parametrize("klass", ["T", "S", "W"])
+def test_small_classes_run(code, klass):
+    assert run(code, klass) > 0
+
+
+@pytest.mark.parametrize("code", CODES)
+def test_class_ladder_is_monotone(code):
+    """S <= W <= A in virtual runtime (never decreasing)."""
+    times = [run(code, klass) for klass in ("S", "W", "A")]
+    assert times[0] <= times[1] * 1.001
+    assert times[1] <= times[2] * 1.001
+
+
+def test_tag_reflects_class():
+    assert get_workload("FT", klass="A").tag == "FT.A.8"
+    assert get_workload("MG", klass="S").tag == "MG.S.8"

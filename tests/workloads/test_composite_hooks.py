@@ -1,0 +1,50 @@
+"""CompositeHooks: fan-out semantics."""
+
+from repro.core.framework import run_workload
+from repro.core.strategies import InternalStrategy, PhasePolicy
+from repro.trace.phasestats import PhaseRecorder
+from repro.workloads import CompositeHooks, NO_HOOKS, PhaseHooks, get_workload
+
+
+class Recorder(PhaseHooks):
+    def __init__(self):
+        self.calls = []
+
+    def on_init(self, ctx):
+        self.calls.append(("init", ctx.rank))
+
+    def phase_begin(self, ctx, phase):
+        self.calls.append(("begin", phase))
+
+    def phase_end(self, ctx, phase):
+        self.calls.append(("end", phase))
+
+
+def test_fan_out_order():
+    a, b = Recorder(), Recorder()
+    hooks = CompositeHooks(a, b)
+
+    class Ctx:
+        rank = 0
+
+    hooks.on_init(Ctx())
+    hooks.phase_begin(Ctx(), "x")
+    hooks.phase_end(Ctx(), "x")
+    assert a.calls == b.calls == [("init", 0), ("begin", "x"), ("end", "x")]
+
+
+def test_no_hooks_filtered_out():
+    a = Recorder()
+    composite = CompositeHooks(NO_HOOKS, a, NO_HOOKS)
+    assert composite.hooks == (a,)
+
+
+def test_policy_and_recorder_compose_in_a_real_run():
+    """A DVS policy and a phase recorder observe the same run: the
+    policy acts, the recorder sees every phase."""
+    w = get_workload("FT", klass="T")
+    recorder = PhaseRecorder()
+    policy = PhasePolicy({"alltoall"}, low_mhz=600, high_mhz=1400)
+    m = run_workload(w, InternalStrategy(policy), extra_hooks=recorder)
+    assert m.dvs_transitions > 0  # the policy acted
+    assert set(iv.phase for iv in recorder.intervals) == set(w.phases)

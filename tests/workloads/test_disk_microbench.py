@@ -1,0 +1,61 @@
+"""UB-DISK: the paper's deferred I/O-bound category."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import launch
+from repro.workloads import get_workload
+
+
+def run_single(workload, mhz):
+    env = Environment()
+    cluster = nemo_cluster(env, workload.nprocs, with_batteries=False)
+    cluster.set_all_speeds_mhz(mhz)
+    handle = launch(cluster, workload.make_program(), nprocs=workload.nprocs)
+    env.run(handle.done)
+    handle.check()
+    return handle.elapsed(), cluster.total_energy_j()
+
+
+def test_registered():
+    w = get_workload("UB-DISK", seconds=2.0)
+    assert w.name == "UB-DISK"
+    assert w.phases == ("read", "process")
+
+
+def test_io_wait_dominates_runtime():
+    w = get_workload("UB-DISK", seconds=3.0)
+    fast_d, _ = run_single(w, 1400)
+    assert fast_d == pytest.approx(3.0, rel=0.02)
+
+
+def test_delay_nearly_frequency_insensitive():
+    w = get_workload("UB-DISK", seconds=3.0)
+    fast_d, _ = run_single(w, 1400)
+    slow_d, _ = run_single(w, 600)
+    assert slow_d / fast_d < 1.25  # only the 15 % CPU share stretches
+
+
+def test_saves_energy_with_less_delay_than_memory_bound():
+    """The paper predicts disk-bound codes give DVS *opportunity*; in
+    the model that shows up as real savings at the smallest delay cost
+    of any category.  (Nuance the model surfaces: because a truly idle
+    CPU already sits at its activity floor, the *absolute* saving is
+    smaller than for memory-bound code, whose stalls burn full dynamic
+    power — the opportunity is in the near-zero performance price.)"""
+    ratios = {}
+    for name in ("UB-DISK", "UB-MEM"):
+        w = get_workload(name, seconds=3.0)
+        fast_d, fast_e = run_single(w, 1400)
+        slow_d, slow_e = run_single(w, 600)
+        ratios[name] = (slow_d / fast_d, slow_e / fast_e)
+    disk_d, disk_e = ratios["UB-DISK"]
+    mem_d, _mem_e = ratios["UB-MEM"]
+    assert disk_e < 0.95  # genuine saving
+    assert disk_d < mem_d  # at the smallest delay cost
+
+
+def test_cycle_validation():
+    with pytest.raises(ValueError):
+        get_workload("UB-DISK", cycles_count=0)

@@ -1,0 +1,105 @@
+"""Structural verification of the NPB models against their definitions.
+
+The trace tells us exactly which operations each model issued; these
+tests pin the communication *pattern* (counts, kinds, peers) to what
+the paper's profiles describe — so a refactor cannot silently change a
+model's shape while its aggregate timing stays calibrated.
+"""
+
+import pytest
+
+from repro.core.framework import run_workload
+from repro.workloads import get_workload
+
+
+def traced(code, klass="T", nprocs=None):
+    kwargs = {"klass": klass}
+    if nprocs is not None:
+        kwargs["nprocs"] = nprocs
+    w = get_workload(code, **kwargs)
+    m = run_workload(w, trace=True)
+    return w, m.trace
+
+
+class TestFT:
+    def test_one_alltoall_per_iteration(self):
+        w, trace = traced("FT")
+        per_rank = len(trace.filter(op="alltoall", ranks=[0]))
+        assert per_rank == w.iters
+
+    def test_single_terminal_allreduce(self):
+        _w, trace = traced("FT")
+        assert len(trace.filter(op="allreduce", ranks=[0])) == 1
+
+    def test_no_point_to_point(self):
+        _w, trace = traced("FT")
+        assert not trace.filter(op="recv")
+        assert not trace.filter(op="send")
+
+
+class TestCG:
+    def test_exchange_count(self):
+        w, trace = traced("CG")
+        recvs = len(trace.filter(op="recv", ranks=[0]))
+        assert recvs == w.outer * w.inner
+
+    def test_partner_is_transpose(self):
+        w, trace = traced("CG")
+        for e in trace.filter(op="recv", ranks=[0]):
+            assert e.peer == w.partner(0)
+
+    def test_two_residual_allreduces_per_outer(self):
+        w, trace = traced("CG")
+        assert len(trace.filter(op="allreduce", ranks=[0])) == 2 * w.outer
+
+
+class TestEP:
+    def test_three_allreduces_only(self):
+        _w, trace = traced("EP")
+        assert len(trace.filter(op="allreduce", ranks=[0])) == 3
+        assert not trace.filter(category="wait")
+
+
+class TestIS:
+    def test_alltoallv_and_sizes_alltoall_per_iteration(self):
+        w, trace = traced("IS")
+        assert len(trace.filter(op="alltoallv", ranks=[0])) == w.iters
+        assert len(trace.filter(op="alltoall", ranks=[0])) == w.iters
+
+
+class TestMG:
+    def test_halo_exchanges_per_cycle(self):
+        w, trace = traced("MG")
+        recvs = len(trace.filter(op="recv", ranks=[0]))
+        assert recvs == w.cycles * 2 * w.LEVELS  # down + up sweep
+
+    def test_one_norm_allreduce_per_cycle(self):
+        w, trace = traced("MG")
+        assert len(trace.filter(op="allreduce", ranks=[0])) == w.cycles
+
+
+class TestBT:
+    def test_face_exchanges_per_iteration(self):
+        w, trace = traced("BT", nprocs=9)
+        recvs = len(trace.filter(op="recv", ranks=[0]))
+        assert recvs == w.iters * 3 * 2  # 3 directions x fwd/bwd
+
+    def test_peers_are_grid_neighbors(self):
+        w, trace = traced("BT", nprocs=9)
+        valid = set()
+        for fwd, bwd in w.neighbors(0).values():
+            valid.update((fwd, bwd))
+        for e in trace.filter(op="recv", ranks=[0]):
+            assert e.peer in valid
+
+
+class TestLU:
+    def test_exchanges_per_iteration(self):
+        w, trace = traced("LU")
+        recvs = len(trace.filter(op="recv", ranks=[0]))
+        assert recvs == w.iters * 2 * w.CHUNKS  # two sweeps x chunks
+
+    def test_messages_are_eager_sized(self):
+        w, trace = traced("LU")
+        for e in trace.filter(op="recv", ranks=[0]):
+            assert e.nbytes <= 128 * 1024

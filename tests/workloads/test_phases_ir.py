@@ -1,0 +1,126 @@
+"""Declarative phase-program IR."""
+
+import pytest
+
+from repro.core.framework import run_workload
+from repro.core.strategies import ExternalStrategy, InternalStrategy, PhasePolicy
+from repro.workloads import Loop, Phase, PhaseProgramWorkload
+
+
+def stencil_workload(nprocs=4, iters=5):
+    return PhaseProgramWorkload(
+        "STENCIL",
+        [
+            Phase.compute("init", seconds=0.1, offchip_seconds=0.1),
+            Loop(
+                iters,
+                [
+                    Phase.compute("kernel", seconds=0.02, offchip_seconds=0.05),
+                    Phase.exchange("halo", neighbor="right", nbytes=400_000),
+                    Phase.collective("residual", kind="allreduce", nbytes=8),
+                ],
+            ),
+            Phase.collective("final", kind="barrier"),
+        ],
+        nprocs=nprocs,
+    )
+
+
+def test_program_runs_and_measures():
+    w = stencil_workload()
+    m = run_workload(w)
+    assert m.elapsed_s > 0.5
+    assert m.workload == "STENCIL.U.4"
+
+
+def test_phases_collected_in_order():
+    w = stencil_workload()
+    assert w.phases == ("init", "kernel", "halo", "residual", "final")
+
+
+def test_internal_policy_applies_to_ir_workload():
+    w = stencil_workload(iters=8)
+    base = run_workload(w)
+    m = run_workload(
+        w, InternalStrategy(PhasePolicy({"halo"}, low_mhz=600, high_mhz=1400))
+    )
+    d, e = m.normalized_against(base)
+    assert e < 1.0
+    assert d < 1.05
+    assert m.dvs_transitions > 0
+
+
+def test_external_applies_to_ir_workload():
+    w = stencil_workload()
+    base = run_workload(w)
+    m = run_workload(w, ExternalStrategy(mhz=600))
+    d, e = m.normalized_against(base)
+    assert d > 1.0
+
+
+def test_compute_rank_scale_creates_imbalance():
+    w = PhaseProgramWorkload(
+        "IMB",
+        [
+            Phase.compute(
+                "work",
+                seconds=0.2,
+                rank_scale=lambda rank, size: 1.0 + 0.5 * rank,
+            ),
+            Phase.collective("sync", kind="barrier"),
+        ],
+        nprocs=3,
+    )
+    m = run_workload(w, trace=True)
+    from repro.trace.stats import analyze
+
+    stats = analyze(m.trace)
+    computes = [r.compute_s for r in stats.ranks]
+    assert computes[2] > computes[0] * 1.8
+
+
+def test_exchange_neighbors():
+    for neighbor in ("left", "right", "pair", "opposite"):
+        w = PhaseProgramWorkload(
+            "X",
+            [Phase.exchange("swap", neighbor=neighbor, nbytes=10_000)],
+            nprocs=4,
+        )
+        m = run_workload(w)
+        assert m.elapsed_s > 0
+
+
+def test_idle_phase():
+    w = PhaseProgramWorkload("IDLE", [Phase.idle("nap", seconds=2.0)], nprocs=2)
+    m = run_workload(w)
+    assert m.elapsed_s == pytest.approx(2.0, abs=0.01)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Phase.compute("x", seconds=-1)
+    with pytest.raises(ValueError):
+        Phase.exchange("x", neighbor="diagonal", nbytes=1)
+    with pytest.raises(ValueError):
+        Phase.exchange("x", neighbor="left", nbytes=-1)
+    with pytest.raises(ValueError):
+        Phase.collective("x", kind="gossip")
+    with pytest.raises(ValueError):
+        Phase.idle("x", seconds=-0.1)
+    with pytest.raises(ValueError):
+        Loop(-1, [])
+    with pytest.raises(ValueError):
+        PhaseProgramWorkload("E", [], nprocs=2)
+    with pytest.raises(ValueError):
+        PhaseProgramWorkload("E", [Phase.idle("a", 1.0)], nprocs=0)
+
+
+def test_nested_loops():
+    w = PhaseProgramWorkload(
+        "NEST",
+        [Loop(2, [Loop(3, [Phase.compute("c", seconds=0.01)])])],
+        nprocs=2,
+    )
+    m = run_workload(w, trace=True)
+    computes = m.trace.filter(op="compute")
+    assert len(computes) == 2 * 2 * 3  # per rank x loop product

@@ -1,0 +1,85 @@
+"""Property tests: arbitrary declarative phase programs must run."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import run_workload
+from repro.workloads import Loop, Phase, PhaseProgramWorkload
+
+
+def random_program(rng: random.Random, depth: int = 0):
+    steps = []
+    n = rng.randint(1, 4)
+    for i in range(n):
+        kind = rng.choice(
+            ["compute", "exchange", "collective", "idle", "loop"]
+            if depth < 2
+            else ["compute", "exchange", "collective", "idle"]
+        )
+        name = f"p{depth}_{i}_{kind}"
+        if kind == "compute":
+            steps.append(
+                Phase.compute(
+                    name,
+                    seconds=rng.uniform(0.0, 0.02),
+                    offchip_seconds=rng.uniform(0.0, 0.02),
+                )
+            )
+        elif kind == "exchange":
+            steps.append(
+                Phase.exchange(
+                    name,
+                    neighbor=rng.choice(["left", "right", "pair", "opposite"]),
+                    nbytes=rng.choice([0, 512, 200_000]),
+                )
+            )
+        elif kind == "collective":
+            steps.append(
+                Phase.collective(
+                    name,
+                    kind=rng.choice(
+                        ["barrier", "bcast", "reduce", "allreduce",
+                         "allgather", "alltoall"]
+                    ),
+                    nbytes=rng.choice([8, 4096]),
+                )
+            )
+        elif kind == "idle":
+            steps.append(Phase.idle(name, seconds=rng.uniform(0.0, 0.05)))
+        else:
+            steps.append(Loop(rng.randint(0, 3), random_program(rng, depth + 1)))
+    return steps
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    nprocs=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_phase_programs_never_deadlock(seed, nprocs):
+    """Any program built from the IR's building blocks completes —
+    exchanges always pair up, collectives always match."""
+    rng = random.Random(seed)
+    workload = PhaseProgramWorkload(
+        f"RAND{seed}", random_program(rng), nprocs=nprocs
+    )
+    m = run_workload(workload)
+    assert m.elapsed_s >= 0.0
+    assert m.energy_j > 0.0
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=15, deadline=None)
+def test_random_programs_slow_down_or_hold_at_600(seed):
+    """No program may run *faster* at 600 MHz (no collision term here)."""
+    from repro.core.strategies import ExternalStrategy
+
+    rng = random.Random(seed)
+    workload = PhaseProgramWorkload(
+        f"RAND{seed}", random_program(rng), nprocs=4
+    )
+    fast = run_workload(workload)
+    slow = run_workload(workload, ExternalStrategy(mhz=600))
+    assert slow.elapsed_s >= fast.elapsed_s - 1e-9

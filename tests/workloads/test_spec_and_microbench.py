@@ -1,0 +1,83 @@
+"""swim and the PowerPack microbenchmarks."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hardware import nemo_cluster
+from repro.mpi import launch
+from repro.workloads import get_workload
+
+
+def run_single(workload, mhz=1400):
+    env = Environment()
+    cluster = nemo_cluster(env, workload.nprocs, with_batteries=False)
+    cluster.set_all_speeds_mhz(mhz)
+    handle = launch(
+        cluster, workload.make_program(), nprocs=workload.nprocs,
+        cost=workload.cost_model(),
+    )
+    env.run(handle.done)
+    handle.check()
+    return handle.elapsed(), cluster.total_energy_j()
+
+
+class TestSwim:
+    def test_runs_single_node(self):
+        w = get_workload("SWIM", steps=4)
+        elapsed, energy = run_single(w)
+        assert elapsed == pytest.approx(4 * 1.5, rel=0.01)
+
+    def test_memory_bound_crescendo(self):
+        """Figure 2 shape: ~25 % delay at 600 MHz, energy falls."""
+        w = get_workload("SWIM", steps=6)
+        fast_d, fast_e = run_single(w, 1400)
+        slow_d, slow_e = run_single(w, 600)
+        assert slow_d / fast_d == pytest.approx(1.25, abs=0.04)
+        assert slow_e / fast_e < 0.75
+
+    def test_rejects_multiple_ranks(self):
+        with pytest.raises(ValueError):
+            get_workload("SWIM", nprocs=4)
+
+    def test_test_class_caps_steps(self):
+        assert get_workload("SWIM", klass="TEST", steps=100).steps <= 4
+
+
+class TestMicrobenchmarks:
+    def test_cpu_bound_scales_linearly_with_clock(self):
+        w = get_workload("UB-CPU", seconds=2.0)
+        fast, _ = run_single(w, 1400)
+        slow, _ = run_single(w, 600)
+        assert slow / fast == pytest.approx(1400 / 600, rel=0.01)
+
+    def test_memory_bound_is_mostly_insensitive(self):
+        w = get_workload("UB-MEM", seconds=2.0)
+        fast, _ = run_single(w, 1400)
+        slow, _ = run_single(w, 600)
+        assert slow / fast == pytest.approx(1.13, abs=0.03)
+
+    def test_comm_bound_is_insensitive_and_saves_energy(self):
+        w = get_workload("UB-COMM", nprocs=2, rounds=10, nbytes=1e6)
+        fast_d, fast_e = run_single(w, 1400)
+        slow_d, slow_e = run_single(w, 600)
+        assert slow_d / fast_d < 1.1
+        assert slow_e / fast_e < 0.75
+
+    def test_comm_bound_needs_pairs(self):
+        with pytest.raises(ValueError):
+            get_workload("UB-COMM", nprocs=3)
+
+    def test_microbenchmark_database_orders_sensitivity(self):
+        """The three categories span the DVS-sensitivity spectrum —
+        the ordering EXTERNAL/INTERNAL scheduling relies on."""
+        ratios = {}
+        for name, kwargs in (
+            ("UB-CPU", dict(seconds=1.0)),
+            ("UB-MEM", dict(seconds=1.0)),
+            ("UB-COMM", dict(nprocs=2, rounds=5, nbytes=1e6)),
+        ):
+            w = get_workload(name, **kwargs)
+            fast, _ = run_single(w, 1400)
+            slow, _ = run_single(w, 600)
+            ratios[name] = slow / fast
+        assert ratios["UB-CPU"] > ratios["UB-MEM"] > ratios["UB-COMM"]
