@@ -1,0 +1,193 @@
+"""Simulation-kernel and experiment-engine throughput benchmarks.
+
+Two layers, matching the two optimization surfaces:
+
+* **kernel events/sec** — synthetic event storms exercising the hot
+  paths of :mod:`repro.sim` (timeout churn, process ping-pong, the
+  communicator's cancel-guard pattern);
+* **end-to-end wall-clock** — a real frequency sweep, serial vs the
+  parallel runner, cold vs warm measurement cache.
+
+Runs standalone (no pytest required) and emits machine-readable JSON::
+
+    PYTHONPATH=src python benchmarks/bench_simcore.py --json simcore.json
+    PYTHONPATH=src python benchmarks/bench_simcore.py --quick
+
+The kernel section is the reference for the ">= 1.5x events/sec vs the
+pre-fast-path kernel" claim in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Optional
+
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# kernel event storms
+# ----------------------------------------------------------------------
+def storm_timeout_churn(n_events: int) -> int:
+    """Pure Timeout scheduling/dispatch — the kernel's innermost loop."""
+    env = Environment()
+    count = 0
+
+    def ticker(env, period):
+        nonlocal count
+        while True:
+            yield env.timeout(period)
+            count += 1
+
+    for i in range(10):
+        env.process(ticker(env, 1.0 + i * 0.1))
+    env.run(until=float(n_events) / 10.0)
+    return count
+
+
+def storm_process_pingpong(n_events: int) -> int:
+    """Two processes handing control back and forth through events —
+    the succeed/resume path with no time advance."""
+    env = Environment()
+    count = 0
+    half = n_events // 2
+
+    def ping(env, peer_inbox, my_inbox):
+        nonlocal count
+        for _ in range(half):
+            peer_inbox[0].succeed()
+            peer_inbox[0] = env.event()
+            count += 1
+            yield my_inbox[0]
+
+    a_inbox, b_inbox = [env.event()], [env.event()]
+
+    def pong(env):
+        nonlocal count
+        while True:
+            yield b_inbox[0]
+            b_inbox[0] = env.event()
+            count += 1
+            a_inbox[0].succeed()
+            a_inbox[0] = env.event()
+
+    env.process(pong(env))
+    env.process(ping(env, b_inbox, a_inbox))
+    env.run()
+    return count
+
+
+def storm_cancel_guard(n_events: int) -> int:
+    """Schedule-then-cancel guard timeouts (the communicator pattern).
+
+    Stresses lazy deletion + heap compaction: most scheduled entries
+    die before firing.
+    """
+    env = Environment()
+    count = 0
+
+    def guarded(env):
+        nonlocal count
+        while True:
+            guard = env.timeout(50.0)   # long guard, always cancelled
+            work = env.timeout(0.5)
+            yield work
+            guard.cancel()
+            count += 1
+
+    for _ in range(8):
+        env.process(guarded(env))
+    env.run(until=float(n_events) / 16.0)
+    return count
+
+
+STORMS: dict[str, Callable[[int], int]] = {
+    "timeout_churn": storm_timeout_churn,
+    "process_pingpong": storm_process_pingpong,
+    "cancel_guard": storm_cancel_guard,
+}
+
+
+def bench_kernel(n_events: int, repeats: int) -> dict:
+    out = {}
+    for name, storm in STORMS.items():
+        best = 0.0
+        events = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            events = storm(n_events)
+            dt = time.perf_counter() - t0
+            best = max(best, events / dt)
+        out[name] = {"events": events, "best_events_per_sec": round(best)}
+    return out
+
+
+# ----------------------------------------------------------------------
+# end-to-end experiment engine
+# ----------------------------------------------------------------------
+def bench_sweep(code: str, klass: str, jobs: int, tmp_cache: Optional[str]) -> dict:
+    from repro.experiments.parallel import ParallelRunner, use
+    from repro.experiments.runner import frequency_sweep
+    from repro.workloads import get_workload
+
+    workload = get_workload(code, klass=klass)
+
+    def timed(runner) -> float:
+        t0 = time.perf_counter()
+        with use(runner):
+            frequency_sweep(workload)
+        return time.perf_counter() - t0
+
+    serial = timed(ParallelRunner(jobs=1, memo=False))
+    out = {"code": code, "klass": klass, "serial_s": round(serial, 3)}
+    if jobs > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            out[f"parallel_j{jobs}_s"] = round(timed(runner), 3)
+    if tmp_cache is not None:
+        with ParallelRunner(jobs=jobs, cache_dir=tmp_cache) as runner:
+            out["cold_cache_s"] = round(timed(runner), 3)
+        with ParallelRunner(jobs=jobs, cache_dir=tmp_cache) as runner:
+            out["warm_cache_s"] = round(timed(runner), 3)
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per kernel storm (default 200000)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--code", default="CG")
+    parser.add_argument("--class", dest="klass", default="B")
+    parser.add_argument("--jobs", "-j", type=int, default=4)
+    parser.add_argument("--json", dest="json_out", default=None, metavar="PATH")
+    parser.add_argument("--quick", action="store_true",
+                        help="small storms + tiny class (CI smoke)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.events, args.repeats, args.klass = 20_000, 1, "T"
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        payload = {
+            "kernel": bench_kernel(args.events, args.repeats),
+            "sweep": bench_sweep(args.code, args.klass, args.jobs, cache_dir),
+        }
+
+    for name, row in payload["kernel"].items():
+        print(f"kernel {name:18s} {row['best_events_per_sec']:>9,d} events/s")
+    for field, value in payload["sweep"].items():
+        if field.endswith("_s"):
+            print(f"sweep  {field:18s} {value:>9.3f} s")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"[written to {args.json_out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

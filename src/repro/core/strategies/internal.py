@@ -17,13 +17,14 @@ source locations where the paper inserts its API calls.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Optional
 
 from repro.mpi.communicator import RankContext
 from repro.workloads.base import PhaseHooks, Workload
 from repro.core.strategies.base import Strategy
 
-__all__ = ["PhasePolicy", "RankPolicy", "InternalStrategy"]
+__all__ = ["PhasePolicy", "RankPolicy", "SplitSpeeds", "InternalStrategy"]
 
 
 class PhasePolicy(PhaseHooks):
@@ -73,6 +74,22 @@ class PhasePolicy(PhaseHooks):
         )
 
 
+@dataclass(frozen=True)
+class SplitSpeeds:
+    """Rank→MHz rule behind :meth:`RankPolicy.split`.
+
+    A plain dataclass (not a closure) so split policies pickle into
+    parallel workers and carry their configuration into cache keys.
+    """
+
+    n_high: int
+    high_mhz: float
+    low_mhz: float
+
+    def __call__(self, rank: int) -> float:
+        return self.high_mhz if rank < self.n_high else self.low_mhz
+
+
 class RankPolicy(PhaseHooks):
     """Static heterogeneous per-rank speeds set at MPI_Init.
 
@@ -83,23 +100,32 @@ class RankPolicy(PhaseHooks):
 
     def __init__(self, speed_of: Callable[[int], float] | Mapping[int, float]) -> None:
         if isinstance(speed_of, Mapping):
-            mapping = dict(speed_of)
-            self._speed_of = lambda rank: mapping[rank]
+            self.speeds: Optional[dict[int, float]] = dict(speed_of)
+            self.speed_rule: Optional[Callable[[int], float]] = None
         else:
-            self._speed_of = speed_of
+            self.speeds = None
+            self.speed_rule = speed_of
+
+    def _speed_of(self, rank: int) -> float:
+        if self.speeds is not None:
+            return self.speeds[rank]
+        assert self.speed_rule is not None
+        return self.speed_rule(rank)
 
     @classmethod
     def split(
         cls, n_high: int, high_mhz: float, low_mhz: float
     ) -> "RankPolicy":
         """Ranks ``< n_high`` run at ``high_mhz``, others at ``low_mhz``."""
-        return cls(lambda rank: high_mhz if rank < n_high else low_mhz)
+        return cls(SplitSpeeds(n_high, high_mhz, low_mhz))
 
     def on_init(self, ctx: RankContext) -> None:
         ctx.set_cpuspeed(self._speed_of(ctx.rank))
 
     def __repr__(self) -> str:
-        return "RankPolicy(...)"
+        if self.speeds is not None:
+            return f"RankPolicy({self.speeds!r})"
+        return f"RankPolicy({self.speed_rule!r})"
 
 
 class InternalStrategy(Strategy):

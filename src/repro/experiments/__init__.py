@@ -6,10 +6,13 @@
   strategy comparisons) with normalization.
 * :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` —
   one function per paper table/figure, returning structured results.
+* :mod:`repro.experiments.parallel` — the parallel experiment engine
+  every grid helper routes through (worker pools + measurement cache).
 * :mod:`repro.experiments.report` — plain-text rendering.
 * :mod:`repro.experiments.cli` — ``repro-experiments`` entry point.
 """
 
+from repro.experiments.parallel import ParallelRunner, RunTask, current_runner, use
 from repro.experiments.runner import (
     SweepResult,
     frequency_sweep,
@@ -19,12 +22,16 @@ from repro.experiments.runner import (
 from repro.experiments import calibration, figures, tables, report
 
 __all__ = [
+    "ParallelRunner",
+    "RunTask",
     "SweepResult",
     "calibration",
+    "current_runner",
     "figures",
     "frequency_sweep",
     "normalized_point",
     "report",
     "run_baseline",
     "tables",
+    "use",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.hardware.network import NetworkParameters
-from repro.core.framework import run_workload
+from repro.experiments.parallel import RunTask, current_runner
 from repro.core.strategies import (
     CpuspeedConfig,
     CpuspeedDaemonStrategy,
@@ -54,9 +54,19 @@ class AblationPoint:
 
 
 def _normalized(workload, strategy, seed=0, **kwargs):
-    base = run_workload(workload, NoDvsStrategy(), seed=seed, **kwargs)
-    m = run_workload(workload, strategy, seed=seed, **kwargs)
+    base, m = _normalized_many([(workload, strategy, kwargs)], seed=seed)[0]
     return m.normalized_against(base)
+
+
+def _normalized_many(configs, seed=0):
+    """Run (baseline, strategy) for every (workload, strategy, kwargs)
+    triple as one flat batch; returns [(baseline, measurement), ...]."""
+    tasks = []
+    for workload, strategy, kwargs in configs:
+        tasks.append(RunTask(workload, NoDvsStrategy(), seed, dict(kwargs)))
+        tasks.append(RunTask(workload, strategy, seed, dict(kwargs)))
+    results = current_runner().map(tasks)
+    return [(results[2 * i], results[2 * i + 1]) for i in range(len(configs))]
 
 
 def daemon_interval_study(
@@ -71,12 +81,14 @@ def daemon_interval_study(
     regime); too long and it lags every phase change.
     """
     workload = get_workload(code, klass=klass)
-    points = []
-    for interval in intervals_s:
-        strategy = CpuspeedDaemonStrategy(CpuspeedConfig(interval_s=interval))
-        d, e = _normalized(workload, strategy, seed=seed)
-        points.append(AblationPoint(interval, d, e))
-    return points
+    configs = [
+        (workload, CpuspeedDaemonStrategy(CpuspeedConfig(interval_s=interval)), {})
+        for interval in intervals_s
+    ]
+    return [
+        AblationPoint(interval, *m.normalized_against(base))
+        for interval, (base, m) in zip(intervals_s, _normalized_many(configs, seed=seed))
+    ]
 
 
 def daemon_threshold_study(
@@ -91,7 +103,7 @@ def daemon_threshold_study(
     higher thresholds make it slide toward the slowest point.
     """
     workload = get_workload(code, klass=klass)
-    points = []
+    configs = []
     for usage in usage_thresholds:
         config = CpuspeedConfig(
             interval_s=2.0,
@@ -99,9 +111,13 @@ def daemon_threshold_study(
             usage_threshold=usage,
             maximum_threshold=max(95.0, usage + 5.0),
         )
-        d, e = _normalized(workload, CpuspeedDaemonStrategy(config), seed=seed)
-        points.append(AblationPoint(usage, d, e))
-    return points
+        configs.append((workload, CpuspeedDaemonStrategy(config), {}))
+    return [
+        AblationPoint(usage, *m.normalized_against(base))
+        for usage, (base, m) in zip(
+            usage_thresholds, _normalized_many(configs, seed=seed)
+        )
+    ]
 
 
 def transition_latency_study(
@@ -121,16 +137,18 @@ def transition_latency_study(
     workload = get_workload(code, klass=klass)
     phase = low_phase or ("alltoall" if "alltoall" in workload.phases else workload.phases[-1])
     policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
-    points = []
-    for latency in latencies_s:
-        d, e = _normalized(
+    configs = [
+        (
             workload,
             InternalStrategy(policy, label=f"lat={latency:g}"),
-            seed=seed,
-            transition_latency_s=latency,
+            {"transition_latency_s": latency},
         )
-        points.append(AblationPoint(latency, d, e))
-    return points
+        for latency in latencies_s
+    ]
+    return [
+        AblationPoint(latency, *m.normalized_against(base))
+        for latency, (base, m) in zip(latencies_s, _normalized_many(configs, seed=seed))
+    ]
 
 
 def network_speed_study(
@@ -149,20 +167,25 @@ def network_speed_study(
     base_params = NetworkParameters()
     phase = "alltoall" if "alltoall" in workload.phases else workload.phases[-1]
     policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
-    points = []
-    for scale in bandwidth_scales:
-        params = NetworkParameters(
-            bandwidth_Bps=base_params.bandwidth_Bps * scale,
-            latency_s=base_params.latency_s,
-        )
-        d, e = _normalized(
+    configs = [
+        (
             workload,
             InternalStrategy(policy, label=f"bw x{scale:g}"),
-            seed=seed,
-            network_params=params,
+            {
+                "network_params": NetworkParameters(
+                    bandwidth_Bps=base_params.bandwidth_Bps * scale,
+                    latency_s=base_params.latency_s,
+                )
+            },
         )
-        points.append(AblationPoint(scale, d, e))
-    return points
+        for scale in bandwidth_scales
+    ]
+    return [
+        AblationPoint(scale, *m.normalized_against(base))
+        for scale, (base, m) in zip(
+            bandwidth_scales, _normalized_many(configs, seed=seed)
+        )
+    ]
 
 
 def scaling_study(
@@ -172,11 +195,13 @@ def scaling_study(
     seed: int = 0,
 ) -> list[AblationPoint]:
     """Savings vs node count under INTERNAL scheduling for one code."""
-    points = []
+    configs = []
     for n in node_counts:
         workload = get_workload(code, klass=klass, nprocs=n)
         phase = "alltoall" if "alltoall" in workload.phases else workload.phases[-1]
         policy = PhasePolicy({phase}, low_mhz=600, high_mhz=1400)
-        d, e = _normalized(workload, InternalStrategy(policy), seed=seed)
-        points.append(AblationPoint(float(n), d, e))
-    return points
+        configs.append((workload, InternalStrategy(policy), {}))
+    return [
+        AblationPoint(float(n), *m.normalized_against(base))
+        for n, (base, m) in zip(node_counts, _normalized_many(configs, seed=seed))
+    ]

@@ -5,7 +5,13 @@ extension benches) and writes a single markdown report.  This is the
 "rebuild the paper" button:
 
     repro-experiments report            # writes REPORT.md
-    python -m repro.experiments.campaign --out REPORT.md
+    python -m repro.experiments.campaign --out REPORT.md -j 4
+
+The whole campaign runs through one
+:class:`~repro.experiments.parallel.ParallelRunner`, so sweep points
+shared between figures (and each workload's no-DVS baseline) simulate
+exactly once, ``--jobs`` fans independent runs over worker processes,
+and ``--cache-dir`` persists every point across campaigns.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.experiments import figures, report, tables
+from repro.experiments.parallel import ParallelRunner, use
 from repro.experiments.plotting import crescendo_chart
 from repro.experiments.validation import score_table2
 
@@ -31,8 +38,26 @@ def run_campaign(
     seed: int = 0,
     codes: Optional[Sequence[str]] = None,
     with_charts: bool = True,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
 ) -> str:
-    """Regenerate every table/figure; return the markdown report."""
+    """Regenerate every table/figure; return the markdown report.
+
+    ``jobs`` > 1 fans the simulation grid over worker processes;
+    ``cache_dir`` enables the on-disk measurement cache.  Results are
+    identical to a serial, uncached campaign in either case.
+    """
+    with ParallelRunner(jobs=jobs, cache_dir=cache_dir) as runner, use(runner):
+        return _run_campaign_body(runner, klass, seed, codes, with_charts)
+
+
+def _run_campaign_body(
+    runner: ParallelRunner,
+    klass: str,
+    seed: int,
+    codes: Optional[Sequence[str]],
+    with_charts: bool,
+) -> str:
     t_start = time.perf_counter()
     parts: list[str] = []
     parts.append(
@@ -70,7 +95,7 @@ def run_campaign(
         report.render_comparison(
             figures.figure5_cpuspeed(codes=codes, klass=klass, seed=seed)
         ),
-    ))
+    ))  # baselines dedupe through the campaign runner's memo
     parts.append(_section(
         "Figure 6 — EXTERNAL with ED3P",
         report.render_selection(
@@ -126,7 +151,9 @@ def run_campaign(
 
     elapsed = time.perf_counter() - t_start
     parts.append(
-        f"---\n\n*Campaign wall time: {elapsed:.1f}s; "
+        f"---\n\n*Campaign wall time: {elapsed:.1f}s "
+        f"({runner.jobs} worker{'s' if runner.jobs != 1 else ''}, "
+        f"{runner.stats.render()}); "
         f"mean Table 2 errors: delay {fidelity.mean_delay_error:.3f}, "
         f"energy {fidelity.mean_energy_error:.3f}.*\n"
     )
@@ -138,9 +165,12 @@ def write_report(
     klass: str = "C",
     seed: int = 0,
     codes: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Union[str, Path, None] = None,
 ) -> Path:
     path = Path(path)
-    path.write_text(run_campaign(klass=klass, seed=seed, codes=codes))
+    path.write_text(run_campaign(klass=klass, seed=seed, codes=codes,
+                                 jobs=jobs, cache_dir=cache_dir))
     return path
 
 
@@ -152,8 +182,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--class", dest="klass", default="C")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--codes", nargs="*", default=None)
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for independent runs")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the on-disk measurement cache here")
     args = parser.parse_args(argv)
-    path = write_report(args.out, klass=args.klass, seed=args.seed, codes=args.codes)
+    path = write_report(args.out, klass=args.klass, seed=args.seed,
+                        codes=args.codes, jobs=args.jobs,
+                        cache_dir=args.cache_dir)
     print(f"report written to {path}")
     return 0
 

@@ -8,7 +8,13 @@ Examples::
     repro-experiments fig5
     repro-experiments fig6 fig7 fig8        # shares one sweep set
     repro-experiments fig9 fig11 fig12 fig14
-    repro-experiments all
+    repro-experiments all -j 4              # fan runs over 4 workers
+
+Every simulation routes through the parallel experiment engine: the
+on-disk measurement cache is on by default (``--no-cache`` to disable,
+``--cache-dir`` to relocate, ``--clear-cache`` to wipe it first) and
+``--jobs/-j`` fans independent runs over worker processes.  Results
+are bit-for-bit identical to a serial, uncached run.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.experiments import figures, report, tables
+from repro.experiments.parallel import ParallelRunner, use
 
 __all__ = ["main"]
 
@@ -62,6 +69,29 @@ def _parser() -> argparse.ArgumentParser:
         help="NPB problem class (default C; T is a fast tiny class)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation runs (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="measurement cache root (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk measurement cache for this invocation",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="wipe the measurement cache before running",
+    )
     parser.add_argument(
         "--json",
         dest="json_out",
@@ -118,6 +148,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "all" in targets:
         targets = [t for t in KNOWN if t not in ("all", "ablations", "advise", "report")]
 
+    from repro.experiments.store import default_cache_dir
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    if args.clear_cache and cache_dir is not None:
+        from repro.experiments.store import MeasurementCache
+
+        removed = MeasurementCache(cache_dir).clear()
+        print(f"[cleared {removed} cached measurements from {cache_dir}]")
+
+    with ParallelRunner(jobs=args.jobs, cache_dir=cache_dir) as runner, use(runner):
+        return _dispatch(args, targets, runner)
+
+
+def _dispatch(args, targets, runner) -> int:
     out = []
     sweeps = None
     table2_rows = None
@@ -214,11 +258,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.experiments.campaign import write_report
 
             path = write_report(
-                "REPORT.md", klass=args.klass, seed=args.seed, codes=args.codes
+                "REPORT.md", klass=args.klass, seed=args.seed, codes=args.codes,
+                jobs=args.jobs,
+                cache_dir=runner.cache.root if runner.cache is not None else None,
             )
             out.append(f"[full reproduction report written to {path}]")
 
     print("\n\n".join(out))
+    if runner.cache is not None or runner.stats.lookups:
+        print(f"\n[{runner.stats.render()}]")
 
     if args.json_out and table2_rows is not None:
         from repro.experiments.store import save_json, sweep_to_dict

@@ -14,7 +14,7 @@ from repro.powerpack.profiles import PowerProfile
 from repro.trace.events import TraceLog
 from repro.trace.stats import TraceStats, analyze
 from repro.core.crescendo import Crescendo, CrescendoType
-from repro.core.framework import Measurement, run_workload
+from repro.core.framework import Measurement
 from repro.core.metrics import ED2P, ED3P, FusedMetric, select_operating_point
 from repro.core.strategies import (
     CpuspeedDaemonStrategy,
@@ -23,7 +23,8 @@ from repro.core.strategies import (
     RankPolicy,
 )
 from repro.experiments.calibration import FREQUENCIES_MHZ
-from repro.experiments.runner import SweepResult, frequency_sweep
+from repro.experiments.parallel import RunTask, current_runner
+from repro.experiments.runner import SweepResult, frequency_sweep, frequency_sweep_many
 from repro.experiments.tables import NPB_CODES
 from repro.workloads import get_workload
 
@@ -126,21 +127,42 @@ def figure5_cpuspeed(
     klass: str = "C",
     interval_s: float = 2.0,
     seed: int = 0,
+    baselines: Optional[Mapping[str, Measurement]] = None,
 ) -> StrategyComparison:
-    """Reproduce Figure 5: CPUSPEED v1.2.1 on the NPB codes."""
+    """Reproduce Figure 5: CPUSPEED v1.2.1 on the NPB codes.
+
+    ``baselines`` (code → no-DVS measurement) lets a campaign share one
+    baseline run per workload across figures; missing baselines are
+    simulated here (as one batch alongside the daemon runs).
+    """
     from repro.core.strategies.cpuspeed import CpuspeedConfig
+
+    code_list = [c.upper() for c in (codes or NPB_CODES)]
+    workloads = {
+        code: get_workload(code, klass=klass, nprocs=NPB_CODES[code])
+        for code in code_list
+    }
+    config = CpuspeedConfig(interval_s=interval_s)
+    tasks: list[RunTask] = []
+    baseline_slots: dict[str, int] = {}
+    for code in code_list:
+        if baselines is None or code not in baselines:
+            baseline_slots[code] = len(tasks)
+            tasks.append(RunTask(workloads[code], None, seed))
+        tasks.append(RunTask(workloads[code], CpuspeedDaemonStrategy(config), seed))
+    results = current_runner().map(tasks)
 
     points: dict[str, tuple[float, float]] = {}
     measurements: dict[str, Measurement] = {}
-    for code in codes or NPB_CODES:
-        code = code.upper()
-        w = get_workload(code, klass=klass, nprocs=NPB_CODES[code])
-        baseline = run_workload(w, seed=seed)
-        auto = run_workload(
-            w,
-            CpuspeedDaemonStrategy(CpuspeedConfig(interval_s=interval_s)),
-            seed=seed,
-        )
+    cursor = 0
+    for code in code_list:
+        if code in baseline_slots:
+            baseline = results[cursor]
+            cursor += 1
+        else:
+            baseline = baselines[code]
+        auto = results[cursor]
+        cursor += 1
         points[code] = auto.normalized_against(baseline)
         measurements[code] = auto
     return StrategyComparison("cpuspeed", points, measurements)
@@ -172,21 +194,40 @@ def _external_with_metric(
     seed: int,
     sweeps: Optional[Mapping[str, SweepResult]] = None,
 ) -> MetricSelectionResult:
+    code_list = [c.upper() for c in (codes or NPB_CODES)]
+    fresh = _sweep_missing(code_list, sweeps, klass, seed)
     selected: dict[str, float] = {}
     points: dict[str, tuple[float, float]] = {}
     used_sweeps: dict[str, SweepResult] = {}
-    for code in codes or NPB_CODES:
-        code = code.upper()
-        if sweeps is not None and code in sweeps:
-            sweep = sweeps[code]
-        else:
-            w = get_workload(code, klass=klass, nprocs=NPB_CODES[code])
-            sweep = frequency_sweep(w, FREQUENCIES_MHZ, seed=seed)
+    for code in code_list:
+        sweep = sweeps[code] if sweeps is not None and code in sweeps else fresh[code]
         used_sweeps[code] = sweep
         mhz = select_operating_point(sweep.normalized, metric)
         selected[code] = mhz
         points[code] = sweep.normalized[mhz]
     return MetricSelectionResult(metric.name, selected, points, used_sweeps)
+
+
+def _sweep_missing(
+    code_list: Sequence[str],
+    sweeps: Optional[Mapping[str, SweepResult]],
+    klass: str,
+    seed: int,
+) -> dict[str, SweepResult]:
+    """Sweep every code not already covered, as one flat batch."""
+    missing = [
+        code for code in code_list if sweeps is None or code not in sweeps
+    ]
+    if not missing:
+        return {}
+    workloads = {
+        code: get_workload(code, klass=klass, nprocs=NPB_CODES[code])
+        for code in missing
+    }
+    by_tag = frequency_sweep_many(
+        [workloads[code] for code in missing], FREQUENCIES_MHZ, seed=seed
+    )
+    return {code: by_tag[workloads[code].tag] for code in missing}
 
 
 def figure6_external_ed3p(
@@ -232,15 +273,12 @@ def figure8_crescendos(
     sweeps: Optional[Mapping[str, SweepResult]] = None,
 ) -> CrescendoFigure:
     """Reproduce Figure 8: per-code crescendos and their categories."""
+    code_list = [c.upper() for c in (codes or NPB_CODES)]
+    fresh = _sweep_missing(code_list, sweeps, klass, seed)
     crescendos: dict[str, Crescendo] = {}
     types: dict[str, CrescendoType] = {}
-    for code in codes or NPB_CODES:
-        code = code.upper()
-        if sweeps is not None and code in sweeps:
-            sweep = sweeps[code]
-        else:
-            w = get_workload(code, klass=klass, nprocs=NPB_CODES[code])
-            sweep = frequency_sweep(w, FREQUENCIES_MHZ, seed=seed)
+    for code in code_list:
+        sweep = sweeps[code] if sweeps is not None and code in sweeps else fresh[code]
         cres = Crescendo(code, sweep.normalized)
         crescendos[code] = cres
         types[code] = cres.classify()
@@ -269,14 +307,14 @@ class TraceFigure:
 def figure9_ft_trace(klass: str = "C", seed: int = 0) -> TraceFigure:
     """Reproduce Figure 9: FT performance trace and its observations."""
     w = get_workload("FT", klass=klass, nprocs=NPB_CODES["FT"])
-    m = run_workload(w, trace=True, seed=seed)
+    m = current_runner().run(w, trace=True, seed=seed)
     return TraceFigure("FT", analyze(m.trace), m.trace)
 
 
 def figure12_cg_trace(klass: str = "C", seed: int = 0) -> TraceFigure:
     """Reproduce Figure 12: CG trace (asymmetric rank groups)."""
     w = get_workload("CG", klass=klass, nprocs=NPB_CODES["CG"])
-    m = run_workload(w, trace=True, seed=seed)
+    m = current_runner().run(w, trace=True, seed=seed)
     return TraceFigure("CG", analyze(m.trace), m.trace)
 
 
@@ -308,10 +346,12 @@ def figure11_ft_internal(
         sweep = frequency_sweep(w, FREQUENCIES_MHZ, seed=seed)
     baseline = sweep.raw[sweep.baseline_mhz]
     policy = PhasePolicy({"alltoall"}, low_mhz=low_mhz, high_mhz=high_mhz)
-    internal = run_workload(
-        w, InternalStrategy(policy, label=f"{high_mhz:.0f}/{low_mhz:.0f}"), seed=seed
-    )
-    auto = run_workload(w, CpuspeedDaemonStrategy(), seed=seed)
+    internal, auto = current_runner().map([
+        RunTask(
+            w, InternalStrategy(policy, label=f"{high_mhz:.0f}/{low_mhz:.0f}"), seed
+        ),
+        RunTask(w, CpuspeedDaemonStrategy(), seed),
+    ])
     return InternalComparison(
         code="FT",
         internal={"internal": internal.normalized_against(baseline)},
@@ -336,14 +376,25 @@ def figure14_cg_internal(
         sweep = frequency_sweep(w, FREQUENCIES_MHZ, seed=seed)
     baseline = sweep.raw[sweep.baseline_mhz]
     half = NPB_CODES["CG"] // 2
+    settings = (("internal I", 1200.0, 800.0), ("internal II", 1000.0, 800.0))
+    tasks = [
+        RunTask(
+            w,
+            InternalStrategy(
+                RankPolicy.split(half, high_mhz=high, low_mhz=low), label=label
+            ),
+            seed,
+        )
+        for label, high, low in settings
+    ]
+    tasks.append(RunTask(w, CpuspeedDaemonStrategy(), seed))
+    results = current_runner().map(tasks)
     internal: dict[str, tuple[float, float]] = {}
     measurements: dict[str, Measurement] = {}
-    for label, high, low in (("internal I", 1200.0, 800.0), ("internal II", 1000.0, 800.0)):
-        policy = RankPolicy.split(half, high_mhz=high, low_mhz=low)
-        m = run_workload(w, InternalStrategy(policy, label=label), seed=seed)
+    for (label, _, _), m in zip(settings, results):
         internal[label] = m.normalized_against(baseline)
         measurements[label] = m
-    auto = run_workload(w, CpuspeedDaemonStrategy(), seed=seed)
+    auto = results[-1]
     measurements["auto"] = auto
     return InternalComparison(
         code="CG",

@@ -1,0 +1,244 @@
+"""Parallel experiment engine.
+
+Every paper artifact is a grid of *independent* full-cluster
+simulations (code × frequency × seed × strategy).  This module fans
+those runs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and memoizes each sweep point through the content-addressed
+:class:`~repro.experiments.store.MeasurementCache`, while guaranteeing
+results that are bit-for-bit identical to the serial path:
+
+* each task carries its own seed and builds a fresh cluster inside the
+  worker, so no state is shared between runs in any order;
+* results are collected *by submission index*, never by completion
+  order;
+* only runs whose outputs are fully summarised (no trace, no
+  measurement-channel report, no externally supplied cluster or hooks)
+  are ever cached or shipped to a worker pool.
+
+The experiment surface (``frequency_sweep``, ``tables.table2``,
+``figures.*``, ablations, sensitivity, the campaign) routes every
+simulation through the *current runner*: a module-level
+:class:`ParallelRunner` installed with :func:`use` (or
+:func:`configure`).  The default runner is serial, uncached and
+memo-free — exactly the old behavior.
+
+Usage::
+
+    from repro.experiments.parallel import ParallelRunner, use
+
+    with ParallelRunner(jobs=4, cache_dir=".repro-cache") as runner:
+        with use(runner):
+            rows = tables.table2()          # 48 runs, 4 at a time
+    print(runner.stats.render())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.core.framework import Measurement, run_workload
+from repro.core.strategies.base import NoDvsStrategy, Strategy
+from repro.workloads.base import Workload
+
+__all__ = [
+    "RunTask",
+    "ParallelRunner",
+    "current_runner",
+    "use",
+    "configure",
+]
+
+
+@dataclass
+class RunTask:
+    """One ``run_workload`` invocation, picklable for the worker pool."""
+
+    workload: Workload
+    strategy: Optional[Strategy] = None
+    seed: int = 0
+    #: extra ``run_workload`` keyword arguments (power, opoints, ...).
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def cacheable(self) -> bool:
+        """Whether the result is fully captured by summary fields.
+
+        Traced runs, measurement-channel runs and runs on a caller
+        supplied cluster or with extra hooks carry live objects the
+        cache (and the JSON round-trip) cannot reproduce.
+        """
+        kw = self.kwargs
+        return not (
+            kw.get("trace")
+            or kw.get("measurement_channels")
+            or kw.get("cluster") is not None
+            or kw.get("extra_hooks") is not None
+        )
+
+
+def _execute(task: RunTask) -> Measurement:
+    """Worker entry point — must stay a module-level function."""
+    return run_workload(task.workload, task.strategy, seed=task.seed, **task.kwargs)
+
+
+class ParallelRunner:
+    """Runs measurement grids, optionally in parallel and memoized.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) runs inline with zero
+        pool overhead; ``None`` also means serial.
+    cache_dir:
+        Enable the on-disk measurement cache rooted here (shared
+        between runs and between the parallel workers' parent).
+    memo:
+        Keep an in-process memo of every cacheable result for this
+        runner's lifetime, so e.g. a campaign simulates each workload's
+        no-DVS baseline exactly once even with the disk cache disabled.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache_dir: Union[str, Path, None] = None,
+        memo: bool = True,
+    ) -> None:
+        from repro.experiments.store import CacheStats, MeasurementCache
+
+        self.jobs = max(1, int(jobs or 1))
+        self.cache = MeasurementCache(cache_dir) if cache_dir is not None else None
+        self._memo: Optional[dict[str, Measurement]] = {} if memo else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.stats = CacheStats()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        strategy: Optional[Strategy] = None,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> Measurement:
+        """Memoized single run (the drop-in for ``run_workload``)."""
+        return self.map([RunTask(workload, strategy, seed, kwargs)])[0]
+
+    def map(self, tasks: Sequence[RunTask]) -> list[Measurement]:
+        """Run every task, returning results in task order.
+
+        Cache/memo hits are filled in first; the remaining misses run
+        in the worker pool (or inline when serial / a single miss) and
+        are stored back.
+        """
+        from repro.experiments.store import UncacheableSpecError, cache_key
+
+        results: list[Optional[Measurement]] = [None] * len(tasks)
+        pending: list[tuple[int, RunTask, Optional[str]]] = []
+        pending_by_key: dict[str, int] = {}
+        #: (result index, position in ``pending``) for duplicate tasks
+        #: within this batch — executed once, filled in everywhere.
+        duplicates: list[tuple[int, int]] = []
+        for index, task in enumerate(tasks):
+            key: Optional[str] = None
+            if (self._memo is not None or self.cache is not None) and task.cacheable():
+                try:
+                    # A None strategy runs as no-DVS; share its cache slot.
+                    key = cache_key(
+                        task.workload,
+                        task.strategy if task.strategy is not None else NoDvsStrategy(),
+                        task.seed,
+                        task.kwargs,
+                    )
+                except UncacheableSpecError:
+                    pending.append((index, task, None))
+                    continue
+                if self._memo is not None and key in self._memo:
+                    results[index] = self._memo[key]
+                    self.stats.hits += 1
+                    continue
+                if self.cache is not None:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[index] = cached
+                        if self._memo is not None:
+                            self._memo[key] = cached
+                        self.stats.hits += 1
+                        continue
+                if key in pending_by_key:
+                    duplicates.append((index, pending_by_key[key]))
+                    self.stats.hits += 1
+                    continue
+                self.stats.misses += 1
+                pending_by_key[key] = len(pending)
+            pending.append((index, task, key))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                pool = self._ensure_pool()
+                measured = list(pool.map(_execute, [t for _, t, _ in pending]))
+            else:
+                measured = [_execute(t) for _, t, _ in pending]
+            for (index, _, key), measurement in zip(pending, measured):
+                results[index] = measurement
+                if key is not None:
+                    if self._memo is not None:
+                        self._memo[key] = measurement
+                    if self.cache is not None:
+                        self.cache.put(key, measurement)
+                        self.stats.stores += 1
+            for index, position in duplicates:
+                results[index] = measured[position]
+        return results  # type: ignore[return-value]
+
+
+#: The runner the experiment surface routes through by default: serial,
+#: uncached, memo-free — byte-identical to calling run_workload directly.
+_DEFAULT = ParallelRunner(jobs=1, cache_dir=None, memo=False)
+_current: ParallelRunner = _DEFAULT
+
+
+def current_runner() -> ParallelRunner:
+    """The runner all grid helpers currently route through."""
+    return _current
+
+
+@contextlib.contextmanager
+def use(runner: ParallelRunner) -> Iterator[ParallelRunner]:
+    """Install ``runner`` as the current runner within the block."""
+    global _current
+    previous = _current
+    _current = runner
+    try:
+        yield runner
+    finally:
+        _current = previous
+
+
+def configure(
+    jobs: Optional[int] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    memo: bool = True,
+) -> ParallelRunner:
+    """Build a runner (CLI convenience mirroring ``--jobs``/``--cache-dir``)."""
+    return ParallelRunner(jobs=jobs, cache_dir=cache_dir, memo=memo)

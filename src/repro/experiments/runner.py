@@ -1,18 +1,26 @@
-"""Grid runners and normalization helpers."""
+"""Grid runners and normalization helpers.
+
+Every helper here routes its simulations through the *current runner*
+(:mod:`repro.experiments.parallel`), so installing a
+:class:`~repro.experiments.parallel.ParallelRunner` parallelises and
+memoizes every sweep without the callers changing.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.core.framework import Measurement, run_workload
+from repro.core.framework import Measurement
 from repro.core.strategies import ExternalStrategy, NoDvsStrategy, Strategy
+from repro.experiments.parallel import RunTask, current_runner
 from repro.workloads.base import Workload
 
 __all__ = [
     "RepeatSummary",
     "SweepResult",
     "frequency_sweep",
+    "frequency_sweep_many",
     "normalized_point",
     "run_baseline",
     "run_repeated",
@@ -31,13 +39,22 @@ class SweepResult:
     workload: str
     raw: dict[float, Measurement]
     baseline_mhz: float
+    #: lazily computed normalization (``raw`` is treated as immutable
+    #: once the first normalized point has been read).
+    _normalized: Optional[dict[float, tuple[float, float]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def normalized(self) -> dict[float, tuple[float, float]]:
-        base = self.raw[self.baseline_mhz]
-        return {
-            mhz: m.normalized_against(base) for mhz, m in sorted(self.raw.items())
-        }
+        cached = self._normalized
+        if cached is None:
+            base = self.raw[self.baseline_mhz]
+            cached = self._normalized = {
+                mhz: m.normalized_against(base)
+                for mhz, m in sorted(self.raw.items())
+            }
+        return cached
 
     @property
     def profile(self) -> dict[float, tuple[float, float]]:
@@ -47,7 +64,17 @@ class SweepResult:
 
 def run_baseline(workload: Workload, seed: int = 0, **kwargs) -> Measurement:
     """The paper's no-DVS reference run (all nodes at top speed)."""
-    return run_workload(workload, NoDvsStrategy(), seed=seed, **kwargs)
+    return current_runner().run(workload, NoDvsStrategy(), seed=seed, **kwargs)
+
+
+def _resolved_frequencies(
+    frequencies_mhz: Optional[Sequence[float]],
+) -> Sequence[float]:
+    if frequencies_mhz is not None:
+        return frequencies_mhz
+    from repro.hardware.opoints import PENTIUM_M_TABLE
+
+    return PENTIUM_M_TABLE.frequencies_mhz()
 
 
 def frequency_sweep(
@@ -57,18 +84,38 @@ def frequency_sweep(
     **kwargs,
 ) -> SweepResult:
     """Run the workload at every static frequency (Table 2 columns)."""
-    if frequencies_mhz is None:
-        from repro.hardware.opoints import PENTIUM_M_TABLE
+    return frequency_sweep_many([workload], frequencies_mhz, seed=seed, **kwargs)[
+        workload.tag
+    ]
 
-        frequencies_mhz = PENTIUM_M_TABLE.frequencies_mhz()
-    raw: dict[float, Measurement] = {}
-    for mhz in frequencies_mhz:
-        raw[float(mhz)] = run_workload(
-            workload, ExternalStrategy(mhz=mhz), seed=seed, **kwargs
+
+def frequency_sweep_many(
+    workloads: Sequence[Workload],
+    frequencies_mhz: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    **kwargs,
+) -> dict[str, SweepResult]:
+    """Sweep several workloads as one flat task grid (tag → sweep).
+
+    Submitting the full (workload × frequency) grid at once keeps every
+    worker of a parallel runner busy instead of parallelising only
+    within one workload's handful of frequencies.
+    """
+    frequencies = [float(mhz) for mhz in _resolved_frequencies(frequencies_mhz)]
+    tasks = [
+        RunTask(workload, ExternalStrategy(mhz=mhz), seed, dict(kwargs))
+        for workload in workloads
+        for mhz in frequencies
+    ]
+    measurements = current_runner().map(tasks)
+    sweeps: dict[str, SweepResult] = {}
+    n_freq = len(frequencies)
+    for i, workload in enumerate(workloads):
+        raw = dict(zip(frequencies, measurements[i * n_freq : (i + 1) * n_freq]))
+        sweeps[workload.tag] = SweepResult(
+            workload=workload.tag, raw=raw, baseline_mhz=float(max(frequencies))
         )
-    return SweepResult(
-        workload=workload.tag, raw=raw, baseline_mhz=float(max(frequencies_mhz))
-    )
+    return sweeps
 
 
 def normalized_point(
@@ -84,7 +131,7 @@ def normalized_point(
     """
     if baseline is None:
         baseline = run_baseline(workload, seed=seed, **kwargs)
-    m = run_workload(workload, strategy, seed=seed, **kwargs)
+    m = current_runner().run(workload, strategy, seed=seed, **kwargs)
     d, e = m.normalized_against(baseline)
     return d, e, m
 
@@ -149,6 +196,8 @@ def run_repeated(
     """Repeat a run with different seeds (the paper repeats >= 3x).
 
     Measurement-channel jitter (battery refresh) differs per seed; the
-    simulated application itself is deterministic.
+    simulated application itself is deterministic, so the seeds map to
+    independent tasks a parallel runner executes concurrently.
     """
-    return [run_workload(workload, strategy, seed=s, **kwargs) for s in seeds]
+    tasks = [RunTask(workload, strategy, s, dict(kwargs)) for s in seeds]
+    return current_runner().map(tasks)

@@ -15,9 +15,9 @@ from typing import Sequence
 
 from repro.hardware.power import NEMO_POWER, NodePowerParameters
 from repro.core.crescendo import Crescendo
-from repro.core.framework import run_workload
 from repro.core.strategies import ExternalStrategy, InternalStrategy, NoDvsStrategy, PhasePolicy
 from repro.experiments.calibration import PAPER_CRESCENDO_TYPES
+from repro.experiments.parallel import RunTask, current_runner
 from repro.workloads import get_workload
 
 __all__ = ["PerturbationResult", "power_model_sensitivity", "perturbed_power"]
@@ -48,30 +48,45 @@ def perturbed_power(parameter: str, scale: float) -> NodePowerParameters:
 
 def _evaluate(power: NodePowerParameters, parameter: str, scale: float,
               codes: Sequence[str], klass: str, seed: int) -> PerturbationResult:
+    kwargs = {"power": power}
+    sweep_mhz = (600.0, 1000.0)
+    workloads = {code: get_workload(code, klass=klass) for code in codes}
+    tasks: list[RunTask] = []
+    for code in codes:
+        w = workloads[code]
+        tasks.append(RunTask(w, NoDvsStrategy(), seed, dict(kwargs)))
+        tasks.extend(
+            RunTask(w, ExternalStrategy(mhz=mhz), seed, dict(kwargs))
+            for mhz in sweep_mhz
+        )
+    # FT INTERNAL headline under the perturbed model
+    ft = get_workload("FT", klass=klass)
+    tasks.append(RunTask(ft, NoDvsStrategy(), seed, dict(kwargs)))
+    tasks.append(
+        RunTask(
+            ft,
+            InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)),
+            seed,
+            dict(kwargs),
+        )
+    )
+    results = current_runner().map(tasks)
+
     taxonomy_holds = True
     ft_600 = (0.0, 0.0)
-    for code in codes:
-        w = get_workload(code, klass=klass)
-        base = run_workload(w, NoDvsStrategy(), power=power, seed=seed)
+    stride = 1 + len(sweep_mhz)
+    for i, code in enumerate(codes):
+        base = results[i * stride]
         points = {1400.0: (1.0, 1.0)}
-        for mhz in (600.0, 1000.0):
-            m = run_workload(w, ExternalStrategy(mhz=mhz), power=power, seed=seed)
-            points[mhz] = m.normalized_against(base)
+        for j, mhz in enumerate(sweep_mhz):
+            points[mhz] = results[i * stride + 1 + j].normalized_against(base)
         if code == "FT":
             ft_600 = points[600.0]
         measured_type = Crescendo(code, points).classify().value
         if measured_type != PAPER_CRESCENDO_TYPES[code]:
             taxonomy_holds = False
 
-    # FT INTERNAL headline under the perturbed model
-    ft = get_workload("FT", klass=klass)
-    base = run_workload(ft, NoDvsStrategy(), power=power, seed=seed)
-    internal = run_workload(
-        ft,
-        InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)),
-        power=power,
-        seed=seed,
-    )
+    base, internal = results[-2], results[-1]
     d, e = internal.normalized_against(base)
     internal_win_holds = d <= 1.02 and e <= 0.80
 

@@ -1,21 +1,46 @@
-"""Persisting experiment results.
+"""Persisting experiment results + the measurement memoization cache.
 
 Results are plain dataclasses over floats, so a JSON round-trip covers
 archiving, diffing between calibrations, and feeding external plotting
 tools.  Only measurement *summaries* are stored (not traces), matching
 what the paper's data-collection software keeps per run.
+
+The second half of this module is the content-addressed
+:class:`MeasurementCache`: every simulated sweep point is keyed by a
+stable hash of (workload spec, strategy config, seed, cluster/run
+parameters, model version), so a campaign never re-simulates a point
+another figure already produced.  See ``docs/performance.md`` for the
+key schema and the invalidation rules.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import inspect
 import json
+import os
+from collections.abc import Mapping as AbcMapping
+from collections.abc import Sequence as AbcSequence
+from collections.abc import Set as AbcSet
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, Union
+
+from typing import TYPE_CHECKING
 
 from repro.core.framework import Measurement
-from repro.experiments.runner import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SweepResult
 
 __all__ = [
+    "MODEL_VERSION",
+    "CacheStats",
+    "MeasurementCache",
+    "UncacheableSpecError",
+    "cache_key",
+    "canonical_spec",
+    "default_cache_dir",
     "measurement_to_dict",
     "measurement_from_dict",
     "sweep_to_dict",
@@ -23,6 +48,12 @@ __all__ = [
     "save_json",
     "load_json",
 ]
+
+#: Version of the simulation model the cache keys embed.  Bump this
+#: whenever a change anywhere in the simulator alters the *outputs* of
+#: ``run_workload`` for an unchanged configuration — every cached
+#: measurement is invalidated at once.
+MODEL_VERSION = 1
 
 
 def measurement_to_dict(m: Measurement) -> dict[str, Any]:
@@ -62,7 +93,9 @@ def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
     }
 
 
-def sweep_from_dict(data: Mapping[str, Any]) -> SweepResult:
+def sweep_from_dict(data: Mapping[str, Any]) -> "SweepResult":
+    from repro.experiments.runner import SweepResult
+
     return SweepResult(
         workload=data["workload"],
         raw={float(mhz): measurement_from_dict(m) for mhz, m in data["raw"].items()},
@@ -80,3 +113,186 @@ def save_json(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
 
 def load_json(path: Union[str, Path]) -> dict[str, Any]:
     return json.loads(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# measurement memoization cache
+# ----------------------------------------------------------------------
+class UncacheableSpecError(ValueError):
+    """A run spec contains state a content key cannot capture.
+
+    Raised for local functions and lambdas: two different lambdas share
+    the qualname ``...<locals>.<lambda>``, so keying them by name would
+    silently alias distinct configurations.  Runs carrying one simply
+    execute uncached.
+    """
+
+
+def canonical_spec(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable, deterministic structure.
+
+    Configuration objects (workloads, strategies, hardware parameter
+    dataclasses) are flattened to ``[class name, sorted public attrs]``;
+    private (``_``-prefixed) attributes are runtime state and excluded,
+    *except* for sequence-like objects (e.g. an operating-point table)
+    whose elements are part of the configuration and are canonicalised
+    as a list.  Floats go through ``repr`` so the key is exact, not
+    rounded.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__qualname__,
+            [[f.name, canonical_spec(getattr(obj, f.name))]
+             for f in dataclasses.fields(obj)],
+        ]
+    if isinstance(obj, AbcMapping):
+        return [
+            "__map__",
+            sorted(
+                ([canonical_spec(k), canonical_spec(v)] for k, v in obj.items()),
+                key=repr,
+            ),
+        ]
+    if isinstance(obj, (AbcSet, frozenset)):
+        return ["__set__", sorted((canonical_spec(x) for x in obj), key=repr)]
+    if isinstance(obj, (list, tuple)):
+        return [canonical_spec(x) for x in obj]
+    if isinstance(obj, AbcSequence):  # sequence-like config (opoint tables)
+        return [type(obj).__qualname__, [canonical_spec(x) for x in obj]]
+    # Functions/methods before the generic-object branch: they carry a
+    # __dict__ too, and would otherwise all collide as ["function", []].
+    if isinstance(obj, type) or inspect.isroutine(obj):
+        qualname = getattr(obj, "__qualname__", None) or repr(obj)
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise UncacheableSpecError(
+                f"cannot build a content key for local callable {qualname!r}"
+            )
+        return ["__callable__", f"{getattr(obj, '__module__', '?')}.{qualname}"]
+    if hasattr(obj, "__dict__") or hasattr(obj, "__slots__"):
+        attrs: dict[str, Any] = {}
+        if hasattr(obj, "__dict__"):
+            attrs.update(vars(obj))
+        for klass in type(obj).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if hasattr(obj, name):
+                    attrs.setdefault(name, getattr(obj, name))
+        return [
+            type(obj).__qualname__,
+            sorted(
+                [[k, canonical_spec(v)] for k, v in attrs.items()
+                 if not k.startswith("_")],
+            ),
+        ]
+    if callable(obj):
+        return getattr(obj, "__qualname__", repr(obj))
+    return repr(obj)
+
+
+def cache_key(
+    workload: Any,
+    strategy: Any,
+    seed: int,
+    run_kwargs: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content hash identifying one simulated sweep point.
+
+    The key covers the workload spec, the strategy class + its public
+    configuration, the seed, every ``run_workload`` keyword that shapes
+    the cluster (power model, operating points, network parameters,
+    transition latency, ...) and :data:`MODEL_VERSION`.
+    """
+    spec = {
+        "model_version": MODEL_VERSION,
+        "workload": canonical_spec(workload),
+        "workload_tag": getattr(workload, "tag", None),
+        "strategy": canonical_spec(strategy),
+        "seed": seed,
+        "kwargs": canonical_spec(dict(run_kwargs or {})),
+    }
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one runner/cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def render(self) -> str:
+        if not self.lookups:
+            return "cache: unused"
+        rate = self.hits / self.lookups
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({rate:.0%} hit rate, {self.stores} stored)"
+        )
+
+
+class MeasurementCache:
+    """Content-addressed on-disk memoization of :class:`Measurement`.
+
+    One JSON file per sweep point, named by its :func:`cache_key`, in
+    two-level fan-out directories.  Only measurement summaries are
+    stored (never traces or reports), so a cached hit is bit-for-bit
+    identical to a fresh uncached run for every summary field.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Measurement]:
+        """The cached measurement for ``key``, or None (counted)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return measurement_from_dict(data["measurement"])
+
+    def put(self, key: str, measurement: Measurement) -> Path:
+        """Store ``measurement`` under ``key`` (summary fields only)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "measurement": measurement_to_dict(measurement)}
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)  # atomic vs concurrent writers of the same key
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

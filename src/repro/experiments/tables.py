@@ -6,10 +6,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.hardware.opoints import PENTIUM_M_TABLE, OperatingPointTable
-from repro.core.framework import Measurement, run_workload
-from repro.core.strategies import CpuspeedDaemonStrategy
+from repro.core.framework import Measurement
+from repro.core.strategies import CpuspeedDaemonStrategy, ExternalStrategy
 from repro.experiments.calibration import FREQUENCIES_MHZ, PAPER_TABLE2
-from repro.experiments.runner import SweepResult, frequency_sweep
+from repro.experiments.parallel import RunTask, current_runner
+from repro.experiments.runner import SweepResult
 from repro.workloads import get_workload
 
 __all__ = ["table1", "Table2Row", "table2", "NPB_CODES"]
@@ -58,13 +59,36 @@ def table2(
 
     Each code runs once per static frequency plus once under the
     CPUSPEED daemon; all values are normalized to the 1400 MHz run.
+    The full (code × column) grid is submitted to the current runner as
+    one flat batch so a parallel runner saturates its workers.
     """
+    code_list = [c.upper() for c in (codes or NPB_CODES)]
+    workloads = {
+        code: get_workload(code, klass=klass, nprocs=NPB_CODES[code])
+        for code in code_list
+    }
+    frequencies = [float(mhz) for mhz in FREQUENCIES_MHZ]
+    tasks: list[RunTask] = []
+    for code in code_list:
+        workload = workloads[code]
+        tasks.extend(
+            RunTask(workload, ExternalStrategy(mhz=mhz), seed)
+            for mhz in frequencies
+        )
+        tasks.append(RunTask(workload, CpuspeedDaemonStrategy(), seed))
+    measurements = current_runner().map(tasks)
+
     rows: dict[str, Table2Row] = {}
-    for code in codes or NPB_CODES:
-        code = code.upper()
-        workload = get_workload(code, klass=klass, nprocs=NPB_CODES[code])
-        sweep = frequency_sweep(workload, FREQUENCIES_MHZ, seed=seed)
-        auto = run_workload(workload, CpuspeedDaemonStrategy(), seed=seed)
+    stride = len(frequencies) + 1
+    for i, code in enumerate(code_list):
+        workload = workloads[code]
+        chunk = measurements[i * stride : (i + 1) * stride]
+        sweep = SweepResult(
+            workload=workload.tag,
+            raw=dict(zip(frequencies, chunk[:-1])),
+            baseline_mhz=float(max(frequencies)),
+        )
+        auto = chunk[-1]
         baseline = sweep.raw[sweep.baseline_mhz]
         columns: dict[str, tuple[float, float]] = {
             "auto": auto.normalized_against(baseline)

@@ -424,7 +424,7 @@ class CpuCore:
         seg.planned = self._duration(seg)
         timeout = Timeout(self.env, seg.planned)
         seg.timeout = timeout
-        timeout.callbacks.append(self._make_completer(seg, timeout))
+        timeout._add_callback(self._make_completer(seg, timeout))
 
     def _make_completer(self, seg: _Segment, timeout: Timeout):
         def complete(_event: Event) -> None:

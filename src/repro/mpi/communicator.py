@@ -203,7 +203,7 @@ class Communicator:
         else:
             # Clear-to-send; completion follows payload delivery.
             msg.cts.succeed()
-            msg.delivered.callbacks.append(lambda _e: req.done.succeed(msg))
+            msg.delivered._add_callback(lambda _e: req.done.succeed(msg))
 
     def _slot(self, seq: int, kind: str) -> _CollectiveSlot:
         slot = self._coll_slots.get(seq)
@@ -482,7 +482,7 @@ class RankContext:
                     freq_ratio=comm._max_freq_ratio(),
                 )
                 done = slot.done
-                Timeout(self.env, duration).callbacks.append(
+                Timeout(self.env, duration)._add_callback(
                     lambda _e: done.succeed()
                 )
             yield slot.done

@@ -10,10 +10,24 @@ Events follow SimPy-like semantics:
   generator).
 * :class:`Timeout` is an event triggered automatically after a delay.
 * :class:`AllOf` / :class:`AnyOf` compose events.
+
+Fast-path invariants (see ``docs/performance.md``):
+
+* Callbacks are stored in ``_callbacks`` as ``None`` (no callbacks yet),
+  a bare callable (the overwhelmingly common single-callback case — no
+  list allocation), a list (two or more callbacks), or the
+  ``_PROCESSED`` sentinel once they have been dispatched.  The public
+  :attr:`Event.callbacks` property transparently promotes the compact
+  forms to a real list, so external ``event.callbacks.append(...)``
+  keeps working; hot paths use :meth:`Event._add_callback` instead.
+* Every event carries a ``_cancelled`` flag so the environment's heap
+  loop never needs an ``isinstance(event, Timeout)`` check; only
+  :meth:`Timeout.cancel` ever sets it.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -22,6 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Event", "Timeout", "Interrupt", "AllOf", "AnyOf", "ConditionValue"]
 
 _PENDING = object()
+#: Sentinel stored in ``_callbacks`` once callbacks have been dispatched.
+_PROCESSED = object()
 
 
 class Interrupt(Exception):
@@ -44,19 +60,65 @@ class Event:
         The environment the event belongs to.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        #: Callables invoked with this event once it is processed.
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # None | bare callable | list | _PROCESSED — see module docstring.
+        self._callbacks: Any = None
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused = False
+        self._cancelled = False
 
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"
         return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Callables invoked with this event once it is processed.
+
+        ``None`` once the event has been processed.  Accessing this on a
+        pending event materialises the internal compact representation
+        into a mutable list, so ``event.callbacks.append(fn)`` works.
+        """
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
+            return None
+        if type(cbs) is list:
+            return cbs
+        lst = [] if cbs is None else [cbs]
+        self._callbacks = lst
+        return lst
+
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Append ``fn`` without allocating a list for the single-callback
+        case (the kernel's hot path)."""
+        cbs = self._callbacks
+        if cbs is None:
+            self._callbacks = fn
+        elif type(cbs) is list:
+            cbs.append(fn)
+        elif cbs is _PROCESSED:
+            raise RuntimeError(f"{self!r} has already been processed")
+        else:
+            self._callbacks = [cbs, fn]
+
+    def _remove_callback(self, fn: Callable[["Event"], None]) -> bool:
+        """Detach ``fn`` if present; returns whether it was removed."""
+        cbs = self._callbacks
+        if type(cbs) is list:
+            if fn in cbs:
+                cbs.remove(fn)
+                return True
+            return False
+        # Bound methods are recreated per attribute access, so compare
+        # by equality, not identity.
+        if cbs is not None and cbs is not _PROCESSED and cbs == fn:
+            self._callbacks = None
+            return True
+        return False
 
     @property
     def triggered(self) -> bool:
@@ -66,7 +128,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have been dispatched."""
-        return self.callbacks is None
+        return self._callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -82,7 +144,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -91,7 +153,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure carried by ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -113,17 +175,23 @@ class Timeout(Event):
     changes mid-segment.
     """
 
-    __slots__ = ("_delay", "_cancelled")
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
-        self._cancelled = False
+        # Inlined Event.__init__ + Environment._schedule: timeouts are
+        # created once per simulated segment/message, making this the
+        # hottest constructor in the kernel.
+        self.env = env
+        self._callbacks = None
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        self._defused = False
+        self._cancelled = False
+        self._delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, eid, self))
 
     @property
     def delay(self) -> float:
@@ -135,7 +203,12 @@ class Timeout(Event):
 
     def cancel(self) -> None:
         """Prevent a pending timeout from firing (no effect if processed)."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._callbacks is not _PROCESSED:
+                # Still sitting in the heap: account for the dead entry
+                # so the environment can compact when too many linger.
+                self.env._note_cancelled()
 
 
 class ConditionValue(dict):
@@ -164,7 +237,7 @@ class _Condition(Event):
             if ev.processed:
                 self._check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev._add_callback(self._check)
 
     def _collect_values(self) -> ConditionValue:
         # Only *processed* events contribute (their callbacks ran, so

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import _PENDING, _PROCESSED, Event, Interrupt, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Environment
@@ -21,7 +21,7 @@ class Process(Event):
     generator advances every time an event it yielded is processed.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_resume_cb", "_target", "name")
 
     def __init__(
         self,
@@ -33,6 +33,11 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound-method caches for the resume hot path (`self._resume` is
+        # a fresh object on every attribute access otherwise).
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         #: The event this process is currently waiting on (None if running
         #: or finished).
         self._target: Optional[Event] = None
@@ -40,7 +45,7 @@ class Process(Event):
         # Kick the process off at the current time via an initialisation
         # event so that creation order does not matter.
         init = Event(env)
-        init.callbacks.append(self._resume)
+        init._add_callback(self._resume_cb)
         init.succeed()
 
     def __repr__(self) -> str:
@@ -70,55 +75,61 @@ class Process(Event):
         # not started yet, the interrupt simply lands right after its
         # initialisation event).
         target = self._target
-        if (
-            target is not None
-            and target.callbacks is not None
-            and self._resume in target.callbacks
-        ):
-            target.callbacks.remove(self._resume)
+        if target is not None and not target.processed:
+            target._remove_callback(self._resume_cb)
         carrier = Event(self.env)
-        carrier.callbacks.append(self._resume)
+        carrier._add_callback(self._resume_cb)
         carrier._ok = False
         carrier._defused = True
         carrier._value = Interrupt(cause)
         self.env._schedule(carrier)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
         try:
-            if event.ok:
-                next_event = self._generator.send(event._value if event.triggered else None)
+            if event._ok:
+                value = event._value
+                next_event = self._send(None if value is _PENDING else value)
             else:
-                event.defuse()
-                next_event = self._generator.throw(event._value)
+                event._defused = True
+                next_event = self._throw(event._value)
         except StopIteration as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(exc.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(next_event, Event):
+        if type(next_event) is not Timeout and not isinstance(next_event, Event):
             raise TypeError(
                 f"process {self.name!r} yielded a non-event: {next_event!r}"
             )
-        if next_event.env is not self.env:
+        if next_event.env is not env:
             raise ValueError("process yielded an event from another environment")
-        if next_event.processed:
+        # Inlined _add_callback on the wait target — the per-yield path.
+        cbs = next_event._callbacks
+        if cbs is None:
+            next_event._callbacks = self._resume_cb
+            self._target = next_event
+        elif cbs is _PROCESSED:
             # Already happened: resume immediately (at the current time).
-            carrier = Event(self.env)
-            carrier.callbacks.append(self._resume)
-            carrier._ok = next_event.ok
+            carrier = Event(env)
+            carrier._callbacks = self._resume_cb
+            carrier._ok = next_event._ok
             carrier._value = next_event._value
-            if not next_event.ok:
-                next_event.defuse()
+            if not next_event._ok:
+                next_event._defused = True
                 carrier._defused = True
-            self.env._schedule(carrier)
+            env._schedule(carrier)
             self._target = carrier
+        elif type(cbs) is list:
+            cbs.append(self._resume_cb)
+            self._target = next_event
         else:
-            next_event.callbacks.append(self._resume)
+            next_event._callbacks = [cbs, self._resume_cb]
             self._target = next_event

@@ -50,3 +50,18 @@ def test_cli_report_target(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     assert main(["report", "--class", "T", "--codes", "EP"]) == 0
     assert (tmp_path / "REPORT.md").exists()
+
+
+def test_campaign_parallel_cached_smoke(tmp_path):
+    """Tiny campaign with two workers and a cold-then-warm cache."""
+    cache = tmp_path / "cache"
+    cold = run_campaign(klass="T", codes=["EP"], with_charts=False,
+                        jobs=2, cache_dir=cache)
+    assert "2 workers" in cold
+    warm = run_campaign(klass="T", codes=["EP"], with_charts=False,
+                        jobs=2, cache_dir=cache)
+    # Every cacheable point hits on the warm pass...
+    assert "0 misses" in warm
+    # ...and the science (everything but the wall-time footer) matches.
+    strip = lambda text: text.rsplit("---", 1)[0]
+    assert strip(warm) == strip(cold)

@@ -1,0 +1,64 @@
+"""Cancelled-timeout bookkeeping: lazy deletion + heap compaction.
+
+A long-lived environment that keeps scheduling and cancelling guard
+timeouts (the communicator's timeout-guard pattern) must not let dead
+heap entries accumulate without bound — and compaction must never
+change observable simulation behavior.
+"""
+
+from repro.sim import Environment
+from repro.sim.engine import COMPACT_MIN_DEAD
+
+
+def test_cancelled_timeouts_do_not_accumulate():
+    env = Environment()
+    for _ in range(20 * COMPACT_MIN_DEAD):
+        env.timeout(1000.0).cancel()
+    # Lazy deletion alone would leave every entry in the heap; the
+    # compaction threshold bounds it near COMPACT_MIN_DEAD.
+    assert len(env._queue) <= 2 * COMPACT_MIN_DEAD + 1
+
+
+def test_compaction_preserves_live_events():
+    env = Environment()
+    fired = []
+    live = [env.timeout(float(i) + 0.5, i) for i in range(10)]
+    for ev in live:
+        ev._add_callback(lambda e: fired.append(e._value))
+    # Bury the live events under enough dead ones to force compaction.
+    for _ in range(4 * COMPACT_MIN_DEAD):
+        env.timeout(0.25).cancel()
+    assert env._dead <= len(env._queue)
+    env.run()
+    assert fired == list(range(10))
+    assert env.now == 9.5
+    assert env._dead == 0
+
+
+def test_cancel_is_idempotent_and_step_skips_dead():
+    env = Environment()
+    t = env.timeout(1.0)
+    t.cancel()
+    t.cancel()  # second cancel must not double-count a dead entry
+    assert env._dead == 1
+    keep = env.timeout(2.0)
+    env.run()
+    assert env.now == 2.0
+    assert keep.processed
+    assert not t.processed
+    assert env._dead == 0
+
+
+def test_cancelled_then_popped_without_compaction():
+    """Below the threshold, dead entries drain through peek/step."""
+    env = Environment()
+    cancelled = [env.timeout(1.0) for _ in range(5)]
+    for t in cancelled:
+        t.cancel()
+    assert env._dead == 5
+    assert env.peek() == float("inf")  # peek drains dead entries
+    assert env._dead == 0
+    env.timeout(2.0)
+    env.run()
+    assert env.now == 2.0
+    assert env._dead == 0

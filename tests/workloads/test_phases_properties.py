@@ -67,7 +67,12 @@ def test_random_phase_programs_never_deadlock(seed, nprocs):
     )
     m = run_workload(workload)
     assert m.elapsed_s >= 0.0
-    assert m.energy_j > 0.0
+    # A program of only zero-iteration loops legitimately takes zero
+    # time and zero energy; otherwise the baseline draw must show up.
+    if m.elapsed_s > 0.0:
+        assert m.energy_j > 0.0
+    else:
+        assert m.energy_j == 0.0
 
 
 @given(seed=st.integers(min_value=0, max_value=2_000))
