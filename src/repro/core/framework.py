@@ -9,9 +9,11 @@ through the paper's ACPI and Baytech channels and the MPE-like tracer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.sim.engine import Environment
+from repro.faults.injector import FaultInjector, resolve_injector
+from repro.faults.spec import FaultSpec
 from repro.hardware.cluster import Cluster, nemo_cluster
 from repro.hardware.network import NetworkParameters
 from repro.hardware.opoints import OperatingPointTable, PENTIUM_M_TABLE
@@ -71,11 +73,18 @@ def run_workload(
     transition_latency_s: float = 20e-6,
     cluster: Optional[Cluster] = None,
     extra_hooks: Optional[PhaseHooks] = None,
+    faults: Union[FaultSpec, FaultInjector, None] = None,
 ) -> Measurement:
     """Run ``workload`` under ``strategy`` on a fresh cluster.
 
     Parameters
     ----------
+    faults:
+        Optional fault environment (a
+        :class:`~repro.faults.spec.FaultSpec`, or a ready injector to
+        inspect afterwards).  Faults that actually fired are reported
+        in ``Measurement.extras["faults"]``; a zero-rate spec leaves
+        the result bit-for-bit identical to ``faults=None``.
     measurement_channels:
         Also measure through the simulated ACPI batteries and Baytech
         strip (slower; adds sampling processes).  The exact meters are
@@ -92,6 +101,7 @@ def run_workload(
         the run the strategy is scheduling).
     """
     strategy = strategy or NoDvsStrategy()
+    injector = resolve_injector(faults)
     if cluster is None:
         env = Environment()
         cluster = nemo_cluster(
@@ -103,6 +113,7 @@ def run_workload(
             transition_latency_s=transition_latency_s,
             with_batteries=measurement_channels,
             seed=seed,
+            injector=injector,
         )
     else:
         env = cluster.env
@@ -117,7 +128,7 @@ def run_workload(
         hooks = CompositeHooks(hooks, extra_hooks) if hooks is not NO_HOOKS else extra_hooks
     tracer = TraceLog() if trace else None
     collector = (
-        DataCollector(cluster, node_ids)
+        DataCollector(cluster, node_ids, injector=injector)
         if measurement_channels
         else None
     )
@@ -135,6 +146,7 @@ def run_workload(
         node_ids=node_ids,
         cost=workload.cost_model(),
         tracer=tracer,
+        injector=injector,
     )
     env.run(handle.done)
     handle.check()
@@ -153,6 +165,13 @@ def run_workload(
         for mhz, secs in cpu.stats.time_at_mhz.items():
             time_at[mhz] = time_at.get(mhz, 0.0) + secs
 
+    # Degradation report: attached only when a fault actually fired, so
+    # clean and zero-rate runs stay equal (extras == {}) to pre-fault
+    # baselines.
+    extras: dict = {}
+    if injector is not None and injector.log.any:
+        extras["faults"] = injector.log.as_dict()
+
     return Measurement(
         workload=workload.tag,
         strategy=strategy.describe(),
@@ -165,4 +184,5 @@ def run_workload(
         baytech_energy_j=report.total_baytech_j if report is not None else None,
         trace=tracer,
         report=report,
+        extras=extras,
     )

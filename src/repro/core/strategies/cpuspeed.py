@@ -42,6 +42,11 @@ class CpuspeedConfig:
     minimum_threshold: float = 50.0
     usage_threshold: float = 80.0
     maximum_threshold: float = 95.0
+    #: robustness against (injected) SpeedStep failures: how many times
+    #: one poll's transition is re-issued, and the initial sleep before
+    #: each retry (doubled per attempt — exponential backoff).
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -56,6 +61,8 @@ class CpuspeedConfig:
             raise ValueError(
                 "need 0 <= minimum <= usage <= maximum <= 100 thresholds"
             )
+        if self.max_retries < 0 or self.retry_backoff_s <= 0:
+            raise ValueError("need max_retries >= 0 and a positive backoff")
 
     @classmethod
     def v1_1(cls) -> "CpuspeedConfig":
@@ -119,7 +126,20 @@ class CpuspeedDaemonStrategy(Strategy):
                 usage = 100.0 * (busy - prev_busy) / window if window > 0 else 0.0
                 prev_busy, prev_time = busy, now
                 index = self._next_index(cpu.index, cpu.opoints.max_index, usage)
-                cpu.set_speed_index(index)
+                ok = cpu.set_speed_index(index)
+                # Failed (injected) transition: retry with exponential
+                # backoff instead of silently sticking until next poll.
+                # The clean path never enters this loop, so it adds no
+                # events to fault-free runs.
+                backoff = cfg.retry_backoff_s
+                for _ in range(cfg.max_retries):
+                    if ok:
+                        break
+                    yield env.timeout(backoff)
+                    backoff *= 2.0
+                    if cpu.injector is not None:
+                        cpu.injector.log.dvs_retries += 1
+                    ok = cpu.set_speed_index(index)
         except Interrupt:
             return
 

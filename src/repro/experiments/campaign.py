@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Union
 
 from repro.experiments import figures, report, tables
 from repro.experiments.parallel import ParallelRunner, use
+from repro.faults import FaultSpec, parse_fault_spec
 from repro.experiments.plotting import crescendo_chart
 from repro.experiments.validation import score_table2
 
@@ -40,15 +41,20 @@ def run_campaign(
     with_charts: bool = True,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
+    faults: Optional["FaultSpec"] = None,
 ) -> str:
     """Regenerate every table/figure; return the markdown report.
 
     ``jobs`` > 1 fans the simulation grid over worker processes;
     ``cache_dir`` enables the on-disk measurement cache.  Results are
-    identical to a serial, uncached campaign in either case.
+    identical to a serial, uncached campaign in either case.  A
+    ``faults`` spec reruns the whole campaign inside that deterministic
+    fault environment and appends a degradation section to the report.
     """
-    with ParallelRunner(jobs=jobs, cache_dir=cache_dir) as runner, use(runner):
-        return _run_campaign_body(runner, klass, seed, codes, with_charts)
+    with ParallelRunner(
+        jobs=jobs, cache_dir=cache_dir, faults=faults
+    ) as runner, use(runner):
+        return _run_campaign_body(runner, klass, seed, codes, with_charts, faults)
 
 
 def _run_campaign_body(
@@ -57,6 +63,7 @@ def _run_campaign_body(
     seed: int,
     codes: Optional[Sequence[str]],
     with_charts: bool,
+    faults: Optional["FaultSpec"] = None,
 ) -> str:
     t_start = time.perf_counter()
     parts: list[str] = []
@@ -149,6 +156,12 @@ def _run_campaign_body(
         ),
     ))
 
+    if faults is not None:
+        parts.append(_section(
+            "Fault injection",
+            report.render_fault_summary(faults, runner.stats),
+        ))
+
     elapsed = time.perf_counter() - t_start
     parts.append(
         f"---\n\n*Campaign wall time: {elapsed:.1f}s "
@@ -167,10 +180,12 @@ def write_report(
     codes: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
+    faults: Optional["FaultSpec"] = None,
 ) -> Path:
     path = Path(path)
     path.write_text(run_campaign(klass=klass, seed=seed, codes=codes,
-                                 jobs=jobs, cache_dir=cache_dir))
+                                 jobs=jobs, cache_dir=cache_dir,
+                                 faults=faults))
     return path
 
 
@@ -186,10 +201,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="worker processes for independent runs")
     parser.add_argument("--cache-dir", default=None,
                         help="enable the on-disk measurement cache here")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault spec, e.g. 'mild,seed=3' "
+                             "(see docs/faults.md)")
     args = parser.parse_args(argv)
+    faults = parse_fault_spec(args.faults) if args.faults else None
     path = write_report(args.out, klass=args.klass, seed=args.seed,
                         codes=args.codes, jobs=args.jobs,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir, faults=faults)
     print(f"report written to {path}")
     return 0
 

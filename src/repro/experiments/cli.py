@@ -93,6 +93,16 @@ def _parser() -> argparse.ArgumentParser:
         help="wipe the measurement cache before running",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic faults into every run: a preset "
+            "(none/mild/harsh) and/or comma-separated key=value overrides, "
+            "e.g. 'mild,seed=3' or 'fail=0.2,dropout=0.1' (see docs/faults.md)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         dest="json_out",
         default=None,
@@ -157,7 +167,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         removed = MeasurementCache(cache_dir).clear()
         print(f"[cleared {removed} cached measurements from {cache_dir}]")
 
-    with ParallelRunner(jobs=args.jobs, cache_dir=cache_dir) as runner, use(runner):
+    faults = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        faults = parse_fault_spec(args.faults)
+        if faults.active:
+            print(f"[injecting faults: {faults.describe()}]")
+
+    with ParallelRunner(
+        jobs=args.jobs, cache_dir=cache_dir, faults=faults
+    ) as runner, use(runner):
         return _dispatch(args, targets, runner)
 
 

@@ -35,18 +35,22 @@ Usage::
 from __future__ import annotations
 
 import contextlib
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
 
 from repro.core.framework import Measurement, run_workload
 from repro.core.strategies.base import NoDvsStrategy, Strategy
+from repro.faults.spec import FaultSpec
 from repro.workloads.base import Workload
 
 __all__ = [
     "RunTask",
     "ParallelRunner",
+    "TaskFailedError",
     "current_runner",
     "use",
     "configure",
@@ -68,20 +72,62 @@ class RunTask:
 
         Traced runs, measurement-channel runs and runs on a caller
         supplied cluster or with extra hooks carry live objects the
-        cache (and the JSON round-trip) cannot reproduce.
+        cache (and the JSON round-trip) cannot reproduce.  A ``faults``
+        kwarg is cacheable only as a value-typed :class:`FaultSpec` —
+        a live injector instance carries consumed RNG state no content
+        key could capture.
         """
         kw = self.kwargs
+        faults = kw.get("faults")
         return not (
             kw.get("trace")
             or kw.get("measurement_channels")
             or kw.get("cluster") is not None
             or kw.get("extra_hooks") is not None
+            or (faults is not None and not isinstance(faults, FaultSpec))
         )
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retries; carries the failing spec + trace."""
+
+    def __init__(self, task: RunTask, attempts: int, detail: str) -> None:
+        self.task = task
+        self.attempts = attempts
+        strategy = task.strategy.describe() if task.strategy is not None else "no-dvs"
+        spec = (
+            f"workload={task.workload.tag!r} strategy={strategy!r} "
+            f"seed={task.seed}"
+        )
+        if task.kwargs:
+            spec += f" kwargs={sorted(task.kwargs)}"
+        super().__init__(
+            f"run failed after {attempts} attempt(s): {spec}\n{detail}"
+        )
+
+
+class _WorkerError(Exception):
+    """Worker-side failure, carrying the formatted traceback as args[0].
+
+    A plain-args Exception subclass so it pickles back to the parent
+    intact (arbitrary exceptions raised inside a worker lose their
+    traceback at the process boundary).
+    """
 
 
 def _execute(task: RunTask) -> Measurement:
     """Worker entry point — must stay a module-level function."""
     return run_workload(task.workload, task.strategy, seed=task.seed, **task.kwargs)
+
+
+def _execute_traced(task: RunTask) -> Measurement:
+    """Pool entry point: convert any failure into a picklable
+    :class:`_WorkerError` so the parent sees the worker's traceback
+    instead of an opaque ``BrokenProcessPool``."""
+    try:
+        return _execute(task)
+    except Exception:
+        raise _WorkerError(traceback.format_exc()) from None
 
 
 class ParallelRunner:
@@ -99,6 +145,20 @@ class ParallelRunner:
         Keep an in-process memo of every cacheable result for this
         runner's lifetime, so e.g. a campaign simulates each workload's
         no-DVS baseline exactly once even with the disk cache disabled.
+    faults:
+        Default :class:`~repro.faults.spec.FaultSpec` merged into
+        every task that does not set ``faults`` itself — this is how
+        ``--faults`` puts a whole campaign (every table and figure)
+        under one fault environment.  Part of each task's cache key,
+        so faulty and clean runs never alias.
+    task_retries:
+        How many times one failing/timed-out pool task is re-run
+        before :class:`TaskFailedError` (default 1; simulations are
+        deterministic, so this mainly absorbs killed workers).
+    task_timeout_s:
+        Per-task wall-clock ceiling in the pool; on expiry the worker
+        pool is recycled and the task counts a failed attempt.  None
+        (default) disables the timeout.
     """
 
     def __init__(
@@ -106,11 +166,21 @@ class ParallelRunner:
         jobs: Optional[int] = 1,
         cache_dir: Union[str, Path, None] = None,
         memo: bool = True,
+        faults: Optional[FaultSpec] = None,
+        task_retries: int = 1,
+        task_timeout_s: Optional[float] = None,
     ) -> None:
         from repro.experiments.store import CacheStats, MeasurementCache
 
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
         self.jobs = max(1, int(jobs or 1))
         self.cache = MeasurementCache(cache_dir) if cache_dir is not None else None
+        self.faults = faults
+        self.task_retries = task_retries
+        self.task_timeout_s = task_timeout_s
         self._memo: Optional[dict[str, Measurement]] = {} if memo else None
         self._pool: Optional[ProcessPoolExecutor] = None
         self.stats = CacheStats()
@@ -153,6 +223,17 @@ class ParallelRunner:
         """
         from repro.experiments.store import UncacheableSpecError, cache_key
 
+        if self.faults is not None:
+            # Runner-level fault environment: merged into every task
+            # that doesn't choose its own (an explicit faults=None in
+            # task kwargs opts that task out).
+            tasks = [
+                t if "faults" in t.kwargs else RunTask(
+                    t.workload, t.strategy, t.seed,
+                    {**t.kwargs, "faults": self.faults},
+                )
+                for t in tasks
+            ]
         results: list[Optional[Measurement]] = [None] * len(tasks)
         pending: list[tuple[int, RunTask, Optional[str]]] = []
         pending_by_key: dict[str, int] = {}
@@ -195,8 +276,7 @@ class ParallelRunner:
 
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                pool = self._ensure_pool()
-                measured = list(pool.map(_execute, [t for _, t, _ in pending]))
+                measured = self._map_pool([t for _, t, _ in pending])
             else:
                 measured = [_execute(t) for _, t, _ in pending]
             for (index, _, key), measurement in zip(pending, measured):
@@ -209,7 +289,91 @@ class ParallelRunner:
                         self.stats.stores += 1
             for index, position in duplicates:
                 results[index] = measured[position]
+        for m in results:
+            self.stats.runs += 1
+            if m is not None and m.extras.get("faults"):
+                self.stats.degraded_runs += 1
         return results  # type: ignore[return-value]
+
+    # -- pool execution with retry / timeout / failure surfacing -------
+    def _map_pool(self, tasks: Sequence[RunTask]) -> list[Measurement]:
+        """Run ``tasks`` in the worker pool, in order.
+
+        Worker-side exceptions surface as :class:`TaskFailedError`
+        (task spec + worker traceback) instead of raw pool errors; a
+        timed-out or pool-killing task gets the pool recycled and is
+        retried up to ``task_retries`` times.  Collateral tasks of a
+        broken pool are re-run without spending one of their attempts.
+        """
+        results: list[Optional[Measurement]] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        remaining = list(range(len(tasks)))
+        while remaining:
+            pool = self._ensure_pool()
+            futures = {i: pool.submit(_execute_traced, tasks[i]) for i in remaining}
+            retry: list[int] = []
+            broken = False
+
+            def _failed(i: int, detail: str) -> None:
+                attempts[i] += 1
+                if attempts[i] > self.task_retries:
+                    # Leave no half-broken pool behind the exception.
+                    self._recycle_pool()
+                    raise TaskFailedError(tasks[i], attempts[i], detail)
+                retry.append(i)
+
+            for i in remaining:
+                future = futures[i]
+                if broken:
+                    # The pool died under an earlier task this round.
+                    # Harvest results that finished before the crash;
+                    # everything else retries for free.
+                    if future.done() and not future.cancelled():
+                        try:
+                            results[i] = future.result()
+                            continue
+                        except _WorkerError as exc:
+                            _failed(i, exc.args[0])
+                            continue
+                        except Exception:
+                            pass
+                    retry.append(i)
+                    continue
+                try:
+                    results[i] = future.result(timeout=self.task_timeout_s)
+                except _WorkerError as exc:
+                    _failed(i, exc.args[0])
+                except FuturesTimeout:
+                    broken = True
+                    _failed(
+                        i,
+                        f"no result within task_timeout_s={self.task_timeout_s}; "
+                        "hung worker killed and pool recycled",
+                    )
+                except BrokenExecutor as exc:
+                    broken = True
+                    _failed(
+                        i,
+                        f"worker pool broke under this task ({exc!r}): the "
+                        "worker died without a Python traceback (killed / "
+                        "out-of-memory / interpreter crash)",
+                    )
+            if broken:
+                self._recycle_pool()
+            remaining = retry
+        return results  # type: ignore[return-value]
+
+    def _recycle_pool(self) -> None:
+        """Tear down a broken/hung pool without waiting on its workers."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in getattr(pool, "_processes", None) or {}:
+            try:
+                pool._processes[proc].terminate()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 #: The runner the experiment surface routes through by default: serial,
@@ -239,6 +403,7 @@ def configure(
     jobs: Optional[int] = 1,
     cache_dir: Union[str, Path, None] = None,
     memo: bool = True,
+    faults: Optional[FaultSpec] = None,
 ) -> ParallelRunner:
     """Build a runner (CLI convenience mirroring ``--jobs``/``--cache-dir``)."""
-    return ParallelRunner(jobs=jobs, cache_dir=cache_dir, memo=memo)
+    return ParallelRunner(jobs=jobs, cache_dir=cache_dir, memo=memo, faults=faults)

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import CacheStats
+    from repro.faults.spec import FaultSpec
 
 from repro.experiments.calibration import PAPER_TABLE2
 from repro.experiments.figures import (
@@ -27,6 +31,7 @@ __all__ = [
     "render_trace_observations",
     "render_internal",
     "render_breakdown",
+    "render_fault_summary",
 ]
 
 
@@ -182,3 +187,24 @@ def render_breakdown(fig: PowerBreakdownResult) -> str:
         rows,
         "Figure 1: node power breakdown",
     )
+
+
+def render_fault_summary(faults: "FaultSpec", stats: "CacheStats") -> str:
+    """Degradation section for a campaign run under injected faults.
+
+    Shows the fault environment (non-default spec fields) and how many
+    of the delivered runs were actually perturbed — a run whose fault
+    opportunities all drew "no fault" is indistinguishable from clean.
+    """
+    lines = [f"fault spec: {faults.describe()}"]
+    if stats.runs:
+        lines.append(
+            f"degraded runs: {stats.degraded_runs}/{stats.runs} "
+            f"({stats.degraded_runs / stats.runs:.0%})"
+        )
+    else:
+        lines.append("degraded runs: none delivered through the runner")
+    if not faults.active:
+        lines.append("(spec is inactive: all rates zero — results are "
+                     "bit-for-bit identical to a fault-free campaign)")
+    return "\n".join(lines)

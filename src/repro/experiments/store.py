@@ -57,8 +57,12 @@ MODEL_VERSION = 1
 
 
 def measurement_to_dict(m: Measurement) -> dict[str, Any]:
-    """Serializable summary of one measurement (drops trace/report)."""
-    return {
+    """Serializable summary of one measurement (drops trace/report).
+
+    ``extras`` (JSON-safe by contract — e.g. the fault-degradation
+    counters) round-trips, so a cached faulty run keeps its report.
+    """
+    payload = {
         "workload": m.workload,
         "strategy": m.strategy,
         "elapsed_s": m.elapsed_s,
@@ -69,6 +73,9 @@ def measurement_to_dict(m: Measurement) -> dict[str, Any]:
         "acpi_energy_j": m.acpi_energy_j,
         "baytech_energy_j": m.baytech_energy_j,
     }
+    if m.extras:
+        payload["extras"] = m.extras
+    return payload
 
 
 def measurement_from_dict(data: Mapping[str, Any]) -> Measurement:
@@ -82,6 +89,7 @@ def measurement_from_dict(data: Mapping[str, Any]) -> Measurement:
         time_at_mhz={float(k): float(v) for k, v in data["time_at_mhz"].items()},
         acpi_energy_j=data.get("acpi_energy_j"),
         baytech_energy_j=data.get("baytech_energy_j"),
+        extras=dict(data.get("extras") or {}),
     )
 
 
@@ -203,7 +211,10 @@ def cache_key(
     The key covers the workload spec, the strategy class + its public
     configuration, the seed, every ``run_workload`` keyword that shapes
     the cluster (power model, operating points, network parameters,
-    transition latency, ...) and :data:`MODEL_VERSION`.
+    transition latency, ...) and :data:`MODEL_VERSION`.  ``None``-valued
+    keywords are dropped first: every ``run_workload`` keyword uses
+    ``None`` to mean "the default", so an explicit ``faults=None`` (or
+    ``network_params=None``) must share the unspecified key's slot.
     """
     spec = {
         "model_version": MODEL_VERSION,
@@ -211,7 +222,9 @@ def cache_key(
         "workload_tag": getattr(workload, "tag", None),
         "strategy": canonical_spec(strategy),
         "seed": seed,
-        "kwargs": canonical_spec(dict(run_kwargs or {})),
+        "kwargs": canonical_spec(
+            {k: v for k, v in (run_kwargs or {}).items() if v is not None}
+        ),
     }
     blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -229,6 +242,10 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: results delivered (fresh or cached) and, of those, how many
+    #: were degraded by injected faults (``extras["faults"]`` present).
+    runs: int = 0
+    degraded_runs: int = 0
 
     @property
     def lookups(self) -> int:
@@ -236,12 +253,19 @@ class CacheStats:
 
     def render(self) -> str:
         if not self.lookups:
-            return "cache: unused"
-        rate = self.hits / self.lookups
-        return (
-            f"cache: {self.hits} hits / {self.misses} misses "
-            f"({rate:.0%} hit rate, {self.stores} stored)"
-        )
+            base = "cache: unused"
+        else:
+            rate = self.hits / self.lookups
+            base = (
+                f"cache: {self.hits} hits / {self.misses} misses "
+                f"({rate:.0%} hit rate, {self.stores} stored)"
+            )
+        if self.degraded_runs:
+            base += (
+                f"; {self.degraded_runs}/{self.runs} runs degraded "
+                "by injected faults"
+            )
+        return base
 
 
 class MeasurementCache:

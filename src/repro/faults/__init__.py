@@ -1,0 +1,29 @@
+"""repro.faults — seeded, deterministic fault injection.
+
+The paper's strategies ran on real flaky hardware: ACPI batteries that
+drop samples, SpeedStep transitions that fail, nodes that straggle.
+This package reintroduces that flakiness *deterministically* so the
+robustness of every scheduling strategy can be tested and regressed.
+
+See ``docs/faults.md`` for the fault model and determinism contract.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultLog,
+    NullInjector,
+    SeededFaultInjector,
+    resolve_injector,
+)
+from repro.faults.spec import FAULT_PRESETS, FaultSpec, parse_fault_spec
+
+__all__ = [
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultLog",
+    "FaultSpec",
+    "NullInjector",
+    "SeededFaultInjector",
+    "parse_fault_spec",
+    "resolve_injector",
+]

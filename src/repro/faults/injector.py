@@ -1,0 +1,293 @@
+"""Seeded, deterministic fault injectors.
+
+The simulation layers (CPU, node, communicator, ACPI coordinator) ask
+an injector a question at every fault *opportunity* — "does this DVS
+transition fail?", "how much jitter does this message see?" — and take
+the perturbed path only when the answer is non-neutral.  Two
+implementations:
+
+* :class:`SeededFaultInjector` — draws every answer from per-entity
+  ``numpy`` Generator streams keyed ``(spec.seed, stream id, entity)``,
+  so (a) the same :class:`~repro.faults.spec.FaultSpec` always yields
+  the same fault schedule, and (b) fault classes are *independent*:
+  enabling message drops does not shift which DVS transitions fail.
+* :class:`NullInjector` — answers "no fault" to everything; useful for
+  tests that want injector plumbing exercised with zero perturbation.
+
+Determinism contract (load-bearing — see ``docs/faults.md``): when a
+rate is zero the corresponding hook returns its neutral answer
+*without consuming randomness and without creating simulation events*,
+so a zero-rate injector is bit-for-bit equivalent to no injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.faults.spec import FaultSpec
+
+__all__ = ["FaultLog", "FaultInjector", "SeededFaultInjector", "NullInjector"]
+
+# Per-fault-class RNG stream ids (part of the seed tuple; never reuse).
+# numpy seed sequences must be non-negative, so every (stream, entity)
+# pair uses its own positive stream constant.
+_STREAM_TRANSITION = 1
+_STREAM_NODE = 2
+_STREAM_MESSAGE = 3
+_STREAM_COLLECTIVE = 4
+_STREAM_SENSOR = 5
+_STREAM_CRASH = 6
+
+#: Ceiling on consecutive retransmissions of one transfer, so a run
+#: under ``message_drop_rate=1.0`` still terminates.
+MAX_RETRANSMITS = 4
+
+
+@dataclass
+class FaultLog:
+    """Counters of every fault that actually fired during one run.
+
+    Attached to ``Measurement.extras["faults"]`` (only when non-empty,
+    to keep clean runs bit-identical to pre-fault-subsystem runs).
+    """
+
+    transitions_failed: int = 0
+    nodes_slowed: int = 0
+    nodes_crashed: int = 0
+    messages_jittered: int = 0
+    messages_dropped: int = 0
+    collectives_jittered: int = 0
+    sensor_dropouts: int = 0
+    #: robustness responses that fired (retries in daemons/set_cpuspeed)
+    dvs_retries: int = 0
+    acpi_fallbacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def any(self) -> bool:
+        return self.total > 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-int dict (JSON-safe, survives the measurement cache)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@runtime_checkable
+class FaultInjector(Protocol):
+    """The question set the simulation layers ask at fault opportunities.
+
+    Implementations must be deterministic functions of their
+    construction arguments and call sequence *per entity* — the
+    simulator guarantees a fixed per-entity call order, not a fixed
+    global interleaving.
+    """
+
+    log: FaultLog
+
+    def transition_fails(self, node_id: int) -> bool:
+        """Does this DVS mode transition fail (point unchanged)?"""
+        ...
+
+    def node_slowdown_factor(self, node_id: int) -> float:
+        """Whole-run work-duration multiplier for this node (1.0 = none)."""
+        ...
+
+    def node_crash(self, node_id: int) -> Optional[tuple[float, float]]:
+        """``(at_s, reboot_s)`` if this node freezes once, else None."""
+        ...
+
+    def message_jitter_s(self, src: int, dst: int, nbytes: float) -> float:
+        """Extra latency for this point-to-point message (0.0 = none)."""
+        ...
+
+    def message_drops(self, src: int, dst: int, nbytes: float) -> int:
+        """How many times this payload transfer is lost (0 = none)."""
+        ...
+
+    @property
+    def retransmit_s(self) -> float:
+        """Retransmission timeout charged per lost transfer."""
+        ...
+
+    def collective_jitter_s(self, kind: str, nprocs: int) -> float:
+        """Extra wire time for this collective (0.0 = none)."""
+        ...
+
+    def sensor_dropout(self, node_id: int) -> bool:
+        """Does this ACPI battery poll return nothing?"""
+        ...
+
+    def sensor_noise_mwh(self, node_id: int) -> float:
+        """Additive error on this battery reading (0.0 = none)."""
+        ...
+
+
+class NullInjector:
+    """An injector that never injects (all answers neutral)."""
+
+    retransmit_s = 0.2
+
+    def __init__(self) -> None:
+        self.log = FaultLog()
+
+    def transition_fails(self, node_id: int) -> bool:
+        return False
+
+    def node_slowdown_factor(self, node_id: int) -> float:
+        return 1.0
+
+    def node_crash(self, node_id: int) -> Optional[tuple[float, float]]:
+        return None
+
+    def message_jitter_s(self, src: int, dst: int, nbytes: float) -> float:
+        return 0.0
+
+    def message_drops(self, src: int, dst: int, nbytes: float) -> int:
+        return 0
+
+    def collective_jitter_s(self, kind: str, nprocs: int) -> float:
+        return 0.0
+
+    def sensor_dropout(self, node_id: int) -> bool:
+        return False
+
+    def sensor_noise_mwh(self, node_id: int) -> float:
+        return 0.0
+
+
+class SeededFaultInjector:
+    """Deterministic injector drawing from per-entity RNG streams.
+
+    Entities are node ids (transition/node/sensor streams) or source
+    ranks (message/collective streams).  Each ``(stream, entity)`` pair
+    owns its own ``numpy`` Generator seeded ``[spec.seed, stream,
+    entity]``, so per-entity schedules are reproducible regardless of
+    how the simulator interleaves entities, and fault classes never
+    perturb each other's draws.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.log = FaultLog()
+        self._rngs: dict[tuple[int, int], np.random.Generator] = {}
+
+    def __repr__(self) -> str:
+        return f"SeededFaultInjector({self.spec.describe()})"
+
+    def _rng(self, stream: int, entity: int) -> np.random.Generator:
+        key = (stream, entity)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = np.random.default_rng([self.spec.seed, stream, entity])
+            self._rngs[key] = rng
+        return rng
+
+    # -- DVS transitions ----------------------------------------------
+    def transition_fails(self, node_id: int) -> bool:
+        rate = self.spec.transition_fail_rate
+        if rate <= 0.0:
+            return False
+        if self._rng(_STREAM_TRANSITION, node_id).random() < rate:
+            self.log.transitions_failed += 1
+            return True
+        return False
+
+    # -- per-node degradation -----------------------------------------
+    def node_slowdown_factor(self, node_id: int) -> float:
+        rate = self.spec.node_slowdown_rate
+        if rate <= 0.0 or self.spec.node_slowdown_factor == 1.0:
+            return 1.0
+        if self._rng(_STREAM_NODE, node_id).random() < rate:
+            self.log.nodes_slowed += 1
+            return self.spec.node_slowdown_factor
+        return 1.0
+
+    def node_crash(self, node_id: int) -> Optional[tuple[float, float]]:
+        rate = self.spec.node_crash_rate
+        if rate <= 0.0:
+            return None
+        # Dedicated stream so crash decisions do not shift the
+        # slowdown draw order (both are per-node, one call each).
+        rng = self._rng(_STREAM_CRASH, node_id)
+        if rng.random() < rate:
+            at_s = rng.random() * self.spec.node_crash_window_s
+            return (at_s, self.spec.node_reboot_s)
+        return None
+
+    # -- messages ------------------------------------------------------
+    def message_jitter_s(self, src: int, dst: int, nbytes: float) -> float:
+        rate = self.spec.message_jitter_rate
+        if rate <= 0.0 or self.spec.message_jitter_s <= 0.0:
+            return 0.0
+        rng = self._rng(_STREAM_MESSAGE, src)
+        if rng.random() < rate:
+            self.log.messages_jittered += 1
+            return float(rng.exponential(self.spec.message_jitter_s))
+        return 0.0
+
+    def message_drops(self, src: int, dst: int, nbytes: float) -> int:
+        rate = self.spec.message_drop_rate
+        if rate <= 0.0:
+            return 0
+        rng = self._rng(_STREAM_MESSAGE, src)
+        drops = 0
+        while drops < MAX_RETRANSMITS and rng.random() < rate:
+            drops += 1
+        self.log.messages_dropped += drops
+        return drops
+
+    @property
+    def retransmit_s(self) -> float:
+        return self.spec.message_retransmit_s
+
+    def collective_jitter_s(self, kind: str, nprocs: int) -> float:
+        rate = self.spec.collective_jitter_rate
+        if rate <= 0.0 or self.spec.message_jitter_s <= 0.0:
+            return 0.0
+        # Keyed by the call site's completing size so every rank in the
+        # collective is charged identically via the one completing call.
+        rng = self._rng(_STREAM_COLLECTIVE, 0)
+        if rng.random() < rate:
+            self.log.collectives_jittered += 1
+            return float(rng.exponential(self.spec.message_jitter_s))
+        return 0.0
+
+    # -- sensors -------------------------------------------------------
+    def sensor_dropout(self, node_id: int) -> bool:
+        rate = self.spec.sensor_dropout_rate
+        if rate <= 0.0:
+            return False
+        if self._rng(_STREAM_SENSOR, node_id).random() < rate:
+            self.log.sensor_dropouts += 1
+            return True
+        return False
+
+    def sensor_noise_mwh(self, node_id: int) -> float:
+        sigma = self.spec.sensor_noise_mwh
+        if sigma <= 0.0:
+            return 0.0
+        return float(self._rng(_STREAM_SENSOR, node_id).normal(0.0, sigma))
+
+
+def resolve_injector(faults: Any) -> Optional[FaultInjector]:
+    """Normalise a ``faults=`` argument into an injector (or None).
+
+    Accepts None, a :class:`FaultSpec` (wrapped in a fresh
+    :class:`SeededFaultInjector`) or a ready-made injector instance
+    (returned as-is, so tests can inspect its log afterwards).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultSpec):
+        return SeededFaultInjector(faults)
+    if isinstance(faults, FaultInjector):
+        return faults
+    raise TypeError(
+        f"faults must be a FaultSpec or FaultInjector, got {type(faults).__name__}"
+    )

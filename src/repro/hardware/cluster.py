@@ -6,7 +6,7 @@ on 100 Mb Ethernet — with deterministic per-node RNG streams.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -15,6 +15,9 @@ from repro.hardware.network import Network, NetworkParameters
 from repro.hardware.node import Node
 from repro.hardware.opoints import PENTIUM_M_TABLE, OperatingPointTable
 from repro.hardware.power import NEMO_POWER, NodePowerParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["Cluster", "nemo_cluster"]
 
@@ -79,13 +82,15 @@ def nemo_cluster(
     transition_latency_s: float = 20e-6,
     with_batteries: bool = True,
     seed: int = 0,
+    injector: Optional["FaultInjector"] = None,
 ) -> Cluster:
     """Build a NEMO-like cluster (paper Section 4.1).
 
     Parameters mirror the testbed: 16 Pentium M 1.4 GHz nodes with the
     Table 1 operating points, ~20 µs SpeedStep transitions, 100 Mb
     switched Ethernet, ACPI batteries.  ``seed`` fixes all measurement
-    jitter for reproducibility.
+    jitter for reproducibility.  ``injector`` (see :mod:`repro.faults`)
+    makes nodes flaky — failed transitions, stragglers, crashes.
     """
     if n_nodes < 1:
         raise ValueError("need at least one node")
@@ -101,6 +106,7 @@ def nemo_cluster(
                 transition_latency_s=transition_latency_s,
                 rng=np.random.default_rng(root.integers(0, 2**63)),
                 with_battery=with_batteries,
+                injector=injector,
             )
         )
     network = Network(env, n_nodes, network_params or NetworkParameters())

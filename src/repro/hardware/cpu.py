@@ -23,12 +23,15 @@ time-at-frequency histogram used by tests and figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.engine import Environment
 from repro.sim.events import Event, Timeout
 from repro.hardware.opoints import OperatingPoint, OperatingPointTable
 from repro.hardware.power import NodePowerParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["CpuCore", "CpuStats"]
 
@@ -38,6 +41,10 @@ class CpuStats:
     """Cumulative counters maintained by :class:`CpuCore`."""
 
     transitions: int = 0
+    #: transitions that stalled the pipeline but left the operating
+    #: point unchanged (injected SpeedStep failures) — NOT counted in
+    #: :attr:`transitions`, which means successful mode changes only.
+    failed_transitions: int = 0
     transition_seconds: float = 0.0
     busy_seconds: float = 0.0
     segments_completed: int = 0
@@ -105,6 +112,12 @@ class CpuCore:
         Stall charged to in-flight work per DVS mode transition.
     start_index:
         Initial operating-point index (defaults to fastest).
+    node_id / injector:
+        Identity and fault source for this core.  When an injector is
+        given, DVS transitions may fail (:meth:`set_speed_index`
+        returns False) and the core may carry a whole-run work
+        slowdown; with no injector both paths are byte-identical to
+        the fault-free model.
     """
 
     def __init__(
@@ -115,6 +128,8 @@ class CpuCore:
         transition_latency_s: float = 20e-6,
         start_index: Optional[int] = None,
         name: str = "cpu",
+        node_id: int = 0,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if transition_latency_s < 0:
             raise ValueError("transition latency must be non-negative")
@@ -123,6 +138,13 @@ class CpuCore:
         self.power = power
         self.transition_latency_s = transition_latency_s
         self.name = name
+        self.node_id = node_id
+        self.injector = injector
+        #: whole-run multiplier on work-segment durations (straggler
+        #: node model); exactly 1.0 keeps the clean fast path.
+        self.slowdown = (
+            injector.node_slowdown_factor(node_id) if injector is not None else 1.0
+        )
         self._index = opoints.max_index if start_index is None else start_index
         if not 0 <= self._index <= opoints.max_index:
             raise ValueError(f"start_index {start_index} out of range")
@@ -281,19 +303,27 @@ class CpuCore:
     # ------------------------------------------------------------------
     # DVS control
     # ------------------------------------------------------------------
-    def set_speed_index(self, index: int) -> None:
+    def set_speed_index(self, index: int) -> bool:
         """Switch to operating point ``index`` (CPUFreq-style actuation).
 
         A no-op when already at that point; otherwise in-flight work is
         stalled for the transition latency and rescheduled at the new
-        speed.
+        speed.  Returns whether the core is now at ``index``: an
+        injected SpeedStep failure charges the stall (the driver
+        blocked either way) but leaves the operating point unchanged
+        and returns False, so callers can retry.
         """
         if not 0 <= index <= self.opoints.max_index:
             raise ValueError(
                 f"operating point index {index} out of range 0..{self.opoints.max_index}"
             )
         if index == self._index:
-            return
+            return True
+        if self.injector is not None and self.injector.transition_fails(self.node_id):
+            self.stats.failed_transitions += 1
+            self.stats.transition_seconds += self.transition_latency_s
+            self.stall(self.transition_latency_s)
+            return False
         self._touch()
         self._progress_active()
         self._index = index
@@ -306,10 +336,11 @@ class CpuCore:
         )
         self._reschedule_active()
         self._notify()
+        return True
 
-    def set_speed_mhz(self, mhz: float) -> None:
+    def set_speed_mhz(self, mhz: float) -> bool:
         """Switch to the operating point at exactly ``mhz`` MHz."""
-        self.set_speed_index(self.opoints.index_of(self.opoints.by_mhz(mhz)))
+        return self.set_speed_index(self.opoints.index_of(self.opoints.by_mhz(mhz)))
 
     def stall(self, seconds: float) -> None:
         """Stall in-flight and upcoming work for ``seconds``.
@@ -327,11 +358,11 @@ class CpuCore:
         self._stall_until = max(self._stall_until, self.env.now) + seconds
         self._reschedule_active()
 
-    def step_down(self) -> None:
-        self.set_speed_index(max(self._index - 1, 0))
+    def step_down(self) -> bool:
+        return self.set_speed_index(max(self._index - 1, 0))
 
-    def step_up(self) -> None:
-        self.set_speed_index(min(self._index + 1, self.opoints.max_index))
+    def step_up(self) -> bool:
+        return self.set_speed_index(min(self._index + 1, self.opoints.max_index))
 
     # ------------------------------------------------------------------
     # execution
@@ -414,6 +445,10 @@ class CpuCore:
         if seg.kind == "occupy":
             return seg.wall_left
         stall = max(0.0, self._stall_until - self.env.now)
+        if self.slowdown != 1.0:
+            # Straggler node: work (not stall) stretched uniformly.
+            work = seg.cycles_left / self.frequency_hz + seg.offchip_left
+            return stall + work * self.slowdown
         return stall + seg.cycles_left / self.frequency_hz + seg.offchip_left
 
     def _reschedule_active(self) -> None:

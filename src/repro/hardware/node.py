@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -11,6 +11,9 @@ from repro.hardware.battery import AcpiBattery
 from repro.hardware.cpu import CpuCore
 from repro.hardware.opoints import OperatingPointTable
 from repro.hardware.power import NodePowerParameters, PowerBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["EnergyMeter", "Node"]
 
@@ -71,6 +74,7 @@ class Node:
         battery_capacity_mwh: float = 53000.0,
         rng: Optional[np.random.Generator] = None,
         with_battery: bool = True,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.env = env
         self.node_id = node_id
@@ -81,7 +85,15 @@ class Node:
             power,
             transition_latency_s=transition_latency_s,
             name=f"cpu{node_id}",
+            node_id=node_id,
+            injector=injector,
         )
+        if injector is not None:
+            crash = injector.node_crash(node_id)
+            if crash is not None:
+                env.process(
+                    self._crash_proc(injector, *crash), name=f"crash@{node_id}"
+                )
         self.meter = EnergyMeter(env, self.power_w)
         self.cpu.on_change = self._on_state_change
         self._listeners: list[Callable[[], None]] = []
@@ -93,6 +105,15 @@ class Node:
                 capacity_mwh=battery_capacity_mwh,
                 rng=rng,
             )
+
+    # ------------------------------------------------------------------
+    def _crash_proc(self, injector: "FaultInjector", at_s: float, reboot_s: float):
+        """One-shot node freeze: everything on the CPU stalls for the
+        reboot window, then resumes (the MPI job sees a straggler, not
+        a lost rank — peers block in matching until it returns)."""
+        yield self.env.timeout(at_s)
+        injector.log.nodes_crashed += 1
+        self.cpu.stall(reboot_s)
 
     # ------------------------------------------------------------------
     def power_w(self) -> float:

@@ -126,6 +126,11 @@ class Communicator:
     tracer:
         Optional object with ``record(rank, op, t_begin, t_end, nbytes,
         peer)`` — the MPE-like hook used by :mod:`repro.trace`.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector` adding
+        message jitter, payload drops + retransmissions and collective
+        OS-noise; also consulted by :meth:`RankContext.set_cpuspeed`
+        retries.  ``None`` is the byte-identical clean path.
     """
 
     def __init__(
@@ -135,8 +140,10 @@ class Communicator:
         node_ids: Optional[Sequence[int]] = None,
         cost: Optional[CostModel] = None,
         tracer: Any = None,
+        injector: Any = None,
     ) -> None:
         self.cluster = cluster
+        self.injector = injector
         self.env: Environment = cluster.env
         if node_ids is None:
             n = nprocs if nprocs is not None else len(cluster)
@@ -240,6 +247,8 @@ class RankContext:
         self._coll_seq = 0
         #: count of application-level DVS calls made by this rank.
         self.dvs_calls = 0
+        #: immediate retries issued after injected transition failures.
+        self.dvs_retries = 0
 
     # ------------------------------------------------------------------
     # tracing
@@ -291,24 +300,42 @@ class RankContext:
     # ------------------------------------------------------------------
     # DVS control (the PowerPack application API)
     # ------------------------------------------------------------------
+    #: bounded immediate re-issues of a failed SpeedStep transition
+    #: (each retry re-charges the software actuation overhead).
+    dvs_max_retries = 2
+
     def set_cpuspeed(self, mhz: float) -> None:
         """INTERNAL-strategy DVS actuation (paper Figure 3/10/13).
 
         Charges the cost model's software actuation overhead in
-        addition to the hardware transition latency.
+        addition to the hardware transition latency.  Injected
+        transition failures are retried immediately up to
+        :attr:`dvs_max_retries` times, overhead charged per attempt.
         """
         self.dvs_calls += 1
         t0 = self.env.now
-        self.cpu.stall(self.comm.cost.dvs_call_overhead_s)
-        self.cpu.set_speed_mhz(mhz)
+        self._actuate(lambda: self.cpu.set_speed_mhz(mhz))
         self._trace("set_cpuspeed", t0, nbytes=mhz)
 
     def set_cpuspeed_index(self, index: int) -> None:
         self.dvs_calls += 1
         t0 = self.env.now
-        self.cpu.stall(self.comm.cost.dvs_call_overhead_s)
-        self.cpu.set_speed_index(index)
+        self._actuate(lambda: self.cpu.set_speed_index(index))
         self._trace("set_cpuspeed", t0, nbytes=self.cpu.frequency_mhz)
+
+    def _actuate(self, transition) -> bool:
+        overhead = self.comm.cost.dvs_call_overhead_s
+        # Failures originate from the CPU's injector; log retries there.
+        injector = self.cpu.injector
+        for attempt in range(self.dvs_max_retries + 1):
+            self.cpu.stall(overhead)
+            if transition():
+                return True
+            if attempt < self.dvs_max_retries:
+                self.dvs_retries += 1
+                if injector is not None:
+                    injector.log.dvs_retries += 1
+        return False
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -331,6 +358,7 @@ class RankContext:
         comm = self.comm
         cost = comm.cost
         net = comm.cluster.network
+        injector = comm.injector
         src_node = comm.node_of(self.rank)
         dst_node = comm.node_of(msg.dst)
         dst_cpu = comm.cpu_of(msg.dst)
@@ -344,16 +372,32 @@ class RankContext:
         yield self.cpu.run_work(
             cost.send_cycles(msg.nbytes), activity=1.0, busy=1.0, nic_activity=0.4
         )
+        # Injected fabric faults for this message.  Computed up front —
+        # zero when no injector — and applied only via the guarded
+        # branches below, so a clean run creates no extra events.
+        jitter_s = 0.0
+        drops = 0
+        if injector is not None:
+            jitter_s = injector.message_jitter_s(self.rank, msg.dst, msg.nbytes)
+            drops = injector.message_drops(self.rank, msg.dst, msg.nbytes)
         if msg.eager:
             # Buffer copied out: MPI_Send may return now.
             req.message = msg
             req.done.succeed(msg)
+            if jitter_s > 0.0:
+                yield self.env.timeout(jitter_s)
             yield net.transfer(src_node, dst_node, wire_bytes)
+            for _ in range(drops):
+                # Lost payload: receiver-side timeout, then retransmit.
+                yield self.env.timeout(injector.retransmit_s)
+                yield net.transfer(src_node, dst_node, wire_bytes)
             msg.delivered.succeed()
             comm._post_message(msg)
         else:
             # Rendezvous: announce (RTS rides one latency), await CTS,
             # then stream the payload with both CPUs in progress state.
+            if jitter_s > 0.0:
+                yield self.env.timeout(jitter_s)
             yield self.env.timeout(net.params.latency_s)
             comm._post_message(msg)
             yield msg.cts
@@ -361,6 +405,9 @@ class RankContext:
             tok_r = dst_cpu.push_wait_state(*cost.comm_progress.as_tuple())
             try:
                 yield net.transfer(src_node, dst_node, wire_bytes)
+                for _ in range(drops):
+                    yield self.env.timeout(injector.retransmit_s)
+                    yield net.transfer(src_node, dst_node, wire_bytes)
             finally:
                 self.cpu.pop_wait_state(tok_s)
                 dst_cpu.pop_wait_state(tok_r)
@@ -474,12 +521,21 @@ class RankContext:
             slot.bytes_by_rank[self.rank] = wire_bytes
             if slot.complete:
                 slot.all_arrived_at = self.env.now
+                # OS-noise jitter drawn once per collective (by the
+                # completing rank) so all participants see the same
+                # stretched wire time.
+                jitter_s = (
+                    comm.injector.collective_jitter_s(kind, comm.size)
+                    if comm.injector is not None
+                    else 0.0
+                )
                 duration = cost.collective_seconds(
                     kind,
                     comm.size,
                     slot.max_bytes,
                     comm.cluster.network.params,
                     freq_ratio=comm._max_freq_ratio(),
+                    jitter_s=jitter_s,
                 )
                 done = slot.done
                 Timeout(self.env, duration)._add_callback(

@@ -123,11 +123,14 @@ class CostModel:
         max_bytes: float,
         net: NetworkParameters,
         freq_ratio: float = 1.0,
+        jitter_s: float = 0.0,
     ) -> float:
         """Wire time of one collective once all ranks have arrived.
 
         ``max_bytes`` is the largest per-rank payload (per-pair bytes for
         alltoall are already multiplied by ``nprocs - 1`` by the caller).
+        ``jitter_s`` is additive OS-noise from fault injection; a noisy
+        collective still pays its full fault-free wire time.
         """
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -137,17 +140,20 @@ class CostModel:
         ser = max_bytes / net.bandwidth_Bps
         rounds = math.ceil(math.log2(nprocs))
         if kind == "barrier":
-            return 2 * rounds * lat
-        if kind in ("bcast", "reduce", "scatter", "gather"):
-            return rounds * lat + ser
-        if kind == "allreduce":
-            return 2 * (rounds * lat + ser)
-        if kind == "allgather":
-            return (nprocs - 1) * lat + ser
-        if kind in ("alltoall", "alltoallv"):
+            wire = 2 * rounds * lat
+        elif kind in ("bcast", "reduce", "scatter", "gather"):
+            wire = rounds * lat + ser
+        elif kind == "allreduce":
+            wire = 2 * (rounds * lat + ser)
+        elif kind == "allgather":
+            wire = (nprocs - 1) * lat + ser
+        elif kind in ("alltoall", "alltoallv"):
             base = (nprocs - 1) * lat + ser / self.alltoall_efficiency
-            return base * self.collision_factor(freq_ratio)
-        raise ValueError(f"unknown collective kind {kind!r}")
+            wire = base * self.collision_factor(freq_ratio)
+        else:
+            raise ValueError(f"unknown collective kind {kind!r}")
+        # Guarded add keeps the clean path's result byte-identical.
+        return wire + jitter_s if jitter_s > 0.0 else wire
 
     @staticmethod
     def alltoall_bytes(nprocs: int, bytes_per_pair: float) -> float:

@@ -59,14 +59,17 @@ def launch(
     node_ids: Optional[Sequence[int]] = None,
     cost: Optional[CostModel] = None,
     tracer: Any = None,
+    injector: Any = None,
 ) -> RunHandle:
     """Start ``program`` on ``nprocs`` ranks of ``cluster``.
 
     Each rank process records the simulation time at which it returned;
     :meth:`RunHandle.elapsed` reports the job's makespan.  Run the
-    environment (``env.run(handle.done)``) to execute.
+    environment (``env.run(handle.done)``) to execute.  ``injector``
+    adds fabric faults (see :mod:`repro.faults`).
     """
-    comm = Communicator(cluster, nprocs=nprocs, node_ids=node_ids, cost=cost, tracer=tracer)
+    comm = Communicator(cluster, nprocs=nprocs, node_ids=node_ids, cost=cost,
+                        tracer=tracer, injector=injector)
     env = cluster.env
     started = env.now
     contexts = [comm.context(r) for r in range(comm.size)]

@@ -12,7 +12,7 @@ and refresh-lag error, which is why short runs need iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.sim.engine import Environment
 from repro.sim.events import Interrupt
@@ -40,6 +40,7 @@ class AcpiCoordinator:
         cluster: Cluster,
         node_ids: Optional[Sequence[int]] = None,
         poll_interval_s: float = 5.0,
+        injector: Any = None,
     ) -> None:
         if poll_interval_s <= 0:
             raise ValueError("poll interval must be positive")
@@ -50,7 +51,10 @@ class AcpiCoordinator:
             if cluster[nid].battery is None:
                 raise ValueError(f"node {nid} has no battery to poll")
         self.poll_interval_s = poll_interval_s
+        #: optional fault source: polls may drop, readings may be noisy.
+        self.injector = injector
         self.samples: list[BatterySample] = []
+        self.dropped_samples = 0
         self._proc: Optional[Process] = None
 
     # ------------------------------------------------------------------
@@ -68,11 +72,17 @@ class AcpiCoordinator:
 
     def _poll_once(self) -> None:
         now = self.env.now
+        injector = self.injector
         for nid in self.node_ids:
-            battery = self.cluster[nid].battery
-            self.samples.append(
-                BatterySample(now, nid, battery.read_remaining_mwh())
-            )
+            if injector is not None and injector.sensor_dropout(nid):
+                self.dropped_samples += 1
+                continue
+            reading = self.cluster[nid].battery.read_remaining_mwh()
+            if injector is not None:
+                noise = injector.sensor_noise_mwh(nid)
+                if noise != 0.0:
+                    reading += noise
+            self.samples.append(BatterySample(now, nid, reading))
 
     def _poll_loop(self):
         try:

@@ -10,7 +10,7 @@ software produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.hardware.cluster import Cluster
 from repro.powerpack.acpi import AcpiCoordinator
@@ -27,6 +27,9 @@ class NodeEnergy:
     exact_j: float
     acpi_j: Optional[float]
     baytech_j: Optional[float]
+    #: ACPI series was unusable (sensor dropout) and ``acpi_j`` was
+    #: filled from the Baytech channel instead.
+    acpi_fallback: bool = False
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,11 @@ class EnergyReport:
         vals = [n.baytech_j for n in self.nodes]
         return None if any(v is None for v in vals) else sum(vals)
 
+    @property
+    def fallback_nodes(self) -> tuple[int, ...]:
+        """Nodes whose ACPI value came from the Baytech fallback."""
+        return tuple(n.node_id for n in self.nodes if n.acpi_fallback)
+
     def cross_check_error(self) -> Optional[float]:
         """Relative ACPI-vs-exact disagreement (the paper's redundancy
         check between its two direct-measurement channels)."""
@@ -76,11 +84,13 @@ class DataCollector:
         with_baytech: bool = True,
         acpi_poll_s: float = 5.0,
         baytech_poll_s: float = 60.0,
+        injector: Any = None,
     ) -> None:
         self.cluster = cluster
         self.node_ids = list(node_ids) if node_ids is not None else list(range(len(cluster)))
+        self.injector = injector
         self.acpi = (
-            AcpiCoordinator(cluster, self.node_ids, acpi_poll_s)
+            AcpiCoordinator(cluster, self.node_ids, acpi_poll_s, injector=injector)
             if with_acpi and all(cluster[n].battery is not None for n in self.node_ids)
             else None
         )
@@ -115,15 +125,24 @@ class DataCollector:
         nodes = []
         for nid in self.node_ids:
             exact = self.cluster[nid].energy_j() - self._begin_exact[nid]
-            acpi = (
-                self.acpi.energy_j(nid, self._t_begin, t_end)
-                if self.acpi is not None
-                else None
-            )
+            acpi: Optional[float] = None
+            fallback = False
+            if self.acpi is not None:
+                try:
+                    acpi = self.acpi.energy_j(nid, self._t_begin, t_end)
+                except ValueError:
+                    # Sensor dropout ate the whole series: fall back to
+                    # the redundant Baytech channel (below) so the run
+                    # still reports finite per-node energy.
+                    fallback = True
             baytech = (
                 self.baytech.energy_j(nid, self._t_begin, t_end)
                 if self.baytech is not None
                 else None
             )
-            nodes.append(NodeEnergy(nid, exact, acpi, baytech))
+            if fallback:
+                acpi = baytech
+                if self.injector is not None:
+                    self.injector.log.acpi_fallbacks += 1
+            nodes.append(NodeEnergy(nid, exact, acpi, baytech, acpi_fallback=fallback))
         return EnergyReport(self._t_begin, t_end, tuple(nodes))

@@ -1,0 +1,120 @@
+"""The two load-bearing properties of the fault subsystem.
+
+1. **Noop equivalence** — running under a zero-rate spec (or a
+   :class:`NullInjector`) is *bit-for-bit* identical to running with no
+   injector at all: the injection hooks must create no events and draw
+   no randomness when every answer is neutral.
+2. **Reproducibility** — the same :class:`FaultSpec` always produces
+   the same fault schedule, hence the same measurement; different fault
+   seeds produce different ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_workload
+from repro.core.strategies import (
+    CpuspeedConfig,
+    CpuspeedDaemonStrategy,
+    ExternalStrategy,
+)
+from repro.faults import FaultSpec, NullInjector
+from repro.workloads import get_workload
+
+
+def _strip_uncomparable(m):
+    """Measurements carry trace/report objects we don't diff here."""
+    m.trace = None
+    m.report = None
+    return m
+
+
+def _run(code="FT", strategy=None, **kwargs):
+    workload = get_workload(code, klass="T", nprocs=8)
+    return _strip_uncomparable(run_workload(workload, strategy, **kwargs))
+
+
+HARSH = FaultSpec(
+    seed=5,
+    transition_fail_rate=0.5,
+    node_slowdown_rate=0.5,
+    node_crash_rate=0.5,
+    node_crash_window_s=0.3,
+    node_reboot_s=0.05,
+    message_jitter_rate=0.3,
+    message_drop_rate=0.2,
+    collective_jitter_rate=0.5,
+    sensor_dropout_rate=0.5,
+    sensor_noise_mwh=1.0,
+)
+
+
+class TestNoopEquivalence:
+    """`faults=<neutral>` must be indistinguishable from `faults=None`."""
+
+    @pytest.mark.parametrize("code", ["FT", "CG"])
+    def test_zero_rate_spec_is_bit_identical(self, code):
+        clean = _run(code)
+        noop = _run(code, faults=FaultSpec())
+        assert noop == clean  # full dataclass equality — every field
+
+    def test_null_injector_is_bit_identical(self):
+        clean = _run("CG")
+        noop = _run("CG", faults=NullInjector())
+        assert noop == clean
+
+    def test_zero_rate_with_measurement_channels(self):
+        clean = _run("FT", measurement_channels=True)
+        noop = _run("FT", faults=FaultSpec(), measurement_channels=True)
+        assert noop == clean
+        assert noop.acpi_energy_j == clean.acpi_energy_j
+        assert noop.baytech_energy_j == clean.baytech_energy_j
+
+    def test_zero_rate_under_active_strategy(self):
+        strategy = CpuspeedDaemonStrategy(CpuspeedConfig.v1_1())
+        clean = _run("CG", strategy=strategy)
+        noop = _run("CG", strategy=CpuspeedDaemonStrategy(CpuspeedConfig.v1_1()),
+                    faults=FaultSpec())
+        assert noop == clean
+
+    def test_noop_run_has_empty_extras(self):
+        assert _run("FT", faults=FaultSpec()).extras == {}
+
+    def test_nonzero_seed_alone_changes_nothing(self):
+        """The fault seed only matters once a rate is non-zero."""
+        assert _run("FT", faults=FaultSpec(seed=123)) == _run("FT")
+
+
+class TestReproducibility:
+    def test_same_spec_reproduces_the_measurement(self):
+        a = _run("CG", faults=HARSH, measurement_channels=True)
+        b = _run("CG", faults=HARSH, measurement_channels=True)
+        assert a == b  # includes extras["faults"] — identical schedules
+        assert a.extras["faults"] == b.extras["faults"]
+        assert a.extras["faults"]["nodes_slowed"] > 0
+
+    def test_same_spec_distinct_instances(self):
+        """Equality is by value: a reconstructed spec replays the run."""
+        again = HARSH.with_()
+        assert again is not HARSH
+        assert _run("CG", faults=again) == _run("CG", faults=HARSH)
+
+    def test_different_fault_seed_changes_the_run(self):
+        a = _run("CG", faults=HARSH)
+        b = _run("CG", faults=HARSH.with_(seed=6))
+        assert a != b
+        assert a.elapsed_s != b.elapsed_s
+
+    def test_faulty_run_differs_from_clean(self):
+        faulty = _run("CG", faults=HARSH)
+        clean = _run("CG")
+        assert faulty.elapsed_s > clean.elapsed_s
+        assert faulty.extras["faults"]["messages_dropped"] > 0
+
+    def test_external_strategy_reproducible_under_faults(self):
+        strategy = ExternalStrategy(mhz=800)
+        spec = HARSH.with_(seed=11)
+        a = _run("FT", strategy=strategy, faults=spec)
+        b = _run("FT", strategy=ExternalStrategy(mhz=800), faults=spec)
+        assert a == b

@@ -1,0 +1,226 @@
+"""Unit tests for the fault spec / injector layer itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultLog,
+    FaultSpec,
+    NullInjector,
+    SeededFaultInjector,
+    parse_fault_spec,
+    resolve_injector,
+)
+from repro.faults.injector import MAX_RETRANSMITS
+
+
+# ----------------------------------------------------------------------
+# FaultSpec
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_default_spec_is_inactive(self):
+        assert not FaultSpec().active
+        assert FaultSpec().describe() == "faults(none)"
+
+    def test_any_nonzero_rate_is_active(self):
+        assert FaultSpec(transition_fail_rate=0.1).active
+        assert FaultSpec(sensor_noise_mwh=1.0).active
+        assert FaultSpec(node_crash_rate=0.5).active
+
+    def test_seed_alone_does_not_activate(self):
+        assert not FaultSpec(seed=99).active
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"transition_fail_rate": -0.1},
+            {"transition_fail_rate": 1.5},
+            {"message_drop_rate": 2.0},
+            {"node_slowdown_factor": 0.5},
+            {"message_retransmit_s": 0.0},
+        ],
+    )
+    def test_validation_rejects_bad_fields(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec(**bad)
+
+    def test_with_returns_modified_copy(self):
+        spec = FaultSpec(transition_fail_rate=0.2)
+        other = spec.with_(seed=7)
+        assert other.seed == 7
+        assert other.transition_fail_rate == 0.2
+        assert spec.seed == 0  # original untouched (frozen)
+
+    def test_describe_lists_only_non_defaults(self):
+        text = FaultSpec(seed=3, message_drop_rate=0.1).describe()
+        assert "seed=3" in text
+        assert "message_drop_rate=0.1" in text
+        assert "node_slowdown_factor" not in text
+
+
+class TestParseFaultSpec:
+    def test_presets_round_trip(self):
+        for name, preset in FAULT_PRESETS.items():
+            assert parse_fault_spec(name) == preset
+
+    def test_none_preset_is_inactive(self):
+        assert not parse_fault_spec("none").active
+
+    def test_key_value_pairs(self):
+        spec = parse_fault_spec("transition_fail_rate=0.25,seed=9")
+        assert spec.transition_fail_rate == 0.25
+        assert spec.seed == 9
+
+    def test_aliases(self):
+        spec = parse_fault_spec("fail=0.1,drop=0.2,dropout=0.3,noise=1.5")
+        assert spec.transition_fail_rate == 0.1
+        assert spec.message_drop_rate == 0.2
+        assert spec.sensor_dropout_rate == 0.3
+        assert spec.sensor_noise_mwh == 1.5
+
+    def test_preset_with_overrides(self):
+        spec = parse_fault_spec("mild,seed=3")
+        assert spec == FAULT_PRESETS["mild"].with_(seed=3)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            parse_fault_spec("bogus=1")
+
+    def test_malformed_pair_raises(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("fail")
+
+
+# ----------------------------------------------------------------------
+# injector behaviour
+# ----------------------------------------------------------------------
+class TestSeededFaultInjector:
+    def test_zero_rate_answers_are_neutral_and_logless(self):
+        inj = SeededFaultInjector(FaultSpec())
+        assert inj.transition_fails(0) is False
+        assert inj.node_slowdown_factor(0) == 1.0
+        assert inj.node_crash(0) is None
+        assert inj.message_jitter_s(0, 1, 1024) == 0.0
+        assert inj.message_drops(0, 1, 1024) == 0
+        assert inj.collective_jitter_s("alltoall", 8) == 0.0
+        assert inj.sensor_dropout(0) is False
+        assert inj.sensor_noise_mwh(0) == 0.0
+        assert not inj.log.any
+        # neutral answers must not have created any RNG streams at all
+        assert not inj._rngs
+
+    def test_same_spec_means_identical_schedules(self):
+        spec = FaultSpec(
+            seed=5,
+            transition_fail_rate=0.3,
+            message_jitter_rate=0.5,
+            message_drop_rate=0.3,
+            node_crash_rate=0.8,
+            sensor_dropout_rate=0.4,
+        )
+        a, b = SeededFaultInjector(spec), SeededFaultInjector(spec)
+        seq_a = [
+            [a.transition_fails(n) for n in range(4) for _ in range(20)],
+            [a.message_jitter_s(n, 1, 100) for n in range(4) for _ in range(20)],
+            [a.message_drops(n, 1, 100) for n in range(4) for _ in range(20)],
+            [a.node_crash(n) for n in range(4)],
+            [a.sensor_dropout(n) for n in range(4) for _ in range(20)],
+        ]
+        seq_b = [
+            [b.transition_fails(n) for n in range(4) for _ in range(20)],
+            [b.message_jitter_s(n, 1, 100) for n in range(4) for _ in range(20)],
+            [b.message_drops(n, 1, 100) for n in range(4) for _ in range(20)],
+            [b.node_crash(n) for n in range(4)],
+            [b.sensor_dropout(n) for n in range(4) for _ in range(20)],
+        ]
+        assert seq_a == seq_b
+        assert a.log == b.log
+
+    def test_different_seeds_differ(self):
+        base = dict(transition_fail_rate=0.5)
+        a = SeededFaultInjector(FaultSpec(seed=1, **base))
+        b = SeededFaultInjector(FaultSpec(seed=2, **base))
+        seq_a = [a.transition_fails(0) for _ in range(64)]
+        seq_b = [b.transition_fails(0) for _ in range(64)]
+        assert seq_a != seq_b
+
+    def test_fault_classes_use_independent_streams(self):
+        """Enabling a second fault class must not shift the first."""
+        spec_one = FaultSpec(seed=5, transition_fail_rate=0.3)
+        spec_two = spec_one.with_(sensor_dropout_rate=0.9)
+        a, b = SeededFaultInjector(spec_one), SeededFaultInjector(spec_two)
+        # interleave sensor draws on b only
+        seq_a, seq_b = [], []
+        for _ in range(50):
+            seq_a.append(a.transition_fails(2))
+            seq_b.append(b.transition_fails(2))
+            b.sensor_dropout(2)
+        assert seq_a == seq_b
+
+    def test_entities_use_independent_streams(self):
+        spec = FaultSpec(seed=5, transition_fail_rate=0.4)
+        a, b = SeededFaultInjector(spec), SeededFaultInjector(spec)
+        # b serves node 1 in between; node 0's schedule must not move
+        seq_a, seq_b = [], []
+        for _ in range(50):
+            seq_a.append(a.transition_fails(0))
+            seq_b.append(b.transition_fails(0))
+            b.transition_fails(1)
+        assert seq_a == seq_b
+
+    def test_drops_are_capped(self):
+        inj = SeededFaultInjector(FaultSpec(message_drop_rate=1.0))
+        assert inj.message_drops(0, 1, 100) == MAX_RETRANSMITS
+
+    def test_crash_lands_inside_window(self):
+        spec = FaultSpec(node_crash_rate=1.0, node_crash_window_s=5.0,
+                         node_reboot_s=2.5)
+        inj = SeededFaultInjector(spec)
+        for nid in range(8):
+            at_s, reboot_s = inj.node_crash(nid)
+            assert 0.0 <= at_s <= 5.0
+            assert reboot_s == 2.5
+
+    def test_log_counts_fired_faults(self):
+        inj = SeededFaultInjector(
+            FaultSpec(seed=5, transition_fail_rate=1.0, sensor_dropout_rate=1.0)
+        )
+        inj.transition_fails(0)
+        inj.transition_fails(0)
+        inj.sensor_dropout(3)
+        assert inj.log.transitions_failed == 2
+        assert inj.log.sensor_dropouts == 1
+        assert inj.log.total == 3
+        assert inj.log.any
+        d = inj.log.as_dict()
+        assert d["transitions_failed"] == 2
+        assert all(isinstance(v, int) for v in d.values())
+
+
+class TestResolveInjector:
+    def test_none_passes_through(self):
+        assert resolve_injector(None) is None
+
+    def test_spec_is_wrapped(self):
+        inj = resolve_injector(FaultSpec(seed=2))
+        assert isinstance(inj, SeededFaultInjector)
+        assert inj.spec.seed == 2
+
+    def test_ready_injector_returned_as_is(self):
+        null = NullInjector()
+        assert resolve_injector(null) is null
+        assert isinstance(null, FaultInjector)  # satisfies the protocol
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError, match="FaultSpec or FaultInjector"):
+            resolve_injector("mild")
+
+
+def test_fault_log_equality_and_defaults():
+    assert FaultLog() == FaultLog()
+    assert not FaultLog().any
+    log = FaultLog(dvs_retries=2, acpi_fallbacks=1)
+    assert log.total == 3

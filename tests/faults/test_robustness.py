@@ -1,0 +1,229 @@
+"""The robustness responses paired with each fault class.
+
+Every fault the injector can deal has a counter-move somewhere in the
+stack: retry-with-backoff in the CPUSPEED daemon, retry in the
+source-level ``set_cpuspeed`` actuation, the ACPI→Baytech fallback in
+the collector.  These tests exercise each response in isolation with a
+*scripted* injector whose answers are hand-chosen, not drawn.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_workload
+from repro.core.strategies import (
+    CpuspeedConfig,
+    CpuspeedDaemonStrategy,
+    InternalStrategy,
+    PhasePolicy,
+)
+from repro.faults import FaultLog, FaultSpec, NullInjector
+from repro.hardware import PENTIUM_M_TABLE
+from repro.hardware.cluster import nemo_cluster
+from repro.sim import Environment
+from repro.workloads import get_workload
+
+
+class ScriptedInjector(NullInjector):
+    """Neutral on everything except a scripted transition-failure queue."""
+
+    def __init__(self, fail_script=()):
+        super().__init__()
+        self._script = list(fail_script)
+
+    def transition_fails(self, node_id: int) -> bool:
+        fails = self._script.pop(0) if self._script else False
+        if fails:
+            self.log.transitions_failed += 1
+        return fails
+
+
+# ----------------------------------------------------------------------
+# CPU-level semantics of a failed transition
+# ----------------------------------------------------------------------
+class TestFailedTransition:
+    def _cpu(self, injector):
+        env = Environment()
+        cluster = nemo_cluster(env, 1, injector=injector)
+        return env, cluster[0].cpu
+
+    def test_failure_charges_stall_but_keeps_the_point(self):
+        env, cpu = self._cpu(ScriptedInjector([True]))
+        before = cpu.index
+        ok = cpu.set_speed_index(0)
+        assert ok is False
+        assert cpu.index == before  # operating point unchanged
+        assert cpu.stats.failed_transitions == 1
+        assert cpu.stats.transitions == 0  # not a successful switch
+        assert cpu.stats.transition_seconds == cpu.transition_latency_s
+
+    def test_retry_after_failure_succeeds(self):
+        env, cpu = self._cpu(ScriptedInjector([True]))
+        assert cpu.set_speed_index(0) is False
+        assert cpu.set_speed_index(0) is True
+        assert cpu.index == 0
+        assert cpu.stats.failed_transitions == 1
+        assert cpu.stats.transitions == 1
+
+    def test_noop_transition_never_consults_the_injector(self):
+        env, cpu = self._cpu(ScriptedInjector([True, True, True]))
+        assert cpu.set_speed_index(cpu.index) is True  # already there
+        assert cpu.stats.failed_transitions == 0
+        assert len(cpu.injector._script) == 3  # script untouched
+
+
+# ----------------------------------------------------------------------
+# CPUSPEED daemon retry-with-backoff
+# ----------------------------------------------------------------------
+class TestDaemonRetry:
+    def _idle_daemon_run(self, injector, max_retries=3):
+        """An idle CPU (usage 0 < minimum threshold) makes the daemon
+        jump to index 0 on its first poll — a real transition attempt."""
+        env = Environment()
+        cluster = nemo_cluster(env, 1, injector=injector)
+        strategy = CpuspeedDaemonStrategy(
+            CpuspeedConfig(interval_s=0.1, max_retries=max_retries,
+                           retry_backoff_s=0.01)
+        )
+        strategy.setup(cluster, [0])
+        env.run(until=0.5)
+        strategy.teardown(cluster)
+        return cluster[0].cpu
+
+    def test_retry_recovers_from_transient_failure(self):
+        injector = ScriptedInjector([True, True])  # first 2 attempts fail
+        cpu = self._idle_daemon_run(injector)
+        assert cpu.index == 0  # third attempt landed
+        assert cpu.stats.failed_transitions == 2
+        assert injector.log.dvs_retries == 2
+
+    def test_exhausted_retries_wait_for_the_next_poll(self):
+        # every attempt of the first poll fails; the next poll's fresh
+        # budget (script exhausted -> success) must still get there.
+        injector = ScriptedInjector([True] * 4)  # 1 try + 3 retries
+        cpu = self._idle_daemon_run(injector, max_retries=3)
+        assert cpu.index == 0
+        assert cpu.stats.failed_transitions == 4
+
+    def test_clean_run_never_retries(self):
+        injector = ScriptedInjector([])
+        cpu = self._idle_daemon_run(injector)
+        assert cpu.index == 0
+        assert injector.log.dvs_retries == 0
+
+
+# ----------------------------------------------------------------------
+# source-level set_cpuspeed retry (INTERNAL)
+# ----------------------------------------------------------------------
+class TestInternalRetry:
+    def test_internal_strategy_rides_through_failures(self):
+        workload = get_workload("FT", klass="T", nprocs=8)
+        injector = type(
+            "FlakyInjector",
+            (NullInjector,),
+            {
+                # fail every other transition attempt, deterministically
+                "transition_fails": lambda self, nid: next(self._flip[nid]),
+            },
+        )()
+        import itertools
+
+        injector._flip = {
+            nid: itertools.cycle([True, False]) for nid in range(8)
+        }
+        m = run_workload(
+            workload,
+            InternalStrategy(PhasePolicy({"alltoall"}, 600.0, 1400.0)),
+            faults=injector,
+        )
+        # every rank still reached its scheduled points: retries fired
+        # and the run completed with transitions on the books.
+        assert injector.log.dvs_retries > 0
+        assert m.dvs_transitions > 0
+        assert m.extras["faults"]["dvs_retries"] == injector.log.dvs_retries
+
+    def test_flat_failure_gives_up_but_completes(self):
+        workload = get_workload("FT", klass="T", nprocs=8)
+        injector = type(
+            "BrickedInjector",
+            (NullInjector,),
+            {"transition_fails": lambda self, nid: True},
+        )()
+        m = run_workload(
+            workload,
+            InternalStrategy(PhasePolicy({"alltoall"}, 600.0, 1400.0)),
+            faults=injector,
+        )
+        assert m.dvs_transitions == 0  # nothing ever switched
+        assert m.elapsed_s > 0  # but the run still finished
+        assert injector.log.dvs_retries > 0
+
+
+# ----------------------------------------------------------------------
+# collector ACPI→Baytech fallback
+# ----------------------------------------------------------------------
+class TestCollectorFallback:
+    def test_total_dropout_falls_back_to_baytech(self):
+        spec = FaultSpec(seed=5, sensor_dropout_rate=1.0)
+        m = run_workload(
+            get_workload("FT", klass="T", nprocs=8),
+            faults=spec,
+            measurement_channels=True,
+        )
+        assert m.acpi_energy_j is not None and m.acpi_energy_j > 0
+        assert m.report is not None
+        assert m.report.fallback_nodes == tuple(range(8))
+        # the fallback *is* the Baytech channel, per node
+        for ne in m.report.nodes:
+            assert ne.acpi_fallback
+            assert ne.acpi_j == ne.baytech_j
+        assert m.extras["faults"]["acpi_fallbacks"] == 8
+
+    def test_partial_dropout_keeps_acpi_where_it_lives(self):
+        spec = FaultSpec(seed=5, sensor_dropout_rate=0.5)
+        m = run_workload(
+            get_workload("FT", klass="T", nprocs=8),
+            faults=spec,
+            measurement_channels=True,
+        )
+        assert m.report is not None
+        # short runs have few polls per node, so the odd node may still
+        # starve — but fallback must stay the exception, not the rule
+        assert len(m.report.fallback_nodes) < 4
+        assert any(not ne.acpi_fallback for ne in m.report.nodes)
+        assert m.extras["faults"]["sensor_dropouts"] > 0
+
+    def test_clean_run_has_no_fallbacks(self):
+        m = run_workload(
+            get_workload("FT", klass="T", nprocs=8),
+            measurement_channels=True,
+        )
+        assert m.report.fallback_nodes == ()
+
+
+# ----------------------------------------------------------------------
+# node crash and message loss keep runs finite
+# ----------------------------------------------------------------------
+class TestCrashAndLoss:
+    def test_crash_extends_elapsed_by_at_most_reboots(self):
+        clean = run_workload(get_workload("CG", klass="T", nprocs=8))
+        spec = FaultSpec(seed=5, node_crash_rate=1.0,
+                         node_crash_window_s=0.1, node_reboot_s=0.2)
+        crashed = run_workload(get_workload("CG", klass="T", nprocs=8),
+                               faults=spec)
+        assert crashed.extras["faults"]["nodes_crashed"] == 8
+        assert crashed.elapsed_s > clean.elapsed_s
+        # reboots overlap across nodes; the slowest chain bounds the hit
+        assert crashed.elapsed_s <= clean.elapsed_s + 8 * 0.2 + 0.1
+
+    def test_full_drop_rate_terminates(self):
+        """MAX_RETRANSMITS caps the loss loop even at drop rate 1.0."""
+        spec = FaultSpec(seed=5, message_drop_rate=1.0,
+                         message_retransmit_s=0.001)
+        m = run_workload(get_workload("CG", klass="T", nprocs=8), faults=spec)
+        assert m.elapsed_s > 0
+        assert m.extras["faults"]["messages_dropped"] > 0
+
+
+def test_fault_log_round_trips_through_extras():
+    log = FaultLog(transitions_failed=2, dvs_retries=1)
+    assert FaultLog(**log.as_dict()) == log
