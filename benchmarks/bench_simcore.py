@@ -5,6 +5,9 @@ Two layers, matching the two optimization surfaces:
 * **kernel events/sec** — synthetic event storms exercising the hot
   paths of :mod:`repro.sim` (timeout churn, process ping-pong, the
   communicator's cancel-guard pattern);
+* **tier points/sec** — one static-gear EXTERNAL sweep forced through
+  the event engine, the straightline accumulator, and a warm
+  measurement cache;
 * **end-to-end wall-clock** — a real frequency sweep, serial vs the
   parallel runner, cold vs warm measurement cache.
 
@@ -125,6 +128,65 @@ def bench_kernel(n_events: int, repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# simulation tiers: event engine vs straightline vs cached replay
+# ----------------------------------------------------------------------
+def bench_tiers(code: str, klass: str, tmp_cache: str, quick: bool) -> dict:
+    """Points/sec of one static-gear sweep through each execution tier.
+
+    The same EXTERNAL gear × seed grid runs three ways: forced through
+    the event engine, forced through the straightline accumulator, and
+    replayed from a warm measurement cache.  All three produce the same
+    bits; only the wall-clock differs.
+    """
+    import os
+
+    from repro.core.framework import run_workload
+    from repro.core.strategies.external import ExternalStrategy
+    from repro.experiments.parallel import ParallelRunner, RunTask
+    from repro.workloads import get_workload
+
+    gears = [600.0, 1000.0, 1400.0] if quick else [600.0, 800.0, 1000.0, 1200.0, 1400.0]
+    seeds = [0] if quick else [0, 1]
+    workload = get_workload(code, klass=klass)
+    points = [(mhz, seed) for mhz in gears for seed in seeds]
+
+    def timed(engine: str) -> float:
+        # One untimed point first: the straightline tier compiles the
+        # phase program on first contact (memoized per workload), and a
+        # sweep pays that once regardless of its size.
+        run_workload(workload, ExternalStrategy(mhz=gears[0]), seed=seeds[0],
+                     engine=engine)
+        t0 = time.perf_counter()
+        for mhz, seed in points:
+            run_workload(workload, ExternalStrategy(mhz=mhz), seed=seed, engine=engine)
+        return time.perf_counter() - t0
+
+    event_s = timed("event")
+    straight_s = timed("straightline")
+
+    cache_dir = os.path.join(tmp_cache, "tiers")
+    tasks = [RunTask(workload, ExternalStrategy(mhz=mhz), seed=seed)
+             for mhz, seed in points]
+    with ParallelRunner(jobs=1, cache_dir=cache_dir) as runner:
+        runner.map_sweep(tasks)                      # fill
+    with ParallelRunner(jobs=1, cache_dir=cache_dir) as runner:
+        t0 = time.perf_counter()
+        runner.map_sweep(tasks)                      # warm replay
+        replay_s = time.perf_counter() - t0
+
+    n = len(points)
+    return {
+        "code": code,
+        "klass": klass,
+        "points": n,
+        "event_points_per_sec": round(n / event_s, 2),
+        "straightline_points_per_sec": round(n / straight_s, 2),
+        "cached_replay_points_per_sec": round(n / replay_s, 2),
+        "straightline_speedup_vs_event": round(event_s / straight_s, 2),
+    }
+
+
+# ----------------------------------------------------------------------
 # end-to-end experiment engine
 # ----------------------------------------------------------------------
 def bench_sweep(code: str, klass: str, jobs: int, tmp_cache: Optional[str]) -> dict:
@@ -174,11 +236,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     with tempfile.TemporaryDirectory() as cache_dir:
         payload = {
             "kernel": bench_kernel(args.events, args.repeats),
+            "tiers": bench_tiers(args.code, args.klass, cache_dir, args.quick),
             "sweep": bench_sweep(args.code, args.klass, args.jobs, cache_dir),
         }
 
     for name, row in payload["kernel"].items():
         print(f"kernel {name:18s} {row['best_events_per_sec']:>9,d} events/s")
+    for field, value in payload["tiers"].items():
+        if field.endswith("_per_sec"):
+            print(f"tiers  {field:32s} {value:>10,.2f} points/s")
+    print(f"tiers  straightline_speedup_vs_event     {payload['tiers']['straightline_speedup_vs_event']:>10.2f} x")
     for field, value in payload["sweep"].items():
         if field.endswith("_s"):
             print(f"sweep  {field:18s} {value:>9.3f} s")

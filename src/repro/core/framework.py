@@ -74,11 +74,20 @@ def run_workload(
     cluster: Optional[Cluster] = None,
     extra_hooks: Optional[PhaseHooks] = None,
     faults: Union[FaultSpec, FaultInjector, None] = None,
+    engine: str = "auto",
 ) -> Measurement:
     """Run ``workload`` under ``strategy`` on a fresh cluster.
 
     Parameters
     ----------
+    engine:
+        Simulation tier.  ``"auto"`` (default) uses the straightline
+        direct accumulator (:mod:`repro.sim.straightline`) when the run
+        qualifies — static strategy, no faults/trace/channels, default
+        cluster and hooks — and the event engine otherwise; the two
+        produce bit-for-bit identical measurements on the supported
+        subset.  ``"event"`` forces the event engine; ``"straightline"``
+        forces the fast tier and raises when the run is ineligible.
     faults:
         Optional fault environment (a
         :class:`~repro.faults.spec.FaultSpec`, or a ready injector to
@@ -102,6 +111,57 @@ def run_workload(
     """
     strategy = strategy or NoDvsStrategy()
     injector = resolve_injector(faults)
+
+    if engine not in ("auto", "event", "straightline"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine != "event":
+        eligible = (
+            cluster is None
+            and not trace
+            and not measurement_channels
+            and extra_hooks is None
+            and injector is None
+            and strategy.is_static()
+            and strategy.hooks(workload) is NO_HOOKS
+        )
+        if eligible:
+            # Imported lazily: the straightline tier sits on top of the
+            # workload/strategy layers and must not load with repro.sim.
+            from repro.sim.straightline import (
+                StraightlineUnsupported,
+                run_straightline,
+                try_run_straightline,
+            )
+
+            if engine == "straightline":
+                return run_straightline(
+                    workload,
+                    strategy,
+                    seed=seed,
+                    network_params=network_params,
+                    power=power,
+                    opoints=opoints,
+                    transition_latency_s=transition_latency_s,
+                )
+            fast = try_run_straightline(
+                workload,
+                strategy,
+                seed=seed,
+                network_params=network_params,
+                power=power,
+                opoints=opoints,
+                transition_latency_s=transition_latency_s,
+            )
+            if fast is not None:
+                return fast
+        elif engine == "straightline":
+            from repro.sim.straightline import StraightlineUnsupported
+
+            raise StraightlineUnsupported(
+                "run configuration requires the event engine "
+                "(dynamic strategy, faults, trace, channels, or a custom cluster)"
+            )
+
     if cluster is None:
         env = Environment()
         cluster = nemo_cluster(

@@ -31,6 +31,17 @@ class Strategy(abc.ABC):
         """Source-level instrumentation (default: none)."""
         return NO_HOOKS
 
+    def is_static(self) -> bool:
+        """Whether this strategy leaves operating points fixed after setup.
+
+        Static strategies (the no-DVS baseline, EXTERNAL) qualify for
+        the straightline fast tier (:mod:`repro.sim.straightline`);
+        anything that changes speed mid-run — daemons, source hooks,
+        predictive schedulers — must run on the event engine.  The
+        default is conservative: ``False``.
+        """
+        return False
+
     def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
         """Prepare the participating nodes before launch."""
 
@@ -53,6 +64,9 @@ class NoDvsStrategy(Strategy):
     """
 
     name = "no-dvs"
+
+    def is_static(self) -> bool:
+        return True
 
     def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
         for nid in node_ids:

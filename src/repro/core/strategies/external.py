@@ -56,6 +56,9 @@ class ExternalStrategy(Strategy):
             self.selected_from_profile = False
         self.mhz = mhz
 
+    def is_static(self) -> bool:
+        return True
+
     def describe(self) -> str:
         if self.per_node_mhz is not None:
             return f"external(per-node {self.per_node_mhz})"

@@ -223,7 +223,14 @@ def cache_key(
         "strategy": canonical_spec(strategy),
         "seed": seed,
         "kwargs": canonical_spec(
-            {k: v for k, v in (run_kwargs or {}).items() if v is not None}
+            # ``engine`` selects an execution tier, never an output: the
+            # straightline accumulator is bit-identical to the event
+            # engine, so both tiers share one cache slot.
+            {
+                k: v
+                for k, v in (run_kwargs or {}).items()
+                if v is not None and k != "engine"
+            }
         ),
     }
     blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))

@@ -364,10 +364,8 @@ class RankContext:
         dst_cpu = comm.cpu_of(msg.dst)
         # Congestion collisions on saturating p2p patterns (paper 5.2):
         # stretch the wire bytes by the sender-frequency-dependent factor.
-        wire_bytes = msg.nbytes
-        if cost.collision_applies_p2p:
-            ratio = self.cpu.frequency_hz / self.cpu.opoints.fastest.frequency_hz
-            wire_bytes *= cost.collision_factor(ratio)
+        ratio = self.cpu.frequency_hz / self.cpu.opoints.fastest.frequency_hz
+        wire_bytes = cost.p2p_wire_bytes(msg.nbytes, ratio)
         # Sender software cost (scales with this rank's clock).
         yield self.cpu.run_work(
             cost.send_cycles(msg.nbytes), activity=1.0, busy=1.0, nic_activity=0.4

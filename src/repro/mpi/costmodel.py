@@ -113,6 +113,17 @@ class CostModel:
         ramp = (freq_ratio - self.collision_onset) / (1.0 - self.collision_onset)
         return 1.0 + self.collision_coeff * min(1.0, max(0.0, ramp))
 
+    def p2p_wire_bytes(self, nbytes: float, freq_ratio: float) -> float:
+        """Effective wire bytes of one point-to-point message.
+
+        Codes whose p2p pattern saturates the fabric
+        (:attr:`collision_applies_p2p`) pay the collision factor as
+        inflated wire bytes; everyone else ships ``nbytes`` unchanged.
+        """
+        if not self.collision_applies_p2p:
+            return nbytes
+        return nbytes * self.collision_factor(freq_ratio)
+
     # ------------------------------------------------------------------
     # collective durations (seconds), excluding the software cycles
     # ------------------------------------------------------------------

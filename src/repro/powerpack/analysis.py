@@ -86,7 +86,25 @@ def align(series_list: Sequence[Series], step_s: float) -> list[Series]:
     n = max(2, int(np.floor((t1 - t0) / step_s)) + 1)
     grid = t0 + step_s * np.arange(n)
     grid = grid[grid <= t1 + 1e-12]
-    return [resample(s, grid) for s in series_list]
+    # Per-node series from one collector share a sampling clock, so
+    # group by identical timebase: one searchsorted serves the whole
+    # group, and the values gather as a single 2-D fancy index.  The
+    # result is element-identical to resampling each series alone.
+    out: list[Series | None] = [None] * len(series_list)
+    groups: dict[tuple, list[int]] = {}
+    for i, s in enumerate(series_list):
+        if len(s) == 0:
+            raise ValueError("cannot resample an empty series")
+        key = (s.times.shape, s.times.tobytes())
+        groups.setdefault(key, []).append(i)
+    for members in groups.values():
+        times = series_list[members[0]].times
+        idx = np.searchsorted(times, grid, side="right") - 1
+        idx = np.clip(idx, 0, times.size - 1)
+        values = np.stack([series_list[i].values for i in members])[:, idx]
+        for row, i in enumerate(members):
+            out[i] = Series(grid, values[row], series_list[i].label)
+    return out  # type: ignore[return-value]
 
 
 def moving_average(series: Series, window: int) -> Series:
@@ -108,9 +126,11 @@ def total_power_series(aligned: Sequence[Series]) -> Series:
     if not aligned:
         raise ValueError("nothing to sum")
     base = aligned[0].times
-    for s in aligned[1:]:
-        if s.times.shape != base.shape or not np.allclose(s.times, base):
-            raise ValueError("series are not aligned; call align() first")
+    if any(s.times.shape != base.shape for s in aligned[1:]):
+        raise ValueError("series are not aligned; call align() first")
+    times2d = np.stack([s.times for s in aligned])
+    if not np.allclose(times2d, base):
+        raise ValueError("series are not aligned; call align() first")
     total = np.sum([s.values for s in aligned], axis=0)
     return Series(base, total, "cluster")
 

@@ -1,0 +1,702 @@
+"""Straightline executor: static-gear runs without an event heap.
+
+For a run whose operating points never change (no-DVS baseline, the
+EXTERNAL strategy), fault-free and untraced, every quantity the event
+engine produces is a closed-form chain of float operations: segment end
+times are chained sums, per-node energy is a piecewise-constant
+integral over state-change breakpoints, and collectives complete a
+fixed duration after the last arrival.  This module evaluates a
+:class:`~repro.workloads.compile.CompiledProgram` by direct
+accumulation — no heap, no generators — replicating the event engine's
+arithmetic *in the same order*, so every :class:`Measurement` summary
+field is bit-for-bit identical to the event engine's.
+
+The replication contract (pinned by
+``tests/sim/test_straightline_equivalence.py``):
+
+* segments start at ``max(enqueue time, CPU free time)`` and last
+  ``max(0, stall_until - start) + cycles / f + offchip`` — the exact
+  expression ``CpuCore._duration`` evaluates;
+* energy accumulates one ``energy += power * dt`` term per state-change
+  breakpoint with ``dt > 0`` plus a final ``power * (T_end - t_last)``
+  term — the exact sequence ``EnergyMeter`` produces, using
+  ``NodePowerParameters.node_power_w`` itself for every power value;
+* network channel grants are FIFO per node: ``grant = max(request,
+  channel_free)``, serialization from the rx grant, releases at
+  serialization end, delivery one latency later — matching
+  ``Network._transfer`` over the engine's synchronous-grant
+  :class:`Resource`;
+* collectives complete at ``max(arrival times) + collective_seconds``.
+
+Anything whose timing the executor cannot order deterministically (a
+channel request arriving before one already granted, a rank-dependency
+cycle) raises :class:`StraightlineUnsupported`; ``run_workload`` falls
+back to the event engine, which also reproduces genuine program errors
+(deadlocks, mismatched collectives).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from weakref import WeakKeyDictionary
+
+from repro.workloads.compile import (
+    OP_COLLECTIVE,
+    OP_COMPUTE,
+    OP_IDLE,
+    OP_IRECV,
+    OP_ISEND,
+    OP_WAIT,
+    REQ_RECV,
+    CompiledProgram,
+    CompileError,
+    compile_workload,
+)
+
+__all__ = ["StraightlineUnsupported", "run_straightline", "try_run_straightline"]
+
+
+class StraightlineUnsupported(RuntimeError):
+    """The run cannot be evaluated on the straightline tier.
+
+    Raised when the configuration is ineligible (dynamic strategy,
+    faults, tracing) or when execution hits an ordering the direct
+    accumulator cannot reproduce deterministically.  Callers fall back
+    to the event engine.
+    """
+
+
+# Event kinds in the per-node breakpoint list.
+_EV_START = 0  # a segment becomes active: payload (act, busy, mem, nic)
+_EV_END = 1  # the active segment completes
+_EV_PUSH = 2  # push a wait-state token: payload (act, busy, mem, nic)
+_EV_POP = 3  # pop the topmost matching wait-state token
+
+
+_LISTS_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _program_lists(compiled: CompiledProgram) -> tuple:
+    """Python-list view of a compiled program, memoized per program."""
+    lists = _LISTS_CACHE.get(compiled)
+    if lists is None:
+        lists = (
+            [a.tolist() for a in compiled.ops],
+            [a.tolist() for a in compiled.iargs],
+            [a.tolist() for a in compiled.fargs],
+            compiled.req_kind.tolist(),
+            compiled.req_owner.tolist(),
+            compiled.req_peer.tolist(),
+            compiled.req_nbytes.tolist(),
+            compiled.req_eager.tolist(),
+            compiled.req_match.tolist(),
+        )
+        _LISTS_CACHE[compiled] = lists
+    return lists
+
+
+class _Node:
+    """Static per-node state + the breakpoint event list."""
+
+    __slots__ = ("freq_hz", "mhz", "opoint", "stall_until", "cpu_free", "events")
+
+    def __init__(self, freq_hz: float, mhz: float, opoint, stall_until: float) -> None:
+        self.freq_hz = freq_hz
+        self.mhz = mhz
+        self.opoint = opoint
+        self.stall_until = stall_until
+        self.cpu_free = 0.0
+        self.events: list[tuple] = []  # (t, seq, kind, payload)
+
+
+class _Chan:
+    """One simplex network channel (a capacity-1 FIFO resource)."""
+
+    __slots__ = ("free", "max_req")
+
+    def __init__(self) -> None:
+        self.free = 0.0
+        self.max_req = 0.0
+
+
+class _Slot:
+    """One collective call site (mirrors ``_CollectiveSlot``)."""
+
+    __slots__ = ("arrivals", "wires", "done_t")
+
+    def __init__(self) -> None:
+        self.arrivals: dict[int, float] = {}
+        self.wires: dict[int, float] = {}
+        self.done_t: Optional[float] = None
+
+
+class _Rank:
+    __slots__ = ("rank", "pc", "t", "phase", "wait_req", "coll_seq", "spawn",
+                 "finish", "ops", "iargs", "fargs", "node")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.pc = 0
+        self.t = 0.0
+        self.phase = "op"  # op | wait | coll | done
+        self.wait_req = -1
+        self.coll_seq = -1
+        self.spawn: list[int] = []
+        self.finish = 0.0
+        # Filled by the executor: this rank's program + its node, so the
+        # dispatch loop avoids a per-op double index.
+        self.ops: list[int] = []
+        self.iargs: list[int] = []
+        self.fargs: list = []
+        self.node: Optional[_Node] = None
+
+
+class _Executor:
+    """Direct-accumulation interpreter for one compiled run."""
+
+    def __init__(self, compiled: CompiledProgram, cost, net_params, power_params,
+                 nodes: list[_Node]) -> None:
+        self.c = compiled
+        self.cost = cost
+        self.net = net_params
+        self.power = power_params
+        self.nodes = nodes
+        self.n = compiled.nprocs
+        self.fastest_hz = compiled.fastest_hz
+        # Engine: Communicator._max_freq_ratio() over the (static) ranks.
+        self.freq_ratio = (
+            max(nd.freq_hz for nd in nodes) / compiled.fastest_hz
+        )
+        # Python lists of Python floats/ints: the accumulation must use
+        # the same scalar arithmetic as the event engine, not numpy's.
+        # The conversion is pure and the program immutable, so it is
+        # shared across every point of a sweep.
+        (self.ops, self.iargs, self.fargs, self.req_kind, self.req_owner,
+         self.req_peer, self.req_nbytes, self.req_eager,
+         self.req_match) = _program_lists(compiled)
+        nreq = compiled.n_requests
+        self.done_t: list[Optional[float]] = [None] * nreq
+        self.posted_t: list[Optional[float]] = [None] * nreq
+        self.delivered_t: list[Optional[float]] = [None] * nreq
+        self.rts_t: list[Optional[float]] = [None] * nreq
+        self.wire: list[float] = [0.0] * nreq
+        self.tx = [_Chan() for _ in range(self.n)]
+        self.rx = [_Chan() for _ in range(self.n)]
+        self.slots = [_Slot() for _ in compiled.coll_kinds]
+        self.ranks = [_Rank(r) for r in range(self.n)]
+        for r in self.ranks:
+            r.ops = self.ops[r.rank]
+            r.iargs = self.iargs[r.rank]
+            r.fargs = self.fargs[r.rank]
+            r.node = nodes[r.rank]
+        self._seq = 0
+        self._dirty = False
+        self.comm_sig = cost.comm_progress.as_tuple()
+        self.wait_sig = cost.blocked_wait.as_tuple()
+        # Bound-method caches for the interpreter's hottest calls.
+        self._send_cycles = cost.send_cycles
+        self._recv_cycles = cost.recv_cycles
+        self._p2p_wire_bytes = cost.p2p_wire_bytes
+
+    # ------------------------------------------------------------------
+    # breakpoint emission + the CPU FIFO
+    # ------------------------------------------------------------------
+    def _emit(self, node: _Node, t: float, kind: int, payload=None) -> None:
+        self._seq += 1
+        node.events.append((t, self._seq, kind, payload))
+
+    def _run_seg(self, node: _Node, t_req: float, cycles: float, offchip: float,
+                 act: float, busy: float, mem: float, nic: float) -> float:
+        """Enqueue one work segment; returns its completion time.
+
+        Start and duration reproduce ``CpuCore``: the segment starts
+        when the FIFO drains (or immediately), consumes any pending
+        transition stall, then runs ``cycles`` at the static clock.
+        """
+        start = t_req if t_req > node.cpu_free else node.cpu_free
+        stall = node.stall_until - start
+        if stall < 0.0:
+            stall = 0.0
+        planned = stall + cycles / node.freq_hz + offchip
+        end = start + planned
+        seq = self._seq
+        events = node.events
+        events.append((start, seq + 1, _EV_START, (act, busy, mem, nic)))
+        events.append((end, seq + 2, _EV_END, None))
+        self._seq = seq + 2
+        node.cpu_free = end
+        return end
+
+    # ------------------------------------------------------------------
+    # network channels (Resource with synchronous FIFO grants)
+    # ------------------------------------------------------------------
+    def _grant(self, chan: _Chan, t_req: float) -> float:
+        if t_req < chan.max_req and t_req < chan.free:
+            # A request earlier than one already granted while the
+            # channel is busy: the engine would have granted this one
+            # first.  The straightline order is wrong — bail out.
+            raise StraightlineUnsupported("out-of-order network channel demand")
+        if t_req > chan.max_req:
+            chan.max_req = t_req
+        return t_req if t_req > chan.free else chan.free
+
+    def _transfer(self, src: int, dst: int, nbytes: float, t0: float) -> float:
+        """Wire a message; returns its delivery time (``Network._transfer``)."""
+        if src == dst:
+            return t0 + nbytes / (400e6)
+        tx, rx = self.tx[src], self.rx[dst]
+        g1 = self._grant(tx, t0)
+        g2 = self._grant(rx, g1)
+        ser_end = g2 + self.net.serialization_s(nbytes)
+        tx.free = ser_end
+        rx.free = ser_end
+        return ser_end + self.net.latency_s
+
+    # ------------------------------------------------------------------
+    # send-proc chains
+    # ------------------------------------------------------------------
+    def _flush(self, rank: _Rank) -> None:
+        """Run the rank's pending send procs (they start at its yields)."""
+        if not rank.spawn:
+            return
+        pending, rank.spawn = rank.spawn, []
+        for req_id in pending:
+            self._run_send_chain(req_id, rank.t)
+
+    def _run_send_chain(self, s_id: int, ft: float) -> None:
+        self._dirty = True  # may resolve the peer's recv request
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
+        nbytes = self.req_nbytes[s_id]
+        node = self.nodes[src]
+        ratio = node.freq_hz / self.fastest_hz
+        self.wire[s_id] = self._p2p_wire_bytes(nbytes, ratio)
+        sw_end = self._run_seg(
+            node, ft, self._send_cycles(nbytes), 0.0, 1.0, 1.0, 0.0, 0.4
+        )
+        r_id = self.req_match[s_id]
+        if self.req_eager[s_id]:
+            # MPI_Send may return once the buffer is copied out.
+            self.done_t[s_id] = sw_end
+            delivered = self._transfer(src, dst, self.wire[s_id], sw_end)
+            self.delivered_t[s_id] = delivered
+            pt = self.posted_t[r_id]
+            if pt is not None:
+                self.done_t[r_id] = pt if pt > delivered else delivered
+        else:
+            # Rendezvous: RTS rides one latency; transfer starts at CTS.
+            self.rts_t[s_id] = sw_end + self.net.latency_s
+            if self.posted_t[r_id] is not None:
+                self._complete_rndv(s_id)
+
+    def _complete_rndv(self, s_id: int) -> None:
+        self._dirty = True  # resolves requests on both sides
+        r_id = self.req_match[s_id]
+        rts = self.rts_t[s_id]
+        pt = self.posted_t[r_id]
+        cts = pt if pt > rts else rts  # CTS fires when both sides met
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        # Both CPUs progress the message for the whole transfer.
+        self._emit(src_node, cts, _EV_PUSH, self.comm_sig)
+        self._emit(dst_node, cts, _EV_PUSH, self.comm_sig)
+        delivered = self._transfer(src, dst, self.wire[s_id], cts)
+        self._emit(src_node, delivered, _EV_POP, self.comm_sig)
+        self._emit(dst_node, delivered, _EV_POP, self.comm_sig)
+        self.delivered_t[s_id] = delivered
+        self.done_t[s_id] = delivered
+        self.done_t[r_id] = delivered
+
+    # ------------------------------------------------------------------
+    # the worklist
+    # ------------------------------------------------------------------
+    def run(self) -> float:
+        """Execute every rank; returns the makespan T_end."""
+        ranks = self.ranks
+        done_t = self.done_t
+        slots = self.slots
+        step = self._step
+        while True:
+            best = None
+            best_nt = 0.0
+            second = None
+            second_nt = 0.0
+            all_done = True
+            for r in ranks:
+                phase = r.phase
+                if phase == "done":
+                    continue
+                all_done = False
+                if phase == "op":
+                    nt = r.t
+                elif phase == "wait":
+                    nt = done_t[r.wait_req]
+                else:  # coll
+                    nt = slots[r.coll_seq].done_t
+                if nt is None:
+                    continue
+                # Ranks are scanned in id order, so strict < keeps the
+                # lowest-rank winner on ties — same as the tuple key.
+                if best is None or nt < best_nt:
+                    best, best_nt, second, second_nt = r, nt, best, best_nt
+                elif second is None or nt < second_nt:
+                    second, second_nt = r, nt
+            if all_done:
+                break
+            if best is None:
+                # Every live rank blocked on an unresolved dependency:
+                # the program would deadlock (or needs an ordering this
+                # tier cannot establish).  Let the event engine decide.
+                raise StraightlineUnsupported("no runnable rank (program deadlock?)")
+            # Burst: keep stepping the chosen rank without rescanning
+            # while the order is provably unchanged.  Exactness: no
+            # other rank's next-time can move unless a step resolves a
+            # request or collective (the _dirty flag), and the chosen
+            # rank's own time only grows, so comparing against the
+            # stale runner-up under the same (time, rank) tie-break
+            # reproduces the full scan's choice.
+            while True:
+                self._dirty = False
+                step(best)
+                if self._dirty or best.phase != "op":
+                    break
+                if second is None:
+                    continue  # only resolvable rank; nobody to overtake
+                nt = best.t
+                if nt < second_nt or (nt == second_nt and best.rank < second.rank):
+                    continue
+                break
+        return max(r.finish for r in ranks)
+
+    def _step(self, r: _Rank) -> None:
+        phase = r.phase
+        if phase == "wait":
+            self._resume_wait(r)
+            return
+        if phase == "coll":
+            r.t = self.slots[r.coll_seq].done_t
+            r.phase = "op"
+            r.pc += 1
+            return
+        ops = r.ops
+        pc = r.pc
+        if pc >= len(ops):
+            if r.spawn:
+                self._flush(r)
+            r.finish = r.t
+            r.phase = "done"
+            return
+        code = ops[pc]
+        if code == OP_COMPUTE:
+            cyc, off, act, busy, mem, nic = r.fargs[pc]
+            end = self._run_seg(r.node, r.t, cyc, off, act, busy, mem, nic)
+            if r.spawn:
+                self._flush(r)
+            r.t = end
+            r.pc = pc + 1
+        elif code == OP_IDLE:
+            if r.spawn:
+                self._flush(r)
+            r.t = r.t + r.fargs[pc][0]
+            r.pc = pc + 1
+        elif code == OP_ISEND:
+            r.spawn.append(r.iargs[pc])
+            r.pc = pc + 1
+        elif code == OP_IRECV:
+            self._post_recv(r, r.iargs[pc])
+            r.pc = pc + 1
+        elif code == OP_WAIT:
+            self._start_wait(r, r.iargs[pc])
+        else:  # OP_COLLECTIVE
+            self._start_collective(r)
+
+    def _post_recv(self, r: _Rank, req_id: int) -> None:
+        self.posted_t[req_id] = r.t
+        s_id = self.req_match[req_id]
+        if self.req_eager[s_id]:
+            dv = self.delivered_t[s_id]
+            if dv is not None:
+                # Delivered-then-posted matches in the mailbox at post
+                # time; posted-then-delivered matches at delivery.
+                self.done_t[req_id] = r.t if r.t > dv else dv
+        elif self.rts_t[s_id] is not None and self.done_t[s_id] is None:
+            self._complete_rndv(s_id)
+
+    def _start_wait(self, r: _Rank, req_id: int) -> None:
+        d = self.done_t[req_id]
+        node = r.node
+        if d is not None and d <= r.t:
+            # Already triggered: wait() performs no blocking yield.
+            if self.req_kind[req_id] == REQ_RECV:
+                end = self._unpack(node, r.t, req_id)
+                if r.spawn:
+                    self._flush(r)  # the unpack run_work is the first yield
+                r.t = end
+            r.pc += 1
+            return
+        # Untriggered: push the blocked signature, then yield (which
+        # starts any send procs spawned in this burst).
+        self._emit(node, r.t, _EV_PUSH, self.wait_sig)
+        if r.spawn:
+            self._flush(r)
+        d = self.done_t[req_id]  # flushing may complete our own send
+        if d is None:
+            r.wait_req = req_id
+            r.phase = "wait"
+            return
+        self._complete_wait(r, req_id, d)
+
+    def _resume_wait(self, r: _Rank) -> None:
+        d = self.done_t[r.wait_req]
+        self._complete_wait(r, r.wait_req, d)
+        r.phase = "op"
+
+    def _complete_wait(self, r: _Rank, req_id: int, d: float) -> None:
+        if d < r.t:
+            # The request completed before we decided to block — the
+            # engine would not have pushed the wait state.  Our
+            # worklist order diverged; refuse rather than guess.
+            raise StraightlineUnsupported("wait resolved before block point")
+        node = r.node
+        self._emit(node, d, _EV_POP, self.wait_sig)
+        r.t = d
+        if self.req_kind[req_id] == REQ_RECV:
+            r.t = self._unpack(node, d, req_id)
+        r.pc += 1
+
+    def _unpack(self, node: _Node, t: float, req_id: int) -> float:
+        nbytes = self.req_nbytes[self.req_match[req_id]]
+        return self._run_seg(
+            node, t, self._recv_cycles(nbytes), 0.0, 1.0, 1.0, 0.4, 0.3
+        )
+
+    def _start_collective(self, r: _Rank) -> None:
+        seq = r.iargs[r.pc]
+        f = r.fargs[r.pc]
+        wire = f[0]
+        copy = f[1]
+        node = r.node
+        pack_end = self._run_seg(
+            node, r.t,
+            self.cost.collective_overhead_cycles
+            + self.cost.pack_cycles_per_byte * copy,
+            0.0, 1.0, 1.0, 0.4, 0.0,
+        )
+        if r.spawn:
+            self._flush(r)
+        self._emit(node, pack_end, _EV_PUSH, self.comm_sig)
+        slot = self.slots[seq]
+        slot.arrivals[r.rank] = pack_end
+        slot.wires[r.rank] = wire
+        r.t = pack_end
+        r.coll_seq = seq
+        r.phase = "coll"
+        if len(slot.arrivals) == self.n:
+            self._dirty = True  # unblocks every parked rank
+            all_at = max(slot.arrivals.values())
+            duration = self.cost.collective_seconds(
+                self.c.coll_kinds[seq],
+                self.n,
+                max(slot.wires.values()),
+                self.net,
+                freq_ratio=self.freq_ratio,
+                jitter_s=0.0,
+            )
+            slot.done_t = all_at + duration
+            for rr in range(self.n):
+                self._emit(self.nodes[rr], slot.done_t, _EV_POP, self.comm_sig)
+
+    # ------------------------------------------------------------------
+    # energy + time accounting
+    # ------------------------------------------------------------------
+    def finalize(self, t_end: float) -> tuple[list[float], list[float]]:
+        """Integrate each node's breakpoints; returns (energy, time) lists.
+
+        Replicates the meter exactly: one ``energy += p * dt`` per
+        breakpoint with ``dt > 0``, power refreshed after every
+        breakpoint, plus the final ``p * (T_end - t_last)`` read.
+        """
+        idle = self.power.cpu_idle_activity
+        energies: list[float] = []
+        times: list[float] = []
+        for node in self.nodes:
+            # (t, seq) is globally unique, so plain tuple sort never
+            # reaches the payload — identical order, no key function.
+            events = sorted(node.events)
+            power_w = self.power.node_power_w
+            opoint = node.opoint
+            idle_key = (idle, 0.0, 0.0)
+            p_idle = power_w(opoint, idle, 0.0, 0.0)
+            cache: dict[tuple, float] = {idle_key: p_idle}
+            cache_get = cache.get
+
+            active = None
+            stack: list[tuple] = []
+            p_cur = p_idle
+            t_last = 0.0
+            energy = 0.0
+            time_acc = 0.0
+            i = 0
+            n_ev = len(events)
+            while i < n_ev:
+                ev = events[i]
+                t = ev[0]
+                if t > t_end:
+                    break  # the engine stops at the job's completion
+                dt = t - t_last
+                if dt > 0:
+                    energy += p_cur * dt
+                    time_acc += dt
+                    t_last = t
+                while True:
+                    kind = ev[2]
+                    if kind == _EV_START:
+                        active = ev[3]
+                    elif kind == _EV_END:
+                        active = None
+                    elif kind == _EV_PUSH:
+                        stack.append(ev[3])
+                    else:  # _EV_POP
+                        payload = ev[3]
+                        for j in range(len(stack) - 1, -1, -1):
+                            if stack[j] == payload:
+                                del stack[j]
+                                break
+                    i += 1
+                    if i >= n_ev:
+                        break
+                    ev = events[i]
+                    if ev[0] != t:
+                        break
+                if active is not None:
+                    key = (active[0], active[2], active[3])
+                elif stack:
+                    top = stack[-1]
+                    dyn = top[0] if top[0] > idle else idle
+                    key = (dyn, top[2], top[3])
+                else:
+                    key = idle_key
+                p_cur = cache_get(key)
+                if p_cur is None:
+                    p_cur = power_w(opoint, key[0], key[1], key[2])
+                    cache[key] = p_cur
+            # EnergyMeter.energy_j(): one final read at T_end.
+            energies.append(energy + p_cur * (t_end - t_last))
+            dt = t_end - t_last
+            if dt > 0:
+                time_acc += dt
+            times.append(time_acc)
+        return energies, times
+
+
+def _execute(compiled: CompiledProgram, cost, net_params, power_params,
+             nodes: list[_Node]):
+    ex = _Executor(compiled, cost, net_params, power_params, nodes)
+    t_end = ex.run()
+    energies, times = ex.finalize(t_end)
+    return t_end, energies, times
+
+
+# ----------------------------------------------------------------------
+# the public runners
+# ----------------------------------------------------------------------
+def run_straightline(
+    workload,
+    strategy=None,
+    seed: int = 0,
+    network_params=None,
+    power=None,
+    opoints=None,
+    transition_latency_s: float = 20e-6,
+):
+    """Measure a static-gear run on the straightline tier.
+
+    Builds the same cluster as :func:`repro.core.framework.run_workload`
+    (so strategy setup, validation, and describe() behave identically),
+    compiles the workload, and evaluates it directly.  Raises
+    :class:`~repro.workloads.compile.CompileError` or
+    :class:`StraightlineUnsupported` when the run needs the event
+    engine; :func:`try_run_straightline` converts those into ``None``.
+    """
+    from repro.core.framework import Measurement
+    from repro.core.strategies.base import NoDvsStrategy
+    from repro.hardware.cluster import nemo_cluster
+    from repro.hardware.opoints import PENTIUM_M_TABLE
+    from repro.hardware.power import NEMO_POWER
+    from repro.sim.engine import Environment
+
+    strategy = strategy or NoDvsStrategy()
+    power = NEMO_POWER if power is None else power
+    opoints = PENTIUM_M_TABLE if opoints is None else opoints
+    env = Environment()
+    cluster = nemo_cluster(
+        env,
+        n_nodes=workload.nprocs,
+        power=power,
+        opoints=opoints,
+        network_params=network_params,
+        transition_latency_s=transition_latency_s,
+        with_batteries=False,
+        seed=seed,
+        injector=None,
+    )
+    node_ids = list(range(workload.nprocs))
+    strategy.setup(cluster, node_ids)
+
+    compiled = compile_workload(workload, cluster.opoints.fastest.frequency_hz)
+    nodes = []
+    for nid in node_ids:
+        cpu = cluster[nid].cpu
+        nodes.append(_Node(cpu.frequency_hz, cpu.frequency_mhz, cpu.opoint,
+                           cpu._stall_until))
+    t_end, energies, times = _execute(
+        compiled, workload.cost_model(), cluster.network.params, power, nodes
+    )
+    strategy.teardown(cluster)
+
+    started_at = 0.0
+    per_node = {nid: energies[nid] for nid in node_ids}
+    time_at: dict[float, float] = {}
+    for nid in node_ids:
+        if times[nid] > 0:
+            mhz = nodes[nid].mhz
+            time_at[mhz] = time_at.get(mhz, 0.0) + times[nid]
+    return Measurement(
+        workload=workload.tag,
+        strategy=strategy.describe(),
+        elapsed_s=t_end - started_at,
+        energy_j=sum(per_node.values()),
+        per_node_energy_j=per_node,
+        dvs_transitions=0,
+        time_at_mhz=time_at,
+        acpi_energy_j=None,
+        baytech_energy_j=None,
+        trace=None,
+        report=None,
+        extras={},
+    )
+
+
+def try_run_straightline(
+    workload,
+    strategy=None,
+    seed: int = 0,
+    network_params=None,
+    power=None,
+    opoints=None,
+    transition_latency_s: float = 20e-6,
+):
+    """Like :func:`run_straightline` but returns ``None`` on fallback."""
+    try:
+        return run_straightline(
+            workload,
+            strategy,
+            seed=seed,
+            network_params=network_params,
+            power=power,
+            opoints=opoints,
+            transition_latency_s=transition_latency_s,
+        )
+    except (CompileError, StraightlineUnsupported):
+        return None

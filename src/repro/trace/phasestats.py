@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.mpi.communicator import RankContext
 from repro.trace.events import TraceLog
 from repro.workloads.base import PhaseHooks
@@ -113,17 +115,45 @@ def _attach_comm_fractions(
     recorder: PhaseRecorder,
     trace: TraceLog,
 ) -> None:
-    """Overlap trace comm events with phase windows, per rank."""
+    """Overlap trace comm events with phase windows, per rank.
+
+    Vectorized: per rank, every (interval × event) overlap comes from
+    one broadcast min/max; per phase, the positive overlaps then
+    accumulate with ``np.cumsum`` — strictly left to right, in the same
+    (interval order, event order) sequence as the scalar nested loop,
+    so the result is bit-identical to it.
+    """
     comm_events = [e for e in trace if e.category in ("comm", "wait")]
     by_rank: dict[int, list] = {}
     for e in comm_events:
         by_rank.setdefault(e.rank, []).append(e)
+    intervals = recorder.intervals
+    idx_by_rank: dict[int, list[int]] = {}
+    for i, iv in enumerate(intervals):
+        idx_by_rank.setdefault(iv.rank, []).append(i)
+    row_overlaps: list[Optional[np.ndarray]] = [None] * len(intervals)
+    for rank, indices in idx_by_rank.items():
+        events = by_rank.get(rank)
+        if not events:
+            continue
+        eb = np.array([e.t_begin for e in events], dtype=float)
+        ee = np.array([e.t_end for e in events], dtype=float)
+        ib = np.array([intervals[i].t_begin for i in indices], dtype=float)
+        ie = np.array([intervals[i].t_end for i in indices], dtype=float)
+        overlap = np.minimum(ie[:, None], ee[None, :]) - np.maximum(
+            ib[:, None], eb[None, :]
+        )
+        for row, i in enumerate(indices):
+            vals = overlap[row]
+            row_overlaps[i] = vals[vals > 0.0]
     comm_inside: dict[str, float] = {name: 0.0 for name in profiles}
-    for iv in recorder.intervals:
-        for e in by_rank.get(iv.rank, ()):  # events are few per rank
-            overlap = min(iv.t_end, e.t_end) - max(iv.t_begin, e.t_begin)
-            if overlap > 0:
-                comm_inside[iv.phase] += overlap
+    by_phase: dict[str, list[np.ndarray]] = {}
+    for i, iv in enumerate(intervals):
+        vals = row_overlaps[i]
+        if vals is not None and vals.size:
+            by_phase.setdefault(iv.phase, []).append(vals)
+    for name, chunks in by_phase.items():
+        comm_inside[name] = float(np.cumsum(np.concatenate(chunks))[-1])
     for name, prof in profiles.items():
         if prof.total_seconds > 0:
             prof.comm_fraction = min(1.0, comm_inside[name] / prof.total_seconds)

@@ -21,6 +21,7 @@ from repro.workloads.base import (
     register_workload,
     workload_names,
 )
+from repro.workloads.compile import CompiledProgram, CompileError, compile_workload
 from repro.workloads.phases import Loop, Phase, PhaseProgramWorkload
 from repro.workloads import npb  # noqa: F401  (registers the NPB codes)
 from repro.workloads import spec  # noqa: F401  (registers swim)
@@ -28,8 +29,11 @@ from repro.workloads import microbench  # noqa: F401 (registers microbenchmarks)
 
 __all__ = [
     "NO_HOOKS",
+    "CompiledProgram",
+    "CompileError",
     "CompositeHooks",
     "Loop",
+    "compile_workload",
     "Phase",
     "PhaseHooks",
     "PhaseProgramWorkload",

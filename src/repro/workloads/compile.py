@@ -1,0 +1,496 @@
+"""Phase-program compiler: lower rank programs to flat numpy arrays.
+
+The straightline executor (:mod:`repro.sim.straightline`) evaluates
+static-gear runs without an event heap.  To do that it needs each
+rank's program as *data* rather than as a generator: a flat list of
+operations (compute segments, message sends/receives, waits,
+collectives) with every byte count and cycle count resolved.
+
+:func:`compile_workload` produces that form by running the workload's
+rank programs against a :class:`_RecordingContext` — an object with the
+same surface as :class:`repro.mpi.communicator.RankContext` that records
+operations instead of simulating them.  Because rank programs are
+deterministic functions of ``(rank, size)`` (anything else — reading
+``ctx.env``, wildcard receives, DVS calls — raises
+:class:`CompileError`), the recording is exact.
+
+Compilation also performs the matching the event engine does at run
+time, statically:
+
+* point-to-point messages are matched FIFO per ``(src, dst, tag)``
+  channel (the engine's mailbox preserves per-channel order because
+  both the CPU's segment queue and the per-node network channels are
+  FIFO);
+* collective call sites are checked for identical kind and count on
+  every rank (a mismatch would deadlock or raise in the engine, so the
+  compiler refuses and the caller falls back).
+
+Anything the recorder cannot prove static raises :class:`CompileError`;
+``run_workload`` then falls back to the event engine, which remains the
+arbiter of genuinely invalid programs.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG
+from repro.mpi.costmodel import CostModel
+from repro.workloads.base import NO_HOOKS, Workload
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "compile_workload",
+    "OP_COMPUTE",
+    "OP_IDLE",
+    "OP_ISEND",
+    "OP_IRECV",
+    "OP_WAIT",
+    "OP_COLLECTIVE",
+]
+
+
+class CompileError(RuntimeError):
+    """The program cannot be lowered to straightline form.
+
+    Raised for constructs whose behaviour depends on simulation state
+    (DVS calls, ``waitany``, wildcard receives) or for programs whose
+    static matching fails (unmatched sends, mismatched collectives).
+    The caller is expected to fall back to the event engine.
+    """
+
+
+# Operation codes (one row per op in the per-rank arrays).
+OP_COMPUTE = 0  #: f = (cycles, offchip_s, activity, busy, mem, nic)
+OP_IDLE = 1  #: f0 = seconds
+OP_ISEND = 2  #: i0 = request id
+OP_IRECV = 3  #: i0 = request id
+OP_WAIT = 4  #: i0 = request id
+OP_COLLECTIVE = 5  #: i0 = call-site seq; f0 = wire bytes, f1 = copy bytes
+
+#: request-kind codes in the request table.
+REQ_SEND = 0
+REQ_RECV = 1
+
+
+class _RecordedMessage:
+    """Static stand-in for :class:`repro.mpi.communicator.Message`."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "eager")
+
+    def __init__(self, src: int, dst: int, tag: int, nbytes: float, eager: bool) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.eager = eager
+
+
+class _RecordedRequest:
+    """Static stand-in for :class:`repro.mpi.communicator.Request`."""
+
+    __slots__ = ("req_id", "kind", "peer", "tag", "nbytes", "message")
+
+    def __init__(self, req_id: int, kind: str, peer: int, tag: int, nbytes: float) -> None:
+        self.req_id = req_id
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.message: Optional[_RecordedMessage] = None
+
+
+class _RecordingContext:
+    """RankContext look-alike that records operations.
+
+    Mirrors every argument validation and byte/cycle formula of the
+    real context so that a program which would raise there raises here
+    (wrapped as :class:`CompileError` by the compiler, which falls back
+    to the event engine to surface the genuine error).
+    """
+
+    def __init__(
+        self,
+        recorder: "_Recorder",
+        rank: int,
+        size: int,
+        cost: CostModel,
+        fastest_hz: float,
+    ) -> None:
+        self._recorder = recorder
+        self.rank = rank
+        self.size = size
+        self._cost = cost
+        self._fastest_hz = fastest_hz
+        self._coll_seq = 0
+        self._ops: list[tuple] = []
+        # The real context exposes these counters; static programs may
+        # read (never usefully write) them.
+        self.dvs_calls = 0
+        self.dvs_retries = 0
+
+    # -- simulation-state accessors are not static -----------------------
+    @property
+    def env(self):
+        raise CompileError("program reads ctx.env (simulation state)")
+
+    @property
+    def cpu(self):
+        raise CompileError("program reads ctx.cpu (simulation state)")
+
+    @property
+    def node(self):
+        raise CompileError("program reads ctx.node (simulation state)")
+
+    @property
+    def comm(self):
+        raise CompileError("program reads ctx.comm (simulation state)")
+
+    # ------------------------------------------------------------------
+    # compute / idle
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        seconds: Optional[float] = None,
+        cycles: Optional[float] = None,
+        offchip_seconds: float = 0.0,
+        mem_activity: float = 0.3,
+        activity: float = 1.0,
+        busy: float = 1.0,
+    ) -> Generator:
+        if (seconds is None) == (cycles is None):
+            raise ValueError("specify exactly one of seconds= or cycles=")
+        if cycles is None:
+            cycles = seconds * self._fastest_hz
+        if cycles < 0 or offchip_seconds < 0:
+            raise ValueError("work amounts must be non-negative")
+        self._ops.append(
+            (OP_COMPUTE, 0,
+             (float(cycles), float(offchip_seconds), float(activity),
+              float(busy), float(mem_activity), 0.0))
+        )
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def idle(self, seconds: float) -> Generator:
+        if seconds < 0:
+            raise ValueError("cannot idle for a negative duration")
+        self._ops.append((OP_IDLE, 0, (float(seconds), 0.0, 0.0, 0.0, 0.0, 0.0)))
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # DVS control — inherently dynamic
+    # ------------------------------------------------------------------
+    def set_cpuspeed(self, mhz: float) -> None:
+        raise CompileError("program performs DVS actuation (set_cpuspeed)")
+
+    def set_cpuspeed_index(self, index: int) -> None:
+        raise CompileError("program performs DVS actuation (set_cpuspeed_index)")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, dst: int, nbytes: float, tag: int = 0) -> _RecordedRequest:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range")
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        eager = self._cost.is_eager(nbytes)
+        req = self._recorder.new_request("send", self.rank, dst, tag, float(nbytes))
+        req.message = _RecordedMessage(self.rank, dst, tag, float(nbytes), eager)
+        self._ops.append((OP_ISEND, req.req_id, _NO_F))
+        return req
+
+    def irecv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG, nbytes_hint: float = 0.0
+    ) -> _RecordedRequest:
+        if src == ANY_SOURCE:
+            raise CompileError("wildcard receive (ANY_SOURCE) is not static")
+        if tag == ANY_TAG:
+            raise CompileError("wildcard receive (ANY_TAG) is not static")
+        if not 0 <= src < self.size:
+            raise ValueError(f"source rank {src} out of range")
+        req = self._recorder.new_request("recv", self.rank, src, tag, float(nbytes_hint))
+        self._ops.append((OP_IRECV, req.req_id, _NO_F))
+        return req
+
+    def wait(self, request: _RecordedRequest, _op: Optional[str] = None) -> Generator:
+        if not isinstance(request, _RecordedRequest):
+            raise CompileError("wait() on a foreign request object")
+        self._ops.append((OP_WAIT, request.req_id, _NO_F))
+        return request.message
+        yield  # pragma: no cover
+
+    def waitall(self, requests: Sequence[_RecordedRequest]) -> Generator:
+        results = []
+        for req in requests:
+            msg = yield from self.wait(req)
+            results.append(msg)
+        return results
+
+    def waitany(self, requests: Sequence[_RecordedRequest]) -> Generator:
+        raise CompileError("waitany() completion order is not static")
+
+    def send(self, dst: int, nbytes: float, tag: int = 0) -> Generator:
+        req = self.isend(dst, nbytes, tag)
+        yield from self.wait(req)
+        return req.message
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        req = self.irecv(src, tag)
+        msg = yield from self.wait(req, _op="recv")
+        return msg
+
+    def sendrecv(
+        self, dst: int, nbytes: float, src: int = ANY_SOURCE, tag: int = 0
+    ) -> Generator:
+        sreq = self.isend(dst, nbytes, tag)
+        msg = yield from self.recv(src, tag)
+        yield from self.wait(sreq)
+        return msg
+
+    # ------------------------------------------------------------------
+    # collectives (wire/copy formulas mirror RankContext exactly)
+    # ------------------------------------------------------------------
+    def _collective(self, kind: str, wire_bytes: float, copy_bytes: float) -> Generator:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        self._recorder.record_collective(self.rank, seq, kind)
+        self._ops.append(
+            (OP_COLLECTIVE, seq, (float(wire_bytes), float(copy_bytes), 0.0, 0.0, 0.0, 0.0))
+        )
+        return
+        yield  # pragma: no cover
+
+    def barrier(self) -> Generator:
+        yield from self._collective("barrier", 0.0, 0.0)
+
+    def bcast(self, nbytes: float, root: int = 0) -> Generator:
+        yield from self._collective("bcast", nbytes, nbytes if self.rank == root else 0.0)
+
+    def reduce(self, nbytes: float, root: int = 0) -> Generator:
+        yield from self._collective("reduce", nbytes, nbytes)
+
+    def allreduce(self, nbytes: float) -> Generator:
+        yield from self._collective("allreduce", nbytes, nbytes)
+
+    def scatter(self, nbytes: float, root: int = 0) -> Generator:
+        copy = nbytes * (self.size - 1) if self.rank == root else nbytes
+        yield from self._collective("scatter", nbytes, copy)
+
+    def gather(self, nbytes: float, root: int = 0) -> Generator:
+        copy = nbytes * (self.size - 1) if self.rank == root else nbytes
+        yield from self._collective("gather", nbytes, copy)
+
+    def allgather(self, nbytes: float) -> Generator:
+        wire = nbytes * (self.size - 1)
+        yield from self._collective("allgather", wire, nbytes)
+
+    def alltoall(self, bytes_per_pair: float) -> Generator:
+        wire = self._cost.alltoall_bytes(self.size, bytes_per_pair)
+        yield from self._collective("alltoall", wire, wire)
+
+    def alltoallv(self, total_send_bytes: float) -> Generator:
+        yield from self._collective("alltoallv", total_send_bytes, total_send_bytes)
+
+
+_NO_F = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class _Recorder:
+    """Global (cross-rank) recording state: requests + collectives."""
+
+    def __init__(self) -> None:
+        self.requests: list[_RecordedRequest] = []
+        self.req_owner: list[int] = []
+        # per-rank collective kinds in call-site order
+        self.collectives: dict[int, list[str]] = {}
+
+    def new_request(
+        self, kind: str, owner: int, peer: int, tag: int, nbytes: float
+    ) -> _RecordedRequest:
+        req = _RecordedRequest(len(self.requests), kind, peer, tag, nbytes)
+        self.requests.append(req)
+        self.req_owner.append(owner)
+        return req
+
+    def record_collective(self, rank: int, seq: int, kind: str) -> None:
+        kinds = self.collectives.setdefault(rank, [])
+        if seq != len(kinds):  # pragma: no cover - defensive
+            raise CompileError("collective call-site sequence out of order")
+        kinds.append(kind)
+
+
+@dataclass(eq=False)  # identity semantics: programs are memoized, never compared
+class CompiledProgram:
+    """A workload's rank programs, lowered to flat arrays.
+
+    The per-rank arrays are parallel: ``ops[r][k]`` is the op code of
+    rank ``r``'s ``k``-th operation, ``iargs[r][k]`` its integer operand
+    (request id / collective seq) and ``fargs[r][k]`` its six float
+    operands (see the ``OP_*`` constants for the layout).
+
+    The request table stores one row per isend/irecv across all ranks;
+    ``req_match[i]`` is the request id of the statically matched
+    opposite side (FIFO per ``(src, dst, tag)`` channel).
+    """
+
+    nprocs: int
+    fastest_hz: float
+    ops: list[np.ndarray]
+    iargs: list[np.ndarray]
+    fargs: list[np.ndarray]
+    req_kind: np.ndarray  # REQ_SEND / REQ_RECV
+    req_owner: np.ndarray
+    req_peer: np.ndarray
+    req_tag: np.ndarray
+    req_nbytes: np.ndarray
+    req_eager: np.ndarray
+    req_match: np.ndarray
+    coll_kinds: tuple[str, ...]  # kind per call-site seq
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.req_kind)
+
+    @property
+    def n_collectives(self) -> int:
+        return len(self.coll_kinds)
+
+
+def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: float,
+           nprocs: int) -> CompiledProgram:
+    """Match + validate the recording, then pack it into arrays."""
+    # -- collectives: every rank must run the same call-site list ------
+    counts = {len(recorder.collectives.get(r, [])) for r in range(nprocs)}
+    if len(counts) > 1:
+        raise CompileError("ranks disagree on collective count (would deadlock)")
+    n_coll = counts.pop() if counts else 0
+    coll_kinds: list[str] = []
+    for seq in range(n_coll):
+        kinds = {recorder.collectives[r][seq] for r in range(nprocs)}
+        if len(kinds) != 1:
+            raise CompileError(
+                f"collective mismatch at call site {seq}: {sorted(kinds)}"
+            )
+        coll_kinds.append(kinds.pop())
+
+    # -- point-to-point: FIFO matching per (src, dst, tag) channel -----
+    sends: dict[tuple[int, int, int], list[int]] = {}
+    recvs: dict[tuple[int, int, int], list[int]] = {}
+    for req in recorder.requests:
+        owner = recorder.req_owner[req.req_id]
+        if req.kind == "send":
+            sends.setdefault((owner, req.peer, req.tag), []).append(req.req_id)
+        else:
+            recvs.setdefault((req.peer, owner, req.tag), []).append(req.req_id)
+    match = np.full(len(recorder.requests), -1, dtype=np.int64)
+    for channel in set(sends) | set(recvs):
+        s_ids = sends.get(channel, [])
+        r_ids = recvs.get(channel, [])
+        if len(s_ids) != len(r_ids):
+            raise CompileError(
+                f"unmatched point-to-point traffic on channel {channel}: "
+                f"{len(s_ids)} sends vs {len(r_ids)} recvs"
+            )
+        eager_flags = {recorder.requests[i].message.eager for i in s_ids}
+        if len(eager_flags) > 1:
+            raise CompileError(
+                f"mixed eager/rendezvous messages on channel {channel} "
+                "(delivery order not statically known)"
+            )
+        for s_id, r_id in zip(s_ids, r_ids):
+            match[s_id] = r_id
+            match[r_id] = s_id
+
+    ops_arrays, iargs_arrays, fargs_arrays = [], [], []
+    for ctx in contexts:
+        n = len(ctx._ops)
+        ops = np.empty(n, dtype=np.int8)
+        iargs = np.empty(n, dtype=np.int64)
+        fargs = np.empty((n, 6), dtype=np.float64)
+        for k, (code, iarg, f) in enumerate(ctx._ops):
+            ops[k] = code
+            iargs[k] = iarg
+            fargs[k] = f
+        ops_arrays.append(ops)
+        iargs_arrays.append(iargs)
+        fargs_arrays.append(fargs)
+
+    reqs = recorder.requests
+    return CompiledProgram(
+        nprocs=nprocs,
+        fastest_hz=fastest_hz,
+        ops=ops_arrays,
+        iargs=iargs_arrays,
+        fargs=fargs_arrays,
+        req_kind=np.array(
+            [REQ_SEND if r.kind == "send" else REQ_RECV for r in reqs], dtype=np.int8
+        ),
+        req_owner=np.array(recorder.req_owner, dtype=np.int64),
+        req_peer=np.array([r.peer for r in reqs], dtype=np.int64),
+        req_tag=np.array([r.tag for r in reqs], dtype=np.int64),
+        req_nbytes=np.array([r.nbytes for r in reqs], dtype=np.float64),
+        req_eager=np.array(
+            [r.message.eager if r.message is not None else False for r in reqs],
+            dtype=bool,
+        ),
+        req_match=match,
+        coll_kinds=tuple(coll_kinds),
+    )
+
+
+#: workload -> {fastest_hz: CompiledProgram}.  Weak keys: compiled forms
+#: die with the workload object, and a workload is treated as immutable
+#: after first compilation (true of every registered workload).
+_CACHE: "weakref.WeakKeyDictionary[Workload, dict[float, CompiledProgram]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_workload(workload: Workload, fastest_hz: float) -> CompiledProgram:
+    """Lower ``workload``'s rank programs to straightline form.
+
+    ``fastest_hz`` is the fastest operating-point frequency of the
+    cluster the program will run on (it resolves ``seconds=`` compute
+    shorthand into cycles, exactly as the live context does).
+
+    Raises :class:`CompileError` when the program is not static.
+    Results are memoized per (workload object, fastest_hz).
+    """
+    try:
+        per_hz = _CACHE.setdefault(workload, {})
+    except TypeError:  # unhashable/unweakrefable workload: skip the memo
+        per_hz = {}
+    cached = per_hz.get(fastest_hz)
+    if cached is not None:
+        return cached
+
+    cost = workload.cost_model()
+    program = workload.make_program(NO_HOOKS)
+    recorder = _Recorder()
+    contexts = []
+    try:
+        for rank in range(workload.nprocs):
+            ctx = _RecordingContext(recorder, rank, workload.nprocs, cost, fastest_hz)
+            contexts.append(ctx)
+            gen = program(ctx)
+            # Drain the generator; a static program never yields
+            # anything the recording context did not itself produce.
+            for _ in gen:  # pragma: no cover - recording ops never yield
+                raise CompileError("program yields a raw simulation event")
+        compiled = _lower(recorder, contexts, fastest_hz, workload.nprocs)
+    except CompileError:
+        raise
+    except Exception as exc:
+        # Anything else (a validation error, an exotic program) is "not
+        # compilable" — the event engine reproduces the genuine error.
+        raise CompileError(f"program not statically recordable: {exc!r}") from exc
+    per_hz[fastest_hz] = compiled
+    return compiled

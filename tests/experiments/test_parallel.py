@@ -74,6 +74,43 @@ def test_default_runner_is_serial_and_uncached():
     assert runner.cache is None
 
 
+# -- chunked sweep submission ------------------------------------------
+
+
+def test_map_sweep_bit_for_bit_equals_map():
+    w_cg = get_workload("CG", klass="T")
+    w_ft = get_workload("FT", klass="T")
+    tasks = [
+        RunTask(w, ExternalStrategy(mhz=mhz), 0)
+        for w in (w_cg, w_ft)
+        for mhz in FREQS
+    ]
+    with ParallelRunner(jobs=1, memo=False) as runner:
+        serial = runner.map(list(tasks))
+    with ParallelRunner(jobs=2, memo=False) as runner:
+        chunked = runner.map_sweep(list(tasks), chunk_size=2)
+    assert [_summary(m) for m in chunked] == [_summary(m) for m in serial]
+
+
+def test_map_sweep_fills_cache_per_point(tmp_path):
+    workload = get_workload("CG", klass="T")
+    tasks = [RunTask(workload, ExternalStrategy(mhz=mhz), 0) for mhz in FREQS]
+    with ParallelRunner(jobs=2, cache_dir=tmp_path) as runner:
+        runner.map_sweep(list(tasks), chunk_size=len(FREQS))
+        assert runner.stats.stores == len(FREQS)
+    # A later *unchunked* run hits every individual point.
+    with ParallelRunner(jobs=1, cache_dir=tmp_path) as runner:
+        runner.map(list(tasks))
+        assert runner.stats.hits == len(FREQS)
+        assert runner.stats.misses == 0
+
+
+def test_map_sweep_rejects_bad_chunk_size():
+    with ParallelRunner(jobs=1) as runner:
+        with pytest.raises(ValueError):
+            runner.map_sweep([], chunk_size=0)
+
+
 # -- memo / cache behaviour --------------------------------------------
 
 
@@ -173,6 +210,28 @@ def test_cache_key_changes_with_model_version(monkeypatch):
     base = cache_key(w, NoDvsStrategy(), 0, {})
     monkeypatch.setattr(store, "MODEL_VERSION", store.MODEL_VERSION + 1)
     assert cache_key(w, NoDvsStrategy(), 0, {}) != base
+
+
+def test_engine_tiers_share_cache_slot_and_payload():
+    # ``engine`` selects an execution tier, never an output: both tiers
+    # must land in (and be satisfied by) the same cache slot with an
+    # identical serialized payload.
+    from repro.core.framework import run_workload
+    from repro.experiments.store import measurement_to_dict
+
+    workload = get_workload("CG", klass="T")
+    strategy = ExternalStrategy(mhz=800.0)
+    keys = {
+        cache_key(workload, strategy, 0, kwargs)
+        for kwargs in ({}, {"engine": "event"}, {"engine": "straightline"},
+                       {"engine": "auto"})
+    }
+    assert len(keys) == 1
+    fast = run_workload(workload, strategy, engine="straightline")
+    ref = run_workload(
+        get_workload("CG", klass="T"), ExternalStrategy(mhz=800.0), engine="event"
+    )
+    assert measurement_to_dict(fast) == measurement_to_dict(ref)
 
 
 def test_none_strategy_shares_nodvs_cache_slot(tmp_path):

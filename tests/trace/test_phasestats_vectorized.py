@@ -1,0 +1,103 @@
+"""Parity tests: vectorized comm-overlap aggregation == scalar loop.
+
+``_attach_comm_fractions`` batches the (interval × event) overlap
+computation with numpy; these tests pin it bit-for-bit against the
+original nested-loop implementation on randomized data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import TraceLog
+from repro.trace.phasestats import (
+    PhaseInterval,
+    PhaseProfile,
+    PhaseRecorder,
+    _attach_comm_fractions,
+    profile_phases,
+)
+
+
+def _scalar_reference(profiles, recorder, trace):
+    """The pre-vectorization implementation, verbatim."""
+    comm_events = [e for e in trace if e.category in ("comm", "wait")]
+    by_rank: dict[int, list] = {}
+    for e in comm_events:
+        by_rank.setdefault(e.rank, []).append(e)
+    comm_inside: dict[str, float] = {name: 0.0 for name in profiles}
+    for iv in recorder.intervals:
+        for e in by_rank.get(iv.rank, ()):
+            overlap = min(iv.t_end, e.t_end) - max(iv.t_begin, e.t_begin)
+            if overlap > 0:
+                comm_inside[iv.phase] += overlap
+    fractions = {}
+    for name, prof in profiles.items():
+        if prof.total_seconds > 0:
+            fractions[name] = min(1.0, comm_inside[name] / prof.total_seconds)
+        else:
+            fractions[name] = prof.comm_fraction
+    return fractions
+
+
+def _random_fixture(seed: int, n_ranks: int = 4, n_intervals: int = 60,
+                    n_events: int = 80):
+    rng = np.random.default_rng(seed)
+    recorder = PhaseRecorder()
+    phases = ["matvec", "exchange", "residual"]
+    for _ in range(n_intervals):
+        rank = int(rng.integers(n_ranks))
+        t0 = float(rng.uniform(0.0, 50.0))
+        recorder.intervals.append(
+            PhaseInterval(rank, phases[int(rng.integers(len(phases)))],
+                          t0, t0 + float(rng.uniform(0.0, 3.0)))
+        )
+    trace = TraceLog()
+    ops = ["send", "wait_recv", "allreduce", "compute"]
+    for _ in range(n_events):
+        rank = int(rng.integers(n_ranks))
+        t0 = float(rng.uniform(0.0, 52.0))
+        trace.record(rank, ops[int(rng.integers(len(ops)))],
+                     t0, t0 + float(rng.uniform(0.0, 2.0)))
+    return recorder, trace
+
+
+def test_comm_fraction_bit_identical_to_scalar_loop():
+    for seed in range(5):
+        recorder, trace = _random_fixture(seed)
+        profiles = profile_phases(recorder, trace)
+        expected = _scalar_reference(profile_phases(recorder), recorder, trace)
+        for name, prof in profiles.items():
+            assert prof.comm_fraction == expected[name]  # exact ==
+
+
+def test_comm_fraction_rank_without_events():
+    # Intervals on a rank that logged no comm events must contribute 0.
+    recorder = PhaseRecorder()
+    recorder.intervals.append(PhaseInterval(0, "a", 0.0, 1.0))
+    recorder.intervals.append(PhaseInterval(1, "a", 0.0, 1.0))
+    trace = TraceLog()
+    trace.record(0, "send", 0.25, 0.75)
+    profiles = profile_phases(recorder, trace)
+    assert profiles["a"].comm_fraction == 0.5 / 2.0
+
+
+def test_cumsum_matches_sequential_sum():
+    # The bit-exactness argument rests on cumsum accumulating strictly
+    # left to right; pin that property on adversarial float data.
+    rng = np.random.default_rng(0)
+    vals = rng.uniform(1e-18, 1e3, size=1000) * rng.choice(
+        [1e-12, 1.0, 1e12], size=1000
+    )
+    acc = 0.0
+    for v in vals:
+        acc += v
+    assert float(np.cumsum(vals)[-1]) == acc
+
+
+def test_empty_trace_keeps_zero_fraction():
+    recorder = PhaseRecorder()
+    recorder.intervals.append(PhaseInterval(0, "a", 0.0, 1.0))
+    profiles = profile_phases(recorder, TraceLog())
+    assert profiles["a"].comm_fraction == 0.0
+    assert isinstance(profiles["a"], PhaseProfile)
