@@ -5,9 +5,10 @@ Two layers, matching the two optimization surfaces:
 * **kernel events/sec** — synthetic event storms exercising the hot
   paths of :mod:`repro.sim` (timeout churn, process ping-pong, the
   communicator's cancel-guard pattern);
-* **tier points/sec** — one static-gear EXTERNAL sweep forced through
-  the event engine, the straightline accumulator, and a warm
-  measurement cache;
+* **tier points/sec** — two strategy grids (a static-gear EXTERNAL
+  sweep and the FT Figure 11 INTERNAL configuration) forced through the
+  event engine, the straightline accumulator, the batched numpy
+  evaluation, and a warm measurement cache;
 * **end-to-end wall-clock** — a real frequency sweep, serial vs the
   parallel runner, cold vs warm measurement cache.
 
@@ -128,45 +129,42 @@ def bench_kernel(n_events: int, repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# simulation tiers: event engine vs straightline vs cached replay
+# simulation tiers: event engine vs straightline vs batch vs cache
 # ----------------------------------------------------------------------
-def bench_tiers(code: str, klass: str, tmp_cache: str, quick: bool) -> dict:
-    """Points/sec of one static-gear sweep through each execution tier.
+def _bench_tier_grid(workload, points, cache_dir: str) -> dict:
+    """Points/sec of one strategy grid through every execution tier.
 
-    The same EXTERNAL gear × seed grid runs three ways: forced through
-    the event engine, forced through the straightline accumulator, and
-    replayed from a warm measurement cache.  All three produce the same
-    bits; only the wall-clock differs.
+    The same (strategy, seed) grid runs four ways: forced through the
+    event engine, forced through the per-point straightline accumulator,
+    through the vectorized :func:`run_batch` evaluation, and replayed
+    from a warm measurement cache.  All four produce the same bits;
+    only the wall-clock differs.
     """
-    import os
-
     from repro.core.framework import run_workload
-    from repro.core.strategies.external import ExternalStrategy
     from repro.experiments.parallel import ParallelRunner, RunTask
-    from repro.workloads import get_workload
-
-    gears = [600.0, 1000.0, 1400.0] if quick else [600.0, 800.0, 1000.0, 1200.0, 1400.0]
-    seeds = [0] if quick else [0, 1]
-    workload = get_workload(code, klass=klass)
-    points = [(mhz, seed) for mhz in gears for seed in seeds]
+    from repro.sim.straightline import run_batch
 
     def timed(engine: str) -> float:
         # One untimed point first: the straightline tier compiles the
         # phase program on first contact (memoized per workload), and a
         # sweep pays that once regardless of its size.
-        run_workload(workload, ExternalStrategy(mhz=gears[0]), seed=seeds[0],
-                     engine=engine)
+        run_workload(workload, points[0][0], seed=points[0][1], engine=engine)
         t0 = time.perf_counter()
-        for mhz, seed in points:
-            run_workload(workload, ExternalStrategy(mhz=mhz), seed=seed, engine=engine)
+        for strategy, seed in points:
+            run_workload(workload, strategy, seed=seed, engine=engine)
         return time.perf_counter() - t0
 
     event_s = timed("event")
     straight_s = timed("straightline")
 
-    cache_dir = os.path.join(tmp_cache, "tiers")
-    tasks = [RunTask(workload, ExternalStrategy(mhz=mhz), seed=seed)
-             for mhz, seed in points]
+    run_batch(workload, points[:2])  # untimed: numpy + power-table warmup
+    batch_s = float("inf")
+    for _ in range(3):  # short enough that scheduler jitter dominates
+        t0 = time.perf_counter()
+        run_batch(workload, points)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    tasks = [RunTask(workload, strategy, seed=seed) for strategy, seed in points]
     with ParallelRunner(jobs=1, cache_dir=cache_dir) as runner:
         runner.map_sweep(tasks)                      # fill
     with ParallelRunner(jobs=1, cache_dir=cache_dir) as runner:
@@ -176,14 +174,63 @@ def bench_tiers(code: str, klass: str, tmp_cache: str, quick: bool) -> dict:
 
     n = len(points)
     return {
-        "code": code,
-        "klass": klass,
         "points": n,
         "event_points_per_sec": round(n / event_s, 2),
         "straightline_points_per_sec": round(n / straight_s, 2),
+        "batch_points_per_sec": round(n / batch_s, 2),
         "cached_replay_points_per_sec": round(n / replay_s, 2),
         "straightline_speedup_vs_event": round(event_s / straight_s, 2),
+        "batch_speedup_vs_straightline": round(straight_s / batch_s, 2),
     }
+
+
+def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
+    """Tier throughput for the two strategy families the tiers serve.
+
+    * ``external`` — a static EXTERNAL gear × seed grid on FT;
+    * ``internal`` — the paper's FT Figure 11 configuration (INTERNAL
+      phase scheduling around the all-to-all) over several gear pairs:
+      the piecewise-static tier's territory.
+
+    Both grids run on FT: its rank schedule is gear-independent, so the
+    whole grid stays in one vectorized batch.  Codes whose schedule
+    reorders with the gear (CG's split speeds) fragment the batch into
+    per-group re-evaluations — that robustness path is covered by tests,
+    but it is not what the tier throughput comparison measures.
+    """
+    import os
+
+    from repro.core.strategies.external import ExternalStrategy
+    from repro.core.strategies.internal import InternalStrategy, PhasePolicy
+    from repro.workloads import get_workload
+
+    gears = [600.0, 1000.0, 1400.0] if quick else [600.0, 800.0, 1000.0, 1200.0, 1400.0]
+    seeds = [0] if quick else [0, 1]
+    external_points = [
+        (ExternalStrategy(mhz=mhz), seed) for mhz in gears for seed in seeds
+    ]
+    external = _bench_tier_grid(
+        get_workload("FT", klass=klass),
+        external_points,
+        os.path.join(tmp_cache, "tiers-external"),
+    )
+    external.update(code="FT", klass=klass)
+
+    pairs = [(600, 1400), (800, 1400), (1000, 1200)]
+    if not quick:
+        pairs += [(600, 1200), (800, 1200)]
+    internal_points = [
+        (InternalStrategy(PhasePolicy({"alltoall"}, low, high)), seed)
+        for low, high in pairs
+        for seed in seeds
+    ]
+    internal = _bench_tier_grid(
+        get_workload("FT", klass=klass),
+        internal_points,
+        os.path.join(tmp_cache, "tiers-internal"),
+    )
+    internal.update(code="FT", klass=klass)
+    return {"external": external, "internal": internal}
 
 
 # ----------------------------------------------------------------------
@@ -236,16 +283,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     with tempfile.TemporaryDirectory() as cache_dir:
         payload = {
             "kernel": bench_kernel(args.events, args.repeats),
-            "tiers": bench_tiers(args.code, args.klass, cache_dir, args.quick),
+            "tiers": bench_tiers(args.klass, cache_dir, args.quick),
             "sweep": bench_sweep(args.code, args.klass, args.jobs, cache_dir),
         }
 
     for name, row in payload["kernel"].items():
         print(f"kernel {name:18s} {row['best_events_per_sec']:>9,d} events/s")
-    for field, value in payload["tiers"].items():
-        if field.endswith("_per_sec"):
-            print(f"tiers  {field:32s} {value:>10,.2f} points/s")
-    print(f"tiers  straightline_speedup_vs_event     {payload['tiers']['straightline_speedup_vs_event']:>10.2f} x")
+    for row_name, row in payload["tiers"].items():
+        for field, value in row.items():
+            if field.endswith("_per_sec"):
+                print(f"tiers[{row_name}] {field:32s} {value:>10,.2f} points/s")
+        for field in ("straightline_speedup_vs_event", "batch_speedup_vs_straightline"):
+            print(f"tiers[{row_name}] {field:32s} {row[field]:>10.2f} x")
     for field, value in payload["sweep"].items():
         if field.endswith("_s"):
             print(f"sweep  {field:18s} {value:>9.3f} s")

@@ -24,7 +24,7 @@ from repro.trace.events import TraceLog
 from repro.workloads.base import CompositeHooks, NO_HOOKS, PhaseHooks, Workload
 from repro.core.strategies.base import NoDvsStrategy, Strategy
 
-__all__ = ["Measurement", "run_workload"]
+__all__ = ["Measurement", "run_workload", "straightline_ineligibility"]
 
 
 @dataclass
@@ -61,6 +61,39 @@ class Measurement:
         )
 
 
+def straightline_ineligibility(
+    workload: Workload,
+    strategy: Strategy,
+    *,
+    cluster: Optional[Cluster] = None,
+    trace: bool = False,
+    measurement_channels: bool = False,
+    extra_hooks: Optional[PhaseHooks] = None,
+    injector: Optional[FaultInjector] = None,
+) -> Optional[str]:
+    """Why this run cannot use the straightline tier (``None`` = it can).
+
+    The returned string is the fallback reason ``run_workload`` raises
+    for strict ``engine="straightline"`` requests; callers wiring their
+    own dispatch (the sweep batcher) use the ``None``/non-``None``
+    distinction.  Faults are checked before the gear plan so a fault
+    environment reports as such even when the strategy itself lowers.
+    """
+    if cluster is not None:
+        return "caller-supplied cluster"
+    if trace:
+        return "tracing requested"
+    if measurement_channels:
+        return "measurement channels requested"
+    if extra_hooks is not None:
+        return "extra phase hooks installed"
+    if injector is not None:
+        return "fault injection active"
+    if strategy.gear_plan(workload) is None:
+        return "strategy has no static gear plan (dynamic DVS)"
+    return None
+
+
 def run_workload(
     workload: Workload,
     strategy: Optional[Strategy] = None,
@@ -83,11 +116,13 @@ def run_workload(
     engine:
         Simulation tier.  ``"auto"`` (default) uses the straightline
         direct accumulator (:mod:`repro.sim.straightline`) when the run
-        qualifies — static strategy, no faults/trace/channels, default
-        cluster and hooks — and the event engine otherwise; the two
-        produce bit-for-bit identical measurements on the supported
-        subset.  ``"event"`` forces the event engine; ``"straightline"``
-        forces the fast tier and raises when the run is ineligible.
+        qualifies — a strategy with a static gear plan
+        (:meth:`Strategy.gear_plan` non-``None``), no
+        faults/trace/channels, default cluster and hooks — and the
+        event engine otherwise; the two produce bit-for-bit identical
+        measurements on the supported subset.  ``"event"`` forces the
+        event engine; ``"straightline"`` forces the fast tier and
+        raises when the run is ineligible.
     faults:
         Optional fault environment (a
         :class:`~repro.faults.spec.FaultSpec`, or a ready injector to
@@ -115,16 +150,16 @@ def run_workload(
     if engine not in ("auto", "event", "straightline"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine != "event":
-        eligible = (
-            cluster is None
-            and not trace
-            and not measurement_channels
-            and extra_hooks is None
-            and injector is None
-            and strategy.is_static()
-            and strategy.hooks(workload) is NO_HOOKS
+        reason = straightline_ineligibility(
+            workload,
+            strategy,
+            cluster=cluster,
+            trace=trace,
+            measurement_channels=measurement_channels,
+            extra_hooks=extra_hooks,
+            injector=injector,
         )
-        if eligible:
+        if reason is None:
             # Imported lazily: the straightline tier sits on top of the
             # workload/strategy layers and must not load with repro.sim.
             from repro.sim.straightline import (
@@ -158,8 +193,7 @@ def run_workload(
             from repro.sim.straightline import StraightlineUnsupported
 
             raise StraightlineUnsupported(
-                "run configuration requires the event engine "
-                "(dynamic strategy, faults, trace, channels, or a custom cluster)"
+                f"run configuration requires the event engine: {reason}"
             )
 
     if cluster is None:

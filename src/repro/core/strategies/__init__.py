@@ -1,6 +1,6 @@
 """The three distributed DVS scheduling strategies (paper Section 3)."""
 
-from repro.core.strategies.base import NoDvsStrategy, Strategy
+from repro.core.strategies.base import GearPlan, NoDvsStrategy, Strategy
 from repro.core.strategies.cpuspeed import CpuspeedConfig, CpuspeedDaemonStrategy
 from repro.core.strategies.beta import BetaConfig, BetaDaemonStrategy
 from repro.core.strategies.external import ExternalStrategy
@@ -24,6 +24,7 @@ __all__ = [
     "CpuspeedConfig",
     "CpuspeedDaemonStrategy",
     "ExternalStrategy",
+    "GearPlan",
     "InternalStrategy",
     "NoDvsStrategy",
     "PhasePolicy",

@@ -3,12 +3,70 @@
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.hardware.cluster import Cluster
 from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
 
-__all__ = ["Strategy", "NoDvsStrategy"]
+__all__ = ["GearPlan", "Strategy", "NoDvsStrategy"]
+
+
+@dataclass(frozen=True)
+class GearPlan:
+    """A strategy's DVS behaviour, lowered to static data.
+
+    A gear plan states — as a deterministic, data-independent function
+    of (rank, phase) — every operating point the strategy will ever set:
+    the per-rank speed applied during :meth:`Strategy.setup` and the
+    exact ``set_cpuspeed`` calls its hooks would issue at each hook
+    site.  Strategies that can produce one (no-DVS, EXTERNAL, both
+    INTERNAL policy shapes) qualify for the piecewise-static
+    straightline tier (:mod:`repro.sim.straightline`); strategies whose
+    speed choices depend on simulation state (daemons, predictive
+    schedulers) cannot, and return ``None`` from
+    :meth:`Strategy.gear_plan`.
+
+    Attributes
+    ----------
+    start_mhz:
+        Homogeneous frequency set at setup time (``None`` = leave every
+        node at the cluster default, the fastest point).
+    start_mhz_per_rank:
+        Heterogeneous setup frequencies, one per participating rank
+        (mutually exclusive with ``start_mhz``).
+    init_calls:
+        Per-rank tuple of ``set_cpuspeed`` MHz arguments issued from the
+        ``on_init`` hook (empty = the strategy has no init hook call).
+    begin_calls / end_calls:
+        ``(phase, (mhz, ...))`` pairs: the ``set_cpuspeed`` calls issued
+        when the named phase begins / ends on any rank.
+    """
+
+    start_mhz: Optional[float] = None
+    start_mhz_per_rank: Optional[tuple[float, ...]] = None
+    init_calls: tuple[tuple[float, ...], ...] = ()
+    begin_calls: tuple[tuple[str, tuple[float, ...]], ...] = ()
+    end_calls: tuple[tuple[str, tuple[float, ...]], ...] = ()
+
+    @property
+    def static(self) -> bool:
+        """Whether the plan performs no in-run DVS calls at all."""
+        return not (
+            any(self.init_calls)
+            or any(calls for _, calls in self.begin_calls)
+            or any(calls for _, calls in self.end_calls)
+        )
+
+    def calls_at(self, kind: str, phase: str, rank: int) -> tuple[float, ...]:
+        """The ``set_cpuspeed`` MHz calls at one hook site."""
+        if kind == "init":
+            return self.init_calls[rank] if self.init_calls else ()
+        table = self.begin_calls if kind == "begin" else self.end_calls
+        for name, calls in table:
+            if name == phase:
+                return calls
+        return ()
 
 
 class Strategy(abc.ABC):
@@ -31,16 +89,28 @@ class Strategy(abc.ABC):
         """Source-level instrumentation (default: none)."""
         return NO_HOOKS
 
+    def gear_plan(self, workload: Optional[Workload] = None) -> Optional[GearPlan]:
+        """Lower this strategy's DVS behaviour to a :class:`GearPlan`.
+
+        ``workload`` is required to lower hook calls (the plan names the
+        workload's phases); plans with no hook calls (no-DVS, EXTERNAL)
+        ignore it.  Returns ``None`` when the strategy's speed choices
+        depend on simulation state — daemons, predictive schedulers —
+        which keeps such runs on the event engine.  The default is
+        conservative: ``None``.
+        """
+        return None
+
     def is_static(self) -> bool:
         """Whether this strategy leaves operating points fixed after setup.
 
-        Static strategies (the no-DVS baseline, EXTERNAL) qualify for
-        the straightline fast tier (:mod:`repro.sim.straightline`);
-        anything that changes speed mid-run — daemons, source hooks,
-        predictive schedulers — must run on the event engine.  The
-        default is conservative: ``False``.
+        Delegates to :meth:`gear_plan`: a strategy is static exactly
+        when it has a workload-independent gear plan with no in-run
+        ``set_cpuspeed`` calls — so this predicate can never diverge
+        from the plan the straightline tier executes.
         """
-        return False
+        plan = self.gear_plan(None)
+        return plan is not None and plan.static
 
     def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
         """Prepare the participating nodes before launch."""
@@ -65,8 +135,8 @@ class NoDvsStrategy(Strategy):
 
     name = "no-dvs"
 
-    def is_static(self) -> bool:
-        return True
+    def gear_plan(self, workload: Optional[Workload] = None) -> Optional[GearPlan]:
+        return GearPlan()
 
     def setup(self, cluster: Cluster, node_ids: Sequence[int]) -> None:
         for nid in node_ids:

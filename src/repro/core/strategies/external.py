@@ -17,7 +17,8 @@ from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.hardware.cluster import Cluster
 from repro.core.metrics import ED3P, FusedMetric, select_operating_point
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import GearPlan, Strategy
+from repro.workloads.base import Workload
 
 __all__ = ["ExternalStrategy"]
 
@@ -56,8 +57,13 @@ class ExternalStrategy(Strategy):
             self.selected_from_profile = False
         self.mhz = mhz
 
-    def is_static(self) -> bool:
-        return True
+    def gear_plan(self, workload: Optional[Workload] = None) -> Optional[GearPlan]:
+        if self.per_node_mhz is not None:
+            return GearPlan(
+                start_mhz_per_rank=tuple(float(m) for m in self.per_node_mhz)
+            )
+        assert self.mhz is not None
+        return GearPlan(start_mhz=float(self.mhz))
 
     def describe(self) -> str:
         if self.per_node_mhz is not None:

@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Mapping, Optional
 
 from repro.mpi.communicator import RankContext
 from repro.workloads.base import PhaseHooks, Workload
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import GearPlan, Strategy
 
 __all__ = ["PhasePolicy", "RankPolicy", "SplitSpeeds", "InternalStrategy"]
 
@@ -151,3 +151,37 @@ class InternalStrategy(Strategy):
                     f"{workload.tag} never announces (has {workload.phases})"
                 )
         return self.policy
+
+    def gear_plan(self, workload: Optional[Workload] = None) -> Optional[GearPlan]:
+        """Lower the policy's hook calls to a static (rank, phase) table.
+
+        Only the exact stock policy shapes are lowered — a subclass may
+        override hook behaviour arbitrarily, so it conservatively stays
+        on the event engine.  A :class:`PhasePolicy` with
+        ``min_phase_seconds > 0`` would gate its calls on measured phase
+        durations, which is not static either.
+        """
+        if workload is None:
+            return None
+        policy = self.policy
+        if type(policy) is PhasePolicy and policy.min_phase_seconds == 0.0:
+            self.hooks(workload)  # same phase validation as the event path
+            low = tuple(sorted(policy.low_phases))
+            return GearPlan(
+                init_calls=((float(policy.high_mhz),),) * workload.nprocs,
+                begin_calls=tuple((p, (float(policy.low_mhz),)) for p in low),
+                end_calls=tuple((p, (float(policy.high_mhz),)) for p in low),
+            )
+        if type(policy) is RankPolicy:
+            try:
+                return GearPlan(
+                    init_calls=tuple(
+                        (float(policy._speed_of(r)),)
+                        for r in range(workload.nprocs)
+                    )
+                )
+            except Exception:
+                # A rank the mapping doesn't cover, a rule that raises:
+                # let the event engine surface the genuine error.
+                return None
+        return None

@@ -257,30 +257,122 @@ class ParallelRunner:
         cached/memoized individually, so a re-run hits per point.  The
         default ``chunk_size`` splits the misses into about four chunks
         per worker (bounded to 32 points) so stragglers still balance.
+
+        Misses that qualify for the straightline tier are additionally
+        *batched*: same-workload same-configuration points run together
+        through :func:`repro.sim.straightline.run_batch` (inline — the
+        vectorized evaluation is far cheaper than pool dispatch), with
+        results still bit-for-bit identical to per-point runs.  Points
+        a batch cannot take (dynamic strategies, faults, non-default
+        clusters) flow through the chunked pool path unchanged.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         tasks = self._merge_faults(tasks)
         results, pending, duplicates = self._probe(tasks)
         if pending:
-            misses = [t for _, t, _ in pending]
-            if self.jobs > 1 and len(misses) > 1:
-                if chunk_size is None:
-                    per_worker = -(-len(misses) // (self.jobs * 4))
-                    chunk_size = max(1, min(32, per_worker))
-                chunks = [
-                    misses[i : i + chunk_size]
-                    for i in range(0, len(misses), chunk_size)
-                ]
-                measured = [
-                    m
-                    for chunk in self._map_pool(chunks, fn=_execute_chunk_traced)
-                    for m in chunk
-                ]
-            else:
-                measured = [_execute(t) for t in misses]
+            measured: list[Optional[Measurement]] = [None] * len(pending)
+            leftover = self._run_batches(pending, measured)
+            if leftover:
+                misses = [pending[j][1] for j in leftover]
+                if self.jobs > 1 and len(misses) > 1:
+                    if chunk_size is None:
+                        per_worker = -(-len(misses) // (self.jobs * 4))
+                        chunk_size = max(1, min(32, per_worker))
+                    chunks = [
+                        misses[i : i + chunk_size]
+                        for i in range(0, len(misses), chunk_size)
+                    ]
+                    pool_measured = [
+                        m
+                        for chunk in self._map_pool(chunks, fn=_execute_chunk_traced)
+                        for m in chunk
+                    ]
+                else:
+                    pool_measured = [_execute(t) for t in misses]
+                for j, m in zip(leftover, pool_measured):
+                    measured[j] = m
             self._store(results, pending, duplicates, measured)
         return self._tally(results)
+
+    #: ``run_workload`` kwargs :func:`repro.sim.straightline.run_batch`
+    #: understands (``engine``/``faults`` are dispatch-only and dropped).
+    _BATCH_KWARGS = frozenset(
+        {"network_params", "power", "opoints", "transition_latency_s",
+         "engine", "faults"}
+    )
+
+    def _run_batches(
+        self,
+        pending: Sequence[tuple[int, RunTask, Optional[str]]],
+        measured: list[Optional[Measurement]],
+    ) -> list[int]:
+        """Fill batch-evaluable misses into ``measured`` (by pending
+        position); returns the positions the pool path must still run.
+
+        A miss is batchable when its kwargs are all straightline-tier
+        parameters, no fault environment applies, the engine isn't
+        pinned to ``"event"``, and the strategy lowers to a static gear
+        plan.  Batches group by workload and configuration identity;
+        groups of one, and any group the batch tier rejects (divergent
+        control flow, unsupported plan), fall back to the per-point
+        path — which reproduces genuine errors through the event
+        engine exactly as before.
+        """
+        groups: dict[tuple, list[int]] = {}
+        leftover: list[int] = []
+        for j, (_index, task, _key) in enumerate(pending):
+            kw = task.kwargs
+            if (
+                not set(kw) <= self._BATCH_KWARGS
+                or kw.get("engine", "auto") == "event"
+                or kw.get("faults") is not None
+            ):
+                leftover.append(j)
+                continue
+            strategy = task.strategy if task.strategy is not None else NoDvsStrategy()
+            try:
+                plan = strategy.gear_plan(task.workload)
+            except Exception:
+                plan = None
+            if plan is None:
+                leftover.append(j)
+                continue
+            group = (
+                id(task.workload),
+                tuple(
+                    sorted(
+                        (k, id(v))
+                        for k, v in kw.items()
+                        if k not in ("engine", "faults")
+                    )
+                ),
+            )
+            groups.setdefault(group, []).append(j)
+        for positions in groups.values():
+            if len(positions) < 2:
+                leftover.extend(positions)
+                continue
+            from repro.sim.straightline import run_batch
+
+            first = pending[positions[0]][1]
+            run_kwargs = {
+                k: v
+                for k, v in first.kwargs.items()
+                if k not in ("engine", "faults")
+            }
+            points = [
+                (pending[j][1].strategy, pending[j][1].seed) for j in positions
+            ]
+            try:
+                batch = run_batch(first.workload, points, **run_kwargs)
+            except Exception:
+                leftover.extend(positions)
+                continue
+            for j, m in zip(positions, batch):
+                measured[j] = m
+        leftover.sort()
+        return leftover
 
     # -- map/map_sweep shared prologue + epilogue ----------------------
     def _merge_faults(self, tasks: Sequence[RunTask]) -> Sequence[RunTask]:

@@ -53,7 +53,12 @@ from repro.workloads.compile import (
     compile_workload,
 )
 
-__all__ = ["StraightlineUnsupported", "run_straightline", "try_run_straightline"]
+__all__ = [
+    "StraightlineUnsupported",
+    "run_straightline",
+    "try_run_straightline",
+    "run_batch",
+]
 
 
 class StraightlineUnsupported(RuntimeError):
@@ -71,6 +76,8 @@ _EV_START = 0  # a segment becomes active: payload (act, busy, mem, nic)
 _EV_END = 1  # the active segment completes
 _EV_PUSH = 2  # push a wait-state token: payload (act, busy, mem, nic)
 _EV_POP = 3  # pop the topmost matching wait-state token
+_EV_TOUCH = 4  # accounting boundary only (DVS call overhead stall)
+_EV_GEAR = 5  # operating-point change: payload (new opoint, new mhz)
 
 
 _LISTS_CACHE: WeakKeyDictionary = WeakKeyDictionary()
@@ -95,15 +102,75 @@ def _program_lists(compiled: CompiledProgram) -> tuple:
     return lists
 
 
+#: compiled program -> {(plan, opoints): lowered actions}.  GearPlan is a
+#: frozen dataclass and tables hash by content, so sweeps that revisit a
+#: plan (e.g. the same gear pair across seeds) lower it once.
+_ACTIONS_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: operating-point table -> (frequency_hz array, frequency_mhz array).
+#: Shared read-only across batch executors; only ever indexed.
+_TABLES_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: power parameters -> {(opoints, activity key): per-point power array}.
+#: ``node_power_w`` is pure in (point, activity), so the vectors survive
+#: across batches; consumers index but never mutate them.
+_PVEC_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _lower_gear_actions(compiled: CompiledProgram, plan, opoints) -> list[list[tuple]]:
+    """Lower a :class:`GearPlan` onto a compiled program's hook markers.
+
+    Returns, per rank, ``(op position, target opoint index)`` pairs in
+    program order — one per ``set_cpuspeed`` call the plan issues at
+    that marker.  A frequency the table doesn't carry, or a plan that
+    doesn't cover every rank, raises :class:`CompileError`; the caller
+    falls back and the event engine surfaces the genuine error.
+    """
+    per_prog = _ACTIONS_CACHE.get(compiled)
+    if per_prog is None:
+        per_prog = _ACTIONS_CACHE[compiled] = {}
+    key = (plan, opoints)
+    cached = per_prog.get(key)
+    if cached is not None:
+        return cached
+    exact = {p.frequency_mhz: i for i, p in enumerate(opoints)}
+    per_rank: list[list[tuple]] = []
+    try:
+        for rank in range(compiled.nprocs):
+            acts: list[tuple] = []
+            for pos, kind, phase in compiled.markers[rank]:
+                for mhz in plan.calls_at(kind, phase, rank):
+                    idx = exact.get(mhz)
+                    if idx is None:  # inexact MHz: by_mhz's tolerant scan
+                        idx = opoints.index_of(opoints.by_mhz(mhz))
+                    acts.append((pos, idx))
+            per_rank.append(acts)
+    except (KeyError, IndexError, ValueError) as exc:
+        raise CompileError(f"gear plan not executable: {exc!r}") from exc
+    per_prog[key] = per_rank
+    return per_rank
+
+
 class _Node:
-    """Static per-node state + the breakpoint event list."""
+    """Per-node gear state + the breakpoint event list.
 
-    __slots__ = ("freq_hz", "mhz", "opoint", "stall_until", "cpu_free", "events")
+    ``freq_hz``/``mhz``/``opoint``/``index`` track the *current* gear
+    (mutated by :meth:`_Executor._apply_gear`); ``start_opoint`` and
+    ``start_mhz`` keep the post-setup state :meth:`_Executor.finalize`
+    integrates from.
+    """
 
-    def __init__(self, freq_hz: float, mhz: float, opoint, stall_until: float) -> None:
+    __slots__ = ("freq_hz", "mhz", "opoint", "index", "start_opoint",
+                 "start_mhz", "stall_until", "cpu_free", "events")
+
+    def __init__(self, freq_hz: float, mhz: float, opoint, stall_until: float,
+                 index: int = -1) -> None:
         self.freq_hz = freq_hz
         self.mhz = mhz
         self.opoint = opoint
+        self.index = index
+        self.start_opoint = opoint
+        self.start_mhz = mhz
         self.stall_until = stall_until
         self.cpu_free = 0.0
         self.events: list[tuple] = []  # (t, seq, kind, payload)
@@ -132,7 +199,7 @@ class _Slot:
 
 class _Rank:
     __slots__ = ("rank", "pc", "t", "phase", "wait_req", "coll_seq", "spawn",
-                 "finish", "ops", "iargs", "fargs", "node")
+                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
@@ -149,13 +216,19 @@ class _Rank:
         self.iargs: list[int] = []
         self.fargs: list = []
         self.node: Optional[_Node] = None
+        # Gear actions: (op position, target index) pairs in program
+        # order; act_i is the cursor of the next unapplied action.
+        self.acts: list[tuple] = []
+        self.act_i = 0
 
 
 class _Executor:
     """Direct-accumulation interpreter for one compiled run."""
 
     def __init__(self, compiled: CompiledProgram, cost, net_params, power_params,
-                 nodes: list[_Node]) -> None:
+                 nodes: list[_Node], opoints=None,
+                 gear_actions: Optional[list[list[tuple]]] = None,
+                 transition_latency_s: float = 20e-6) -> None:
         self.c = compiled
         self.cost = cost
         self.net = net_params
@@ -163,7 +236,14 @@ class _Executor:
         self.nodes = nodes
         self.n = compiled.nprocs
         self.fastest_hz = compiled.fastest_hz
+        self.opoints = opoints
+        self.transition_latency_s = transition_latency_s
+        self.dvs_overhead_s = cost.dvs_call_overhead_s
+        self.transitions = 0
+        self._has_gears = bool(gear_actions) and any(gear_actions)
         # Engine: Communicator._max_freq_ratio() over the (static) ranks.
+        # With in-run gear changes the ratio is re-read per collective
+        # (see _start_collective); this cached value covers static runs.
         self.freq_ratio = (
             max(nd.freq_hz for nd in nodes) / compiled.fastest_hz
         )
@@ -189,7 +269,10 @@ class _Executor:
             r.iargs = self.iargs[r.rank]
             r.fargs = self.fargs[r.rank]
             r.node = nodes[r.rank]
+            if gear_actions:
+                r.acts = gear_actions[r.rank]
         self._seq = 0
+        self._seq_late = 1 << 62
         self._dirty = False
         self.comm_sig = cost.comm_progress.as_tuple()
         self.wait_sig = cost.blocked_wait.as_tuple()
@@ -204,6 +287,23 @@ class _Executor:
     def _emit(self, node: _Node, t: float, kind: int, payload=None) -> None:
         self._seq += 1
         node.events.append((t, self._seq, kind, payload))
+
+    def _emit_late(self, node: _Node, t: float, kind: int, payload=None) -> None:
+        """Emit an event that sorts *after* same-time rank events.
+
+        The engine resumes a rendezvous send proc via an event inserted
+        at the CTS timestamp itself, so its pushes/pops always fire
+        after every continuation of events scheduled earlier — e.g. the
+        receiver's own wait-state push at the same instant.  The
+        straightline worklist may discover the CTS while other ranks
+        still trail it, so these breakpoints draw from a high counter:
+        plain tuple sort then lands them last within their timestamp.
+        Only the relative order of *pushes with different signatures*
+        is observable (pops remove a matching token wherever it sits),
+        and that is exactly the order this preserves.
+        """
+        self._seq_late += 1
+        node.events.append((t, self._seq_late, kind, payload))
 
     def _run_seg(self, node: _Node, t_req: float, cycles: float, offchip: float,
                  act: float, busy: float, mem: float, nic: float) -> float:
@@ -226,6 +326,48 @@ class _Executor:
         self._seq = seq + 2
         node.cpu_free = end
         return end
+
+    # ------------------------------------------------------------------
+    # piecewise-static gear changes (lowered set_cpuspeed hook calls)
+    # ------------------------------------------------------------------
+    def _apply_actions(self, r: _Rank, pc: int) -> None:
+        acts = r.acts
+        i = r.act_i
+        while i < len(acts) and acts[i][0] <= pc:
+            self._apply_gear(r, acts[i][1])
+            i += 1
+        r.act_i = i
+
+    def _apply_gear(self, r: _Rank, target: int) -> None:
+        """One lowered ``set_cpuspeed`` call at the rank's current time.
+
+        Replicates ``RankContext.set_cpuspeed`` → ``_actuate`` →
+        ``CpuCore`` with no injector: the call-overhead stall (a time
+        boundary, no meter update), then — only when the operating
+        point actually changes — the transition-latency stall and the
+        gear breakpoint where ``set_speed_index`` notifies the meter.
+        """
+        node = r.node
+        t = r.t
+        if node.cpu_free > t:
+            # The engine would retime the queued/active segment around
+            # the transition; the straightline FIFO cannot.
+            raise StraightlineUnsupported("DVS call while a segment is in flight")
+        overhead = self.dvs_overhead_s
+        if overhead != 0.0:
+            base = node.stall_until if node.stall_until > t else t
+            node.stall_until = base + overhead
+            self._emit(node, t, _EV_TOUCH, None)
+        if target != node.index:
+            op = self.opoints[target]
+            base = node.stall_until if node.stall_until > t else t
+            node.stall_until = base + self.transition_latency_s
+            node.index = target
+            node.freq_hz = op.frequency_hz
+            node.mhz = op.frequency_mhz
+            node.opoint = op
+            self.transitions += 1
+            self._emit(node, t, _EV_GEAR, (op, op.frequency_mhz))
 
     # ------------------------------------------------------------------
     # network channels (Resource with synchronous FIFO grants)
@@ -298,12 +440,14 @@ class _Executor:
         src = self.req_owner[s_id]
         dst = self.req_peer[s_id]
         src_node, dst_node = self.nodes[src], self.nodes[dst]
-        # Both CPUs progress the message for the whole transfer.
-        self._emit(src_node, cts, _EV_PUSH, self.comm_sig)
-        self._emit(dst_node, cts, _EV_PUSH, self.comm_sig)
+        # Both CPUs progress the message for the whole transfer.  These
+        # ride the late counter: the engine's send proc resumes via an
+        # event inserted at CTS time, after same-instant rank events.
+        self._emit_late(src_node, cts, _EV_PUSH, self.comm_sig)
+        self._emit_late(dst_node, cts, _EV_PUSH, self.comm_sig)
         delivered = self._transfer(src, dst, self.wire[s_id], cts)
-        self._emit(src_node, delivered, _EV_POP, self.comm_sig)
-        self._emit(dst_node, delivered, _EV_POP, self.comm_sig)
+        self._emit_late(src_node, delivered, _EV_POP, self.comm_sig)
+        self._emit_late(dst_node, delivered, _EV_POP, self.comm_sig)
         self.delivered_t[s_id] = delivered
         self.done_t[s_id] = delivered
         self.done_t[r_id] = delivered
@@ -381,6 +525,11 @@ class _Executor:
             return
         ops = r.ops
         pc = r.pc
+        if r.act_i < len(r.acts):
+            # Lowered hook calls fire before the op recorded after them
+            # (the hook runs synchronously before the program's next
+            # yield in the engine).
+            self._apply_actions(r, pc)
         if pc >= len(ops):
             if r.spawn:
                 self._flush(r)
@@ -495,12 +644,19 @@ class _Executor:
         if len(slot.arrivals) == self.n:
             self._dirty = True  # unblocks every parked rank
             all_at = max(slot.arrivals.values())
+            # The engine's completing rank reads every rank's *current*
+            # frequency; at completion each rank is parked inside this
+            # collective, so the ratio is exact here too.  Static runs
+            # use the cached constant (same expression, same value).
+            ratio = self.freq_ratio
+            if self._has_gears:
+                ratio = max(nd.freq_hz for nd in self.nodes) / self.fastest_hz
             duration = self.cost.collective_seconds(
                 self.c.coll_kinds[seq],
                 self.n,
                 max(slot.wires.values()),
                 self.net,
-                freq_ratio=self.freq_ratio,
+                freq_ratio=ratio,
                 jitter_s=0.0,
             )
             slot.done_t = all_at + duration
@@ -510,33 +666,48 @@ class _Executor:
     # ------------------------------------------------------------------
     # energy + time accounting
     # ------------------------------------------------------------------
-    def finalize(self, t_end: float) -> tuple[list[float], list[float]]:
+    def finalize(self, t_end: float) -> tuple[list[float], list[dict[float, float]]]:
         """Integrate each node's breakpoints; returns (energy, time) lists.
 
         Replicates the meter exactly: one ``energy += p * dt`` per
-        breakpoint with ``dt > 0``, power refreshed after every
-        breakpoint, plus the final ``p * (T_end - t_last)`` read.
+        *meter* breakpoint with ``dt > 0``, power refreshed after every
+        meter breakpoint, plus the final ``p * (T_end - t_last)`` read.
+        The engine has two distinct boundary sets — ``EnergyMeter``
+        updates only at notify points (segment start/end, push/pop,
+        gear change), while the CPU's time accounting (``_touch``) also
+        fires at overhead-only stalls — so energy and the per-MHz time
+        histogram advance from separate ``t_last`` cursors.  The
+        histogram accrues one ``hist[mhz] += dt`` per touch boundary at
+        the *pre-boundary* frequency, in chronological order, exactly
+        as ``CpuStats.time_at_mhz`` accumulates.
         """
         idle = self.power.cpu_idle_activity
+        power_w = self.power.node_power_w
+        idle_key = (idle, 0.0, 0.0)
         energies: list[float] = []
-        times: list[float] = []
+        hists: list[dict[float, float]] = []
         for node in self.nodes:
             # (t, seq) is globally unique, so plain tuple sort never
             # reaches the payload — identical order, no key function.
             events = sorted(node.events)
-            power_w = self.power.node_power_w
-            opoint = node.opoint
-            idle_key = (idle, 0.0, 0.0)
+            opoint = node.start_opoint
+            mhz = node.start_mhz
+            # One power cache per operating point visited (gear runs
+            # revisit points; each (activity, mem, nic) key maps to a
+            # different wattage at each point).
+            caches: dict[float, dict[tuple, float]] = {}
+            cache = caches.setdefault(mhz, {})
             p_idle = power_w(opoint, idle, 0.0, 0.0)
-            cache: dict[tuple, float] = {idle_key: p_idle}
+            cache[idle_key] = p_idle
             cache_get = cache.get
 
             active = None
             stack: list[tuple] = []
             p_cur = p_idle
-            t_last = 0.0
+            t_last_e = 0.0  # meter boundary (notify events only)
+            t_last_t = 0.0  # accounting boundary (every event)
             energy = 0.0
-            time_acc = 0.0
+            hist: dict[float, float] = {}
             i = 0
             n_ev = len(events)
             while i < n_ev:
@@ -544,31 +715,47 @@ class _Executor:
                 t = ev[0]
                 if t > t_end:
                     break  # the engine stops at the job's completion
-                dt = t - t_last
+                dt = t - t_last_t
                 if dt > 0:
-                    energy += p_cur * dt
-                    time_acc += dt
-                    t_last = t
+                    hist[mhz] = hist.get(mhz, 0.0) + dt
+                    t_last_t = t
+                notify = False
+                gear = False
                 while True:
                     kind = ev[2]
-                    if kind == _EV_START:
-                        active = ev[3]
-                    elif kind == _EV_END:
-                        active = None
-                    elif kind == _EV_PUSH:
-                        stack.append(ev[3])
-                    else:  # _EV_POP
-                        payload = ev[3]
-                        for j in range(len(stack) - 1, -1, -1):
-                            if stack[j] == payload:
-                                del stack[j]
-                                break
+                    if kind != _EV_TOUCH:
+                        if not notify:
+                            notify = True
+                            dte = t - t_last_e
+                            if dte > 0:
+                                energy += p_cur * dte
+                                t_last_e = t
+                        if kind == _EV_START:
+                            active = ev[3]
+                        elif kind == _EV_END:
+                            active = None
+                        elif kind == _EV_PUSH:
+                            stack.append(ev[3])
+                        elif kind == _EV_POP:
+                            payload = ev[3]
+                            for j in range(len(stack) - 1, -1, -1):
+                                if stack[j] == payload:
+                                    del stack[j]
+                                    break
+                        else:  # _EV_GEAR
+                            opoint, mhz = ev[3]
+                            gear = True
                     i += 1
                     if i >= n_ev:
                         break
                     ev = events[i]
                     if ev[0] != t:
                         break
+                if not notify:
+                    continue  # overhead-only stall: no meter update
+                if gear:
+                    cache = caches.setdefault(mhz, {})
+                    cache_get = cache.get
                 if active is not None:
                     key = (active[0], active[2], active[3])
                 elif stack:
@@ -582,20 +769,23 @@ class _Executor:
                     p_cur = power_w(opoint, key[0], key[1], key[2])
                     cache[key] = p_cur
             # EnergyMeter.energy_j(): one final read at T_end.
-            energies.append(energy + p_cur * (t_end - t_last))
-            dt = t_end - t_last
+            energies.append(energy + p_cur * (t_end - t_last_e))
+            dt = t_end - t_last_t
             if dt > 0:
-                time_acc += dt
-            times.append(time_acc)
-        return energies, times
+                hist[mhz] = hist.get(mhz, 0.0) + dt
+            hists.append(hist)
+        return energies, hists
 
 
 def _execute(compiled: CompiledProgram, cost, net_params, power_params,
-             nodes: list[_Node]):
-    ex = _Executor(compiled, cost, net_params, power_params, nodes)
+             nodes: list[_Node], opoints=None, gear_actions=None,
+             transition_latency_s: float = 20e-6):
+    ex = _Executor(compiled, cost, net_params, power_params, nodes,
+                   opoints=opoints, gear_actions=gear_actions,
+                   transition_latency_s=transition_latency_s)
     t_end = ex.run()
-    energies, times = ex.finalize(t_end)
-    return t_end, energies, times
+    energies, hists = ex.finalize(t_end)
+    return t_end, energies, hists, ex.transitions
 
 
 # ----------------------------------------------------------------------
@@ -610,65 +800,65 @@ def run_straightline(
     opoints=None,
     transition_latency_s: float = 20e-6,
 ):
-    """Measure a static-gear run on the straightline tier.
+    """Measure a static- or piecewise-static-gear run on this tier.
 
-    Builds the same cluster as :func:`repro.core.framework.run_workload`
-    (so strategy setup, validation, and describe() behave identically),
-    compiles the workload, and evaluates it directly.  Raises
+    No cluster is built: the post-setup node state the event engine
+    would reach is derived directly from the strategy's
+    :meth:`~repro.core.strategies.base.Strategy.gear_plan` (the fresh
+    CPU parks at the fastest point; a t=0 speed call to a different
+    point leaves one transition stall behind), then the plan's
+    remaining calls are lowered onto the program's hook markers and
+    evaluated directly.  Raises
     :class:`~repro.workloads.compile.CompileError` or
     :class:`StraightlineUnsupported` when the run needs the event
     engine; :func:`try_run_straightline` converts those into ``None``.
     """
     from repro.core.framework import Measurement
     from repro.core.strategies.base import NoDvsStrategy
-    from repro.hardware.cluster import nemo_cluster
+    from repro.hardware.network import NetworkParameters
     from repro.hardware.opoints import PENTIUM_M_TABLE
     from repro.hardware.power import NEMO_POWER
-    from repro.sim.engine import Environment
 
     strategy = strategy or NoDvsStrategy()
+    plan = strategy.gear_plan(workload)
+    if plan is None:
+        raise StraightlineUnsupported(
+            "strategy has no static gear plan (dynamic DVS)"
+        )
     power = NEMO_POWER if power is None else power
     opoints = PENTIUM_M_TABLE if opoints is None else opoints
-    env = Environment()
-    cluster = nemo_cluster(
-        env,
-        n_nodes=workload.nprocs,
-        power=power,
-        opoints=opoints,
-        network_params=network_params,
-        transition_latency_s=transition_latency_s,
-        with_batteries=False,
-        seed=seed,
-        injector=None,
-    )
+    net = network_params if network_params is not None else NetworkParameters()
     node_ids = list(range(workload.nprocs))
-    strategy.setup(cluster, node_ids)
 
-    compiled = compile_workload(workload, cluster.opoints.fastest.frequency_hz)
+    compiled = compile_workload(workload, opoints.fastest.frequency_hz)
+    actions = _lower_gear_actions(compiled, plan, opoints)
+    max_idx = opoints.max_index
     nodes = []
-    for nid in node_ids:
-        cpu = cluster[nid].cpu
-        nodes.append(_Node(cpu.frequency_hz, cpu.frequency_mhz, cpu.opoint,
-                           cpu._stall_until))
-    t_end, energies, times = _execute(
-        compiled, workload.cost_model(), cluster.network.params, power, nodes
+    for idx in _start_indices(plan, opoints, workload.nprocs):
+        op = opoints[idx]
+        stall = transition_latency_s if idx != max_idx else 0.0
+        nodes.append(_Node(op.frequency_hz, op.frequency_mhz, op, stall, idx))
+    t_end, energies, hists, transitions = _execute(
+        compiled, workload.cost_model(), net, power, nodes,
+        opoints=opoints, gear_actions=actions,
+        transition_latency_s=transition_latency_s,
     )
-    strategy.teardown(cluster)
 
     started_at = 0.0
     per_node = {nid: energies[nid] for nid in node_ids}
+    # Merge per-node histograms in node-id order: one addition per
+    # (node, mhz) pair, same as summing CpuStats.time_at_mhz over nodes.
     time_at: dict[float, float] = {}
     for nid in node_ids:
-        if times[nid] > 0:
-            mhz = nodes[nid].mhz
-            time_at[mhz] = time_at.get(mhz, 0.0) + times[nid]
+        for mhz, secs in hists[nid].items():
+            time_at[mhz] = time_at.get(mhz, 0.0) + secs
     return Measurement(
         workload=workload.tag,
         strategy=strategy.describe(),
         elapsed_s=t_end - started_at,
         energy_j=sum(per_node.values()),
         per_node_energy_j=per_node,
-        dvs_transitions=0,
+        dvs_transitions=transitions,
         time_at_mhz=time_at,
         acpi_energy_j=None,
         baytech_energy_j=None,
@@ -700,3 +890,1014 @@ def try_run_straightline(
         )
     except (CompileError, StraightlineUnsupported):
         return None
+
+
+# ----------------------------------------------------------------------
+# batched evaluation: many points of one workload, structure-of-arrays
+# ----------------------------------------------------------------------
+class _BNode:
+    """Per-node state for a batch of B runs, as (B,) float64 arrays."""
+
+    __slots__ = ("freq_hz", "opi", "start_opi", "stall_until", "cpu_free",
+                 "live_stall", "events")
+
+    def __init__(self, opi, freq_hz, stall_until, zeros) -> None:
+        self.opi = opi  # (B,) operating-point indices
+        self.start_opi = opi
+        self.freq_hz = freq_hz
+        self.stall_until = stall_until
+        # False once every element's stall is provably consumed (CPU
+        # starts only grow); lets segments skip the clamp arithmetic.
+        self.live_stall = True
+        self.cpu_free = zeros
+        # (t_array, seq, kind, payload, mask) — mask is None (applies to
+        # every element) or a (B,) bool array (partial gear changes).
+        self.events: list[tuple] = []
+
+
+class _BRank:
+    __slots__ = ("rank", "pc", "t", "phase", "wait_req", "coll_seq", "spawn",
+                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i")
+
+    def __init__(self, rank: int, zeros) -> None:
+        self.rank = rank
+        self.pc = 0
+        self.t = zeros
+        self.phase = "op"
+        self.wait_req = -1
+        self.coll_seq = -1
+        self.spawn: list[int] = []
+        self.finish = zeros
+        self.ops: list[int] = []
+        self.iargs: list[int] = []
+        self.fargs: list = []
+        self.node = None
+        self.acts: list[tuple] = []  # (op position, (B,) target indices)
+        self.act_i = 0
+
+
+class _BChan:
+    __slots__ = ("free", "max_req")
+
+    def __init__(self, zeros) -> None:
+        self.free = zeros
+        self.max_req = zeros
+
+
+class _BatchExecutor:
+    """Structure-of-arrays interpreter for B same-shape runs at once.
+
+    Every quantity the scalar :class:`_Executor` keeps as one float is a
+    (B,) float64 array here; all arithmetic is elementwise (``a + b``,
+    ``np.maximum``, ``np.where``), which evaluates the identical IEEE
+    operations per element, so results stay bit-for-bit equal to B
+    scalar runs.  The one thing a batch cannot vectorize is *control
+    flow*: the worklist's rank choice, wait readiness, and same-time
+    event ordering must agree across every element.  Each decision is
+    guarded; a divergent batch raises :class:`StraightlineUnsupported`
+    and the caller re-evaluates in smaller groups (down to per-point
+    scalar runs).
+
+    Cost-model calls with per-element arguments (p2p collision wire
+    bytes, collective durations) stay scalar — they branch internally —
+    and are memoized per distinct argument tuple, which collapses to a
+    handful of entries because frequencies come from a small table.
+    """
+
+    def __init__(self, compiled: CompiledProgram, cost, net_params,
+                 power_params, opoints, start_idx, gear_actions,
+                 transition_latency_s: float) -> None:
+        import numpy as np
+
+        self.np = np
+        self.c = compiled
+        self.cost = cost
+        self.net = net_params
+        self.power = power_params
+        self.opoints = opoints
+        self.n = compiled.nprocs
+        self.B = B = len(start_idx[0])
+        self.fastest_hz = compiled.fastest_hz
+        self.transition_latency_s = transition_latency_s
+        self.dvs_overhead_s = cost.dvs_call_overhead_s
+        self.transitions = np.zeros(B, dtype=np.int64)
+        tabs = _TABLES_CACHE.get(opoints)
+        if tabs is None:
+            tabs = (np.array([op.frequency_hz for op in opoints]),
+                    np.array([op.frequency_mhz for op in opoints]))
+            _TABLES_CACHE[opoints] = tabs
+        self.freq_tab, self.mhz_tab = tabs
+        max_idx = opoints.max_index
+        zeros = np.zeros(B)
+        self.nodes = []
+        for r in range(self.n):
+            opi = start_idx[r]
+            # Strategy setup runs at t=0 on a CPU parked at the fastest
+            # point: a changed index leaves the transition stall behind.
+            stall = np.where(opi != max_idx, transition_latency_s, 0.0)
+            self.nodes.append(_BNode(opi, self.freq_tab[opi], stall, zeros))
+        self._has_gears = bool(gear_actions) and any(gear_actions)
+        ratio = self.nodes[0].freq_hz
+        for nd in self.nodes[1:]:
+            ratio = np.maximum(ratio, nd.freq_hz)
+        self.freq_ratio = ratio / compiled.fastest_hz
+        (self.ops, self.iargs, self.fargs, self.req_kind, self.req_owner,
+         self.req_peer, self.req_nbytes, self.req_eager,
+         self.req_match) = _program_lists(compiled)
+        nreq = compiled.n_requests
+        self.done_t: list = [None] * nreq
+        self.posted_t: list = [None] * nreq
+        self.delivered_t: list = [None] * nreq
+        self.rts_t: list = [None] * nreq
+        self.wire: list = [0.0] * nreq
+        self.tx = [_BChan(zeros) for _ in range(self.n)]
+        self.rx = [_BChan(zeros) for _ in range(self.n)]
+        self.slots = [_Slot() for _ in compiled.coll_kinds]
+        self.ranks = [_BRank(r, zeros) for r in range(self.n)]
+        for r in self.ranks:
+            r.ops = self.ops[r.rank]
+            r.iargs = self.iargs[r.rank]
+            r.fargs = self.fargs[r.rank]
+            r.node = self.nodes[r.rank]
+            if gear_actions:
+                r.acts = gear_actions[r.rank]
+        self._seq = 0
+        self._seq_late = 1 << 62
+        self.comm_sig = cost.comm_progress.as_tuple()
+        self.wait_sig = cost.blocked_wait.as_tuple()
+        self._send_cycles = cost.send_cycles
+        self._recv_cycles = cost.recv_cycles
+        self._wire_memo: dict = {}
+        self._coll_memo: dict = {}
+        self._pvec_cache: dict = {}
+        self._dirty = False
+        self._partial_gear = False
+
+    # -- breakpoints ----------------------------------------------------
+    def _emit(self, node, t, kind, payload=None, mask=None) -> None:
+        self._seq += 1
+        node.events.append((t, self._seq, kind, payload, mask))
+
+    def _emit_late(self, node, t, kind, payload=None) -> None:
+        self._seq_late += 1
+        node.events.append((t, self._seq_late, kind, payload, None))
+
+    def _run_seg(self, node, t_req, cycles, offchip, act, busy, mem, nic):
+        np = self.np
+        if t_req is node.cpu_free:  # back-to-back segments: max(x, x) == x
+            start = t_req
+        else:
+            start = np.maximum(t_req, node.cpu_free)
+        if node.live_stall:
+            stall = node.stall_until - start
+            stall = np.where(stall < 0.0, 0.0, stall)
+            planned = stall + cycles / node.freq_hz + offchip
+            end = start + planned
+            # Later starts are >= this end; once the whole batch is past
+            # the stall the clamp is identically +0.0 and 0.0 + x == x.
+            if bool((node.stall_until <= end).all()):
+                node.live_stall = False
+        else:
+            planned = cycles / node.freq_hz
+            if offchip != 0.0:
+                planned = planned + offchip
+            end = start + planned
+        seq = self._seq
+        events = node.events
+        events.append((start, seq + 1, _EV_START, (act, busy, mem, nic), None))
+        events.append((end, seq + 2, _EV_END, None, None))
+        self._seq = seq + 2
+        node.cpu_free = end
+        return end
+
+    # -- gear changes ---------------------------------------------------
+    def _apply_actions(self, r, pc: int) -> None:
+        acts = r.acts
+        i = r.act_i
+        while i < len(acts) and acts[i][0] <= pc:
+            self._apply_gear(r, acts[i][1])
+            i += 1
+        r.act_i = i
+
+    def _apply_gear(self, r, target) -> None:
+        np = self.np
+        node = r.node
+        t = r.t
+        if bool(np.any(node.cpu_free > t)):
+            raise StraightlineUnsupported("DVS call while a segment is in flight")
+        overhead = self.dvs_overhead_s
+        if overhead != 0.0:
+            node.stall_until = np.maximum(node.stall_until, t) + overhead
+            node.live_stall = True
+            self._emit(node, t, _EV_TOUCH, None)
+        changed = target != node.opi
+        if bool(changed.any()):
+            if not bool(changed.all()):
+                # Heterogeneous change: the gear event applies to only
+                # part of the batch, so finalize needs per-event masks.
+                self._partial_gear = True
+            base = np.maximum(node.stall_until, t)
+            node.stall_until = np.where(
+                changed, base + self.transition_latency_s, node.stall_until
+            )
+            node.live_stall = True
+            opi_new = np.where(changed, target, node.opi)
+            node.opi = opi_new
+            node.freq_hz = self.freq_tab[opi_new]
+            self.transitions = self.transitions + changed
+            self._emit(node, t, _EV_GEAR, opi_new, mask=changed)
+
+    # -- network --------------------------------------------------------
+    def _grant(self, chan, t_req):
+        np = self.np
+        if bool(np.any((t_req < chan.max_req) & (t_req < chan.free))):
+            raise StraightlineUnsupported("out-of-order network channel demand")
+        chan.max_req = np.maximum(chan.max_req, t_req)
+        return np.maximum(t_req, chan.free)
+
+    def _transfer(self, src: int, dst: int, nbytes, t0):
+        if src == dst:
+            return t0 + nbytes / (400e6)
+        tx, rx = self.tx[src], self.rx[dst]
+        g1 = self._grant(tx, t0)
+        g2 = self._grant(rx, g1)
+        ser_end = g2 + self.net.serialization_s(nbytes)
+        tx.free = ser_end
+        rx.free = ser_end
+        return ser_end + self.net.latency_s
+
+    def _wire_vec(self, nbytes, ratio):
+        """Per-element ``p2p_wire_bytes`` (branchy → scalar + memo)."""
+        if not self.cost.collision_applies_p2p:
+            return nbytes  # scalar: broadcasts exactly
+        np = self.np
+        memo = self._wire_memo
+        fn = self.cost.p2p_wire_bytes
+        out = np.empty(self.B)
+        for k, rk in enumerate(ratio.tolist()):
+            key = (nbytes, rk)
+            v = memo.get(key)
+            if v is None:
+                v = fn(nbytes, rk)
+                memo[key] = v
+            out[k] = v
+        return out
+
+    def _coll_vec(self, kind: str, wmax: float, ratio):
+        np = self.np
+        memo = self._coll_memo
+        fn = self.cost.collective_seconds
+        out = np.empty(self.B)
+        for k, rk in enumerate(ratio.tolist()):
+            key = (kind, wmax, rk)
+            v = memo.get(key)
+            if v is None:
+                v = fn(kind, self.n, wmax, self.net, freq_ratio=rk, jitter_s=0.0)
+                memo[key] = v
+            out[k] = v
+        return out
+
+    # -- send chains ----------------------------------------------------
+    def _flush(self, rank) -> None:
+        if not rank.spawn:
+            return
+        pending, rank.spawn = rank.spawn, []
+        for req_id in pending:
+            self._run_send_chain(req_id, rank.t)
+
+    def _run_send_chain(self, s_id: int, ft) -> None:
+        self._dirty = True  # may resolve the peer's recv request
+        np = self.np
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
+        nbytes = self.req_nbytes[s_id]
+        node = self.nodes[src]
+        ratio = node.freq_hz / self.fastest_hz
+        self.wire[s_id] = self._wire_vec(nbytes, ratio)
+        sw_end = self._run_seg(
+            node, ft, self._send_cycles(nbytes), 0.0, 1.0, 1.0, 0.0, 0.4
+        )
+        r_id = self.req_match[s_id]
+        if self.req_eager[s_id]:
+            self.done_t[s_id] = sw_end
+            delivered = self._transfer(src, dst, self.wire[s_id], sw_end)
+            self.delivered_t[s_id] = delivered
+            pt = self.posted_t[r_id]
+            if pt is not None:
+                self.done_t[r_id] = np.maximum(pt, delivered)
+        else:
+            self.rts_t[s_id] = sw_end + self.net.latency_s
+            if self.posted_t[r_id] is not None:
+                self._complete_rndv(s_id)
+
+    def _complete_rndv(self, s_id: int) -> None:
+        self._dirty = True  # resolves requests on both sides
+        np = self.np
+        r_id = self.req_match[s_id]
+        cts = np.maximum(self.posted_t[r_id], self.rts_t[s_id])
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        self._emit_late(src_node, cts, _EV_PUSH, self.comm_sig)
+        self._emit_late(dst_node, cts, _EV_PUSH, self.comm_sig)
+        delivered = self._transfer(src, dst, self.wire[s_id], cts)
+        self._emit_late(src_node, delivered, _EV_POP, self.comm_sig)
+        self._emit_late(dst_node, delivered, _EV_POP, self.comm_sig)
+        self.delivered_t[s_id] = delivered
+        self.done_t[s_id] = delivered
+        self.done_t[r_id] = delivered
+
+    # -- the worklist ---------------------------------------------------
+    def run(self):
+        np = self.np
+        ranks = self.ranks
+        done_t = self.done_t
+        slots = self.slots
+        step = self._step
+        while True:
+            rows = []
+            cands = []
+            all_done = True
+            for r in ranks:
+                phase = r.phase
+                if phase == "done":
+                    continue
+                all_done = False
+                if phase == "op":
+                    nt = r.t
+                elif phase == "wait":
+                    nt = done_t[r.wait_req]
+                else:
+                    nt = slots[r.coll_seq].done_t
+                if nt is None:
+                    continue
+                rows.append(nt)
+                cands.append(r)
+            if all_done:
+                break
+            if not rows:
+                raise StraightlineUnsupported("no runnable rank (program deadlock?)")
+            if len(cands) == 1:
+                # Only one resolvable rank: a rescan would pick it again
+                # until it parks or resolves someone else's request.
+                best = cands[0]
+                while True:
+                    self._dirty = False
+                    step(best)
+                    if self._dirty or best.phase != "op":
+                        break
+                continue
+            M = np.stack(rows)
+            b = int(np.argmin(M[:, 0]))
+            mb = M[b]
+            # Engine order: earliest next-time, lowest rank on ties —
+            # must hold in EVERY element, or the batch's single control
+            # flow would mis-order some element's schedule.
+            if not (M >= mb).all() or (b > 0 and not (M[:b] > mb).all()):
+                raise StraightlineUnsupported("rank schedule diverges across batch")
+            best = cands[b]
+            # Ranks fully tied with the winner (equal next-time in every
+            # element) run consecutively in rank order — the engine's
+            # tie-break — so they can share this rescan.  A rank tied in
+            # only part of the batch falls back to single-step + rescan,
+            # where the guard above decides (or splits).
+            mb0 = float(mb[0])
+            sweep = [best]
+            for j in range(b + 1, len(cands)):
+                if float(rows[j][0]) == mb0:
+                    if bool((rows[j] == mb).all()):
+                        sweep.append(cands[j])
+                    else:
+                        sweep = None
+                        break
+            if sweep is None:
+                self._dirty = False
+                step(best)
+                continue
+            if len(sweep) == 1:
+                # Burst: keep stepping the chosen rank without
+                # rescanning while the order is provably unchanged in
+                # every element.  Exactness: no other rank's next-time
+                # can move unless a step resolves a request or
+                # collective (the _dirty flag), and the chosen rank's
+                # own time only grows — so while it stays strictly
+                # earliest everywhere, the full rescan would pick it
+                # again.  Ties break to a rescan, which re-applies the
+                # (time, rank) guard above.
+                if len(cands) > 1:
+                    # np.stack copied the rows, so masking row b touches
+                    # nothing the ranks still reference.
+                    M[b] = np.inf
+                    others = M.min(axis=0)
+                else:
+                    others = None
+                while True:
+                    self._dirty = False
+                    step(best)
+                    if self._dirty or best.phase != "op":
+                        break
+                    if others is None:
+                        continue  # only resolvable rank; nobody to overtake
+                    if bool((best.t < others).all()):
+                        continue
+                    break
+                continue
+            # Tied sweep: each tied rank runs — at the shared time —
+            # until it parks or provably moves past the tie in every
+            # element; then the next tied rank is exactly the rescan's
+            # choice.  Any resolution (dirty) or ambiguity aborts to a
+            # rescan, whose guard re-establishes (or refuses) the order.
+            aborted = False
+            for r in sweep:
+                while True:
+                    self._dirty = False
+                    step(r)
+                    if self._dirty:
+                        aborted = True
+                        break
+                    if r.phase != "op":
+                        break  # parked or done: next tied rank
+                    if float(r.t[0]) == mb0:
+                        if bool((r.t == mb).all()):
+                            continue  # still at the tie: r keeps winning
+                        aborted = True
+                        break
+                    if bool((r.t > mb).all()):
+                        break  # strictly past the tie everywhere
+                    aborted = True
+                    break
+                if aborted:
+                    break
+        return np.max(np.stack([r.finish for r in ranks]), axis=0)
+
+    def _step(self, r) -> None:
+        phase = r.phase
+        if phase == "wait":
+            self._complete_wait(r, r.wait_req, self.done_t[r.wait_req])
+            r.phase = "op"
+            return
+        if phase == "coll":
+            r.t = self.slots[r.coll_seq].done_t
+            r.phase = "op"
+            r.pc += 1
+            return
+        ops = r.ops
+        pc = r.pc
+        if r.act_i < len(r.acts):
+            self._apply_actions(r, pc)
+        if pc >= len(ops):
+            if r.spawn:
+                self._flush(r)
+            r.finish = r.t
+            r.phase = "done"
+            return
+        code = ops[pc]
+        if code == OP_COMPUTE:
+            cyc, off, act, busy, mem, nic = r.fargs[pc]
+            end = self._run_seg(r.node, r.t, cyc, off, act, busy, mem, nic)
+            if r.spawn:
+                self._flush(r)
+            r.t = end
+            r.pc = pc + 1
+        elif code == OP_IDLE:
+            if r.spawn:
+                self._flush(r)
+            r.t = r.t + r.fargs[pc][0]
+            r.pc = pc + 1
+        elif code == OP_ISEND:
+            r.spawn.append(r.iargs[pc])
+            r.pc = pc + 1
+        elif code == OP_IRECV:
+            self._post_recv(r, r.iargs[pc])
+            r.pc = pc + 1
+        elif code == OP_WAIT:
+            self._start_wait(r, r.iargs[pc])
+        else:
+            self._start_collective(r)
+
+    def _post_recv(self, r, req_id: int) -> None:
+        np = self.np
+        self.posted_t[req_id] = r.t
+        s_id = self.req_match[req_id]
+        if self.req_eager[s_id]:
+            dv = self.delivered_t[s_id]
+            if dv is not None:
+                self.done_t[req_id] = np.maximum(r.t, dv)
+        elif self.rts_t[s_id] is not None and self.done_t[s_id] is None:
+            self._complete_rndv(s_id)
+
+    def _start_wait(self, r, req_id: int) -> None:
+        np = self.np
+        d = self.done_t[req_id]
+        node = r.node
+        if d is not None:
+            le = d <= r.t
+            if le.all():
+                if self.req_kind[req_id] == REQ_RECV:
+                    end = self._unpack(node, r.t, req_id)
+                    if r.spawn:
+                        self._flush(r)
+                    r.t = end
+                r.pc += 1
+                return
+            if le.any():
+                # Already-triggered in some elements, blocking in others:
+                # the wait-state push would apply to only part of the
+                # batch and the two schedules diverge from here.
+                raise StraightlineUnsupported("wait readiness diverges across batch")
+        self._emit(node, r.t, _EV_PUSH, self.wait_sig)
+        if r.spawn:
+            self._flush(r)
+        d = self.done_t[req_id]
+        if d is None:
+            r.wait_req = req_id
+            r.phase = "wait"
+            return
+        self._complete_wait(r, req_id, d)
+
+    def _complete_wait(self, r, req_id: int, d) -> None:
+        np = self.np
+        if bool(np.any(d < r.t)):
+            raise StraightlineUnsupported("wait resolved before block point")
+        node = r.node
+        self._emit(node, d, _EV_POP, self.wait_sig)
+        r.t = d
+        if self.req_kind[req_id] == REQ_RECV:
+            r.t = self._unpack(node, d, req_id)
+        r.pc += 1
+
+    def _unpack(self, node, t, req_id: int):
+        nbytes = self.req_nbytes[self.req_match[req_id]]
+        return self._run_seg(
+            node, t, self._recv_cycles(nbytes), 0.0, 1.0, 1.0, 0.4, 0.3
+        )
+
+    def _start_collective(self, r) -> None:
+        np = self.np
+        seq = r.iargs[r.pc]
+        f = r.fargs[r.pc]
+        wire = f[0]
+        copy = f[1]
+        node = r.node
+        pack_end = self._run_seg(
+            node, r.t,
+            self.cost.collective_overhead_cycles
+            + self.cost.pack_cycles_per_byte * copy,
+            0.0, 1.0, 1.0, 0.4, 0.0,
+        )
+        if r.spawn:
+            self._flush(r)
+        self._emit(node, pack_end, _EV_PUSH, self.comm_sig)
+        slot = self.slots[seq]
+        slot.arrivals[r.rank] = pack_end
+        slot.wires[r.rank] = wire
+        r.t = pack_end
+        r.coll_seq = seq
+        r.phase = "coll"
+        if len(slot.arrivals) == self.n:
+            self._dirty = True  # unblocks every parked rank
+            # max is associative and exact (result is an operand; no
+            # NaN, no -0.0 in times), so the reduction order is free.
+            all_at = np.max(np.stack(list(slot.arrivals.values())), axis=0)
+            ratio = self.freq_ratio
+            if self._has_gears:
+                cur = np.max(np.stack([nd.freq_hz for nd in self.nodes]), axis=0)
+                ratio = cur / self.fastest_hz
+            duration = self._coll_vec(
+                self.c.coll_kinds[seq], max(slot.wires.values()), ratio
+            )
+            slot.done_t = all_at + duration
+            for rr in range(self.n):
+                self._emit(self.nodes[rr], slot.done_t, _EV_POP, self.comm_sig)
+
+    # -- accounting -----------------------------------------------------
+    def _power_vec(self, key):
+        v = self._pvec_cache.get(key)
+        if v is None:
+            per_power = _PVEC_CACHE.get(self.power)
+            if per_power is None:
+                per_power = _PVEC_CACHE[self.power] = {}
+            gkey = (self.opoints, key)
+            v = per_power.get(gkey)
+            if v is None:
+                power_w = self.power.node_power_w
+                v = self.np.array(
+                    [power_w(op, key[0], key[1], key[2]) for op in self.opoints]
+                )
+                per_power[gkey] = v
+            self._pvec_cache[key] = v
+        return v
+
+    def finalize(self, t_end):
+        """Per-node (B,) energies + per-node per-element time histograms.
+
+        Same integration as the scalar :meth:`_Executor.finalize`, with
+        every accumulator widened to (B,).  Events are totally ordered
+        by element 0's times; a guard checks the order holds in every
+        element (per-element processing must be chronological for the
+        piecewise-constant integrals to be exact).  Elements reach
+        their own ``t_end`` at different times: contributions beyond an
+        element's end are masked to exact ``+0.0`` adds, freezing its
+        accumulators the way the scalar loop's early break does.  The
+        power-state machine (active segment, wait-state stack) is
+        *shared* — signatures are program constants, identical across
+        elements — and only per-element operating points index into
+        per-key power vectors.
+        """
+        np = self.np
+        energies = []
+        hists = []
+        for node in self.nodes:
+            events = sorted(node.events, key=lambda e: (e[0][0], e[1]))
+            T = None
+            if events:
+                T = np.stack([e[0] for e in events])
+                if T.shape[0] > 1:
+                    if bool(np.any(T[1:] < T[:-1])):
+                        raise StraightlineUnsupported(
+                            "event order diverges across batch"
+                        )
+                    # Same-time events order by seq; where the sort put a
+                    # higher seq first (its element-0 time was smaller),
+                    # every element must separate the pair strictly.
+                    seqs = np.array([e[1] for e in events])
+                    desc = seqs[:-1] > seqs[1:]
+                    if bool(np.any(desc & np.any(T[1:] <= T[:-1], axis=1))):
+                        raise StraightlineUnsupported(
+                            "event order diverges across batch"
+                        )
+            if self._partial_gear:
+                energy, node_hists = self._integrate_masked(node, events, t_end)
+            else:
+                energy, node_hists = self._integrate_matrix(
+                    node, events, T, t_end
+                )
+            energies.append(energy)
+            hists.append(node_hists)
+        return energies, hists
+
+    def _integrate_matrix(self, node, events, T, t_end):
+        """Whole-event-list integration, one numpy pass per quantity.
+
+        Valid when every recorded gear event applies to the full batch
+        (no partial masks): the power-state machine is then shared and
+        only the operating point and each element's own end time vary
+        per element.  Exactness vs :meth:`_integrate_masked`: boundary
+        times are clamped to ``t_end`` so intervals past an element's
+        end contribute exact ``+0.0``; the energy fold is ``np.cumsum``
+        along the event axis — the same left-to-right sequential
+        additions as the per-event loop — and each histogram cell is
+        ``np.bincount``'s single in-order pass over the same addends.
+        """
+        np = self.np
+        B = self.B
+        idle = self.power.cpu_idle_activity
+        idle_key = (idle, 0.0, 0.0)
+        mhz_tab = self.mhz_tab
+        opi0 = node.start_opi
+        n_ev = len(events)
+
+        # Shared power-state machine (pure Python): the key in effect
+        # after each meter-visible (non-TOUCH) event, plus gear sites.
+        keys: list[tuple] = []
+        nontouch: list[int] = []
+        gears: list[tuple] = []  # (event index, non-TOUCH position, opi array)
+        active = None
+        stack: list[tuple] = []
+        for i in range(n_ev):
+            kind = events[i][2]
+            payload = events[i][3]
+            if kind == _EV_TOUCH:
+                continue
+            if kind == _EV_START:
+                active = payload
+            elif kind == _EV_END:
+                active = None
+            elif kind == _EV_PUSH:
+                stack.append(payload)
+            elif kind == _EV_POP:
+                for j in range(len(stack) - 1, -1, -1):
+                    if stack[j] == payload:
+                        del stack[j]
+                        break
+            else:  # _EV_GEAR
+                gears.append((i, len(keys), payload))
+            if active is not None:
+                key = (active[0], active[2], active[3])
+            elif stack:
+                top = stack[-1]
+                dyn = top[0] if top[0] > idle else idle
+                key = (dyn, top[2], top[3])
+            else:
+                key = idle_key
+            keys.append(key)
+            nontouch.append(i)
+        m = len(keys)
+
+        # Power id per energy interval: interval i runs from boundary i
+        # to i+1 under the state after the first i non-TOUCH events.
+        key_ids: dict = {}
+        kid = np.empty(m + 1, dtype=np.intp)
+        kid[0] = key_ids.setdefault(idle_key, 0)
+        for i, k in enumerate(keys):
+            v = key_ids.get(k)
+            if v is None:
+                v = key_ids[k] = len(key_ids)
+            kid[i + 1] = v
+        pmat = np.stack([self._power_vec(k) for k in key_ids])
+
+        start_mhz = mhz_tab[opi0]
+        row_maps: list[dict] = [{float(start_mhz[k]): 0} for k in range(B)]
+        if gears:
+            OPI = np.empty((m + 1, B), dtype=np.intp)
+            ROW = np.empty((n_ev + 1, B), dtype=np.intp)
+            cur_opi = opi0
+            cur_row = np.zeros(B, dtype=np.intp)
+            prev_e = prev_h = 0
+            for g_h, g_e, payload in gears:
+                OPI[prev_e:g_e + 1] = cur_opi
+                ROW[prev_h:g_h + 1] = cur_row
+                cur_opi = payload
+                mhz_new = mhz_tab[payload]
+                cur_row = np.empty(B, dtype=np.intp)
+                for k in range(B):
+                    mm = float(mhz_new[k])
+                    rm = row_maps[k]
+                    rw = rm.get(mm)
+                    if rw is None:
+                        rw = rm[mm] = len(rm)
+                    cur_row[k] = rw
+                prev_e, prev_h = g_e + 1, g_h + 1
+            OPI[prev_e:] = cur_opi
+            ROW[prev_h:] = cur_row
+            P = pmat[kid[:, None], OPI]
+        else:
+            ROW = None
+            P = pmat[kid][:, opi0]
+
+        # Boundaries, clamped per element: [0, t_0, ..., t_last, t_end].
+        if n_ev:
+            Tc = np.minimum(T, t_end)
+            Te = Tc if m == n_ev else Tc[np.array(nontouch, dtype=np.intp)]
+        BE = np.empty((m + 2, B))
+        BE[0] = 0.0
+        if m:
+            BE[1:m + 1] = Te
+        BE[m + 1] = t_end
+        C = P * (BE[1:] - BE[:-1])
+        energy = np.cumsum(C, axis=0)[-1]
+
+        BH = np.empty((n_ev + 2, B))
+        BH[0] = 0.0
+        if n_ev:
+            BH[1:n_ev + 1] = Tc
+        BH[n_ev + 1] = t_end
+        DTh = BH[1:] - BH[:-1]
+        node_hists = []
+        if ROW is None:
+            tot = np.cumsum(DTh, axis=0)[-1]
+            for k in range(B):
+                v = float(tot[k])
+                node_hists.append({float(start_mhz[k]): v} if v != 0.0 else {})
+        else:
+            for k in range(B):
+                rm = row_maps[k]
+                vals = np.bincount(
+                    ROW[:, k], weights=DTh[:, k], minlength=len(rm)
+                )
+                hk = {}
+                for mm, rw in rm.items():
+                    v = float(vals[rw])
+                    if v != 0.0:
+                        hk[mm] = v
+                node_hists.append(hk)
+        return energy, node_hists
+
+    def _integrate_masked(self, node, events, t_end):
+        """Per-event integration with element masks (partial gear
+        changes present: some gear events apply to only part of the
+        batch, so the operating-point/histogram state must advance
+        under each event's own mask)."""
+        np = self.np
+        B = self.B
+        cols = np.arange(B)
+        idle = self.power.cpu_idle_activity
+        idle_key = (idle, 0.0, 0.0)
+        mhz_tab = self.mhz_tab
+        opi = node.start_opi
+        p_cur = self._power_vec(idle_key)[opi]
+        t_last_e = np.zeros(B)
+        t_last_t = np.zeros(B)
+        energy = np.zeros(B)
+        # Histogram: H[row, k] is element k's row-th distinct MHz.
+        row_maps: list[dict] = [{} for _ in range(B)]
+        start_mhz = mhz_tab[opi]
+        for k in range(B):
+            row_maps[k][float(start_mhz[k])] = 0
+        row_cur = np.zeros(B, dtype=np.intp)
+        H = np.zeros((1, B))
+        active = None
+        stack: list[tuple] = []
+        for t, seq, kind, payload, emask in events:
+            tm = t <= t_end
+            if emask is not None:
+                tm = tm & emask
+            dt = np.where(tm, t - t_last_t, 0.0)
+            H[row_cur, cols] += dt
+            t_last_t = np.where(tm, t, t_last_t)
+            if kind == _EV_TOUCH:
+                continue
+            dte = np.where(tm, t - t_last_e, 0.0)
+            energy = energy + p_cur * dte
+            t_last_e = np.where(tm, t, t_last_e)
+            if kind == _EV_START:
+                active = payload
+            elif kind == _EV_END:
+                active = None
+            elif kind == _EV_PUSH:
+                stack.append(payload)
+            elif kind == _EV_POP:
+                for j in range(len(stack) - 1, -1, -1):
+                    if stack[j] == payload:
+                        del stack[j]
+                        break
+            else:  # _EV_GEAR
+                opi = np.where(tm, payload, opi)
+                mhz_new = mhz_tab[payload]
+                n_rows = H.shape[0]
+                for k in np.nonzero(tm)[0]:
+                    m = float(mhz_new[k])
+                    rm = row_maps[k]
+                    rw = rm.get(m)
+                    if rw is None:
+                        rw = len(rm)
+                        rm[m] = rw
+                        if rw >= n_rows:
+                            H = np.vstack([H, np.zeros((1, B))])
+                            n_rows += 1
+                    row_cur[k] = rw
+            if active is not None:
+                key = (active[0], active[2], active[3])
+            elif stack:
+                top = stack[-1]
+                dyn = top[0] if top[0] > idle else idle
+                key = (dyn, top[2], top[3])
+            else:
+                key = idle_key
+            p_cur = np.where(tm, self._power_vec(key)[opi], p_cur)
+        dtf = t_end - t_last_t
+        H[row_cur, cols] += np.where(dtf > 0.0, dtf, 0.0)
+        energy = energy + p_cur * (t_end - t_last_e)
+        node_hists = []
+        for k in range(B):
+            hk = {}
+            for m, rw in row_maps[k].items():
+                v = H[rw, k]
+                if v != 0.0:
+                    hk[m] = float(v)
+            node_hists.append(hk)
+        return energy, node_hists
+
+
+def _start_indices(plan, opoints, nprocs: int) -> list[int]:
+    """Post-setup operating-point index per rank for one plan."""
+    if plan.start_mhz_per_rank is not None:
+        if len(plan.start_mhz_per_rank) != nprocs:
+            # The scalar path's strategy.setup raises the real error.
+            raise StraightlineUnsupported("per-node plan length mismatch")
+        return [
+            opoints.index_of(opoints.by_mhz(m)) for m in plan.start_mhz_per_rank
+        ]
+    if plan.start_mhz is not None:
+        return [opoints.index_of(opoints.by_mhz(plan.start_mhz))] * nprocs
+    return [opoints.max_index] * nprocs
+
+
+def run_batch(
+    workload,
+    points,
+    *,
+    network_params=None,
+    power=None,
+    opoints=None,
+    transition_latency_s: float = 20e-6,
+):
+    """Measure many ``(strategy, seed)`` points of one workload at once.
+
+    Returns one :class:`Measurement` per point, in input order, each
+    bit-for-bit equal to what :func:`run_straightline` (and therefore
+    the event engine) produces for that point.  Points whose gear plans
+    share the same action *shape* (the hook positions where calls fire)
+    are evaluated together by :class:`_BatchExecutor` as (B,) arrays;
+    the seed is accepted for signature parity but cannot influence a
+    straightline-eligible run (no fault injection, no jitter — nothing
+    draws randomness).  Groups whose control flow diverges across
+    elements are split and retried, down to scalar runs.
+
+    Raises :class:`StraightlineUnsupported` (dynamic strategy) or
+    :class:`~repro.workloads.compile.CompileError` like the scalar
+    entry point; callers fall back to the event engine per point.
+    """
+    import numpy as np
+
+    from repro.core.framework import Measurement
+    from repro.core.strategies.base import NoDvsStrategy
+    from repro.hardware.network import NetworkParameters
+    from repro.hardware.opoints import PENTIUM_M_TABLE
+    from repro.hardware.power import NEMO_POWER
+
+    power = NEMO_POWER if power is None else power
+    opoints = PENTIUM_M_TABLE if opoints is None else opoints
+    net = network_params if network_params is not None else NetworkParameters()
+    points = [(s or NoDvsStrategy(), seed) for s, seed in points]
+    compiled = compile_workload(workload, opoints.fastest.frequency_hz)
+
+    groups: dict[tuple, list[int]] = {}
+    prepared: dict[int, tuple] = {}
+    for i, (strat, _seed) in enumerate(points):
+        plan = strat.gear_plan(workload)
+        if plan is None:
+            raise StraightlineUnsupported(
+                "strategy has no static gear plan (dynamic DVS)"
+            )
+        acts = _lower_gear_actions(compiled, plan, opoints)
+        start = _start_indices(plan, opoints, workload.nprocs)
+        sig = tuple(tuple(pos for pos, _t in rank_acts) for rank_acts in acts)
+        groups.setdefault(sig, []).append(i)
+        prepared[i] = (start, acts)
+
+    cost = workload.cost_model()
+    results: list = [None] * len(points)
+
+    def scalar(i: int):
+        strat, seed = points[i]
+        return run_straightline(
+            workload,
+            strat,
+            seed=seed,
+            network_params=network_params,
+            power=power,
+            opoints=opoints,
+            transition_latency_s=transition_latency_s,
+        )
+
+    def evaluate(idxs: list[int]) -> None:
+        if len(idxs) == 1:
+            results[idxs[0]] = scalar(idxs[0])
+            return
+        try:
+            batch_measure(idxs)
+        except StraightlineUnsupported:
+            # Divergent control flow: smaller batches share more of it.
+            mid = len(idxs) // 2
+            evaluate(idxs[:mid])
+            evaluate(idxs[mid:])
+
+    def batch_measure(idxs: list[int]) -> None:
+        B = len(idxs)
+        start_idx = [
+            np.array([prepared[i][0][r] for i in idxs], dtype=np.intp)
+            for r in range(workload.nprocs)
+        ]
+        gear_actions = []
+        for r in range(workload.nprocs):
+            template = prepared[idxs[0]][1][r]
+            acts = []
+            for a, (pos, _t) in enumerate(template):
+                targets = np.array(
+                    [prepared[i][1][r][a][1] for i in idxs], dtype=np.intp
+                )
+                acts.append((pos, targets))
+            gear_actions.append(acts)
+        ex = _BatchExecutor(
+            compiled, cost, net, power, opoints, start_idx, gear_actions,
+            transition_latency_s,
+        )
+        t_end = ex.run()
+        energies, hists = ex.finalize(t_end)
+        node_ids = list(range(workload.nprocs))
+        for k, i in enumerate(idxs):
+            strat, _seed = points[i]
+            per_node = {nid: float(energies[nid][k]) for nid in node_ids}
+            time_at: dict[float, float] = {}
+            for nid in node_ids:
+                for mhz, secs in hists[nid][k].items():
+                    time_at[mhz] = time_at.get(mhz, 0.0) + secs
+            results[i] = Measurement(
+                workload=workload.tag,
+                strategy=strat.describe(),
+                elapsed_s=float(t_end[k]),
+                energy_j=sum(per_node.values()),
+                per_node_energy_j=per_node,
+                dvs_transitions=int(ex.transitions[k]),
+                time_at_mhz=time_at,
+                acpi_energy_j=None,
+                baytech_energy_j=None,
+                trace=None,
+                report=None,
+                extras={},
+            )
+
+    for idxs in groups.values():
+        evaluate(idxs)
+    return results

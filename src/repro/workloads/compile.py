@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG
 from repro.mpi.costmodel import CostModel
-from repro.workloads.base import NO_HOOKS, Workload
+from repro.workloads.base import PhaseHooks, Workload
 
 __all__ = [
     "CompileError",
@@ -303,6 +303,34 @@ class _RecordingContext:
 _NO_F = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
+class _MarkerHooks(PhaseHooks):
+    """Hooks that record their call sites instead of acting.
+
+    Programs are compiled against these so the resulting op arrays are
+    identical to an uninstrumented (``NO_HOOKS``) recording — a marker
+    performs no context operation — while every hook site lands in the
+    compiled form as ``(op position, kind, phase)``.  The straightline
+    tier later lowers a strategy's :class:`GearPlan` onto these markers
+    to find exactly where the event engine would issue ``set_cpuspeed``
+    calls.
+    """
+
+    def __init__(self) -> None:
+        self.sites: dict[int, list[tuple[int, str, str]]] = {}
+
+    def _record(self, ctx: "_RecordingContext", kind: str, phase: str) -> None:
+        self.sites.setdefault(ctx.rank, []).append((len(ctx._ops), kind, phase))
+
+    def on_init(self, ctx) -> None:
+        self._record(ctx, "init", "")
+
+    def phase_begin(self, ctx, phase: str) -> None:
+        self._record(ctx, "begin", phase)
+
+    def phase_end(self, ctx, phase: str) -> None:
+        self._record(ctx, "end", phase)
+
+
 class _Recorder:
     """Global (cross-rank) recording state: requests + collectives."""
 
@@ -354,6 +382,10 @@ class CompiledProgram:
     req_eager: np.ndarray
     req_match: np.ndarray
     coll_kinds: tuple[str, ...]  # kind per call-site seq
+    #: per-rank hook sites: ``(op position, "init"|"begin"|"end", phase)``
+    #: in call order — op position is the index of the first op recorded
+    #: *after* the hook fired (== the op count at the hook site).
+    markers: tuple[tuple[tuple[int, str, str], ...], ...] = ()
 
     @property
     def n_requests(self) -> int:
@@ -365,7 +397,7 @@ class CompiledProgram:
 
 
 def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: float,
-           nprocs: int) -> CompiledProgram:
+           nprocs: int, markers: "_MarkerHooks") -> CompiledProgram:
     """Match + validate the recording, then pack it into arrays."""
     # -- collectives: every rank must run the same call-site list ------
     counts = {len(recorder.collectives.get(r, [])) for r in range(nprocs)}
@@ -443,6 +475,9 @@ def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: f
         ),
         req_match=match,
         coll_kinds=tuple(coll_kinds),
+        markers=tuple(
+            tuple(markers.sites.get(r, ())) for r in range(nprocs)
+        ),
     )
 
 
@@ -473,7 +508,11 @@ def compile_workload(workload: Workload, fastest_hz: float) -> CompiledProgram:
         return cached
 
     cost = workload.cost_model()
-    program = workload.make_program(NO_HOOKS)
+    # Compiled against marker hooks: op-wise identical to NO_HOOKS (the
+    # markers perform no context operation), but every hook site lands
+    # in ``CompiledProgram.markers`` for gear-plan lowering.
+    markers = _MarkerHooks()
+    program = workload.make_program(markers)
     recorder = _Recorder()
     contexts = []
     try:
@@ -485,7 +524,7 @@ def compile_workload(workload: Workload, fastest_hz: float) -> CompiledProgram:
             # anything the recording context did not itself produce.
             for _ in gen:  # pragma: no cover - recording ops never yield
                 raise CompileError("program yields a raw simulation event")
-        compiled = _lower(recorder, contexts, fastest_hz, workload.nprocs)
+        compiled = _lower(recorder, contexts, fastest_hz, workload.nprocs, markers)
     except CompileError:
         raise
     except Exception as exc:

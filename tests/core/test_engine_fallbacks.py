@@ -1,0 +1,103 @@
+"""Engine-selection coverage: which runs must stay on the event engine.
+
+Every dynamic strategy (and any straightline-eligible strategy under a
+fault environment) must fall back to the event engine under
+``engine="auto"`` — asserted through the ineligibility reason the
+framework consults — and raise :class:`StraightlineUnsupported` when
+the fast tier is demanded explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import run_workload, straightline_ineligibility
+from repro.core.strategies import (
+    BetaDaemonStrategy,
+    InternalStrategy,
+    PhasePolicy,
+    PowerCapConfig,
+    PowerCapStrategy,
+    PredictiveDaemonStrategy,
+)
+from repro.faults.injector import resolve_injector
+from repro.faults.spec import FaultSpec
+from repro.sim.straightline import StraightlineUnsupported
+from repro.workloads.npb.ft import FT
+
+
+def _workload():
+    return FT(klass="T", nprocs=4)
+
+
+DYNAMIC_STRATEGIES = {
+    "powercap": lambda: PowerCapStrategy(PowerCapConfig(cap_w=120.0)),
+    "predictive": lambda: PredictiveDaemonStrategy(),
+    "beta": lambda: BetaDaemonStrategy(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
+def test_dynamic_strategy_reason(name: str) -> None:
+    strategy = DYNAMIC_STRATEGIES[name]()
+    reason = straightline_ineligibility(_workload(), strategy)
+    assert reason == "strategy has no static gear plan (dynamic DVS)"
+
+
+@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
+def test_dynamic_strategy_auto_reaches_event_engine(name: str, monkeypatch) -> None:
+    # The fast tier must never be consulted: its entry point is poisoned.
+    import repro.sim.straightline as straightline
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure mode
+        raise AssertionError("straightline tier consulted for a dynamic strategy")
+
+    monkeypatch.setattr(straightline, "try_run_straightline", boom)
+    monkeypatch.setattr(straightline, "run_straightline", boom)
+    m = run_workload(_workload(), DYNAMIC_STRATEGIES[name]())
+    assert m.elapsed_s > 0
+
+
+@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
+def test_dynamic_strategy_strict_raises(name: str) -> None:
+    with pytest.raises(StraightlineUnsupported, match="no static gear plan"):
+        run_workload(
+            _workload(), DYNAMIC_STRATEGIES[name](), engine="straightline"
+        )
+
+
+def test_internal_with_faults_reason() -> None:
+    strategy = InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400))
+    injector = resolve_injector(FaultSpec(seed=5, transition_fail_rate=0.5))
+    # The strategy alone is eligible...
+    assert straightline_ineligibility(_workload(), strategy) is None
+    # ...but a fault environment forces the event engine.
+    reason = straightline_ineligibility(_workload(), strategy, injector=injector)
+    assert reason == "fault injection active"
+
+
+def test_internal_with_faults_strict_raises() -> None:
+    strategy = InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400))
+    with pytest.raises(StraightlineUnsupported, match="fault injection active"):
+        run_workload(
+            _workload(),
+            strategy,
+            faults=FaultSpec(seed=5, transition_fail_rate=0.5),
+            engine="straightline",
+        )
+
+
+def test_internal_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
+    import repro.sim.straightline as straightline
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure mode
+        raise AssertionError("straightline tier consulted under faults")
+
+    monkeypatch.setattr(straightline, "try_run_straightline", boom)
+    monkeypatch.setattr(straightline, "run_straightline", boom)
+    m = run_workload(
+        _workload(),
+        InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)),
+        faults=FaultSpec(seed=5, transition_fail_rate=0.5),
+    )
+    assert m.elapsed_s > 0

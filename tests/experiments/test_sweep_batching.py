@@ -1,0 +1,117 @@
+"""The map_sweep batch tier: grouping, equivalence, cache stability.
+
+``ParallelRunner.map_sweep`` routes straightline-eligible misses of one
+workload+configuration through ``run_batch`` — the results must stay
+bit-for-bit identical to ``map``'s per-point path, and the cache keys
+(slots) must be exactly the ones the event engine has always used.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import run_workload
+from repro.core.strategies import (
+    CpuspeedDaemonStrategy,
+    ExternalStrategy,
+    InternalStrategy,
+    NoDvsStrategy,
+    PhasePolicy,
+    RankPolicy,
+)
+from repro.experiments.parallel import ParallelRunner, RunTask, use
+from repro.experiments.store import MeasurementCache, cache_key
+from repro.workloads import get_workload
+
+
+def _grid_tasks():
+    ft = get_workload("FT", klass="T", nprocs=4)
+    cg = get_workload("CG", klass="T", nprocs=4)
+    tasks = [
+        RunTask(ft, ExternalStrategy(mhz=mhz), 0)
+        for mhz in (600.0, 800.0, 1000.0, 1200.0, 1400.0)
+    ]
+    tasks += [
+        RunTask(cg, ExternalStrategy(mhz=mhz), seed)
+        for mhz in (600.0, 1400.0)
+        for seed in (0, 1)
+    ]
+    tasks.append(RunTask(ft, InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0))
+    tasks.append(RunTask(ft, None, 0))
+    tasks.append(RunTask(ft, CpuspeedDaemonStrategy(), 0))  # dynamic
+    tasks.append(RunTask(cg, NoDvsStrategy(), 0, {"engine": "event"}))  # pinned
+    return tasks
+
+
+def test_map_sweep_equals_map_bitwise() -> None:
+    a = ParallelRunner(jobs=1, memo=False).map(_grid_tasks())
+    b = ParallelRunner(jobs=1, memo=False).map_sweep(_grid_tasks())
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x == y
+
+
+def test_ablation_helpers_route_through_sweep_unchanged() -> None:
+    # ablations/sensitivity now submit through map_sweep; their numbers
+    # must be pinned to the direct per-point path.
+    from repro.experiments.ablations import transition_latency_study
+
+    direct = transition_latency_study(
+        code="FT", klass="T", latencies_s=(20e-6, 1e-3)
+    )
+    with use(ParallelRunner(jobs=1, memo=True)):
+        routed = transition_latency_study(
+            code="FT", klass="T", latencies_s=(20e-6, 1e-3)
+        )
+    assert [
+        (p.setting, p.norm_delay, p.norm_energy) for p in direct
+    ] == [(p.setting, p.norm_delay, p.norm_energy) for p in routed]
+
+
+def test_batch_results_fill_cache_slots(tmp_path) -> None:
+    # Batch-evaluated points land in the same content-addressed slots
+    # the per-point path uses, so a later per-point run hits.
+    tasks = [
+        RunTask(get_workload("FT", klass="T", nprocs=4), ExternalStrategy(mhz=mhz), 0)
+        for mhz in (600.0, 1000.0, 1400.0)
+    ]
+    runner = ParallelRunner(jobs=1, cache_dir=tmp_path, memo=False)
+    swept = runner.map_sweep(tasks)
+    assert runner.stats.misses == 3 and runner.stats.stores == 3
+    replay = ParallelRunner(jobs=1, cache_dir=tmp_path, memo=False)
+    again = replay.map(tasks)
+    assert replay.stats.hits == 3 and replay.stats.misses == 0
+    for x, y in zip(swept, again):
+        assert x == y
+
+
+def test_pre_pr_cache_keys_unchanged() -> None:
+    # Cache slots captured before the piecewise tier existed: adding
+    # Strategy.gear_plan and the batch path must not move a single key,
+    # or every historical cache would silently go cold.
+    ft = get_workload("FT", klass="T", nprocs=4)
+    cg = get_workload("CG", klass="T", nprocs=4)
+    assert cache_key(
+        ft, InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0, {}
+    ) == "c2a3a7a11e922e93949c27665789e612d45546ba3c1de6c33701c5ebeaf9cebd"
+    assert cache_key(
+        cg, InternalStrategy(RankPolicy.split(2, 1400, 800)), 3, {}
+    ) == "885b257d225616e69f38e3bd787e3e3a0983595609faa8d0671e67d225208dd2"
+
+
+def test_event_engine_cache_entry_replays_into_sweep(tmp_path) -> None:
+    # A measurement cached from the event engine (pre-PR world) must be
+    # returned verbatim by a post-PR sweep of the same point, and a
+    # fresh auto-tier run must equal it.
+    ft = get_workload("FT", klass="T", nprocs=4)
+    strategy = InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400))
+    event = run_workload(ft, strategy, seed=0, engine="event")
+    key = cache_key(ft, strategy, 0, {})
+    cache = MeasurementCache(tmp_path)
+    cache.put(key, event)
+
+    runner = ParallelRunner(jobs=1, cache_dir=tmp_path, memo=False)
+    [hit] = runner.map_sweep([RunTask(ft, strategy, 0)])
+    assert runner.stats.hits == 1
+    assert hit == event
+
+    fresh = run_workload(ft, strategy, seed=0)  # auto: piecewise tier
+    assert fresh == event

@@ -1,0 +1,119 @@
+"""Batched numpy evaluation (:func:`repro.sim.straightline.run_batch`).
+
+The contract: a batch returns one Measurement per (strategy, seed)
+point, in input order, each bit-for-bit equal to the scalar
+straightline run (and therefore to the event engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies.base import NoDvsStrategy
+from repro.core.strategies.cpuspeed import CpuspeedDaemonStrategy
+from repro.core.strategies.external import ExternalStrategy
+from repro.core.strategies.internal import (
+    InternalStrategy,
+    PhasePolicy,
+    RankPolicy,
+)
+from repro.sim.straightline import (
+    StraightlineUnsupported,
+    run_batch,
+    run_straightline,
+)
+from repro.workloads.npb.cg import CG
+from repro.workloads.npb.ft import FT
+
+
+def assert_batch_matches_scalar(workload_factory, points) -> None:
+    batch = run_batch(workload_factory(), points)
+    assert len(batch) == len(points)
+    for (strategy, seed), measured in zip(points, batch):
+        ref = run_straightline(workload_factory(), strategy, seed=seed)
+        assert measured == ref
+
+
+def test_external_grid() -> None:
+    points = [
+        (ExternalStrategy(mhz=mhz), seed)
+        for mhz in (600.0, 800.0, 1000.0, 1200.0, 1400.0)
+        for seed in (0, 1)
+    ]
+    assert_batch_matches_scalar(lambda: FT(klass="T", nprocs=4), points)
+
+
+def test_internal_phase_grid() -> None:
+    points = [
+        (InternalStrategy(PhasePolicy({"alltoall"}, low, high)), seed)
+        for low, high in [(600, 1400), (800, 1400), (1000, 1200)]
+        for seed in (0, 3)
+    ]
+    assert_batch_matches_scalar(lambda: FT(klass="T", nprocs=4), points)
+
+
+def test_internal_rank_grid() -> None:
+    points = [
+        (InternalStrategy(RankPolicy.split(n, high, low)), 0)
+        for n, high, low in [(1, 1400, 600), (2, 1400, 800), (3, 1200, 600)]
+    ]
+    assert_batch_matches_scalar(lambda: CG(klass="T", nprocs=4), points)
+
+
+def test_mixed_shapes_one_call() -> None:
+    # Different gear-plan shapes group separately but return in order.
+    points = [
+        (NoDvsStrategy(), 0),
+        (ExternalStrategy(mhz=800.0), 0),
+        (InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0),
+        (ExternalStrategy(per_node_mhz=[1400.0, 600.0, 1400.0, 600.0]), 0),
+        (InternalStrategy(PhasePolicy({"alltoall"}, 800, 1200)), 1),
+    ]
+    assert_batch_matches_scalar(lambda: FT(klass="T", nprocs=4), points)
+
+
+def test_partial_gear_masks() -> None:
+    # Grouping a plan whose gear call is a no-op (low == high: the
+    # begin-phase call re-sets the current point) with one that really
+    # shifts gears produces gear events masked to part of the batch —
+    # the masked integration path must still match scalar bits.
+    import repro.sim.straightline as sl
+
+    executors = []
+    orig = sl._BatchExecutor.finalize
+
+    def spy(self, t_end):
+        executors.append(self._partial_gear)
+        return orig(self, t_end)
+
+    sl._BatchExecutor.finalize = spy
+    try:
+        points = [
+            (InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0),
+            (InternalStrategy(PhasePolicy({"alltoall"}, 1400, 1400)), 0),
+        ]
+        assert_batch_matches_scalar(lambda: FT(klass="T", nprocs=4), points)
+    finally:
+        sl._BatchExecutor.finalize = orig
+    assert True in executors  # the masked path actually ran
+
+
+def test_none_strategy_is_nodvs() -> None:
+    workload = FT(klass="T", nprocs=4)
+    batch = run_batch(workload, [(None, 0), (ExternalStrategy(mhz=600.0), 0)])
+    ref = run_straightline(FT(klass="T", nprocs=4), NoDvsStrategy())
+    assert batch[0] == ref
+
+
+def test_dynamic_strategy_raises() -> None:
+    with pytest.raises(StraightlineUnsupported):
+        run_batch(
+            FT(klass="T", nprocs=4),
+            [(ExternalStrategy(mhz=800.0), 0), (CpuspeedDaemonStrategy(), 0)],
+        )
+
+
+def test_single_point_batch() -> None:
+    assert_batch_matches_scalar(
+        lambda: CG(klass="T", nprocs=4), [(ExternalStrategy(mhz=1000.0), 2)]
+    )

@@ -1,0 +1,215 @@
+"""The static compiler's rejection matrix.
+
+``compile_workload`` is the gatekeeper of the piecewise-static tier:
+anything it accepts is replayed without a simulator, so everything
+dynamic — simulation-state reads, inline DVS, wildcard receives,
+data-dependent completion order — must be refused with
+:class:`CompileError` (and the event engine then surfaces the genuine
+behaviour).  Validation failures inside the program raise the same
+error so callers need exactly one fallback path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.communicator import ANY_TAG
+from repro.workloads.base import NO_HOOKS, Workload
+from repro.workloads.compile import CompileError, compile_workload
+
+FASTEST_HZ = 1.4e9
+
+
+class _Synthetic(Workload):
+    name = "SYN"
+    klass = "T"
+
+    def __init__(self, body, nprocs: int = 2):
+        self.nprocs = nprocs
+        self._body = body
+
+    def make_program(self, hooks=NO_HOOKS):
+        body = self._body
+
+        def program(ctx):
+            yield from body(ctx)
+
+        return program
+
+
+def _compile(body, nprocs: int = 2):
+    return compile_workload(_Synthetic(body, nprocs), FASTEST_HZ)
+
+
+# ----------------------------------------------------------------------
+# inherently dynamic context features
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("attr", ["env", "cpu", "node", "comm"])
+def test_simulation_state_reads_rejected(attr) -> None:
+    def body(ctx):
+        getattr(ctx, attr)
+        yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="simulation state"):
+        _compile(body)
+
+
+@pytest.mark.parametrize(
+    "call", [lambda ctx: ctx.set_cpuspeed(600.0), lambda ctx: ctx.set_cpuspeed_index(0)]
+)
+def test_inline_dvs_rejected(call) -> None:
+    def body(ctx):
+        call(ctx)
+        yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="DVS actuation"):
+        _compile(body)
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{}, {"src": 0, "tag": ANY_TAG}], ids=["any-source", "any-tag"]
+)
+def test_wildcard_receive_rejected(kwargs) -> None:
+    def body(ctx):
+        ctx.irecv(**kwargs)
+        yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="not static"):
+        _compile(body)
+
+
+def test_waitany_rejected() -> None:
+    def body(ctx):
+        req = ctx.irecv(src=(ctx.rank + 1) % ctx.size, tag=0)
+        yield from ctx.waitany([req])
+
+    with pytest.raises(CompileError, match="completion order"):
+        _compile(body)
+
+
+def test_foreign_request_rejected() -> None:
+    def body(ctx):
+        yield from ctx.wait(object())
+
+    with pytest.raises(CompileError, match="foreign request"):
+        _compile(body)
+
+
+def test_raw_yield_rejected() -> None:
+    def body(ctx):
+        yield 42
+
+    with pytest.raises(CompileError, match="raw simulation event"):
+        _compile(body)
+
+
+# ----------------------------------------------------------------------
+# argument validation (wrapped: one fallback path for callers)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "body",
+    [
+        lambda ctx: ctx.compute(seconds=1.0, cycles=2.0),
+        lambda ctx: ctx.compute(cycles=-1.0),
+        lambda ctx: ctx.idle(-1.0),
+        lambda ctx: ctx.isend(5, 64.0),
+        lambda ctx: ctx.isend(1, -64.0),
+        lambda ctx: ctx.irecv(src=7, tag=0),
+    ],
+    ids=["both-amounts", "negative-cycles", "negative-idle",
+         "send-rank-range", "negative-bytes", "recv-rank-range"],
+)
+def test_invalid_arguments_become_compile_errors(body) -> None:
+    def program(ctx):
+        result = body(ctx)
+        if hasattr(result, "__next__"):
+            yield from result
+        else:
+            yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="not statically recordable"):
+        _compile(program)
+
+
+# ----------------------------------------------------------------------
+# cross-rank consistency (would deadlock / reorder at run time)
+# ----------------------------------------------------------------------
+def test_collective_count_mismatch_rejected() -> None:
+    def body(ctx):
+        if ctx.rank == 0:
+            yield from ctx.allreduce(64.0)
+        else:
+            yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="collective count"):
+        _compile(body)
+
+
+def test_collective_kind_mismatch_rejected() -> None:
+    def body(ctx):
+        if ctx.rank == 0:
+            yield from ctx.allreduce(64.0)
+        else:
+            yield from ctx.alltoall(64.0)
+
+    with pytest.raises(CompileError, match="collective mismatch"):
+        _compile(body)
+
+
+def test_unmatched_p2p_rejected() -> None:
+    def body(ctx):
+        if ctx.rank == 0:
+            req = ctx.isend(1, 64.0)
+            yield from ctx.wait(req)
+        else:
+            yield from ctx.idle(0.0)
+
+    with pytest.raises(CompileError, match="unmatched point-to-point"):
+        _compile(body)
+
+
+def test_mixed_eager_rendezvous_channel_rejected() -> None:
+    def body(ctx):
+        if ctx.rank == 0:
+            small = ctx.isend(1, 16.0)            # eager
+            large = ctx.isend(1, 4_000_000.0)     # rendezvous
+            yield from ctx.waitall([small, large])
+        else:
+            a = ctx.irecv(src=0, tag=0)
+            b = ctx.irecv(src=0, tag=0)
+            yield from ctx.waitall([a, b])
+
+    with pytest.raises(CompileError, match="mixed eager/rendezvous"):
+        _compile(body)
+
+
+# ----------------------------------------------------------------------
+# accepted shapes the NPB codes don't happen to exercise
+# ----------------------------------------------------------------------
+def test_waitall_and_rooted_collectives_compile() -> None:
+    def body(ctx):
+        reqs = []
+        if ctx.rank == 0:
+            reqs.append(ctx.isend(1, 1024.0))
+        else:
+            reqs.append(ctx.irecv(src=0, tag=0))
+        yield from ctx.waitall(reqs)
+        yield from ctx.scatter(512.0, root=0)
+        yield from ctx.gather(256.0, root=0)
+
+    compiled = _compile(body)
+    assert compiled.coll_kinds == ("scatter", "gather")
+    assert compiled.n_requests == 2
+
+
+def test_unhashable_workload_compiles_without_memo() -> None:
+    def body(ctx):
+        yield from ctx.compute(seconds=1e-3)
+
+    class _NoHash(_Synthetic):
+        __hash__ = None
+
+    first = compile_workload(_NoHash(body), FASTEST_HZ)
+    second = compile_workload(_NoHash(body), FASTEST_HZ)
+    assert first is not second  # no memo slot for unhashable workloads
+    assert first.nprocs == second.nprocs == 2
