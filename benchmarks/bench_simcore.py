@@ -131,14 +131,19 @@ def bench_kernel(n_events: int, repeats: int) -> dict:
 # ----------------------------------------------------------------------
 # simulation tiers: event engine vs straightline vs batch vs cache
 # ----------------------------------------------------------------------
-def _bench_tier_grid(workload, points, cache_dir: str) -> dict:
+def _bench_tier_grid(workload, points, cache_dir: str, with_batch: bool = True) -> dict:
     """Points/sec of one strategy grid through every execution tier.
 
     The same (strategy, seed) grid runs four ways: forced through the
     event engine, forced through the per-point straightline accumulator,
     through the vectorized :func:`run_batch` evaluation, and replayed
     from a warm measurement cache.  All four produce the same bits;
-    only the wall-clock differs.
+    only the wall-clock differs.  ``with_batch=False`` drops the
+    vectorized stage — daemon grids (the sampled-control tier) have
+    data-dependent control flow and no batched form.
+
+    The event and straightline stages report best-of-3 throughput, so a
+    scheduler hiccup in either stage cannot fake (or hide) a speedup.
     """
     from repro.core.framework import run_workload
     from repro.experiments.parallel import ParallelRunner, RunTask
@@ -149,20 +154,25 @@ def _bench_tier_grid(workload, points, cache_dir: str) -> dict:
         # phase program on first contact (memoized per workload), and a
         # sweep pays that once regardless of its size.
         run_workload(workload, points[0][0], seed=points[0][1], engine=engine)
-        t0 = time.perf_counter()
-        for strategy, seed in points:
-            run_workload(workload, strategy, seed=seed, engine=engine)
-        return time.perf_counter() - t0
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for strategy, seed in points:
+                run_workload(workload, strategy, seed=seed, engine=engine)
+            best = min(best, time.perf_counter() - t0)
+        return best
 
     event_s = timed("event")
     straight_s = timed("straightline")
 
-    run_batch(workload, points[:2])  # untimed: numpy + power-table warmup
-    batch_s = float("inf")
-    for _ in range(3):  # short enough that scheduler jitter dominates
-        t0 = time.perf_counter()
-        run_batch(workload, points)
-        batch_s = min(batch_s, time.perf_counter() - t0)
+    batch_s = None
+    if with_batch:
+        run_batch(workload, points[:2])  # untimed: numpy + power-table warmup
+        batch_s = float("inf")
+        for _ in range(3):  # short enough that scheduler jitter dominates
+            t0 = time.perf_counter()
+            run_batch(workload, points)
+            batch_s = min(batch_s, time.perf_counter() - t0)
 
     tasks = [RunTask(workload, strategy, seed=seed) for strategy, seed in points]
     with ParallelRunner(jobs=1, cache_dir=cache_dir) as runner:
@@ -173,15 +183,17 @@ def _bench_tier_grid(workload, points, cache_dir: str) -> dict:
         replay_s = time.perf_counter() - t0
 
     n = len(points)
-    return {
+    out = {
         "points": n,
         "event_points_per_sec": round(n / event_s, 2),
         "straightline_points_per_sec": round(n / straight_s, 2),
-        "batch_points_per_sec": round(n / batch_s, 2),
         "cached_replay_points_per_sec": round(n / replay_s, 2),
         "straightline_speedup_vs_event": round(event_s / straight_s, 2),
-        "batch_speedup_vs_straightline": round(straight_s / batch_s, 2),
     }
+    if batch_s is not None:
+        out["batch_points_per_sec"] = round(n / batch_s, 2)
+        out["batch_speedup_vs_straightline"] = round(straight_s / batch_s, 2)
+    return out
 
 
 def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
@@ -190,7 +202,11 @@ def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
     * ``external`` — a static EXTERNAL gear × seed grid on FT;
     * ``internal`` — the paper's FT Figure 11 configuration (INTERNAL
       phase scheduling around the all-to-all) over several gear pairs:
-      the piecewise-static tier's territory.
+      the piecewise-static tier's territory;
+    * ``cpuspeed`` — the Figure 5 daemon grid (CPUSPEED v1.1, v1.2.1
+      and an intermediate tuning, per seed) on FT: the sampled-control
+      tier's territory (event vs sampled-control vs cached replay; no
+      batch stage — daemon control flow is data-dependent).
 
     Both grids run on FT: its rank schedule is gear-independent, so the
     whole grid stays in one vectorized batch.  Codes whose schedule
@@ -230,7 +246,30 @@ def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
         os.path.join(tmp_cache, "tiers-internal"),
     )
     internal.update(code="FT", klass=klass)
-    return {"external": external, "internal": internal}
+
+    from repro.core.strategies.cpuspeed import CpuspeedConfig, CpuspeedDaemonStrategy
+
+    configs = [CpuspeedConfig.v1_1(), CpuspeedConfig.v1_2_1()]
+    if not quick:
+        configs.append(
+            CpuspeedConfig(
+                interval_s=0.5,
+                minimum_threshold=30.0,
+                usage_threshold=60.0,
+                maximum_threshold=90.0,
+            )
+        )
+    cpuspeed_points = [
+        (CpuspeedDaemonStrategy(cfg), seed) for cfg in configs for seed in seeds
+    ]
+    cpuspeed = _bench_tier_grid(
+        get_workload("FT", klass=klass),
+        cpuspeed_points,
+        os.path.join(tmp_cache, "tiers-cpuspeed"),
+        with_batch=False,
+    )
+    cpuspeed.update(code="FT", klass=klass)
+    return {"external": external, "internal": internal, "cpuspeed": cpuspeed}
 
 
 # ----------------------------------------------------------------------
@@ -294,7 +333,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             if field.endswith("_per_sec"):
                 print(f"tiers[{row_name}] {field:32s} {value:>10,.2f} points/s")
         for field in ("straightline_speedup_vs_event", "batch_speedup_vs_straightline"):
-            print(f"tiers[{row_name}] {field:32s} {row[field]:>10.2f} x")
+            if field in row:
+                print(f"tiers[{row_name}] {field:32s} {row[field]:>10.2f} x")
     for field, value in payload["sweep"].items():
         if field.endswith("_s"):
             print(f"sweep  {field:18s} {value:>9.3f} s")

@@ -89,7 +89,7 @@ def straightline_ineligibility(
         return "extra phase hooks installed"
     if injector is not None:
         return "fault injection active"
-    if strategy.gear_plan(workload) is None:
+    if strategy.gear_plan(workload) is None and strategy.controller() is None:
         return "strategy has no static gear plan (dynamic DVS)"
     return None
 
@@ -117,12 +117,14 @@ def run_workload(
         Simulation tier.  ``"auto"`` (default) uses the straightline
         direct accumulator (:mod:`repro.sim.straightline`) when the run
         qualifies — a strategy with a static gear plan
-        (:meth:`Strategy.gear_plan` non-``None``), no
-        faults/trace/channels, default cluster and hooks — and the
-        event engine otherwise; the two produce bit-for-bit identical
-        measurements on the supported subset.  ``"event"`` forces the
-        event engine; ``"straightline"`` forces the fast tier and
-        raises when the run is ineligible.
+        (:meth:`Strategy.gear_plan` non-``None``) *or* a sampled
+        per-node controller (:meth:`Strategy.controller` non-``None``;
+        the CPUSPEED and predictive daemons), no faults/trace/channels,
+        default cluster and hooks — and the event engine otherwise; the
+        tiers produce bit-for-bit identical measurements on the
+        supported subset.  ``"event"`` forces the event engine;
+        ``"straightline"`` forces the fast tier and raises when the run
+        is ineligible.
     faults:
         Optional fault environment (a
         :class:`~repro.faults.spec.FaultSpec`, or a ready injector to

@@ -1,6 +1,11 @@
 """The three distributed DVS scheduling strategies (paper Section 3)."""
 
-from repro.core.strategies.base import GearPlan, NoDvsStrategy, Strategy
+from repro.core.strategies.base import (
+    GearPlan,
+    NoDvsStrategy,
+    SampledController,
+    Strategy,
+)
 from repro.core.strategies.cpuspeed import CpuspeedConfig, CpuspeedDaemonStrategy
 from repro.core.strategies.beta import BetaConfig, BetaDaemonStrategy
 from repro.core.strategies.external import ExternalStrategy
@@ -33,5 +38,6 @@ __all__ = [
     "PredictiveConfig",
     "PredictiveDaemonStrategy",
     "RankPolicy",
+    "SampledController",
     "Strategy",
 ]

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.hardware.cluster import Cluster
 from repro.workloads.base import NO_HOOKS, PhaseHooks, Workload
 
-__all__ = ["GearPlan", "Strategy", "NoDvsStrategy"]
+__all__ = ["GearPlan", "SampledController", "Strategy", "NoDvsStrategy"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,38 @@ class GearPlan:
         return ()
 
 
+@dataclass(frozen=True)
+class SampledController:
+    """A daemon strategy lowered to a poll-driven transition function.
+
+    Daemons (CPUSPEED, the predictive scheduler) cannot publish a
+    :class:`GearPlan` — their speed choices depend on observed
+    utilization — but their *control structure* is still static: one
+    autonomous loop per node that wakes every ``interval_s`` seconds,
+    reads the node's cumulative busy time, and issues zero or more
+    ``set_speed_index`` calls.  That shape is what the sampled-control
+    straightline tier (:mod:`repro.sim.straightline`) executes without
+    an event heap: between polls the run is gear-static, so segments
+    accumulate directly; at each tick the per-node controller decides
+    the transitions.
+
+    ``make()`` builds one fresh per-node controller (the daemon body's
+    local state).  A controller exposes::
+
+        step(now, busy_seconds, index, max_index) -> tuple[int, ...]
+
+    returning, in call order, the exact operating-point indices the
+    daemon would pass to ``CpuCore.set_speed_index`` at this poll
+    (an index equal to the current one is the engine's no-op).  The
+    arithmetic inside ``step`` must replicate the daemon generator's
+    float expressions operation-for-operation — the tier's bit-exact
+    equivalence contract extends through it.
+    """
+
+    interval_s: float
+    make: Callable[[], object]
+
+
 class Strategy(abc.ABC):
     """A distributed DVS scheduling strategy.
 
@@ -98,6 +130,19 @@ class Strategy(abc.ABC):
         depend on simulation state — daemons, predictive schedulers —
         which keeps such runs on the event engine.  The default is
         conservative: ``None``.
+        """
+        return None
+
+    def controller(self) -> Optional[SampledController]:
+        """Lower this strategy's daemon to a :class:`SampledController`.
+
+        Returns ``None`` (the conservative default) when the strategy
+        is not an interval-polling per-node daemon — or when its loop
+        does something the sampled-control tier cannot replay (waits on
+        events other than the poll timer, reads state beyond the node's
+        busy counter and gear).  Strategies with a :meth:`gear_plan`
+        don't need one; daemons that provide one become eligible for
+        the straightline tier's sampled-control executor.
         """
         return None
 

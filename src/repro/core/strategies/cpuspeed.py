@@ -26,7 +26,7 @@ from repro.sim.events import Interrupt
 from repro.sim.process import Process
 from repro.hardware.cluster import Cluster
 from repro.hardware.cpu import CpuCore
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import SampledController, Strategy
 
 __all__ = ["CpuspeedConfig", "CpuspeedDaemonStrategy"]
 
@@ -153,3 +153,58 @@ class CpuspeedDaemonStrategy(Strategy):
         if usage_pct < cfg.usage_threshold:
             return max(current - 1, 0)
         return min(current + 1, max_index)
+
+    # ------------------------------------------------------------------
+    def controller(self) -> SampledController:
+        """Expose the daemon as a pure per-node transition function.
+
+        The clean-run daemon is exactly: poll every ``interval_s``,
+        compute the window's %CPU, apply :meth:`_next_index`, issue one
+        ``set_speed_index`` call.  (The retry/backoff loop only runs
+        after an *injected* transition failure, and fault environments
+        never reach the sampled tier.)
+        """
+        return SampledController(
+            interval_s=self.config.interval_s,
+            make=self._make_controller,
+        )
+
+    def _make_controller(self) -> "_CpuspeedController":
+        return _CpuspeedController(self)
+
+
+class _CpuspeedController:
+    """Per-node sampled-control replica of the daemon's clean path.
+
+    ``step`` repeats the generator body's float arithmetic verbatim:
+    the usage expression, then the threshold rule.  The daemon samples
+    ``busy_seconds()`` once at creation (t=0, reading 0.0) before its
+    first sleep, which the initial ``prev_busy``/``prev_time`` mirror.
+    """
+
+    __slots__ = ("prev_busy", "prev_time", "min_t", "use_t", "max_t")
+
+    def __init__(self, strategy: CpuspeedDaemonStrategy) -> None:
+        cfg = strategy.config
+        self.prev_busy = 0.0
+        self.prev_time = 0.0
+        self.min_t = cfg.minimum_threshold
+        self.use_t = cfg.usage_threshold
+        self.max_t = cfg.maximum_threshold
+
+    def step(
+        self, now: float, busy: float, index: int, max_index: int
+    ) -> tuple[int, ...]:
+        window = now - self.prev_time
+        usage = 100.0 * (busy - self.prev_busy) / window if window > 0 else 0.0
+        self.prev_busy = busy
+        self.prev_time = now
+        # _next_index's threshold/saturation rule, inlined for the
+        # per-node-per-poll hot path (comparisons only: bit-identical).
+        if usage < self.min_t:
+            return (0,)
+        if usage > self.max_t:
+            return (max_index,)
+        if usage < self.use_t:
+            return (index - 1,) if index > 0 else (0,)
+        return (index + 1,) if index < max_index else (max_index,)

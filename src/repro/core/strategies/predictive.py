@@ -31,7 +31,7 @@ from repro.sim.events import Interrupt
 from repro.sim.process import Process
 from repro.hardware.cluster import Cluster
 from repro.hardware.cpu import CpuCore
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import SampledController, Strategy
 
 __all__ = ["PredictiveConfig", "PredictiveDaemonStrategy"]
 
@@ -154,6 +154,16 @@ class PredictiveDaemonStrategy(Strategy):
         else:
             cpu.set_speed_index(0)
 
+    def controller(self) -> SampledController:
+        """Expose the daemon as a pure per-node transition function."""
+        return SampledController(
+            interval_s=self.config.interval_s,
+            make=self._make_controller,
+        )
+
+    def _make_controller(self) -> "_PredictiveController":
+        return _PredictiveController(self)
+
     def _daemon(self, cpu: CpuCore):
         cfg = self.config
         env = cpu.env
@@ -218,3 +228,85 @@ class PredictiveDaemonStrategy(Strategy):
                             state.preswitched = True
         except Interrupt:
             return
+
+
+class _PredictiveController:
+    """Per-node sampled-control replica of :meth:`_daemon`'s loop body.
+
+    One ``step`` call is one poll.  The returned tuple lists, in call
+    order, every ``set_speed_index`` target the generator would issue
+    this poll: the mid-band drift's ``step_down`` (relative to the
+    pre-poll gear — the poll's first and only earlier call), then
+    either the hysteresis phase entry *or* (never both — drifting
+    implies the sample agrees with the current phase) the predictive
+    pre-switch.  All float expressions — the utilization window, the
+    EMA learning in :meth:`PredictiveDaemonStrategy._learn`, the
+    pre-switch comparison — are the daemon's own, via the strategy's
+    methods where they exist.
+    """
+
+    __slots__ = ("strategy", "state")
+
+    def __init__(self, strategy: PredictiveDaemonStrategy) -> None:
+        self.strategy = strategy
+        # The daemon builds its state at t=0, before the job starts:
+        # env.now == 0.0 and busy_seconds() reads 0.0.
+        self.state = _NodeState(0.0, 0.0)
+
+    def step(
+        self, now: float, busy: float, index: int, max_index: int
+    ) -> tuple[int, ...]:
+        cfg = self.strategy.config
+        state = self.state
+        calls: list[int] = []
+        window = now - state.prev_time
+        util = (busy - state.prev_busy) / window if window > 0 else 0.0
+        state.prev_busy, state.prev_time = busy, now
+
+        # classify this sample
+        if util >= cfg.high_threshold:
+            sample = "busy"
+            state.mid_count = 0
+        elif util <= cfg.low_threshold:
+            sample = "slack"
+            state.mid_count = 0
+        else:
+            sample = state.phase
+            state.mid_count += 1
+            if state.mid_count >= cfg.drift_samples:
+                state.mid_count = 0
+                calls.append(max(index - 1, 0))  # cpu.step_down()
+
+        # hysteresis: require agreement before switching
+        if sample != state.phase:
+            if sample == state.candidate:
+                state.agree_count += 1
+            else:
+                state.candidate = sample
+                state.agree_count = 1
+            if state.agree_count >= cfg.hysteresis_samples:
+                # _enter_phase (learn, flip phase, jump to the target)
+                self.strategy._learn(state, state.phase, now - state.run_started)
+                state.phase = sample
+                state.run_started = now
+                state.preswitched = False
+                calls.append(max_index if sample == "busy" else 0)
+                state.candidate = None
+                state.agree_count = 0
+            return tuple(calls)
+        state.candidate = None
+        state.agree_count = 0
+
+        # prediction: pre-switch near the learned end of a run
+        if cfg.predictive and not state.preswitched:
+            learned = (
+                state.learned_busy_s
+                if state.phase == "busy"
+                else state.learned_slack_s
+            )
+            if learned is not None and learned > 0:
+                elapsed = now - state.run_started
+                if elapsed >= cfg.preswitch_fraction * learned:
+                    calls.append(0 if state.phase == "busy" else max_index)
+                    state.preswitched = True
+        return tuple(calls)

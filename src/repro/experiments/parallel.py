@@ -262,9 +262,12 @@ class ParallelRunner:
         *batched*: same-workload same-configuration points run together
         through :func:`repro.sim.straightline.run_batch` (inline — the
         vectorized evaluation is far cheaper than pool dispatch), with
-        results still bit-for-bit identical to per-point runs.  Points
-        a batch cannot take (dynamic strategies, faults, non-default
-        clusters) flow through the chunked pool path unchanged.
+        results still bit-for-bit identical to per-point runs.
+        Daemon-strategy misses with a sampled controller run inline
+        through the sampled-control tier, point by point.  Points
+        neither tier can take (other dynamic strategies, faults,
+        non-default clusters) flow through the chunked pool path
+        unchanged.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -318,9 +321,19 @@ class ParallelRunner:
         control flow, unsupported plan), fall back to the per-point
         path — which reproduces genuine errors through the event
         engine exactly as before.
+
+        Misses whose strategy exposes a sampled controller instead of a
+        gear plan (the CPUSPEED-style daemons) run *inline* through the
+        sampled-control straightline tier: control flow there is
+        data-dependent, so there is nothing to vectorize, but one
+        in-process call still beats pool dispatch by orders of
+        magnitude.  Points the tier declines at run time flow to the
+        pool path (whose ``engine="auto"`` reaches the event engine)
+        and count in ``stats.straightline_fallbacks``.
         """
         groups: dict[tuple, list[int]] = {}
         leftover: list[int] = []
+        sampled: list[int] = []
         for j, (_index, task, _key) in enumerate(pending):
             kw = task.kwargs
             if (
@@ -336,7 +349,10 @@ class ParallelRunner:
             except Exception:
                 plan = None
             if plan is None:
-                leftover.append(j)
+                if strategy.controller() is not None:
+                    sampled.append(j)
+                else:
+                    leftover.append(j)
                 continue
             group = (
                 id(task.workload),
@@ -349,6 +365,23 @@ class ParallelRunner:
                 ),
             )
             groups.setdefault(group, []).append(j)
+        for j in sampled:
+            from repro.sim.straightline import try_run_straightline
+
+            task = pending[j][1]
+            run_kwargs = {
+                k: v
+                for k, v in task.kwargs.items()
+                if k not in ("engine", "faults")
+            }
+            fast = try_run_straightline(
+                task.workload, task.strategy, seed=task.seed, **run_kwargs
+            )
+            if fast is None:
+                self.stats.straightline_fallbacks += 1
+                leftover.append(j)
+            else:
+                measured[j] = fast
         for positions in groups.values():
             if len(positions) < 2:
                 leftover.extend(positions)
@@ -367,6 +400,8 @@ class ParallelRunner:
             try:
                 batch = run_batch(first.workload, points, **run_kwargs)
             except Exception:
+                self.stats.batch_splits += 1
+                self.stats.batch_scalar_reruns += len(positions)
                 leftover.extend(positions)
                 continue
             for j, m in zip(positions, batch):

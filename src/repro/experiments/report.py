@@ -32,6 +32,7 @@ __all__ = [
     "render_internal",
     "render_breakdown",
     "render_fault_summary",
+    "render_runner_stats",
 ]
 
 
@@ -208,3 +209,20 @@ def render_fault_summary(faults: "FaultSpec", stats: "CacheStats") -> str:
         lines.append("(spec is inactive: all rates zero — results are "
                      "bit-for-bit identical to a fault-free campaign)")
     return "\n".join(lines)
+
+
+def render_runner_stats(runner) -> str:
+    """One-line sweep-engine summary for a :class:`ParallelRunner`.
+
+    The runner's own counters (hits/misses and the ``map_sweep`` tier
+    telemetry: straightline fallbacks, batch splits, scalar re-runs)
+    plus the disk cache's health counters, which live on the cache's
+    separate stats object (hot-layer hits, corrupt entries evicted).
+    """
+    line = runner.stats.render()
+    cache = getattr(runner, "cache", None)
+    if cache is not None and (
+        cache.stats.hot_hits or cache.stats.evicted_corrupt
+    ):
+        line += f"\n  disk {cache.stats.render()}"
+    return line

@@ -20,6 +20,7 @@ import hashlib
 import inspect
 import json
 import os
+from collections import OrderedDict
 from collections.abc import Mapping as AbcMapping
 from collections.abc import Sequence as AbcSequence
 from collections.abc import Set as AbcSet
@@ -253,6 +254,18 @@ class CacheStats:
     #: were degraded by injected faults (``extras["faults"]`` present).
     runs: int = 0
     degraded_runs: int = 0
+    #: corrupt/truncated on-disk entries unlinked during ``get`` (each
+    #: also counts as a miss — the point re-simulates and re-stores).
+    evicted_corrupt: int = 0
+    #: hits served from the in-process hot layer (no ``json.loads``).
+    hot_hits: int = 0
+    #: ``map_sweep`` batch-tier telemetry: sweep points the straightline
+    #: tiers declined at run time (finished on the event engine), batch
+    #: groups the vectorized tier rejected, and how many points those
+    #: splits re-ran scalar.
+    straightline_fallbacks: int = 0
+    batch_splits: int = 0
+    batch_scalar_reruns: int = 0
 
     @property
     def lookups(self) -> int:
@@ -266,6 +279,16 @@ class CacheStats:
             base = (
                 f"cache: {self.hits} hits / {self.misses} misses "
                 f"({rate:.0%} hit rate, {self.stores} stored)"
+            )
+        if self.hot_hits:
+            base += f"; {self.hot_hits} served hot"
+        if self.evicted_corrupt:
+            base += f"; {self.evicted_corrupt} corrupt entries evicted"
+        if self.batch_splits or self.straightline_fallbacks:
+            base += (
+                f"; tiers: {self.straightline_fallbacks} event-engine "
+                f"fallbacks, {self.batch_splits} batch splits "
+                f"({self.batch_scalar_reruns} points re-run scalar)"
             )
         if self.degraded_runs:
             base += (
@@ -282,25 +305,74 @@ class MeasurementCache:
     two-level fan-out directories.  Only measurement summaries are
     stored (never traces or reports), so a cached hit is bit-for-bit
     identical to a fresh uncached run for every summary field.
+
+    Two robustness/throughput layers on top of the flat files:
+
+    * a corrupt or truncated entry (a writer killed mid-``replace`` on
+      a non-atomic filesystem, a bad disk block) is *unlinked* on first
+      contact and counted in ``stats.evicted_corrupt``, so the slot
+      re-simulates and re-stores once instead of re-failing every run;
+    * an in-process hot layer memoizes up to ``hot_capacity`` parsed
+      measurements (LRU), so the sweeps' refrain keys — every figure
+      re-reading the same no-DVS baselines — skip ``json.loads``.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        hot_capacity: int = 4096,
+    ) -> None:
+        if hot_capacity < 0:
+            raise ValueError("hot_capacity must be >= 0")
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
+        self.hot_capacity = hot_capacity
+        self._hot: "OrderedDict[str, Measurement]" = OrderedDict()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _remember(self, key: str, measurement: Measurement) -> None:
+        hot = self._hot
+        if self.hot_capacity == 0:
+            return
+        if key in hot:
+            hot.move_to_end(key)
+        hot[key] = measurement
+        while len(hot) > self.hot_capacity:
+            hot.popitem(last=False)
+
     def get(self, key: str) -> Optional[Measurement]:
         """The cached measurement for ``key``, or None (counted)."""
+        hot = self._hot.get(key)
+        if hot is not None:
+            self._hot.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.hot_hits += 1
+            return hot
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            measurement = measurement_from_dict(
+                json.loads(text)["measurement"]
+            )
+        except (ValueError, KeyError, TypeError):
+            # Corrupt/truncated entry: evict it so the slot heals with
+            # the next store instead of re-failing on every lookup.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+            self.stats.evicted_corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return measurement_from_dict(data["measurement"])
+        self._remember(key, measurement)
+        return measurement
 
     def put(self, key: str, measurement: Measurement) -> Path:
         """Store ``measurement`` under ``key`` (summary fields only)."""
@@ -311,11 +383,13 @@ class MeasurementCache:
         tmp.write_text(json.dumps(payload, sort_keys=True))
         tmp.replace(path)  # atomic vs concurrent writers of the same key
         self.stats.stores += 1
+        self._remember(key, measurement)
         return path
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""
         removed = 0
+        self._hot.clear()
         if not self.root.exists():
             return removed
         for path in self.root.glob("*/*.json"):

@@ -274,6 +274,11 @@ class _Executor:
         self._seq = 0
         self._seq_late = 1 << 62
         self._dirty = False
+        #: Poll times (sampled tier only; static runs leave it empty).
+        #: Every node's daemon reads busy_seconds() at each poll — a
+        #: time-accounting touch on all nodes at once — so finalize
+        #: merges this one shared list instead of per-node events.
+        self._ticks: list[float] = []
         self.comm_sig = cost.comm_progress.as_tuple()
         self.wait_sig = cost.blocked_wait.as_tuple()
         # Bound-method caches for the interpreter's hottest calls.
@@ -680,10 +685,20 @@ class _Executor:
         histogram accrues one ``hist[mhz] += dt`` per touch boundary at
         the *pre-boundary* frequency, in chronological order, exactly
         as ``CpuStats.time_at_mhz`` accumulates.
+
+        Sampled runs add one more accounting-boundary set: the daemons'
+        poll times, shared by every node (``_ticks``).  They are merged
+        chronologically into each node's walk rather than stored as
+        per-node TOUCH events.  A tick that coincides with an event
+        time contributes no boundary of its own — the event's boundary
+        at the same instant already advances the cursor, exactly as the
+        engine's same-time touch produces ``dt == 0``.
         """
         idle = self.power.cpu_idle_activity
         power_w = self.power.node_power_w
         idle_key = (idle, 0.0, 0.0)
+        ticks = self._ticks
+        n_tk = len(ticks)
         energies: list[float] = []
         hists: list[dict[float, float]] = []
         for node in self.nodes:
@@ -708,17 +723,37 @@ class _Executor:
             t_last_t = 0.0  # accounting boundary (every event)
             energy = 0.0
             hist: dict[float, float] = {}
+            hist_get = hist.get
             i = 0
+            k = 0  # cursor into the shared poll-time list
             n_ev = len(events)
             while i < n_ev:
                 ev = events[i]
                 t = ev[0]
                 if t > t_end:
                     break  # the engine stops at the job's completion
+                while k < n_tk:
+                    tk = ticks[k]
+                    if tk > t:
+                        break
+                    k += 1
+                    if tk < t:
+                        dt = tk - t_last_t
+                        if dt > 0:
+                            hist[mhz] = hist_get(mhz, 0.0) + dt
+                            t_last_t = tk
+                    # tk == t: the event boundary below covers it
                 dt = t - t_last_t
                 if dt > 0:
-                    hist[mhz] = hist.get(mhz, 0.0) + dt
+                    hist[mhz] = hist_get(mhz, 0.0) + dt
                     t_last_t = t
+                if ev[2] == _EV_TOUCH:
+                    i1 = i + 1
+                    if i1 >= n_ev or events[i1][0] != t:
+                        # Lone touch (a poll or overhead-only stall):
+                        # accounting boundary only, no meter update.
+                        i = i1
+                        continue
                 notify = False
                 gear = False
                 while True:
@@ -768,11 +803,22 @@ class _Executor:
                 if p_cur is None:
                     p_cur = power_w(opoint, key[0], key[1], key[2])
                     cache[key] = p_cur
+            # Polls after the node's last event (it finished early or
+            # sat idle): still accounting boundaries, up to T_end.
+            while k < n_tk:
+                tk = ticks[k]
+                if tk > t_end:
+                    break
+                k += 1
+                dt = tk - t_last_t
+                if dt > 0:
+                    hist[mhz] = hist_get(mhz, 0.0) + dt
+                    t_last_t = tk
             # EnergyMeter.energy_j(): one final read at T_end.
             energies.append(energy + p_cur * (t_end - t_last_e))
             dt = t_end - t_last_t
             if dt > 0:
-                hist[mhz] = hist.get(mhz, 0.0) + dt
+                hist[mhz] = hist_get(mhz, 0.0) + dt
             hists.append(hist)
         return energies, hists
 
@@ -786,6 +832,593 @@ def _execute(compiled: CompiledProgram, cost, net_params, power_params,
     t_end = ex.run()
     energies, hists = ex.finalize(t_end)
     return t_end, energies, hists, ex.transitions
+
+
+# ----------------------------------------------------------------------
+# sampled control: daemon strategies without the event heap
+# ----------------------------------------------------------------------
+class _SegRec:
+    """One scheduled CPU segment, kept retimable until its end is final.
+
+    The static executor forgets a segment the moment it computes its
+    end; under a polling daemon a gear change can land *inside* a
+    segment, so the sampled executor keeps, per node, the live tail of
+    its segment FIFO with exactly the fields ``CpuCore`` retimes:
+    ``scheduled_at``/``planned`` (progress fraction), the remaining
+    work, and the indices of the segment's breakpoint events so a
+    retime can patch their times in place.
+    """
+
+    __slots__ = ("t_req", "start", "end", "scheduled_at", "planned",
+                 "cycles_left", "offchip_left", "ev_start", "ev_end",
+                 "attached")
+
+    def __init__(self, t_req, start, end, planned, cycles, offchip,
+                 ev_start, ev_end) -> None:
+        self.t_req = t_req
+        self.start = start
+        self.end = end
+        self.scheduled_at = start
+        self.planned = planned
+        self.cycles_left = cycles
+        self.offchip_left = offchip
+        self.ev_start = ev_start
+        self.ev_end = ev_end
+        #: indices of extra events pinned to this segment's end (the
+        #: collective arrival push) — retimed together with it.
+        self.attached: list[int] = []
+
+
+class _SNode(_Node):
+    """A :class:`_Node` plus sampled-control bookkeeping.
+
+    ``segs``/``seg_lo`` is the retimable segment tail; the remaining
+    fields are the incremental busy-time replay the poll's utilization
+    sample reads: ``carry`` holds indices of this node's events not yet
+    integrated (indices stay valid through retime patching), and
+    ``b_active``/``b_stack`` mirror the engine CPU's active-segment /
+    wait-stack state at the replay cursor ``busy_t``.
+    """
+
+    __slots__ = ("segs", "seg_lo", "scan", "carry", "busy_acc", "busy_t",
+                 "busy_level", "b_active", "b_stack")
+
+    def __init__(self, freq_hz, mhz, opoint, stall_until, index=-1) -> None:
+        super().__init__(freq_hz, mhz, opoint, stall_until, index)
+        self.segs: list[_SegRec] = []
+        self.seg_lo = 0
+        self.scan = 0
+        self.carry: list[int] = []
+        self.busy_acc = 0.0
+        self.busy_t = 0.0
+        self.busy_level = 0.0
+        self.b_active: Optional[tuple] = None
+        self.b_stack: list[tuple] = []
+
+
+class _SampledExecutor(_Executor):
+    """Straightline interpreter for interval-polling daemon strategies.
+
+    Between poll ticks the run is gear-static, so the parent worklist
+    advances ranks exactly as the static tier — but only while their
+    next event falls *before* the next unapplied tick (the horizon).
+    When nothing can move below the horizon, the barrier first
+    finalizes deferred timings that became final, then applies the
+    tick: per node (daemon creation order = node order), replay the
+    breakpoint events into the engine's exact ``busy_seconds``
+    accumulation, hand the sample to the strategy's per-node
+    controller, and apply each returned ``set_speed_index`` — no-op
+    when the gear already matches, else a transition stall plus the
+    engine's mid-segment retime cascaded down the node's segment FIFO.
+
+    Two timings cannot be computed eagerly once segments are
+    retimable, and are deferred until their inputs are final (strictly
+    below the horizon, hence beyond further retiming):
+
+    * a send chain's post-serialization steps (eager transfer / RTS),
+      which read the send segment's end;
+    * a collective's completion, which reads ``max(arrivals)`` and the
+      ranks' *current* frequencies at that instant — gear state is
+      constant between ticks, and every pending deferral's time is
+      provably past the last applied tick, so processing them before
+      the next tick reads exactly the engine's gear state.
+
+    Exact collisions the engine resolves by event-id order (a poll
+    landing on a segment boundary or a rank resume time) raise
+    :class:`StraightlineUnsupported`; callers fall back.
+    """
+
+    def __init__(self, compiled: CompiledProgram, cost, net_params,
+                 power_params, nodes: list[_SNode], opoints,
+                 controller, transition_latency_s: float = 20e-6) -> None:
+        super().__init__(compiled, cost, net_params, power_params, nodes,
+                         opoints=opoints, gear_actions=None,
+                         transition_latency_s=transition_latency_s)
+        interval = controller.interval_s
+        if interval <= 0:
+            raise StraightlineUnsupported("non-positive poll interval")
+        self.interval = interval
+        self.ctrls = [controller.make() for _ in range(self.n)]
+        #: bound step methods, hoisted out of the per-poll hot loop.
+        self._ctrl_steps = [c.step for c in self.ctrls]
+        self.horizon = interval
+        self.max_index = opoints.max_index
+        #: (send request id, its segment record) awaiting a final end.
+        self._defer_sends: list[tuple[int, _SegRec]] = []
+        #: collective slot sequence numbers awaiting final arrivals.
+        self._defer_colls: list[int] = []
+        self._last_rec: Optional[_SegRec] = None
+
+    # -- segment records -----------------------------------------------
+    def _run_seg(self, node: _SNode, t_req: float, cycles: float,
+                 offchip: float, act: float, busy: float, mem: float,
+                 nic: float) -> float:
+        start = t_req if t_req > node.cpu_free else node.cpu_free
+        stall = node.stall_until - start
+        if stall < 0.0:
+            stall = 0.0
+        planned = stall + cycles / node.freq_hz + offchip
+        end = start + planned
+        seq = self._seq
+        events = node.events
+        ev_i = len(events)
+        events.append((start, seq + 1, _EV_START, (act, busy, mem, nic)))
+        events.append((end, seq + 2, _EV_END, None))
+        self._seq = seq + 2
+        node.cpu_free = end
+        rec = _SegRec(t_req, start, end, planned, cycles, offchip,
+                      ev_i, ev_i + 1)
+        node.segs.append(rec)
+        self._last_rec = rec
+        return end
+
+    # -- deferrable send chains ----------------------------------------
+    def _run_send_chain(self, s_id: int, ft: float) -> None:
+        self._dirty = True
+        src = self.req_owner[s_id]
+        nbytes = self.req_nbytes[s_id]
+        node = self.nodes[src]
+        # ft is strictly below the horizon (ranks only step there), so
+        # the gear this ratio reads is the engine's at the same instant.
+        ratio = node.freq_hz / self.fastest_hz
+        self.wire[s_id] = self._p2p_wire_bytes(nbytes, ratio)
+        sw_end = self._run_seg(
+            node, ft, self._send_cycles(nbytes), 0.0, 1.0, 1.0, 0.0, 0.4
+        )
+        if sw_end >= self.horizon:
+            # A tick may still retime this segment; the transfer/RTS
+            # timings read its end, so they wait for finality.
+            self._defer_sends.append((s_id, self._last_rec))
+            return
+        self._finish_send(s_id, sw_end)
+
+    def _finish_send(self, s_id: int, sw_end: float) -> None:
+        self._dirty = True
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
+        r_id = self.req_match[s_id]
+        if self.req_eager[s_id]:
+            self.done_t[s_id] = sw_end
+            delivered = self._transfer(src, dst, self.wire[s_id], sw_end)
+            self.delivered_t[s_id] = delivered
+            pt = self.posted_t[r_id]
+            if pt is not None:
+                self.done_t[r_id] = pt if pt > delivered else delivered
+        else:
+            self.rts_t[s_id] = sw_end + self.net.latency_s
+            if self.posted_t[r_id] is not None:
+                self._complete_rndv(s_id)
+
+    # -- deferrable collectives ----------------------------------------
+    def _start_collective(self, r: _Rank) -> None:
+        seq = r.iargs[r.pc]
+        f = r.fargs[r.pc]
+        wire = f[0]
+        copy = f[1]
+        node = r.node
+        pack_end = self._run_seg(
+            node, r.t,
+            self.cost.collective_overhead_cycles
+            + self.cost.pack_cycles_per_byte * copy,
+            0.0, 1.0, 1.0, 0.4, 0.0,
+        )
+        rec = self._last_rec
+        if r.spawn:
+            self._flush(r)
+        self._emit(node, pack_end, _EV_PUSH, self.comm_sig)
+        rec.attached.append(len(node.events) - 1)
+        slot = self.slots[seq]
+        slot.arrivals[r.rank] = pack_end
+        slot.wires[r.rank] = wire
+        r.t = pack_end
+        r.coll_seq = seq
+        r.phase = "coll"
+        if len(slot.arrivals) == self.n:
+            if not self._finish_coll(seq, defer=True):
+                self._defer_colls.append(seq)
+
+    def _finish_coll(self, seq: int, defer: bool) -> bool:
+        slot = self.slots[seq]
+        all_at = max(slot.arrivals.values())
+        if defer and all_at >= self.horizon:
+            return False
+        self._dirty = True
+        # The engine's completing rank reads every rank's *current*
+        # frequency at all_at; gear state is constant between ticks and
+        # all_at lies past the last applied tick, so this read matches.
+        ratio = max(nd.freq_hz for nd in self.nodes) / self.fastest_hz
+        duration = self.cost.collective_seconds(
+            self.c.coll_kinds[seq],
+            self.n,
+            max(slot.wires.values()),
+            self.net,
+            freq_ratio=ratio,
+            jitter_s=0.0,
+        )
+        slot.done_t = all_at + duration
+        for rr in range(self.n):
+            self._emit(self.nodes[rr], slot.done_t, _EV_POP, self.comm_sig)
+        return True
+
+    # -- the tick: busy replay + controller + retime -------------------
+    def _apply_tick(self, t: float) -> None:
+        """One poll: every node's daemon fires, in node (= rank) order.
+
+        Per node, three fused stages (this loop is the tier's hot path
+        — a sub-second-interval daemon spends most of the run here):
+
+        1. *busy replay* — advance the node's busy integral to ``t``:
+           consume breakpoint events strictly before ``t`` in
+           (time, seq) order, accumulating one ``busy += level * dt``
+           term per boundary with ``dt > 0`` — the grouping
+           ``CpuCore._touch`` produces, whose touch points are exactly
+           these events plus the poll times themselves.  Due events are
+           split off as tuples (nothing can patch them between here and
+           consumption) while kept entries stay *indices* — those can
+           still be retimed in place.  Plain tuple sort is (time, seq)
+           order: seqs are unique, so comparison never reaches the
+           payload.
+        2. the controller's transitions.  The poll's own busy read is
+           an accounting boundary for the time-at-MHz histogram (never
+           a meter update) on *every* node at once, so it is recorded
+           once in the shared ``_ticks`` list rather than as a per-node
+           TOUCH event — finalize merges the list back in.
+        3. ``scan`` skips past any GEARs this poll appended: they sit
+           exactly at ``t`` with the busy cursor already there —
+           zero-dt boundaries that move no wait-state, mattering only
+           to finalize's meter cursor.  (Retimes patch in place, never
+           append, so nothing else landed since stage 1.)
+        """
+        nodes = self.nodes
+        steps = self._ctrl_steps
+        max_index = self.max_index
+        for n_idx in range(self.n):
+            node = nodes[n_idx]
+            events = node.events
+            n_ev = len(events)
+            carry = node.carry
+            if node.scan < n_ev:
+                carry.extend(range(node.scan, n_ev))
+                node.scan = n_ev
+            t_last = node.busy_t
+            level = node.busy_level
+            acc = node.busy_acc
+            if carry:
+                # Lazy split: most polls find nothing due (the crossing
+                # segment's end is the only pending entry), so probe
+                # before paying for the due/keep list build.
+                due = None
+                for i in carry:
+                    if events[i][0] < t:
+                        due = []
+                        keep = []
+                        for i2 in carry:
+                            ev = events[i2]
+                            if ev[0] < t:
+                                due.append(ev)
+                            else:
+                                keep.append(i2)
+                        break
+                if due:
+                    node.carry = keep
+                    due.sort()
+                    active = node.b_active
+                    stack = node.b_stack
+                    for ev in due:
+                        dt = ev[0] - t_last
+                        if dt > 0:
+                            acc += level * dt
+                            t_last = ev[0]
+                        kind = ev[2]
+                        if kind == _EV_START:
+                            active = ev[3]
+                        elif kind == _EV_END:
+                            active = None
+                        elif kind == _EV_PUSH:
+                            stack.append(ev[3])
+                        elif kind == _EV_POP:
+                            payload = ev[3]
+                            for j in range(len(stack) - 1, -1, -1):
+                                if stack[j] == payload:
+                                    del stack[j]
+                                    break
+                        # TOUCH/GEAR: accounting boundary only
+                        if active is not None:
+                            level = active[1]
+                        elif stack:
+                            level = stack[-1][1]
+                        else:
+                            level = 0.0
+                    node.b_active = active
+                    node.busy_level = level
+            dt = t - t_last
+            if dt > 0:
+                acc += level * dt
+                node.busy_acc = acc
+            node.busy_t = t
+            for target in steps[n_idx](t, acc, node.index, max_index):
+                if target == node.index:
+                    continue  # set_speed_index no-op: no stall, no event
+                self._set_speed_at_tick(n_idx, t, target)
+                node.scan = len(node.events)
+        self._ticks.append(t)
+
+    def _set_speed_at_tick(self, n_idx: int, t: float, target: int) -> None:
+        """``CpuCore.set_speed_index`` for an actual change at a poll.
+
+        The engine's order: account progress of the active segment,
+        switch the gear, queue the transition stall, reschedule at the
+        new frequency.  The progress fraction uses the segment's stale
+        ``scheduled_at``/``planned``, so updating node state first is
+        equivalent — the retime below reads only record fields.
+        """
+        node = self.nodes[n_idx]
+        op = self.opoints[target]
+        base = node.stall_until if node.stall_until > t else t
+        node.stall_until = base + self.transition_latency_s
+        node.index = target
+        node.freq_hz = op.frequency_hz
+        node.mhz = op.frequency_mhz
+        node.opoint = op
+        self.transitions += 1
+        self._retime_node(n_idx, t)
+        self._emit(node, t, _EV_GEAR, (op, op.frequency_mhz))
+
+    def _retime_node(self, n_idx: int, t: float) -> None:
+        node = self.nodes[n_idx]
+        segs = node.segs
+        k = node.seg_lo
+        n_segs = len(segs)
+        while k < n_segs and segs[k].end <= t:
+            if segs[k].end == t:
+                # The engine orders the completion vs. the poll by
+                # event id; this tier cannot reproduce that tie.
+                raise StraightlineUnsupported(
+                    "segment boundary collides with poll tick"
+                )
+            k += 1
+        node.seg_lo = k
+        if k == n_segs:
+            return  # only the stall moved; future segments read it
+        first = segs[k]
+        if first.start == t:
+            raise StraightlineUnsupported(
+                "segment boundary collides with poll tick"
+            )
+        events = node.events
+        r = self.ranks[n_idx]
+        freq_hz = node.freq_hz
+        stall_until = node.stall_until
+        if first.start > t:
+            # No crossing segment: the node's CPU is idle at the tick
+            # (the rank is blocked — its next segment was pre-created
+            # at a resolution time past the tick).  The engine creates
+            # that work *after* the poll, pricing it with the new gear
+            # and the poll's transition stall; the queued-segment
+            # cascade below computes exactly that, so start it here.
+            prev_end = t
+        else:
+            # The crossing segment: CpuCore._progress_active (shrink by
+            # the elapsed fraction of the stale plan) +
+            # _reschedule_active (new stall + remaining work at the new
+            # clock).
+            elapsed = t - first.scheduled_at
+            if first.planned > 0:
+                frac = elapsed / first.planned
+                if frac > 1.0:
+                    frac = 1.0
+                elif frac < 0.0:
+                    frac = 0.0
+            else:
+                frac = 1.0
+            keep = 1.0 - frac
+            first.cycles_left *= keep
+            first.offchip_left *= keep
+            stall = stall_until - t
+            if stall < 0.0:
+                stall = 0.0
+            planned = stall + first.cycles_left / freq_hz + first.offchip_left
+            first.scheduled_at = t
+            first.planned = planned
+            prev_end = t + planned
+            self._move_end(node, r, first, prev_end, events)
+            k += 1
+        # Queued segments restart back-to-back at the new frequency —
+        # each begins when its predecessor completes, or at its own
+        # enqueue time if that lies later (a pre-created future
+        # segment), exactly as the engine's completion->_start chain.
+        for i in range(k, n_segs):
+            q = segs[i]
+            start = q.t_req if q.t_req > prev_end else prev_end
+            stall = stall_until - start
+            if stall < 0.0:
+                stall = 0.0
+            planned = stall + q.cycles_left / freq_hz + q.offchip_left
+            ev = events[q.ev_start]
+            events[q.ev_start] = (start, ev[1], ev[2], ev[3])
+            q.start = start
+            q.scheduled_at = start
+            q.planned = planned
+            prev_end = start + planned
+            self._move_end(node, r, q, prev_end, events)
+        node.cpu_free = prev_end
+
+    def _move_end(self, node: _SNode, r: _Rank, rec: _SegRec,
+                  new_end: float, events: list) -> None:
+        """Rebind everything carrying a segment's old end time.
+
+        Timestamps flow by assignment: the rank's resume time, a
+        collective arrival, and pinned events all hold the *same float
+        object* the segment's end produced, so identity comparison
+        finds exactly the bindings to move — no value ambiguity.
+        """
+        old = rec.end
+        rec.end = new_end
+        ev = events[rec.ev_end]
+        events[rec.ev_end] = (new_end, ev[1], ev[2], ev[3])
+        for i in rec.attached:
+            ev = events[i]
+            events[i] = (new_end, ev[1], ev[2], ev[3])
+        if r.t is old:
+            r.t = new_end
+        if r.phase == "coll":
+            slot = self.slots[r.coll_seq]
+            if slot.arrivals.get(r.rank) is old:
+                slot.arrivals[r.rank] = new_end
+
+    # -- the barrier-aware worklist ------------------------------------
+    def _process_due(self) -> bool:
+        """Finalize deferred timings whose inputs became final."""
+        horizon = self.horizon
+        due: list[tuple[float, int, int]] = []
+        if self._defer_sends:
+            keep = []
+            for item in self._defer_sends:
+                end = item[1].end
+                if end < horizon:
+                    due.append((end, 0, item[0]))
+                else:
+                    keep.append(item)
+            self._defer_sends = keep
+        if self._defer_colls:
+            keep_c = []
+            for seq in self._defer_colls:
+                all_at = max(self.slots[seq].arrivals.values())
+                if all_at < horizon:
+                    due.append((all_at, 1, seq))
+                else:
+                    keep_c.append(seq)
+            self._defer_colls = keep_c
+        if not due:
+            return False
+        # Chronological finalization keeps channel grants FIFO.
+        due.sort()
+        for end, kind, ident in due:
+            if kind == 0:
+                self._finish_send(ident, end)
+            else:
+                self._finish_coll(ident, defer=False)
+        return True
+
+    def run(self) -> float:
+        ranks = self.ranks
+        done_t = self.done_t
+        slots = self.slots
+        step = self._step
+        while True:
+            best = None
+            best_nt = 0.0
+            second = None
+            second_nt = 0.0
+            all_done = True
+            any_resolvable = False
+            for r in ranks:
+                phase = r.phase
+                if phase == "done":
+                    continue
+                all_done = False
+                if phase == "op":
+                    nt = r.t
+                elif phase == "wait":
+                    nt = done_t[r.wait_req]
+                else:  # coll
+                    nt = slots[r.coll_seq].done_t
+                if nt is None:
+                    continue
+                any_resolvable = True
+                if best is None or nt < best_nt:
+                    best, best_nt, second, second_nt = r, nt, best, best_nt
+                elif second is None or nt < second_nt:
+                    second, second_nt = r, nt
+            if all_done:
+                break
+            horizon = self.horizon
+            if best is not None and best_nt < horizon:
+                # Burst below both the runner-up and the horizon: the
+                # parent's exactness argument, with the tick as one
+                # more stale bound that only this rank's step can't
+                # move.
+                while True:
+                    self._dirty = False
+                    step(best)
+                    if self._dirty or best.phase != "op":
+                        break
+                    nt = best.t
+                    if nt >= horizon:
+                        break
+                    if second is None:
+                        continue
+                    if nt < second_nt or (
+                        nt == second_nt and best.rank < second.rank
+                    ):
+                        continue
+                    break
+                continue
+            if best is not None and best_nt == horizon:
+                # Engine event-id order decides poll-vs-resume; bail.
+                raise StraightlineUnsupported(
+                    "rank event collides with poll tick"
+                )
+            if self._process_due():
+                continue
+            if not (any_resolvable or self._defer_sends or self._defer_colls):
+                raise StraightlineUnsupported(
+                    "no runnable rank (program deadlock?)"
+                )
+            snap = self.transitions
+            self._apply_tick(horizon)
+            horizon += self.interval
+            self.horizon = horizon
+            # Steady-state burst: a tick that issued no transition
+            # leaves every rank bound and deferred record untouched, so
+            # the rescan above would reproduce this snapshot verbatim —
+            # keep polling while the next tick stays strictly below the
+            # earliest pending rank.  Exit on a transition (retimes make
+            # ``best_nt`` stale), on ``horizon >= best_nt`` (the rescan
+            # then bursts the rank or raises on the exact tie), or when
+            # deferral records exist (their dues interleave with ticks).
+            if (best is not None and self.transitions == snap
+                    and not self._defer_sends and not self._defer_colls):
+                interval = self.interval
+                while horizon < best_nt:
+                    self._apply_tick(horizon)
+                    horizon += interval
+                    self.horizon = horizon
+                    if self.transitions != snap:
+                        break
+        t_end = max(r.finish for r in ranks)
+        # Ticks strictly before t_end were all applied (every finish is
+        # set below the then-current horizon, and ticks only fire below
+        # a blocked rank's pending time).  Deferred send chains the job
+        # outlived still finalize — the engine runs their truncated
+        # procs up to t_end; anything they place later is dropped by
+        # finalize, like the engine's unprocessed heap tail.
+        if self._defer_sends:
+            self._defer_sends.sort(key=lambda item: item[1].end)
+            for s_id, rec in self._defer_sends:
+                self._finish_send(s_id, rec.end)
+            self._defer_sends = []
+        return t_end
 
 
 # ----------------------------------------------------------------------
@@ -821,28 +1454,49 @@ def run_straightline(
 
     strategy = strategy or NoDvsStrategy()
     plan = strategy.gear_plan(workload)
+    controller = None
     if plan is None:
-        raise StraightlineUnsupported(
-            "strategy has no static gear plan (dynamic DVS)"
-        )
+        controller = strategy.controller()
+        if controller is None:
+            raise StraightlineUnsupported(
+                "strategy has no static gear plan (dynamic DVS)"
+            )
     power = NEMO_POWER if power is None else power
     opoints = PENTIUM_M_TABLE if opoints is None else opoints
     net = network_params if network_params is not None else NetworkParameters()
     node_ids = list(range(workload.nprocs))
 
     compiled = compile_workload(workload, opoints.fastest.frequency_hz)
-    actions = _lower_gear_actions(compiled, plan, opoints)
     max_idx = opoints.max_index
-    nodes = []
-    for idx in _start_indices(plan, opoints, workload.nprocs):
-        op = opoints[idx]
-        stall = transition_latency_s if idx != max_idx else 0.0
-        nodes.append(_Node(op.frequency_hz, op.frequency_mhz, op, stall, idx))
-    t_end, energies, hists, transitions = _execute(
-        compiled, workload.cost_model(), net, power, nodes,
-        opoints=opoints, gear_actions=actions,
-        transition_latency_s=transition_latency_s,
-    )
+    if controller is not None:
+        # Daemon strategies perform no setup-time speed calls: every
+        # node starts at the cluster default (the fastest point), and
+        # the daemons' first poll lands one interval in.
+        op = opoints[max_idx]
+        snodes = [
+            _SNode(op.frequency_hz, op.frequency_mhz, op, 0.0, max_idx)
+            for _ in range(workload.nprocs)
+        ]
+        ex = _SampledExecutor(
+            compiled, workload.cost_model(), net, power, snodes,
+            opoints=opoints, controller=controller,
+            transition_latency_s=transition_latency_s,
+        )
+        t_end = ex.run()
+        energies, hists = ex.finalize(t_end)
+        transitions = ex.transitions
+    else:
+        actions = _lower_gear_actions(compiled, plan, opoints)
+        nodes = []
+        for idx in _start_indices(plan, opoints, workload.nprocs):
+            op = opoints[idx]
+            stall = transition_latency_s if idx != max_idx else 0.0
+            nodes.append(_Node(op.frequency_hz, op.frequency_mhz, op, stall, idx))
+        t_end, energies, hists, transitions = _execute(
+            compiled, workload.cost_model(), net, power, nodes,
+            opoints=opoints, gear_actions=actions,
+            transition_latency_s=transition_latency_s,
+        )
 
     started_at = 0.0
     per_node = {nid: energies[nid] for nid in node_ids}

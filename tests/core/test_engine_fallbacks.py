@@ -14,11 +14,12 @@ import pytest
 from repro.core.framework import run_workload, straightline_ineligibility
 from repro.core.strategies import (
     BetaDaemonStrategy,
+    CpuspeedConfig,
+    CpuspeedDaemonStrategy,
     InternalStrategy,
     PhasePolicy,
     PowerCapConfig,
     PowerCapStrategy,
-    PredictiveDaemonStrategy,
 )
 from repro.faults.injector import resolve_injector
 from repro.faults.spec import FaultSpec
@@ -30,9 +31,11 @@ def _workload():
     return FT(klass="T", nprocs=4)
 
 
+# Daemon strategies with a sampled-control form (cpuspeed, predictive)
+# are no longer here: they run on the straightline tier in clean
+# environments.  These remain event-engine only.
 DYNAMIC_STRATEGIES = {
     "powercap": lambda: PowerCapStrategy(PowerCapConfig(cap_w=120.0)),
-    "predictive": lambda: PredictiveDaemonStrategy(),
     "beta": lambda: BetaDaemonStrategy(),
 }
 
@@ -101,3 +104,51 @@ def test_internal_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
         faults=FaultSpec(seed=5, transition_fail_rate=0.5),
     )
     assert m.elapsed_s > 0
+
+
+# ----------------------------------------------------------------------
+# sampled-control boundaries: daemons are eligible only in clean runs
+# ----------------------------------------------------------------------
+def _daemon():
+    return CpuspeedDaemonStrategy(CpuspeedConfig.v1_1())
+
+
+def test_daemon_clean_run_is_eligible() -> None:
+    assert straightline_ineligibility(_workload(), _daemon()) is None
+
+
+def test_daemon_with_faults_reason() -> None:
+    injector = resolve_injector(FaultSpec(seed=5, transition_fail_rate=0.5))
+    reason = straightline_ineligibility(_workload(), _daemon(), injector=injector)
+    assert reason == "fault injection active"
+
+
+def test_daemon_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
+    import repro.sim.straightline as straightline
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure mode
+        raise AssertionError("straightline tier consulted for a faulty daemon")
+
+    monkeypatch.setattr(straightline, "try_run_straightline", boom)
+    monkeypatch.setattr(straightline, "run_straightline", boom)
+    m = run_workload(
+        _workload(),
+        _daemon(),
+        faults=FaultSpec(seed=5, transition_fail_rate=0.5),
+    )
+    assert m.elapsed_s > 0
+
+
+def test_daemon_with_faults_strict_raises() -> None:
+    with pytest.raises(StraightlineUnsupported, match="fault injection active"):
+        run_workload(
+            _workload(),
+            _daemon(),
+            faults=FaultSpec(seed=5, transition_fail_rate=0.5),
+            engine="straightline",
+        )
+
+
+def test_daemon_with_trace_reason() -> None:
+    reason = straightline_ineligibility(_workload(), _daemon(), trace=True)
+    assert reason == "tracing requested"

@@ -1,0 +1,152 @@
+"""MeasurementCache robustness layers: corrupt eviction + hot LRU.
+
+The disk cache must heal itself when an entry is corrupt (unlink it,
+count it, re-simulate) and must serve repeated lookups from the
+in-process hot layer without re-parsing JSON — both visible in
+``CacheStats`` and the runner's rendered telemetry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Measurement
+from repro.experiments.report import render_runner_stats
+from repro.experiments.store import CacheStats, MeasurementCache
+
+
+def _measurement(tag: str = "FT.T.4") -> Measurement:
+    return Measurement(
+        workload=tag,
+        strategy="test",
+        elapsed_s=1.25,
+        energy_j=100.0,
+        per_node_energy_j={0: 50.0, 1: 50.0},
+        dvs_transitions=3,
+        time_at_mhz={1400.0: 2.5},
+        acpi_energy_j=None,
+        baytech_energy_j=None,
+        trace=None,
+        report=None,
+        extras={},
+    )
+
+
+KEY = "ab" + "0" * 62
+
+
+# ----------------------------------------------------------------------
+# corrupt-entry eviction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "garbage",
+    ["{truncated", '{"key": "x"}', '{"measurement": "not a dict"}', ""],
+    ids=["bad-json", "missing-field", "wrong-type", "empty"],
+)
+def test_corrupt_entry_is_evicted(tmp_path, garbage: str) -> None:
+    cache = MeasurementCache(tmp_path)
+    path = cache.put(KEY, _measurement())
+    path.write_text(garbage)
+    fresh = MeasurementCache(tmp_path)  # no hot layer for this key
+    assert fresh.get(KEY) is None
+    assert fresh.stats.evicted_corrupt == 1
+    assert fresh.stats.misses == 1
+    assert not path.exists()  # the slot healed: next put re-creates it
+    fresh.put(KEY, _measurement())
+    assert MeasurementCache(tmp_path).get(KEY) is not None
+
+
+def test_missing_entry_is_a_plain_miss(tmp_path) -> None:
+    cache = MeasurementCache(tmp_path)
+    assert cache.get(KEY) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.evicted_corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# the in-process hot layer
+# ----------------------------------------------------------------------
+def test_put_primes_hot_layer(tmp_path) -> None:
+    cache = MeasurementCache(tmp_path)
+    cache.put(KEY, _measurement())
+    m = cache.get(KEY)
+    assert m is not None
+    assert cache.stats.hot_hits == 1
+
+
+def test_disk_hit_then_hot_hit(tmp_path) -> None:
+    MeasurementCache(tmp_path).put(KEY, _measurement())
+    cache = MeasurementCache(tmp_path)
+    first = cache.get(KEY)   # disk read, then remembered
+    second = cache.get(KEY)  # served hot
+    assert first == second
+    assert cache.stats.hits == 2
+    assert cache.stats.hot_hits == 1
+
+
+def test_hot_layer_is_lru_bounded(tmp_path) -> None:
+    cache = MeasurementCache(tmp_path, hot_capacity=2)
+    keys = [f"{i:02d}" + "0" * 62 for i in range(3)]
+    for key in keys:
+        cache.put(key, _measurement())
+    # The oldest key was evicted from the hot layer but not from disk.
+    assert cache.get(keys[0]) is not None
+    assert cache.stats.hot_hits == 0
+    assert cache.get(keys[2]) is not None
+    assert cache.stats.hot_hits == 1
+
+
+def test_hot_capacity_zero_disables_layer(tmp_path) -> None:
+    cache = MeasurementCache(tmp_path, hot_capacity=0)
+    cache.put(KEY, _measurement())
+    assert cache.get(KEY) is not None
+    assert cache.stats.hot_hits == 0
+
+
+def test_negative_hot_capacity_rejected(tmp_path) -> None:
+    with pytest.raises(ValueError, match="hot_capacity"):
+        MeasurementCache(tmp_path, hot_capacity=-1)
+
+
+def test_clear_empties_hot_layer(tmp_path) -> None:
+    cache = MeasurementCache(tmp_path)
+    cache.put(KEY, _measurement())
+    assert cache.clear() == 1
+    assert cache.get(KEY) is None
+
+
+# ----------------------------------------------------------------------
+# telemetry rendering
+# ----------------------------------------------------------------------
+def test_stats_render_mentions_new_counters() -> None:
+    stats = CacheStats(
+        hits=5,
+        misses=2,
+        stores=2,
+        evicted_corrupt=1,
+        hot_hits=3,
+        straightline_fallbacks=2,
+        batch_splits=1,
+        batch_scalar_reruns=4,
+    )
+    text = stats.render()
+    assert "3 served hot" in text
+    assert "1 corrupt entries evicted" in text
+    assert "2 event-engine fallbacks" in text
+    assert "1 batch splits" in text
+    assert "4 points re-run scalar" in text
+
+
+def test_render_runner_stats_includes_disk_line(tmp_path) -> None:
+    class FakeRunner:
+        def __init__(self, cache):
+            self.stats = CacheStats(hits=1, misses=0)
+            self.cache = cache
+
+    cache = MeasurementCache(tmp_path)
+    quiet = render_runner_stats(FakeRunner(cache))
+    assert "disk" not in quiet
+    cache.stats.hot_hits = 2
+    cache.stats.hits = 2
+    loud = render_runner_stats(FakeRunner(cache))
+    assert "disk" in loud and "2 served hot" in loud

@@ -36,7 +36,7 @@ def _grid_tasks():
     ]
     tasks.append(RunTask(ft, InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0))
     tasks.append(RunTask(ft, None, 0))
-    tasks.append(RunTask(ft, CpuspeedDaemonStrategy(), 0))  # dynamic
+    tasks.append(RunTask(ft, CpuspeedDaemonStrategy(), 0))  # sampled-control tier
     tasks.append(RunTask(cg, NoDvsStrategy(), 0, {"engine": "event"}))  # pinned
     return tasks
 

@@ -181,9 +181,14 @@ def test_channels_fall_back() -> None:
 
 
 def test_dynamic_strategy_falls_back() -> None:
-    assert not CpuspeedDaemonStrategy().is_static()
-    _strict_raises(strategy=CpuspeedDaemonStrategy())
-    m = run_workload(WORKLOADS["CG"](), CpuspeedDaemonStrategy())
+    # cpuspeed/predictive daemons now run on the sampled-control tier
+    # (tests/sim/test_straightline_sampled.py); beta has no sampled
+    # form and remains the strict-raise representative.
+    from repro.core.strategies import BetaDaemonStrategy
+
+    assert not BetaDaemonStrategy().is_static()
+    _strict_raises(strategy=BetaDaemonStrategy())
+    m = run_workload(WORKLOADS["CG"](), BetaDaemonStrategy())
     assert m.dvs_transitions >= 0
 
 
@@ -202,6 +207,11 @@ def test_auto_consults_fast_tier(monkeypatch) -> None:
     assert calls == ["EP"]
     calls.clear()
     run_workload(WORKLOADS["EP"](), CpuspeedDaemonStrategy())
+    assert calls == ["EP"]  # daemons consult the sampled-control tier
+    calls.clear()
+    from repro.core.strategies import BetaDaemonStrategy
+
+    run_workload(WORKLOADS["EP"](), BetaDaemonStrategy())
     assert calls == []  # ineligible: the fast tier is never consulted
 
 
