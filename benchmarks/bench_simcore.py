@@ -206,7 +206,11 @@ def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
     * ``cpuspeed`` — the Figure 5 daemon grid (CPUSPEED v1.1, v1.2.1
       and an intermediate tuning, per seed) on FT: the sampled-control
       tier's territory (event vs sampled-control vs cached replay; no
-      batch stage — daemon control flow is data-dependent).
+      batch stage — daemon control flow is data-dependent);
+    * ``beta`` — the β daemon over poll intervals, per seed: the
+      stateful-controller tier's per-node-state form;
+    * ``powercap`` — the power-cap coordinator over budgets, per seed:
+      the stateful-controller tier's global-reduction form.
 
     Both grids run on FT: its rank schedule is gear-independent, so the
     whole grid stays in one vectorized batch.  Codes whose schedule
@@ -269,7 +273,44 @@ def bench_tiers(klass: str, tmp_cache: str, quick: bool) -> dict:
         with_batch=False,
     )
     cpuspeed.update(code="FT", klass=klass)
-    return {"external": external, "internal": internal, "cpuspeed": cpuspeed}
+
+    from repro.core.strategies.beta import BetaConfig, BetaDaemonStrategy
+    from repro.core.strategies.powercap import PowerCapConfig, PowerCapStrategy
+
+    intervals = [0.1, 0.5] if quick else [0.05, 0.1, 0.5]
+    beta_points = [
+        (BetaDaemonStrategy(BetaConfig(interval_s=iv)), seed)
+        for iv in intervals
+        for seed in seeds
+    ]
+    beta = _bench_tier_grid(
+        get_workload("FT", klass=klass),
+        beta_points,
+        os.path.join(tmp_cache, "tiers-beta"),
+        with_batch=False,
+    )
+    beta.update(code="FT", klass=klass)
+
+    caps = [90.0, 120.0] if quick else [75.0, 90.0, 110.0, 130.0]
+    powercap_points = [
+        (PowerCapStrategy(PowerCapConfig(cap_w=cap, interval_s=0.2)), seed)
+        for cap in caps
+        for seed in seeds
+    ]
+    powercap = _bench_tier_grid(
+        get_workload("FT", klass=klass),
+        powercap_points,
+        os.path.join(tmp_cache, "tiers-powercap"),
+        with_batch=False,
+    )
+    powercap.update(code="FT", klass=klass)
+    return {
+        "external": external,
+        "internal": internal,
+        "cpuspeed": cpuspeed,
+        "beta": beta,
+        "powercap": powercap,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -117,14 +117,16 @@ def run_workload(
         Simulation tier.  ``"auto"`` (default) uses the straightline
         direct accumulator (:mod:`repro.sim.straightline`) when the run
         qualifies — a strategy with a static gear plan
-        (:meth:`Strategy.gear_plan` non-``None``) *or* a sampled
-        per-node controller (:meth:`Strategy.controller` non-``None``;
-        the CPUSPEED and predictive daemons), no faults/trace/channels,
-        default cluster and hooks — and the event engine otherwise; the
-        tiers produce bit-for-bit identical measurements on the
-        supported subset.  ``"event"`` forces the event engine;
-        ``"straightline"`` forces the fast tier and raises when the run
-        is ineligible.
+        (:meth:`Strategy.gear_plan` non-``None``) *or* a stateful
+        sampled controller (:meth:`Strategy.controller` non-``None``;
+        the CPUSPEED, predictive, β and power-cap daemons), no
+        faults/trace/channels, default cluster and hooks — and the
+        event engine otherwise; the tiers produce bit-for-bit
+        identical measurements on the supported subset.  A zero-rate
+        :class:`~repro.faults.spec.FaultSpec` (``is_noop()``) does not
+        count as faults here: it provably injects nothing.
+        ``"event"`` forces the event engine; ``"straightline"`` forces
+        the fast tier and raises when the run is ineligible.
     faults:
         Optional fault environment (a
         :class:`~repro.faults.spec.FaultSpec`, or a ready injector to
@@ -148,6 +150,11 @@ def run_workload(
     """
     strategy = strategy or NoDvsStrategy()
     injector = resolve_injector(faults)
+    # A zero-rate spec provably injects nothing (a run under it is
+    # bit-for-bit a clean run — tests/faults/test_determinism.py), so
+    # it doesn't pin the run to the event engine; paths that do build
+    # a cluster still carry the (inert) injector along.
+    inert_faults = isinstance(faults, FaultSpec) and faults.is_noop()
 
     if engine not in ("auto", "event", "straightline"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -159,7 +166,7 @@ def run_workload(
             trace=trace,
             measurement_channels=measurement_channels,
             extra_hooks=extra_hooks,
-            injector=injector,
+            injector=None if inert_faults else injector,
         )
         if reason is None:
             # Imported lazily: the straightline tier sits on top of the

@@ -71,34 +71,74 @@ class GearPlan:
 
 @dataclass(frozen=True)
 class SampledController:
-    """A daemon strategy lowered to a poll-driven transition function.
+    """A daemon strategy lowered to a stateful poll-driven controller.
 
-    Daemons (CPUSPEED, the predictive scheduler) cannot publish a
-    :class:`GearPlan` — their speed choices depend on observed
-    utilization — but their *control structure* is still static: one
-    autonomous loop per node that wakes every ``interval_s`` seconds,
-    reads the node's cumulative busy time, and issues zero or more
-    ``set_speed_index`` calls.  That shape is what the sampled-control
-    straightline tier (:mod:`repro.sim.straightline`) executes without
-    an event heap: between polls the run is gear-static, so segments
-    accumulate directly; at each tick the per-node controller decides
-    the transitions.
+    Daemons (CPUSPEED, the predictive scheduler, the β daemon, the
+    power-cap coordinator) cannot publish a :class:`GearPlan` — their
+    speed choices depend on observed state — but their *control
+    structure* is still static: wake every ``interval_s`` seconds,
+    read one per-node window observation, update explicit carried
+    state, and issue zero or more ``set_speed_index`` calls.  That
+    shape is what the stateful-controller straightline tier
+    (:mod:`repro.sim.straightline`) executes without an event heap:
+    between polls the run is gear-static, so segments accumulate
+    directly; at each tick the controllers decide the transitions.
 
-    ``make()`` builds one fresh per-node controller (the daemon body's
-    local state).  A controller exposes::
+    ``observes`` names the per-node window observation the tier
+    samples at each tick — each replicated bit-for-bit against the
+    engine counter the daemon would read:
 
-        step(now, busy_seconds, index, max_index) -> tuple[int, ...]
+    * ``"busy"`` — ``CpuCore.busy_seconds()`` (an accounting touch on
+      every node, exactly as the daemons' own reads are);
+    * ``"cycles"`` — ``CpuCore.cycles_retired_now()`` (no touch: a
+      hardware counter read is not an accounting boundary);
+    * ``"power"`` — ``Node.power_w()`` plus the activity key it was
+      computed from, as ``(power_w, dyn, mem, nic)`` (no touch).
+
+    **Per-node form** — ``make()`` builds one fresh controller per
+    node (the daemon body's local state, carried across windows).  A
+    controller exposes::
+
+        step(now, sample, index, max_index) -> tuple[int, ...]
 
     returning, in call order, the exact operating-point indices the
-    daemon would pass to ``CpuCore.set_speed_index`` at this poll
-    (an index equal to the current one is the engine's no-op).  The
-    arithmetic inside ``step`` must replicate the daemon generator's
+    daemon would pass to ``CpuCore.set_speed_index`` at this poll (an
+    index equal to the current one is the engine's no-op).  An
+    optional ``bind(opoints, power_params)`` hook is called once
+    before the run for controllers whose arithmetic reads the
+    operating-point table.
+
+    **Global-reduction form** — ``make_global()`` builds one
+    cluster-wide controller for coordinator daemons (the power-cap
+    budget redistribution).  Each tick the tier gathers every node's
+    sample in node order, then scatters the setpoints the reduction
+    emits::
+
+        decide(now, samples, indices) -> iterable[(node, target)]
+
+    where ``samples``/``indices`` are node-ordered lists and the
+    returned setpoints are applied in iteration order (the engine's
+    coordinator loop order).  Optional hooks: ``bind(opoints,
+    power_params, nprocs)`` before the run, and when both forms are
+    present, the per-node controllers act as *summarizers* — their
+    ``carry(now, sample, index, max_index)`` return value replaces
+    the raw sample handed to ``decide``.
+
+    ``start_index`` optionally replicates setup-time speed calls (the
+    power-cap pre-shed): called as ``start_index(opoints,
+    power_params, nprocs)``, it returns the uniform post-setup
+    operating-point index (default: the fastest point, untouched).
+
+    The arithmetic inside every hook must replicate the daemon's
     float expressions operation-for-operation — the tier's bit-exact
     equivalence contract extends through it.
     """
 
     interval_s: float
-    make: Callable[[], object]
+    make: Optional[Callable[[], object]] = None
+    observes: str = "busy"
+    make_global: Optional[Callable[[], object]] = None
+    start_index: Optional[Callable[..., int]] = None
 
 
 class Strategy(abc.ABC):
@@ -137,12 +177,14 @@ class Strategy(abc.ABC):
         """Lower this strategy's daemon to a :class:`SampledController`.
 
         Returns ``None`` (the conservative default) when the strategy
-        is not an interval-polling per-node daemon — or when its loop
-        does something the sampled-control tier cannot replay (waits on
-        events other than the poll timer, reads state beyond the node's
-        busy counter and gear).  Strategies with a :meth:`gear_plan`
-        don't need one; daemons that provide one become eligible for
-        the straightline tier's sampled-control executor.
+        is not an interval-polling daemon — or when its loop does
+        something the stateful-controller tier cannot replay (waits on
+        events other than the poll timer, reads observations beyond
+        the supported per-node samples).  Strategies with a
+        :meth:`gear_plan` don't need one; daemons that provide one —
+        per-node (CPUSPEED, predictive, β) or coordinator-style via
+        the global-reduction form (power-cap) — become eligible for
+        the straightline tier's stateful-controller executor.
         """
         return None
 

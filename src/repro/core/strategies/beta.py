@@ -31,7 +31,7 @@ from repro.sim.process import Process
 from repro.hardware.cluster import Cluster
 from repro.hardware.cpu import CpuCore
 from repro.hardware.opoints import OperatingPointTable
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import SampledController, Strategy
 
 __all__ = ["BetaConfig", "BetaDaemonStrategy", "required_frequency_ratio"]
 
@@ -132,3 +132,66 @@ class BetaDaemonStrategy(Strategy):
                 cpu.set_speed_index(self.pick_point(cpu.opoints, ratio))
         except Interrupt:
             return
+
+    # ------------------------------------------------------------------
+    def controller(self) -> Optional[SampledController]:
+        """The daemon as a stateful cycle-counter controller.
+
+        The β daemon reads the retired-cycle counter, not
+        ``busy_seconds()`` — a hardware counter read is no accounting
+        touch — so the controller observes ``"cycles"``.
+        """
+        return SampledController(
+            interval_s=self.config.interval_s,
+            make=self._make_controller,
+            observes="cycles",
+        )
+
+    def _make_controller(self) -> "_BetaController":
+        return _BetaController(self.config)
+
+
+class _BetaController:
+    """One node's β-daemon state, stepped by the straightline tier.
+
+    Replicates :meth:`BetaDaemonStrategy._daemon`'s loop body float
+    expression for float expression — the tier's bit-exact equivalence
+    contract extends through the controller arithmetic.  The carried
+    state is exactly the generator's locals: the previous window's
+    counter reading and timestamp, and the EMA of the on-chip share.
+    """
+
+    __slots__ = ("cfg", "opoints", "prev_cycles", "prev_time", "w_on_ema")
+
+    def __init__(self, config: BetaConfig) -> None:
+        self.cfg = config
+        self.opoints: Optional[OperatingPointTable] = None
+        # The daemon samples the counter before its first wait; both
+        # reads happen at t=0 on a parked CPU: zero, zero.
+        self.prev_cycles = 0.0
+        self.prev_time = 0.0
+        self.w_on_ema: Optional[float] = None
+
+    def bind(self, opoints: OperatingPointTable, power_params) -> None:
+        self.opoints = opoints
+
+    def step(self, now: float, cycles: float, index: int,
+             max_index: int) -> tuple[int, ...]:
+        cfg = self.cfg
+        window = now - self.prev_time
+        if window <= 0:
+            return ()
+        opoints = self.opoints
+        # On-chip share of the window at the *current* clock.
+        onchip_s = (cycles - self.prev_cycles) / opoints[index].frequency_hz
+        w_on = min(1.0, max(0.0, onchip_s / window))
+        self.prev_cycles, self.prev_time = cycles, now
+        ema = self.w_on_ema
+        ema = (
+            w_on
+            if ema is None
+            else (1 - cfg.smoothing) * ema + cfg.smoothing * w_on
+        )
+        self.w_on_ema = ema
+        ratio = required_frequency_ratio(ema, cfg.delta)
+        return (BetaDaemonStrategy.pick_point(opoints, ratio),)

@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 from repro.sim.events import Interrupt
 from repro.sim.process import Process
 from repro.hardware.cluster import Cluster
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import SampledController, Strategy
 
 __all__ = ["PowerCapConfig", "PowerCapStrategy"]
 
@@ -144,6 +144,44 @@ class PowerCapStrategy(Strategy):
             return
 
     # ------------------------------------------------------------------
+    def controller(self) -> Optional[SampledController]:
+        """The coordinator as a stateful global-reduction controller.
+
+        The cap loop is exactly the tier's reduction shape: gather
+        every node's instantaneous power (plus the activity key it was
+        computed from, so the shed projection can reprice a
+        stepped-down offender), decide the cluster-wide budget
+        redistribution, scatter the setpoints.  ``start_index``
+        replicates the setup-time pre-shed.
+        """
+        return SampledController(
+            interval_s=self.config.interval_s,
+            observes="power",
+            make_global=self._make_reduction,
+            start_index=self._start_index,
+        )
+
+    def _make_reduction(self) -> "_PowerCapReduction":
+        return _PowerCapReduction(self)
+
+    def _start_index(self, opoints, power_params, nprocs: int) -> int:
+        """:meth:`setup`'s pre-shed on a homogeneous cluster.
+
+        Every term of the engine's per-node worst-case sum is the same
+        pure-function value, so one evaluation per index reproduces
+        the sum bit-for-bit.
+        """
+        for index in range(opoints.max_index, -1, -1):
+            w = power_params.node_power_w(
+                opoints[index],
+                cpu_activity=1.0, mem_activity=0.6, nic_activity=0.5,
+            )
+            worst = sum(w for _ in range(nprocs))
+            if worst <= self.config.cap_w or index == 0:
+                return index
+        return 0  # pragma: no cover - loop always returns at index 0
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _worst_case_node_w(node, index: int) -> float:
         """Node power at operating point ``index``, flat out."""
@@ -167,3 +205,98 @@ class PowerCapStrategy(Strategy):
         if not self.power_samples:
             return 0.0
         return sum(p for _t, p in self.power_samples) / len(self.power_samples)
+
+
+class _PowerCapReduction:
+    """The coordinator's per-tick budget redistribution, heap-free.
+
+    Replicates :meth:`PowerCapStrategy._controller`'s loop body float
+    expression for float expression, over node-ordered samples of
+    ``(power_w, dyn, mem, nic)``.  ``worst_tab`` pre-evaluates
+    ``_worst_case_node_w`` per operating point — a pure function, so
+    each table entry is the engine's fresh per-node evaluation
+    bit-for-bit; sums over it run in the engine's node order.  The
+    observable controller state (``power_samples`` on the strategy,
+    which reports ``max``/``mean`` observed power) is appended exactly
+    as the daemon does.
+    """
+
+    __slots__ = ("strategy", "cfg", "opoints", "power", "worst_tab",
+                 "freq_tab", "max_index", "_memo")
+
+    def __init__(self, strategy: PowerCapStrategy) -> None:
+        self.strategy = strategy
+        self.cfg = strategy.config
+        self._memo: dict[tuple, float] = {}
+
+    def bind(self, opoints, power_params, nprocs: int) -> None:
+        self.opoints = opoints
+        self.power = power_params
+        self.max_index = opoints.max_index
+        self.worst_tab = [
+            power_params.node_power_w(
+                op, cpu_activity=1.0, mem_activity=0.6, nic_activity=0.5
+            )
+            for op in opoints
+        ]
+        self.freq_tab = [op.frequency_hz for op in opoints]
+
+    def _node_w(self, index: int, dyn: float, mem: float, nic: float) -> float:
+        key = (index, dyn, mem, nic)
+        p = self._memo.get(key)
+        if p is None:
+            p = self.power.node_power_w(self.opoints[index], dyn, mem, nic)
+            self._memo[key] = p
+        return p
+
+    def decide(self, now, samples, indices):
+        cfg = self.cfg
+        powers = [s[0] for s in samples]
+        total = sum(powers)
+        self.strategy.power_samples.append((now, total))
+        worst_tab = self.worst_tab
+        worst = sum(worst_tab[i] for i in indices)
+        out: list[tuple[int, int]] = []
+        if total > cfg.cap_w:
+            # shed: every node above the floor steps down, the biggest
+            # consumers first, until projected under cap.  sorted() is
+            # stable either way, so ties keep node order like the
+            # engine's node-list sort.
+            offenders = sorted(
+                (n for n in range(len(indices)) if indices[n] > 0),
+                key=powers.__getitem__,
+                reverse=True,
+            )
+            projected = total
+            for n in offenders:
+                before = powers[n]
+                s = samples[n]
+                # The gear change leaves the activity state untouched,
+                # so the engine's post-step power_w() re-read is the
+                # same key at the lower point.
+                after = self._node_w(indices[n] - 1, s[1], s[2], s[3])
+                out.append((n, indices[n] - 1))
+                projected -= before - after
+                if projected <= cfg.cap_w * cfg.headroom:
+                    break
+        elif total < cfg.cap_w * cfg.headroom:
+            # recover performance: speed the slowest nodes up, against
+            # the worst-case (full activity) budget so a phase change
+            # cannot blow the cap.
+            freq_tab = self.freq_tab
+            candidates = sorted(
+                (n for n in range(len(indices)) if indices[n] < self.max_index),
+                key=lambda n: freq_tab[indices[n]],
+            )
+            budget = cfg.cap_w - (worst if cfg.conservative_raise else total)
+            stepped = 0
+            for n in candidates:
+                if stepped >= cfg.max_steps_per_interval:
+                    break
+                delta = worst_tab[indices[n] + 1] - worst_tab[indices[n]]
+                if delta > budget:
+                    continue
+                out.append((n, indices[n] + 1))
+                budget -= delta
+                stepped += 1
+        return out

@@ -314,18 +314,19 @@ class ParallelRunner:
         position); returns the positions the pool path must still run.
 
         A miss is batchable when its kwargs are all straightline-tier
-        parameters, no fault environment applies, the engine isn't
-        pinned to ``"event"``, and the strategy lowers to a static gear
-        plan.  Batches group by workload and configuration identity;
+        parameters, no live fault environment applies (``faults=None``
+        or a zero-rate spec), the engine isn't pinned to ``"event"``,
+        and the strategy lowers to a static gear plan.  Batches group by workload and configuration identity;
         groups of one, and any group the batch tier rejects (divergent
         control flow, unsupported plan), fall back to the per-point
         path — which reproduces genuine errors through the event
         engine exactly as before.
 
-        Misses whose strategy exposes a sampled controller instead of a
-        gear plan (the CPUSPEED-style daemons) run *inline* through the
-        sampled-control straightline tier: control flow there is
-        data-dependent, so there is nothing to vectorize, but one
+        Misses whose strategy exposes a stateful sampled controller
+        instead of a gear plan (the CPUSPEED-style per-node daemons,
+        the β daemon, the power-cap coordinator) run *inline* through
+        the stateful-controller straightline tier: control flow there
+        is data-dependent, so there is nothing to vectorize, but one
         in-process call still beats pool dispatch by orders of
         magnitude.  Points the tier declines at run time flow to the
         pool path (whose ``engine="auto"`` reaches the event engine)
@@ -336,10 +337,17 @@ class ParallelRunner:
         sampled: list[int] = []
         for j, (_index, task, _key) in enumerate(pending):
             kw = task.kwargs
+            faults = kw.get("faults")
+            # A zero-rate spec injects nothing (bit-for-bit a clean
+            # run), so it doesn't force the pool/event path; its cache
+            # key is unaffected — engine selection only.
+            inert = faults is None or (
+                isinstance(faults, FaultSpec) and faults.is_noop()
+            )
             if (
                 not set(kw) <= self._BATCH_KWARGS
                 or kw.get("engine", "auto") == "event"
-                or kw.get("faults") is not None
+                or not inert
             ):
                 leftover.append(j)
                 continue
@@ -374,14 +382,18 @@ class ParallelRunner:
                 for k, v in task.kwargs.items()
                 if k not in ("engine", "faults")
             }
+            info: dict = {}
             fast = try_run_straightline(
-                task.workload, task.strategy, seed=task.seed, **run_kwargs
+                task.workload, task.strategy, seed=task.seed, stats=info,
+                **run_kwargs
             )
             if fast is None:
                 self.stats.straightline_fallbacks += 1
                 leftover.append(j)
             else:
                 measured[j] = fast
+                self.stats.controller_runs += 1
+                self.stats.reduction_ticks += info.get("reduction_ticks", 0)
         for positions in groups.values():
             if len(positions) < 2:
                 leftover.extend(positions)

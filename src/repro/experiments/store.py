@@ -266,6 +266,11 @@ class CacheStats:
     straightline_fallbacks: int = 0
     batch_splits: int = 0
     batch_scalar_reruns: int = 0
+    #: sweep points measured on the stateful-controller straightline
+    #: tier (daemon strategies run off the event heap), and the total
+    #: poll/reduction ticks those runs applied.
+    controller_runs: int = 0
+    reduction_ticks: int = 0
 
     @property
     def lookups(self) -> int:
@@ -289,6 +294,11 @@ class CacheStats:
                 f"; tiers: {self.straightline_fallbacks} event-engine "
                 f"fallbacks, {self.batch_splits} batch splits "
                 f"({self.batch_scalar_reruns} points re-run scalar)"
+            )
+        if self.controller_runs:
+            base += (
+                f"; {self.controller_runs} stateful-controller runs "
+                f"({self.reduction_ticks} reduction ticks)"
             )
         if self.degraded_runs:
             base += (

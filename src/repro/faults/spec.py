@@ -98,6 +98,17 @@ class FaultSpec:
             if f.name.endswith("_rate")
         ) or self.sensor_noise_mwh > 0.0
 
+    def is_noop(self) -> bool:
+        """Whether this spec provably injects nothing.
+
+        Every rate is zero and the sensor noise is zero: no draw is
+        ever taken, so a run under it is bit-for-bit a clean run.
+        Engine selection (``run_workload``/``map_sweep``) treats such
+        a spec as ``faults=None`` — it does not pin the run to the
+        event engine — while cache keys are unaffected either way.
+        """
+        return not self.active
+
     def with_(self, **changes) -> "FaultSpec":
         """Return a copy with fields replaced (convenience)."""
         return replace(self, **changes)

@@ -878,10 +878,16 @@ class _SNode(_Node):
     integrated (indices stay valid through retime patching), and
     ``b_active``/``b_stack`` mirror the engine CPU's active-segment /
     wait-stack state at the replay cursor ``busy_t``.
+
+    ``cyc_acc``/``cyc_lo`` are the lazy retired-cycle counter for
+    ``observes="cycles"`` controllers: ``cyc_acc`` is the engine's
+    ``CpuStats.cycles_retired`` (boundary commits only, in the same
+    chronological addition order), ``cyc_lo`` the first segment whose
+    completion is not yet committed.
     """
 
     __slots__ = ("segs", "seg_lo", "scan", "carry", "busy_acc", "busy_t",
-                 "busy_level", "b_active", "b_stack")
+                 "busy_level", "b_active", "b_stack", "cyc_acc", "cyc_lo")
 
     def __init__(self, freq_hz, mhz, opoint, stall_until, index=-1) -> None:
         super().__init__(freq_hz, mhz, opoint, stall_until, index)
@@ -894,6 +900,8 @@ class _SNode(_Node):
         self.busy_level = 0.0
         self.b_active: Optional[tuple] = None
         self.b_stack: list[tuple] = []
+        self.cyc_acc = 0.0
+        self.cyc_lo = 0
 
 
 class _SampledExecutor(_Executor):
@@ -904,12 +912,15 @@ class _SampledExecutor(_Executor):
     next event falls *before* the next unapplied tick (the horizon).
     When nothing can move below the horizon, the barrier first
     finalizes deferred timings that became final, then applies the
-    tick: per node (daemon creation order = node order), replay the
-    breakpoint events into the engine's exact ``busy_seconds``
-    accumulation, hand the sample to the strategy's per-node
-    controller, and apply each returned ``set_speed_index`` — no-op
-    when the gear already matches, else a transition stall plus the
-    engine's mid-segment retime cascaded down the node's segment FIFO.
+    tick: per node (daemon creation order = node order), produce the
+    controller's observation — the engine's exact ``busy_seconds``
+    accumulation, ``cycles_retired_now()`` counter, or instantaneous
+    ``power_w()`` — hand it to the strategy's stateful controller
+    (per-node ``step``, or gather→``decide``→scatter when the
+    controller carries a global reduction), and apply each emitted
+    ``set_speed_index`` — no-op when the gear already matches, else a
+    transition stall plus the engine's mid-segment retime cascaded
+    down the node's segment FIFO.
 
     Two timings cannot be computed eagerly once segments are
     retimable, and are deferred until their inputs are final (strictly
@@ -938,9 +949,56 @@ class _SampledExecutor(_Executor):
         if interval <= 0:
             raise StraightlineUnsupported("non-positive poll interval")
         self.interval = interval
-        self.ctrls = [controller.make() for _ in range(self.n)]
-        #: bound step methods, hoisted out of the per-poll hot loop.
-        self._ctrl_steps = [c.step for c in self.ctrls]
+        observes = controller.observes
+        if observes not in ("busy", "cycles", "power"):
+            raise StraightlineUnsupported(
+                f"unknown controller observation {observes!r}"
+            )
+        self.observes = observes
+        make = controller.make
+        make_global = controller.make_global
+        if make is None and make_global is None:
+            raise StraightlineUnsupported(
+                "controller has neither per-node nor global form"
+            )
+        self.ctrls = (
+            [make() for _ in range(self.n)] if make is not None else None
+        )
+        self.gctrl = make_global() if make_global is not None else None
+        #: bound per-node hooks, hoisted out of the per-poll hot loop:
+        #: ``step`` scatters setpoints directly; under a global
+        #: reduction the per-node controllers are summarizers instead,
+        #: their ``carry`` feeding the reduction's ``decide``.
+        self._ctrl_steps = None
+        self._ctrl_carries = None
+        if self.ctrls is not None:
+            try:
+                if self.gctrl is None:
+                    self._ctrl_steps = [c.step for c in self.ctrls]
+                else:
+                    self._ctrl_carries = [c.carry for c in self.ctrls]
+            except AttributeError as exc:
+                raise StraightlineUnsupported(
+                    f"controller misses a required hook: {exc}"
+                ) from exc
+            for c in self.ctrls:
+                bind = getattr(c, "bind", None)
+                if bind is not None:
+                    bind(opoints, power_params)
+        if self.gctrl is not None:
+            bind = getattr(self.gctrl, "bind", None)
+            if bind is not None:
+                bind(opoints, power_params, self.n)
+        #: Only a busy_seconds() read is a time-accounting touch on the
+        #: engine CPU; cycle-counter and power reads are not, so their
+        #: polls must *not* become histogram boundaries.
+        self._tick_touch = observes == "busy"
+        self._track_cycles = observes == "cycles"
+        #: memoized node_power_w per (opoint index, activity key) for
+        #: ``observes="power"`` sampling.
+        self._pow_memo: dict[tuple, float] = {}
+        #: applied poll/reduction ticks (runner telemetry).
+        self.reduction_ticks = 0
         self.horizon = interval
         self.max_index = opoints.max_index
         #: (send request id, its segment record) awaiting a final end.
@@ -1060,108 +1118,220 @@ class _SampledExecutor(_Executor):
             self._emit(self.nodes[rr], slot.done_t, _EV_POP, self.comm_sig)
         return True
 
-    # -- the tick: busy replay + controller + retime -------------------
+    # -- the tick: observation + controller + retime -------------------
     def _apply_tick(self, t: float) -> None:
         """One poll: every node's daemon fires, in node (= rank) order.
 
         Per node, three fused stages (this loop is the tier's hot path
         — a sub-second-interval daemon spends most of the run here):
 
-        1. *busy replay* — advance the node's busy integral to ``t``:
-           consume breakpoint events strictly before ``t`` in
-           (time, seq) order, accumulating one ``busy += level * dt``
-           term per boundary with ``dt > 0`` — the grouping
-           ``CpuCore._touch`` produces, whose touch points are exactly
-           these events plus the poll times themselves.  Due events are
-           split off as tuples (nothing can patch them between here and
-           consumption) while kept entries stay *indices* — those can
-           still be retimed in place.  Plain tuple sort is (time, seq)
-           order: seqs are unique, so comparison never reaches the
-           payload.
-        2. the controller's transitions.  The poll's own busy read is
-           an accounting boundary for the time-at-MHz histogram (never
-           a meter update) on *every* node at once, so it is recorded
-           once in the shared ``_ticks`` list rather than as a per-node
-           TOUCH event — finalize merges the list back in.
+        1. *observation* — advance the node's sample to ``t``.  For
+           ``"busy"`` samples (and the activity state ``"power"``
+           samples read) this replays breakpoint events strictly
+           before ``t`` in (time, seq) order, accumulating one
+           ``busy += level * dt`` term per boundary with ``dt > 0`` —
+           the grouping ``CpuCore._touch`` produces, whose touch
+           points are exactly these events plus (for busy reads) the
+           poll times themselves.  Due events are split off as tuples
+           (nothing can patch them between here and consumption) while
+           kept entries stay *indices* — those can still be retimed in
+           place.  Plain tuple sort is (time, seq) order: seqs are
+           unique, so comparison never reaches the payload.
+           ``"cycles"`` samples need no replay at all — the counter is
+           the lazy segment-commit sum (:meth:`_cycles_at`).
+        2. the controller's transitions: a per-node ``step`` applies
+           its setpoints immediately; under a global reduction the
+           samples are gathered instead (through the summarizers'
+           ``carry`` when present) and ``decide``'s setpoints are
+           scattered after every node observed — both in node order,
+           exactly the engine's daemon/coordinator callback order.
         3. ``scan`` skips past any GEARs this poll appended: they sit
            exactly at ``t`` with the busy cursor already there —
            zero-dt boundaries that move no wait-state, mattering only
            to finalize's meter cursor.  (Retimes patch in place, never
            append, so nothing else landed since stage 1.)
+
+        Only a ``busy_seconds()`` poll is an accounting boundary for
+        the time-at-MHz histogram (never a meter update) on *every*
+        node at once — recorded once in the shared ``_ticks`` list
+        rather than as per-node TOUCH events.  Cycle-counter and power
+        reads touch nothing on the engine CPU, so their ticks stay out
+        of the list and the histogram's float grouping matches.
         """
         nodes = self.nodes
         steps = self._ctrl_steps
+        carries = self._ctrl_carries
+        gctrl = self.gctrl
         max_index = self.max_index
+        observes = self.observes
+        samples: list = []
         for n_idx in range(self.n):
             node = nodes[n_idx]
-            events = node.events
-            n_ev = len(events)
-            carry = node.carry
-            if node.scan < n_ev:
-                carry.extend(range(node.scan, n_ev))
-                node.scan = n_ev
-            t_last = node.busy_t
-            level = node.busy_level
-            acc = node.busy_acc
-            if carry:
-                # Lazy split: most polls find nothing due (the crossing
-                # segment's end is the only pending entry), so probe
-                # before paying for the due/keep list build.
-                due = None
-                for i in carry:
-                    if events[i][0] < t:
-                        due = []
-                        keep = []
-                        for i2 in carry:
-                            ev = events[i2]
-                            if ev[0] < t:
-                                due.append(ev)
+            if observes == "cycles":
+                sample = self._cycles_at(node, t)
+            else:
+                events = node.events
+                n_ev = len(events)
+                carry = node.carry
+                if node.scan < n_ev:
+                    carry.extend(range(node.scan, n_ev))
+                    node.scan = n_ev
+                t_last = node.busy_t
+                level = node.busy_level
+                acc = node.busy_acc
+                if carry:
+                    # Lazy split: most polls find nothing due (the
+                    # crossing segment's end is the only pending
+                    # entry), so probe before paying for the due/keep
+                    # list build.
+                    due = None
+                    for i in carry:
+                        if events[i][0] < t:
+                            due = []
+                            keep = []
+                            for i2 in carry:
+                                ev = events[i2]
+                                if ev[0] < t:
+                                    due.append(ev)
+                                else:
+                                    keep.append(i2)
+                            break
+                    if due:
+                        node.carry = keep
+                        due.sort()
+                        active = node.b_active
+                        stack = node.b_stack
+                        for ev in due:
+                            dt = ev[0] - t_last
+                            if dt > 0:
+                                acc += level * dt
+                                t_last = ev[0]
+                            kind = ev[2]
+                            if kind == _EV_START:
+                                active = ev[3]
+                            elif kind == _EV_END:
+                                active = None
+                            elif kind == _EV_PUSH:
+                                stack.append(ev[3])
+                            elif kind == _EV_POP:
+                                payload = ev[3]
+                                for j in range(len(stack) - 1, -1, -1):
+                                    if stack[j] == payload:
+                                        del stack[j]
+                                        break
+                            # TOUCH/GEAR: accounting boundary only
+                            if active is not None:
+                                level = active[1]
+                            elif stack:
+                                level = stack[-1][1]
                             else:
-                                keep.append(i2)
-                        break
-                if due:
-                    node.carry = keep
-                    due.sort()
-                    active = node.b_active
-                    stack = node.b_stack
-                    for ev in due:
-                        dt = ev[0] - t_last
-                        if dt > 0:
-                            acc += level * dt
-                            t_last = ev[0]
-                        kind = ev[2]
-                        if kind == _EV_START:
-                            active = ev[3]
-                        elif kind == _EV_END:
-                            active = None
-                        elif kind == _EV_PUSH:
-                            stack.append(ev[3])
-                        elif kind == _EV_POP:
-                            payload = ev[3]
-                            for j in range(len(stack) - 1, -1, -1):
-                                if stack[j] == payload:
-                                    del stack[j]
-                                    break
-                        # TOUCH/GEAR: accounting boundary only
-                        if active is not None:
-                            level = active[1]
-                        elif stack:
-                            level = stack[-1][1]
-                        else:
-                            level = 0.0
-                    node.b_active = active
-                    node.busy_level = level
-            dt = t - t_last
-            if dt > 0:
-                acc += level * dt
-                node.busy_acc = acc
-            node.busy_t = t
-            for target in steps[n_idx](t, acc, node.index, max_index):
+                                level = 0.0
+                        node.b_active = active
+                        node.busy_level = level
+                dt = t - t_last
+                if dt > 0:
+                    acc += level * dt
+                    node.busy_acc = acc
+                node.busy_t = t
+                sample = acc if observes == "busy" else self._power_at(node, t)
+            if gctrl is not None:
+                if carries is not None:
+                    sample = carries[n_idx](t, sample, node.index, max_index)
+                samples.append(sample)
+                continue
+            for target in steps[n_idx](t, sample, node.index, max_index):
                 if target == node.index:
                     continue  # set_speed_index no-op: no stall, no event
                 self._set_speed_at_tick(n_idx, t, target)
                 node.scan = len(node.events)
-        self._ticks.append(t)
+        if gctrl is not None:
+            indices = [nd.index for nd in nodes]
+            for n_idx, target in gctrl.decide(t, samples, indices):
+                node = nodes[n_idx]
+                if target == node.index:
+                    continue  # set_speed_index no-op: no stall, no event
+                self._set_speed_at_tick(n_idx, t, target)
+                node.scan = len(node.events)
+        if self._tick_touch:
+            self._ticks.append(t)
+        self.reduction_ticks += 1
+
+    def _cycles_at(self, node: _SNode, t: float) -> float:
+        """``CpuCore.cycles_retired_now()`` at the tick, lazily.
+
+        ``stats.cycles_retired`` advances one boundary commit per
+        completed segment; reproducing its float value means replaying
+        those commits as the same chronological additions.  Completions
+        strictly before the tick commit here (their ``cycles_left`` is
+        final: retimes only move boundaries past the last applied
+        tick); mid-segment retime commits interleave at the tick itself
+        (:meth:`_retime_node`).  The crossing segment then contributes
+        its in-flight share — elapsed over the stall-inclusive plan,
+        exactly the live counter read.  A segment boundary exactly at
+        the tick is an engine event-id tie (and a retimed plan's
+        recomputed fraction need not be exactly 1.0), so it raises.
+        """
+        segs = node.segs
+        k = node.cyc_lo
+        n_segs = len(segs)
+        acc = node.cyc_acc
+        while k < n_segs:
+            rec = segs[k]
+            if rec.end >= t:
+                break
+            acc += rec.cycles_left
+            k += 1
+        node.cyc_lo = k
+        node.cyc_acc = acc
+        if k == n_segs:
+            return acc
+        rec = segs[k]
+        if rec.end == t:
+            raise StraightlineUnsupported(
+                "segment boundary collides with poll tick"
+            )
+        if rec.start <= t and rec.planned > 0:
+            elapsed = t - rec.scheduled_at
+            frac = min(1.0, max(0.0, elapsed / rec.planned))
+            acc = acc + rec.cycles_left * frac
+        return acc
+
+    def _power_at(self, node: _SNode, t: float) -> tuple:
+        """``Node.power_w()`` at the tick, plus the activity key it
+        used, as ``(power_w, dyn, mem, nic)``.
+
+        The key derivation is finalize's meter formula over the busy
+        replay's wait-state (the engine CPU's activity properties at
+        the poll); the wattage is memoized per (operating point,
+        activity key) — ``node_power_w`` is pure, so the cached float
+        is the engine's fresh evaluation bit-for-bit.  Any breakpoint
+        exactly at the tick leaves the activity state event-id-order
+        ambiguous, so it raises (callers fall back).
+        """
+        events = node.events
+        for i in node.carry:
+            if events[i][0] == t:
+                raise StraightlineUnsupported(
+                    "activity boundary collides with poll tick"
+                )
+        idle = self.power.cpu_idle_activity
+        active = node.b_active
+        if active is not None:
+            key = (active[0], active[2], active[3])
+        else:
+            stack = node.b_stack
+            if stack:
+                top = stack[-1]
+                dyn = top[0] if top[0] > idle else idle
+                key = (dyn, top[2], top[3])
+            else:
+                key = (idle, 0.0, 0.0)
+        memo_key = (node.index, key)
+        p = self._pow_memo.get(memo_key)
+        if p is None:
+            p = self.power.node_power_w(node.opoint, key[0], key[1], key[2])
+            self._pow_memo[memo_key] = p
+        return (p, key[0], key[1], key[2])
 
     def _set_speed_at_tick(self, n_idx: int, t: float, target: int) -> None:
         """``CpuCore.set_speed_index`` for an actual change at a poll.
@@ -1232,6 +1402,13 @@ class _SampledExecutor(_Executor):
             else:
                 frac = 1.0
             keep = 1.0 - frac
+            if self._track_cycles:
+                # CpuCore._progress_active commits the executed share
+                # to the retired counter before shrinking.  Completions
+                # before the tick were committed by this tick's
+                # observation, so this addition lands in the engine's
+                # chronological order.
+                node.cyc_acc += first.cycles_left * frac
             first.cycles_left *= keep
             first.offchip_left *= keep
             stall = stall_until - t
@@ -1432,6 +1609,7 @@ def run_straightline(
     power=None,
     opoints=None,
     transition_latency_s: float = 20e-6,
+    stats=None,
 ):
     """Measure a static- or piecewise-static-gear run on this tier.
 
@@ -1445,6 +1623,10 @@ def run_straightline(
     :class:`~repro.workloads.compile.CompileError` or
     :class:`StraightlineUnsupported` when the run needs the event
     engine; :func:`try_run_straightline` converts those into ``None``.
+
+    ``stats``, when a dict, receives tier telemetry: currently
+    ``reduction_ticks``, the number of poll/reduction ticks a
+    stateful-controller run applied (absent for gear-plan runs).
     """
     from repro.core.framework import Measurement
     from repro.core.strategies.base import NoDvsStrategy
@@ -1469,12 +1651,25 @@ def run_straightline(
     compiled = compile_workload(workload, opoints.fastest.frequency_hz)
     max_idx = opoints.max_index
     if controller is not None:
-        # Daemon strategies perform no setup-time speed calls: every
-        # node starts at the cluster default (the fastest point), and
-        # the daemons' first poll lands one interval in.
-        op = opoints[max_idx]
+        # Most daemon strategies perform no setup-time speed calls:
+        # every node starts at the cluster default (the fastest point)
+        # and the first poll lands one interval in.  A controller with
+        # a ``start_index`` hook (the power-cap pre-shed) replicates
+        # its strategy's uniform setup call instead: same state as the
+        # gear-plan path's t=0 speed call — one pending transition
+        # stall, setup transitions excluded from the count, finalize
+        # integrating from the shed point.
+        start_idx = max_idx
+        if controller.start_index is not None:
+            start_idx = controller.start_index(opoints, power, workload.nprocs)
+            if not 0 <= start_idx <= max_idx:
+                raise StraightlineUnsupported(
+                    f"controller start index {start_idx} out of range"
+                )
+        op = opoints[start_idx]
+        stall = transition_latency_s if start_idx != max_idx else 0.0
         snodes = [
-            _SNode(op.frequency_hz, op.frequency_mhz, op, 0.0, max_idx)
+            _SNode(op.frequency_hz, op.frequency_mhz, op, stall, start_idx)
             for _ in range(workload.nprocs)
         ]
         ex = _SampledExecutor(
@@ -1485,6 +1680,8 @@ def run_straightline(
         t_end = ex.run()
         energies, hists = ex.finalize(t_end)
         transitions = ex.transitions
+        if stats is not None:
+            stats["reduction_ticks"] = ex.reduction_ticks
     else:
         actions = _lower_gear_actions(compiled, plan, opoints)
         nodes = []
@@ -1530,6 +1727,7 @@ def try_run_straightline(
     power=None,
     opoints=None,
     transition_latency_s: float = 20e-6,
+    stats=None,
 ):
     """Like :func:`run_straightline` but returns ``None`` on fallback."""
     try:
@@ -1541,6 +1739,7 @@ def try_run_straightline(
             power=power,
             opoints=opoints,
             transition_latency_s=transition_latency_s,
+            stats=stats,
         )
     except (CompileError, StraightlineUnsupported):
         return None

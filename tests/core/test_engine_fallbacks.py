@@ -1,10 +1,13 @@
 """Engine-selection coverage: which runs must stay on the event engine.
 
-Every dynamic strategy (and any straightline-eligible strategy under a
-fault environment) must fall back to the event engine under
-``engine="auto"`` — asserted through the ineligibility reason the
-framework consults — and raise :class:`StraightlineUnsupported` when
-the fast tier is demanded explicitly.
+A strategy with neither a static gear plan nor a sampled controller
+(and any straightline-eligible strategy under a fault environment)
+must fall back to the event engine under ``engine="auto"`` — asserted
+through the ineligibility reason the framework consults — and raise
+:class:`StraightlineUnsupported` when the fast tier is demanded
+explicitly.  Strategies that *do* lower (the β daemon and power-cap
+coordinator via the stateful-controller protocol) are eligible in
+clean runs and fall back only at the fault/trace/channel boundaries.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro.core.strategies import (
     PowerCapConfig,
     PowerCapStrategy,
 )
+from repro.core.strategies.base import Strategy
 from repro.faults.injector import resolve_injector
 from repro.faults.spec import FaultSpec
 from repro.sim.straightline import StraightlineUnsupported
@@ -31,24 +35,24 @@ def _workload():
     return FT(klass="T", nprocs=4)
 
 
-# Daemon strategies with a sampled-control form (cpuspeed, predictive)
-# are no longer here: they run on the straightline tier in clean
-# environments.  These remain event-engine only.
-DYNAMIC_STRATEGIES = {
-    "powercap": lambda: PowerCapStrategy(PowerCapConfig(cap_w=120.0)),
-    "beta": lambda: BetaDaemonStrategy(),
-}
+class _AdHocDynamicStrategy(Strategy):
+    """A dynamic strategy that lowers to neither tier form.
+
+    β and power-cap now publish sampled controllers, so the class of
+    event-engine-only strategies is represented by this stand-in: the
+    conservative :class:`Strategy` defaults (no gear plan, no
+    controller) are exactly what a user-written daemon subclass gets.
+    """
+
+    name = "adhoc-dynamic"
 
 
-@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
-def test_dynamic_strategy_reason(name: str) -> None:
-    strategy = DYNAMIC_STRATEGIES[name]()
-    reason = straightline_ineligibility(_workload(), strategy)
+def test_dynamic_strategy_reason() -> None:
+    reason = straightline_ineligibility(_workload(), _AdHocDynamicStrategy())
     assert reason == "strategy has no static gear plan (dynamic DVS)"
 
 
-@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
-def test_dynamic_strategy_auto_reaches_event_engine(name: str, monkeypatch) -> None:
+def test_dynamic_strategy_auto_reaches_event_engine(monkeypatch) -> None:
     # The fast tier must never be consulted: its entry point is poisoned.
     import repro.sim.straightline as straightline
 
@@ -57,15 +61,14 @@ def test_dynamic_strategy_auto_reaches_event_engine(name: str, monkeypatch) -> N
 
     monkeypatch.setattr(straightline, "try_run_straightline", boom)
     monkeypatch.setattr(straightline, "run_straightline", boom)
-    m = run_workload(_workload(), DYNAMIC_STRATEGIES[name]())
+    m = run_workload(_workload(), _AdHocDynamicStrategy())
     assert m.elapsed_s > 0
 
 
-@pytest.mark.parametrize("name", sorted(DYNAMIC_STRATEGIES))
-def test_dynamic_strategy_strict_raises(name: str) -> None:
+def test_dynamic_strategy_strict_raises() -> None:
     with pytest.raises(StraightlineUnsupported, match="no static gear plan"):
         run_workload(
-            _workload(), DYNAMIC_STRATEGIES[name](), engine="straightline"
+            _workload(), _AdHocDynamicStrategy(), engine="straightline"
         )
 
 
@@ -107,23 +110,36 @@ def test_internal_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
 
 
 # ----------------------------------------------------------------------
-# sampled-control boundaries: daemons are eligible only in clean runs
+# sampled-control boundaries: daemons are eligible only in clean runs.
+# The stateful forms (per-node with state: β; global reduction:
+# power-cap) share every boundary with the stateless cpuspeed daemon.
 # ----------------------------------------------------------------------
-def _daemon():
-    return CpuspeedDaemonStrategy(CpuspeedConfig.v1_1())
+DAEMON_STRATEGIES = {
+    "cpuspeed": lambda: CpuspeedDaemonStrategy(CpuspeedConfig.v1_1()),
+    "beta": lambda: BetaDaemonStrategy(),
+    "powercap": lambda: PowerCapStrategy(PowerCapConfig(cap_w=120.0)),
+}
 
 
-def test_daemon_clean_run_is_eligible() -> None:
-    assert straightline_ineligibility(_workload(), _daemon()) is None
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_daemon_clean_run_is_eligible(name: str) -> None:
+    strategy = DAEMON_STRATEGIES[name]()
+    assert straightline_ineligibility(_workload(), strategy) is None
 
 
-def test_daemon_with_faults_reason() -> None:
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_daemon_with_faults_reason(name: str) -> None:
     injector = resolve_injector(FaultSpec(seed=5, transition_fail_rate=0.5))
-    reason = straightline_ineligibility(_workload(), _daemon(), injector=injector)
+    reason = straightline_ineligibility(
+        _workload(), DAEMON_STRATEGIES[name](), injector=injector
+    )
     assert reason == "fault injection active"
 
 
-def test_daemon_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_daemon_with_faults_auto_reaches_event_engine(
+    name: str, monkeypatch
+) -> None:
     import repro.sim.straightline as straightline
 
     def boom(*args, **kwargs):  # pragma: no cover - failure mode
@@ -133,22 +149,52 @@ def test_daemon_with_faults_auto_reaches_event_engine(monkeypatch) -> None:
     monkeypatch.setattr(straightline, "run_straightline", boom)
     m = run_workload(
         _workload(),
-        _daemon(),
+        DAEMON_STRATEGIES[name](),
         faults=FaultSpec(seed=5, transition_fail_rate=0.5),
     )
     assert m.elapsed_s > 0
 
 
-def test_daemon_with_faults_strict_raises() -> None:
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_daemon_with_faults_strict_raises(name: str) -> None:
     with pytest.raises(StraightlineUnsupported, match="fault injection active"):
         run_workload(
             _workload(),
-            _daemon(),
+            DAEMON_STRATEGIES[name](),
             faults=FaultSpec(seed=5, transition_fail_rate=0.5),
             engine="straightline",
         )
 
 
-def test_daemon_with_trace_reason() -> None:
-    reason = straightline_ineligibility(_workload(), _daemon(), trace=True)
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_daemon_with_trace_reason(name: str) -> None:
+    reason = straightline_ineligibility(
+        _workload(), DAEMON_STRATEGIES[name](), trace=True
+    )
     assert reason == "tracing requested"
+
+
+# ----------------------------------------------------------------------
+# zero-rate fault specs: provably inert, so they don't pin the engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(DAEMON_STRATEGIES))
+def test_noop_faults_do_not_pin_engine(name: str) -> None:
+    # FaultSpec() has every rate at zero: is_noop() holds and a strict
+    # straightline request succeeds, bit-for-bit equal to a clean run.
+    spec = FaultSpec(seed=99)
+    assert spec.is_noop()
+    m = run_workload(
+        _workload(), DAEMON_STRATEGIES[name](), faults=spec, engine="straightline"
+    )
+    clean = run_workload(
+        _workload(), DAEMON_STRATEGIES[name](), engine="straightline"
+    )
+    assert m.elapsed_s == clean.elapsed_s
+    assert m.energy_j == clean.energy_j
+    assert m.extras == clean.extras == {}
+
+
+def test_active_spec_is_not_noop() -> None:
+    assert not FaultSpec(transition_fail_rate=0.5).is_noop()
+    assert not FaultSpec(sensor_noise_mwh=1.0).is_noop()
+    assert FaultSpec(seed=123).is_noop()  # seed alone injects nothing

@@ -181,14 +181,19 @@ def test_channels_fall_back() -> None:
 
 
 def test_dynamic_strategy_falls_back() -> None:
-    # cpuspeed/predictive daemons now run on the sampled-control tier
-    # (tests/sim/test_straightline_sampled.py); beta has no sampled
-    # form and remains the strict-raise representative.
-    from repro.core.strategies import BetaDaemonStrategy
+    # cpuspeed/predictive daemons run on the sampled-control tier and
+    # beta/power-cap on the stateful-controller tier
+    # (tests/sim/test_straightline_stateful.py); a Strategy subclass
+    # with neither a gear plan nor a controller — the conservative
+    # defaults — remains the strict-raise representative.
+    from repro.core.strategies.base import Strategy
 
-    assert not BetaDaemonStrategy().is_static()
-    _strict_raises(strategy=BetaDaemonStrategy())
-    m = run_workload(WORKLOADS["CG"](), BetaDaemonStrategy())
+    class AdHoc(Strategy):
+        name = "adhoc-dynamic"
+
+    assert not AdHoc().is_static()
+    _strict_raises(strategy=AdHoc())
+    m = run_workload(WORKLOADS["CG"](), AdHoc())
     assert m.dvs_transitions >= 0
 
 
@@ -212,7 +217,7 @@ def test_auto_consults_fast_tier(monkeypatch) -> None:
     from repro.core.strategies import BetaDaemonStrategy
 
     run_workload(WORKLOADS["EP"](), BetaDaemonStrategy())
-    assert calls == []  # ineligible: the fast tier is never consulted
+    assert calls == ["EP"]  # stateful controllers consult the tier too
 
 
 def test_unrecordable_program_returns_none() -> None:
