@@ -1,0 +1,265 @@
+"""Load generator for the schedule-advisor service.
+
+Drives many thousands of concurrent simulated clients through the
+whole service pipeline — per-tenant quotas, admission batching, the
+shared warmed measurement cache — and reports client-observed latency
+percentiles and sustained queries/s.  The default transport is
+in-process (the same ``handle_request`` pipeline the TCP layer calls,
+without needing 10k file descriptors); ``--transport tcp`` runs the
+same load over real sockets with clients multiplexed onto a shared
+connection pool.
+
+Runs standalone (no pytest required) and emits machine-readable JSON::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --json service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+The default scale (``--clients 10000``) is the reference for the
+service-tier numbers in ``docs/performance.md``; CI runs ``--quick``
+and asserts the ``p50_ms`` / ``p99_ms`` / ``queries_per_sec`` keys.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import time
+from typing import Any, Optional
+
+from repro.service import AdvisorService, InProcessClient, ServiceConfig, TenantQuota
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    """The q-th percentile (nearest-rank) of an ascending list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_vals)))
+    return sorted_vals[rank - 1]
+
+
+def _client_plan(
+    index: int, codes: list[str], frequencies: list[float], advise_every: int
+) -> dict[str, Any]:
+    """The deterministic request each simulated client issues.
+
+    Clients rotate over workloads and over four frequency subsets, so
+    concurrent requests overlap without being identical — the shape
+    admission batching is built for.  Every ``advise_every``-th client
+    asks the full advisor question instead (single-flight territory).
+    """
+    code = codes[index % len(codes)]
+    if advise_every and index % advise_every == advise_every - 1:
+        return {"op": "advise", "params": {"workload": code, "klass": "T"}}
+    subsets = (
+        frequencies,
+        frequencies[: max(2, len(frequencies) // 2)],
+        frequencies[-max(2, len(frequencies) // 2):],
+        [frequencies[0], frequencies[-1]],
+    )
+    subset = subsets[(index // len(codes)) % len(subsets)]
+    return {
+        "op": "sweep",
+        "params": {
+            "workload": code,
+            "klass": "T",
+            "frequencies_mhz": list(subset),
+        },
+    }
+
+
+async def _drive(
+    request,
+    plans: list[dict[str, Any]],
+    requests_each: int,
+    latencies: dict[str, list[float]],
+    errors: list[str],
+) -> None:
+    for plan in plans:
+        for _ in range(requests_each):
+            t0 = time.perf_counter()
+            response = await request(plan)
+            dt = time.perf_counter() - t0
+            if response.get("ok"):
+                latencies[plan["op"]].append(dt)
+            else:
+                errors.append(response["error"]["code"])
+
+
+async def _run_load(args, codes: list[str], frequencies: list[float]) -> dict:
+    tenants = max(1, args.tenants)
+    config = ServiceConfig(
+        port=0,
+        window_s=args.window_ms / 1000.0,
+        max_queue=args.max_queue,
+        quota=TenantQuota(
+            max_in_flight=max(64, -(-args.clients // tenants)), qps=None
+        ),
+        jobs=1,
+        cache_dir=args.cache_dir,
+        warm_cache=args.cache_dir is not None,
+    )
+    service = AdvisorService(config)
+    clients: list[Any] = []
+    tcp_clients: list[Any] = []
+    try:
+        if args.transport == "tcp":
+            from repro.service import ServiceClient
+
+            await service.start()
+            port = service.bound_port
+            for i in range(min(args.connections, args.clients)):
+                tcp_clients.append(
+                    await ServiceClient.connect(
+                        "127.0.0.1", port, tenant=f"bench-{i % tenants}"
+                    )
+                )
+            clients = [
+                tcp_clients[i % len(tcp_clients)] for i in range(args.clients)
+            ]
+        else:
+            clients = [
+                InProcessClient(service, tenant=f"bench-{i % tenants}")
+                for i in range(args.clients)
+            ]
+
+        plans = [
+            _client_plan(i, codes, frequencies, args.advise_every)
+            for i in range(args.clients)
+        ]
+
+        async def issue(client, plan):
+            return await client.request(plan["op"], plan["params"])
+
+        # Untimed priming pass: one sweep over the full table plus one
+        # advise per workload fills the measurement cache, so the timed
+        # window measures service throughput, not first-contact
+        # simulation cost (a deployment's cache is warm for the same
+        # reason — tenants warm it for each other).
+        prime = clients[0]
+        for code in codes:
+            await issue(prime, {
+                "op": "sweep",
+                "params": {"workload": code, "klass": "T",
+                           "frequencies_mhz": list(frequencies)},
+            })
+            if args.advise_every:
+                await issue(prime, {
+                    "op": "advise", "params": {"workload": code, "klass": "T"},
+                })
+
+        latencies: dict[str, list[float]] = {"sweep": [], "advise": []}
+        errors: list[str] = []
+        t0 = time.perf_counter()
+        await asyncio.gather(*(
+            _drive(
+                lambda plan, c=client: issue(c, plan),
+                [plan],
+                args.requests,
+                latencies,
+                errors,
+            )
+            for client, plan in zip(clients, plans)
+        ))
+        wall_s = time.perf_counter() - t0
+
+        stats = await InProcessClient(service).stats()
+    finally:
+        for tcp_client in tcp_clients:
+            await tcp_client.close()
+        await service.aclose()
+
+    all_lat = sorted(latencies["sweep"] + latencies["advise"])
+    total = len(all_lat)
+    out = {
+        "transport": args.transport,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "requests_total": total,
+        "errors": len(errors),
+        "error_codes": sorted(set(errors)),
+        "wall_s": round(wall_s, 3),
+        "queries_per_sec": round(total / wall_s, 1) if wall_s else 0.0,
+        "p50_ms": round(percentile(all_lat, 50) * 1e3, 3),
+        "p99_ms": round(percentile(all_lat, 99) * 1e3, 3),
+        "max_ms": round(percentile(all_lat, 100) * 1e3, 3),
+        "mean_ms": round(sum(all_lat) / total * 1e3, 3) if total else 0.0,
+        "sweep_requests": len(latencies["sweep"]),
+        "advise_requests": len(latencies["advise"]),
+        "batcher": stats["batcher"],
+        "runner": {
+            k: stats["runner"][k]
+            for k in ("lookups", "hits", "memo_hits", "simulated")
+            if k in stats["runner"]
+        },
+        "cache": stats["cache"],
+    }
+    if latencies["advise"]:
+        advise_sorted = sorted(latencies["advise"])
+        out["advise_p99_ms"] = round(percentile(advise_sorted, 99) * 1e3, 3)
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=10_000,
+                        help="concurrent simulated clients (default 10000)")
+    parser.add_argument("--requests", type=int, default=1,
+                        help="requests each client issues (default 1)")
+    parser.add_argument("--codes", nargs="*", default=["FT", "CG", "EP"])
+    parser.add_argument("--tenants", type=int, default=64,
+                        help="distinct tenants the clients spread over")
+    parser.add_argument("--advise-every", type=int, default=16,
+                        help="every Nth client asks advise instead of sweep "
+                             "(0 disables the advise mix)")
+    parser.add_argument("--window-ms", type=float, default=5.0)
+    parser.add_argument("--max-queue", type=int, default=4096)
+    parser.add_argument("--transport", choices=("inproc", "tcp"),
+                        default="inproc")
+    parser.add_argument("--connections", type=int, default=64,
+                        help="shared sockets in tcp mode (clients multiplex)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="measurement cache root (default: fresh tempdir)")
+    parser.add_argument("--json", dest="json_out", default=None, metavar="PATH")
+    parser.add_argument("--quick", action="store_true",
+                        help="small client count (CI smoke)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.clients = min(args.clients, 500)
+
+    from repro.hardware.opoints import PENTIUM_M_TABLE
+
+    frequencies = [float(f) for f in PENTIUM_M_TABLE.frequencies_mhz()]
+    codes = [c.upper() for c in args.codes]
+
+    import tempfile
+
+    if args.cache_dir is not None:
+        row = asyncio.run(_run_load(args, codes, frequencies))
+    else:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            args.cache_dir = cache_dir
+            row = asyncio.run(_run_load(args, codes, frequencies))
+            args.cache_dir = None
+
+    payload = {"service": row}
+    print(f"service {row['transport']:7s} {row['clients']:>7,d} clients "
+          f"x {row['requests_per_client']} req")
+    for field in ("queries_per_sec", "p50_ms", "p99_ms", "max_ms", "mean_ms"):
+        print(f"service {field:18s} {row[field]:>12,.3f}")
+    b = row["batcher"]
+    print(f"service coalescing         {b['waiters_coalesced']:,d} waiters onto "
+          f"{b['points_submitted']:,d} points in {b['grids_run']:,d} grids")
+    if row["errors"]:
+        print(f"service ERRORS             {row['errors']} ({row['error_codes']})")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"[written to {args.json_out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

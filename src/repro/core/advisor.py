@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.workloads.base import Workload
-from repro.core.framework import Measurement, run_workload
+from repro.core.framework import Measurement
 from repro.core.metrics import ED3P, FusedMetric
 from repro.core.strategies import (
     BetaConfig,
@@ -163,12 +163,28 @@ class ScheduleAdvisor:
                  BetaDaemonStrategy(BetaConfig(delta=delta)))
             )
 
-        results = []
-        for label, strategy in candidates:
+        # Candidate evaluation is one grid through the current runner:
+        # map_sweep batches the static candidates through the
+        # straightline tiers (bit-identical to per-point run_workload)
+        # and memoizes each point, so concurrent advisors — the
+        # schedule-advisor service — share fills.
+        from repro.experiments.parallel import RunTask, current_runner
+
+        measured: dict[int, Measurement] = {}
+        tasks: list[tuple[int, RunTask]] = []
+        for i, (_label, strategy) in enumerate(candidates):
             if isinstance(strategy, ExternalStrategy) and strategy.mhz in sweep.raw:
-                m = sweep.raw[strategy.mhz]  # reuse the sweep's run
+                measured[i] = sweep.raw[strategy.mhz]  # reuse the sweep's run
             else:
-                m = run_workload(workload, strategy, seed=self.seed)
+                tasks.append((i, RunTask(workload, strategy, self.seed)))
+        for (i, _task), m in zip(
+            tasks, current_runner().map_sweep([t for _, t in tasks])
+        ):
+            measured[i] = m
+
+        results = []
+        for i, (label, strategy) in enumerate(candidates):
+            m = measured[i]
             d, e = m.normalized_against(baseline)
             results.append(
                 CandidateResult(label, strategy, d, e, self.metric(d, e), m)

@@ -1,0 +1,58 @@
+"""Schedule advice as a service (the "millions of users" direction).
+
+The library answers "which gear schedule meets the performance
+constraint at least energy?" one call at a time; this package serves
+that answer to concurrent tenants over a line-delimited JSON protocol,
+turning concurrency into shared work: admission batching coalesces a
+window of compatible queries into one batched-tier grid, every fill
+lands in a shared warmed sharded measurement cache, and per-tenant
+quotas plus a bounded admission queue shed overload with structured
+retry hints.  Answers are pinned bit-identical to serial library
+calls.  See ``docs/service.md``.
+"""
+
+from repro.service.batcher import AdmissionBatcher, BatcherStats, OverloadedError
+from repro.service.client import InProcessClient, ServiceClient, ServiceError
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEGRADED,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_QUOTA,
+    AdviseQuery,
+    BadRequest,
+    SweepQuery,
+    advice_to_dict,
+    decode_line,
+    encode_line,
+    sweep_to_payload,
+)
+from repro.service.quotas import QuotaDenied, QuotaGate, TenantQuota
+from repro.service.server import AdvisorService, ServiceConfig, run_server
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_DEGRADED",
+    "ERR_INTERNAL",
+    "ERR_OVERLOADED",
+    "ERR_QUOTA",
+    "AdmissionBatcher",
+    "AdviseQuery",
+    "AdvisorService",
+    "BadRequest",
+    "BatcherStats",
+    "InProcessClient",
+    "OverloadedError",
+    "QuotaDenied",
+    "QuotaGate",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepQuery",
+    "TenantQuota",
+    "advice_to_dict",
+    "decode_line",
+    "encode_line",
+    "run_server",
+    "sweep_to_payload",
+]

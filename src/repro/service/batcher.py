@@ -1,0 +1,208 @@
+"""Admission batching: coalesce concurrent queries into shared grids.
+
+The service's unit of useful work is a *grid* — one
+``ParallelRunner.map_sweep`` submission evaluating many points of one
+workload together on the batched straightline tiers.  Arriving
+requests are therefore not executed one by one: they are admitted into
+the current *batching window*, grouped by a caller-supplied group key
+(same workload / cluster config / seed), deduplicated per point key,
+and when the window closes every group runs as one grid with the
+per-point results fanned back to every waiter.
+
+Three control surfaces:
+
+* ``window_s`` — how long the first admitted point holds the window
+  open for companions (the batching latency floor under light load);
+* ``max_batch`` — a full window flushes early, bounding latency under
+  heavy load;
+* ``max_queue`` — the admission bound.  A submit beyond it raises
+  :class:`OverloadedError` *immediately* with a retry hint — the
+  service sheds load with a structured response instead of buffering
+  without bound.
+
+Timer scheduling is injectable (``schedule=``), so tests drive the
+window deterministically with a fake clock instead of sleeping.
+A failing grid fans its error to exactly its own waiters; other
+groups in the same window are unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+__all__ = ["AdmissionBatcher", "BatcherStats", "OverloadedError"]
+
+#: ``run_grid`` callback: ``(group_key, {point_key: payload})`` to
+#: ``{point_key: result}``.
+GridRunner = Callable[[str, dict[str, Any]], Awaitable[dict[str, Any]]]
+
+
+class OverloadedError(Exception):
+    """The admission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, queued: int, retry_after_s: float) -> None:
+        self.queued = queued
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"admission queue full ({queued} points queued)"
+        )
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing telemetry (the ``stats`` op reports these)."""
+
+    points_submitted: int = 0
+    #: waiters attached to a point another request already queued —
+    #: each one is a simulation the service did not run twice.
+    waiters_coalesced: int = 0
+    windows_flushed: int = 0
+    grids_run: int = 0
+    overloads: int = 0
+    peak_queue: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "points_submitted": self.points_submitted,
+            "waiters_coalesced": self.waiters_coalesced,
+            "windows_flushed": self.windows_flushed,
+            "grids_run": self.grids_run,
+            "overloads": self.overloads,
+            "peak_queue": self.peak_queue,
+        }
+
+
+@dataclass
+class _Point:
+    payload: Any
+    waiters: list[asyncio.Future] = field(default_factory=list)
+
+
+class AdmissionBatcher:
+    def __init__(
+        self,
+        run_grid: GridRunner,
+        window_s: float = 0.005,
+        max_batch: int = 256,
+        max_queue: int = 4096,
+        schedule: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1 or max_queue < 1:
+            raise ValueError("max_batch and max_queue must be >= 1")
+        self._run_grid = run_grid
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self._schedule = schedule
+        self.stats = BatcherStats()
+        self._pending: dict[str, dict[str, _Point]] = {}
+        self._queued = 0
+        self._timer: Any = None
+        self._drains: set[asyncio.Task] = set()
+
+    @property
+    def queued(self) -> int:
+        """Points admitted and waiting for their window to flush."""
+        return self._queued
+
+    def submit(
+        self, group_key: str, point_key: str, payload: Any
+    ) -> "asyncio.Future[Any]":
+        """Admit one point; the future resolves to its grid result.
+
+        A point already queued under the same keys gains a waiter
+        instead of a duplicate simulation.  Raises
+        :class:`OverloadedError` when the admission queue is full.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = self._pending.get(group_key)
+        point = group.get(point_key) if group is not None else None
+        if point is not None:
+            self.stats.waiters_coalesced += 1
+            point.waiters.append(future)
+            return future
+        if self._queued >= self.max_queue:
+            self.stats.overloads += 1
+            raise OverloadedError(
+                self._queued, retry_after_s=max(self.window_s, 1e-3)
+            )
+        if group is None:
+            group = self._pending[group_key] = {}
+        group[point_key] = _Point(payload, [future])
+        self._queued += 1
+        self.stats.points_submitted += 1
+        self.stats.peak_queue = max(self.stats.peak_queue, self._queued)
+        if self._queued >= self.max_batch:
+            self._flush_now(loop)
+        elif self._timer is None:
+            schedule = self._schedule or (
+                lambda delay, cb: loop.call_later(delay, cb)
+            )
+            self._timer = schedule(self.window_s, self._on_window_closed)
+        return future
+
+    # -- window lifecycle ----------------------------------------------
+    def _on_window_closed(self) -> None:
+        """Timer callback: the batching window elapsed."""
+        self._timer = None
+        self._flush_now(asyncio.get_event_loop())
+
+    def _flush_now(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        task = loop.create_task(self._drain())
+        self._drains.add(task)
+        task.add_done_callback(self._drains.discard)
+
+    async def flush(self) -> None:
+        """Drain everything queued right now (tests and shutdown)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        await self._drain()
+        # Grids queued by a concurrent window close finish too.
+        while self._drains:
+            await asyncio.gather(*list(self._drains), return_exceptions=True)
+
+    async def _drain(self) -> None:
+        batch, self._pending = self._pending, {}
+        self._queued = 0
+        if not batch:
+            return
+        self.stats.windows_flushed += 1
+        await asyncio.gather(
+            *(self._run_one(gk, points) for gk, points in batch.items())
+        )
+
+    async def _run_one(self, group_key: str, points: dict[str, _Point]) -> None:
+        self.stats.grids_run += 1
+        try:
+            results = await self._run_grid(
+                group_key, {pk: p.payload for pk, p in points.items()}
+            )
+        except Exception as exc:
+            # The failure belongs to exactly this grid's waiters; other
+            # groups of the window already run independently.
+            for point in points.values():
+                for waiter in point.waiters:
+                    if not waiter.done():
+                        waiter.set_exception(exc)
+            return
+        for point_key, point in points.items():
+            for waiter in point.waiters:
+                if waiter.done():  # client gave up / disconnected
+                    continue
+                if point_key in results:
+                    waiter.set_result(results[point_key])
+                else:  # pragma: no cover - grid contract violation
+                    waiter.set_exception(
+                        RuntimeError(f"grid returned no result for {point_key}")
+                    )

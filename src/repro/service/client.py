@@ -1,0 +1,167 @@
+"""Clients for the schedule-advisor service.
+
+Two transports with one call surface:
+
+* :class:`ServiceClient` — a TCP client speaking the line-delimited
+  JSON protocol.  Requests may be pipelined from concurrent
+  coroutines; a single reader task correlates responses by ``id``.
+* :class:`InProcessClient` — the same surface bound directly to an
+  :class:`~repro.service.server.AdvisorService` in this process (no
+  sockets).  The whole pipeline — quotas, admission batching, grid
+  execution — still runs, which is what lets the load generator drive
+  10k+ concurrent simulated clients without 10k file descriptors.
+
+Both return the raw response object; :meth:`ServiceError.check` turns
+an error response into a typed exception for callers that prefer
+raising.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Mapping, Optional
+
+from repro.service.protocol import decode_line, encode_line
+
+__all__ = ["InProcessClient", "ServiceClient", "ServiceError", "check"]
+
+
+class ServiceError(Exception):
+    """An error response, as an exception (code + retry hint)."""
+
+    def __init__(self, error: Mapping[str, Any]) -> None:
+        self.code = error.get("code", "unknown")
+        self.retry_after_s = error.get("retry_after_s")
+        super().__init__(f"{self.code}: {error.get('message', '')}")
+
+
+def check(response: Mapping[str, Any]) -> dict[str, Any]:
+    """The ``result`` of an ok response; raises :class:`ServiceError`."""
+    if not response.get("ok"):
+        raise ServiceError(response.get("error") or {})
+    return response["result"]
+
+
+class _RequestSurface:
+    """Shared convenience methods over ``request``."""
+
+    async def request(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        tenant: Optional[str] = None,
+    ) -> dict[str, Any]:
+        raise NotImplementedError
+
+    async def ping(self) -> dict[str, Any]:
+        return check(await self.request("ping"))
+
+    async def stats(self) -> dict[str, Any]:
+        return check(await self.request("stats"))
+
+    async def advise(
+        self, tenant: Optional[str] = None, **params: Any
+    ) -> dict[str, Any]:
+        return check(await self.request("advise", params, tenant=tenant))
+
+    async def sweep(
+        self, tenant: Optional[str] = None, **params: Any
+    ) -> dict[str, Any]:
+        return check(await self.request("sweep", params, tenant=tenant))
+
+
+class InProcessClient(_RequestSurface):
+    """Drive a service object directly (tests, the load generator)."""
+
+    def __init__(self, service: Any, tenant: Optional[str] = None) -> None:
+        self._service = service
+        self._tenant = tenant
+        self._ids = itertools.count(1)
+
+    async def request(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        tenant: Optional[str] = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"id": next(self._ids), "op": op}
+        if params:
+            payload["params"] = dict(params)
+        if tenant or self._tenant:
+            payload["tenant"] = tenant or self._tenant
+        return await self._service.handle_request(payload)
+
+
+class ServiceClient(_RequestSurface):
+    """TCP client; use :meth:`connect`, pipeline freely, then ``close``."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        tenant: Optional[str] = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._tenant = tenant
+        self._ids = itertools.count(1)
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, tenant: Optional[str] = None
+    ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, tenant=tenant)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_line(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except Exception as exc:  # pragma: no cover - transport failure
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._pending.clear()
+            return
+        # Orderly EOF: fail anything still outstanding.
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("server closed connection"))
+        self._pending.clear()
+
+    async def request(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        tenant: Optional[str] = None,
+    ) -> dict[str, Any]:
+        request_id = next(self._ids)
+        payload: dict[str, Any] = {"id": request_id, "op": op}
+        if params:
+            payload["params"] = dict(params)
+        if tenant or self._tenant:
+            payload["tenant"] = tenant or self._tenant
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_line(payload))
+        await self._writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - peer already gone
+            pass
+        await self._reader_task

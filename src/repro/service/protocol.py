@@ -1,0 +1,343 @@
+"""Wire protocol of the schedule-advisor service.
+
+Line-delimited JSON over a byte stream: every request and every
+response is one JSON object on one ``\\n``-terminated line.  Requests
+carry a caller-chosen ``id`` that the matching response echoes, so a
+client may pipeline; responses can arrive in completion order.
+
+Request shape::
+
+    {"id": 7, "op": "advise", "tenant": "alice",
+     "params": {"workload": "FT", "klass": "T", "nprocs": 4,
+                "metric": "ED3P", "seed": 0}}
+
+``op`` is one of:
+
+``advise``
+    The paper's core question — "which gear schedule meets the
+    performance constraint at least energy?" — answered exactly as the
+    library's :class:`~repro.core.advisor.ScheduleAdvisor` does.
+``sweep``
+    A static-frequency sweep of one workload (Table 2 columns);
+    ``params["frequencies_mhz"]`` may select a subset of points.
+``ping`` / ``stats``
+    Liveness and service telemetry; never quota-charged.
+
+Successful responses are ``{"id": ..., "ok": true, "op": ...,
+"result": {...}}``; failures are ``{"id": ..., "ok": false, "error":
+{"code": ..., "message": ..., "retry_after_s": ...}}`` where ``code``
+is one of :data:`ERR_BAD_REQUEST`, :data:`ERR_QUOTA`,
+:data:`ERR_OVERLOADED`, :data:`ERR_DEGRADED` or :data:`ERR_INTERNAL`.
+``retry_after_s`` is only present on the backpressure codes — an
+overloaded service sheds load with a structured retry hint instead of
+buffering without bound.
+
+Floats survive the JSON round-trip exactly (``json`` emits the
+shortest ``repr`` that parses back to the same double), which is what
+lets the differential tests pin service answers bit-for-bit against
+library calls.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.core.advisor import Advice
+from repro.core.metrics import ED2P, ED3P, EDP, FusedMetric
+from repro.experiments.runner import SweepResult
+from repro.experiments.store import measurement_to_dict, sweep_to_dict
+from repro.workloads import Workload, get_workload
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_DEGRADED",
+    "ERR_INTERNAL",
+    "ERR_OVERLOADED",
+    "ERR_QUOTA",
+    "OPS",
+    "AdviseQuery",
+    "BadRequest",
+    "SweepQuery",
+    "advice_to_dict",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ok_response",
+    "resolve_metric",
+    "sweep_to_payload",
+]
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_QUOTA = "quota"
+ERR_OVERLOADED = "overloaded"
+ERR_DEGRADED = "degraded"
+ERR_INTERNAL = "internal"
+
+OPS = ("advise", "sweep", "ping", "stats")
+
+_METRICS = {m.name: m for m in (EDP, ED2P, ED3P)}
+
+
+class BadRequest(ValueError):
+    """A request the service cannot interpret (client error)."""
+
+
+def encode_line(payload: Mapping[str, Any]) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise BadRequest(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise BadRequest("request must be a JSON object")
+    return obj
+
+
+def ok_response(
+    request_id: Any, op: str, result: Mapping[str, Any]
+) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, "op": op, "result": result}
+
+
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
+) -> dict[str, Any]:
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def resolve_metric(spec: Any) -> FusedMetric:
+    """A :class:`FusedMetric` from its wire form.
+
+    Accepts a registered name (``"ED3P"``), a bare delay weight
+    (``2.5``) or ``None`` (the paper's default, ED3P).
+    """
+    if spec is None:
+        return ED3P
+    if isinstance(spec, str):
+        try:
+            return _METRICS[spec.upper()]
+        except KeyError:
+            raise BadRequest(
+                f"unknown metric {spec!r}; known: {sorted(_METRICS)} "
+                "or a numeric delay weight"
+            ) from None
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        try:
+            return FusedMetric(float(spec))
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+    raise BadRequest(f"metric must be a name or delay weight, got {spec!r}")
+
+
+def _resolve_workload(code: Any, klass: Any, nprocs: Any) -> Workload:
+    if not isinstance(code, str) or not code:
+        raise BadRequest("params.workload must be a workload name")
+    kwargs: dict[str, Any] = {}
+    if klass is not None:
+        kwargs["klass"] = klass
+    if nprocs is not None:
+        kwargs["nprocs"] = int(nprocs)
+    try:
+        return get_workload(code, **kwargs)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"cannot build workload: {exc}") from None
+
+
+def _frequencies(raw: Any) -> Optional[tuple[float, ...]]:
+    if raw is None:
+        return None
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise BadRequest("params.frequencies_mhz must be a non-empty list")
+    try:
+        freqs = tuple(float(f) for f in raw)
+    except (TypeError, ValueError):
+        raise BadRequest("params.frequencies_mhz must be numbers") from None
+    if len(set(freqs)) != len(freqs):
+        raise BadRequest("params.frequencies_mhz must not repeat points")
+    return freqs
+
+
+@dataclass(frozen=True)
+class SweepQuery:
+    """A validated ``sweep`` request, normalized for coalescing.
+
+    Two queries with the same :meth:`group_key` target the same
+    (workload, cluster, seed) grid and are admitted into one
+    ``map_sweep`` submission; each frequency is one point
+    (:meth:`point_keys`), so overlapping queries share fills and each
+    waiter gets exactly its own points fanned back.
+    """
+
+    code: str
+    klass: Optional[str]
+    nprocs: Optional[int]
+    seed: int
+    frequencies_mhz: Optional[tuple[float, ...]]
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "SweepQuery":
+        unknown = set(params) - {
+            "workload", "klass", "nprocs", "seed", "frequencies_mhz"
+        }
+        if unknown:
+            raise BadRequest(f"unknown sweep params: {sorted(unknown)}")
+        query = cls(
+            code=params.get("workload"),  # type: ignore[arg-type]
+            klass=params.get("klass"),
+            nprocs=params.get("nprocs"),
+            seed=int(params.get("seed", 0)),
+            frequencies_mhz=_frequencies(params.get("frequencies_mhz")),
+        )
+        query.workload()  # validate eagerly, before admission
+        return query
+
+    def workload(self) -> Workload:
+        return _resolve_workload(self.code, self.klass, self.nprocs)
+
+    def group_key(self) -> str:
+        return json.dumps(
+            ["sweep", self.code.upper(), self.klass, self.nprocs, self.seed],
+            sort_keys=True,
+        )
+
+    def resolved_frequencies(self) -> tuple[float, ...]:
+        if self.frequencies_mhz is not None:
+            return self.frequencies_mhz
+        from repro.hardware.opoints import PENTIUM_M_TABLE
+
+        return tuple(PENTIUM_M_TABLE.frequencies_mhz())
+
+    def point_keys(self) -> list[tuple[str, float]]:
+        return [(repr(mhz), mhz) for mhz in self.resolved_frequencies()]
+
+
+@dataclass(frozen=True)
+class AdviseQuery:
+    """A validated ``advise`` request.
+
+    The full advisor run is one point (single-flight): concurrent
+    identical queries share one computation, and different metrics
+    over the same workload still share every sweep fill through the
+    service's warmed measurement cache.
+    """
+
+    code: str
+    klass: Optional[str]
+    nprocs: Optional[int]
+    seed: int
+    metric_spec: Any
+    frequencies_mhz: Optional[tuple[float, ...]]
+    include_daemon: bool
+    include_future_daemons: bool
+    max_delay_increase: Optional[float]
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "AdviseQuery":
+        unknown = set(params) - {
+            "workload", "klass", "nprocs", "seed", "metric",
+            "frequencies_mhz", "include_daemon", "include_future_daemons",
+            "max_delay_increase",
+        }
+        if unknown:
+            raise BadRequest(f"unknown advise params: {sorted(unknown)}")
+        cap = params.get("max_delay_increase")
+        query = cls(
+            code=params.get("workload"),  # type: ignore[arg-type]
+            klass=params.get("klass"),
+            nprocs=params.get("nprocs"),
+            seed=int(params.get("seed", 0)),
+            metric_spec=params.get("metric"),
+            frequencies_mhz=_frequencies(params.get("frequencies_mhz")),
+            include_daemon=bool(params.get("include_daemon", True)),
+            include_future_daemons=bool(
+                params.get("include_future_daemons", False)
+            ),
+            max_delay_increase=None if cap is None else float(cap),
+        )
+        query.workload()
+        query.metric()
+        return query
+
+    def workload(self) -> Workload:
+        return _resolve_workload(self.code, self.klass, self.nprocs)
+
+    def metric(self) -> FusedMetric:
+        return resolve_metric(self.metric_spec)
+
+    def group_key(self) -> str:
+        return json.dumps(
+            ["advise", self.code.upper(), self.klass, self.nprocs],
+            sort_keys=True,
+        )
+
+    def point_key(self) -> str:
+        return json.dumps(
+            [
+                self.seed,
+                self.metric().name,
+                self.frequencies_mhz,
+                self.include_daemon,
+                self.include_future_daemons,
+                self.max_delay_increase,
+            ],
+            sort_keys=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# result payloads
+# ----------------------------------------------------------------------
+def advice_to_dict(advice: Advice) -> dict[str, Any]:
+    """Serializable form of an :class:`~repro.core.advisor.Advice`.
+
+    Carries every field the library caller would read — the winner,
+    the full ranking with normalized numbers and measurement
+    summaries, and the rendered report — so a service answer can be
+    compared field-for-field against a direct ``advise`` call.
+    """
+    candidates = [
+        {
+            "label": c.label,
+            "strategy": c.strategy.describe(),
+            "norm_delay": c.norm_delay,
+            "norm_energy": c.norm_energy,
+            "metric_value": c.metric_value,
+            "measurement": measurement_to_dict(c.measurement),
+        }
+        for c in advice.candidates
+    ]
+    degraded = any(
+        c.measurement.extras.get("faults") for c in advice.candidates
+    )
+    return {
+        "workload": advice.workload,
+        "metric": advice.metric,
+        "max_delay_increase": advice.max_delay_increase,
+        "best": candidates[0]["label"],
+        "candidates": candidates,
+        "rendered": advice.render(),
+        "degraded": degraded,
+    }
+
+
+def sweep_to_payload(sweep: SweepResult) -> dict[str, Any]:
+    """Serializable form of a sweep answer (raw + normalized points)."""
+    payload = sweep_to_dict(sweep)
+    payload["normalized"] = {
+        str(mhz): list(point) for mhz, point in sweep.normalized.items()
+    }
+    payload["degraded"] = any(
+        m.extras.get("faults") for m in sweep.raw.values()
+    )
+    return payload

@@ -1,0 +1,139 @@
+"""Per-tenant admission control: in-flight caps and a qps token bucket.
+
+The service is multi-tenant over one simulator: a tenant replaying a
+campaign must not be able to monopolize the admission queue against a
+tenant asking a single question.  Two independent caps per tenant:
+
+* **in-flight** — how many admitted requests may be awaiting results
+  at once.  Hitting it denies admission immediately (the tenant
+  already owns its fair share of the queue) with a retry hint.
+* **qps** — a token bucket (``qps`` refill, ``burst`` capacity)
+  smoothing sustained request rates.  Denials carry the exact time
+  until the next token as ``retry_after_s``.
+
+Both are enforced *before* the admission batcher sees the request, so
+a saturating tenant is shed at the door and the shared queue bound
+stays available to everyone else.  The clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["QuotaDenied", "QuotaGate", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits (one shared config; buckets are per tenant)."""
+
+    #: Admitted-but-unanswered requests allowed per tenant; ``None``
+    #: disables the cap.
+    max_in_flight: Optional[int] = 64
+    #: Sustained queries per second per tenant; ``None`` disables.
+    qps: Optional[float] = None
+    #: Token-bucket capacity — how many queries may burst at once.
+    burst: int = 32
+    #: Retry hint attached to in-flight denials (a slot frees when any
+    #: outstanding answer lands, so there is no exact time to quote).
+    inflight_retry_hint_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 (or None)")
+        if self.qps is not None and self.qps <= 0:
+            raise ValueError("qps must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class QuotaDenied(Exception):
+    """Admission refused; carries the structured backpressure fields."""
+
+    def __init__(self, tenant: str, reason: str, retry_after_s: float) -> None:
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(f"tenant {tenant!r} over {reason} quota")
+
+
+@dataclass
+class _TenantState:
+    in_flight: int = 0
+    tokens: float = 0.0
+    refilled_at: float = 0.0
+    admitted: int = 0
+    denied: int = 0
+
+
+@dataclass
+class QuotaGate:
+    """Tracks every tenant's in-flight count and token bucket."""
+
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    clock: Callable[[], float] = time.monotonic
+    _tenants: dict[str, _TenantState] = field(default_factory=dict)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState(
+                tokens=float(self.quota.burst), refilled_at=self.clock()
+            )
+        return state
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request to ``tenant`` or raise :class:`QuotaDenied`.
+
+        On success the caller *must* pair it with :meth:`release` once
+        the response is written (including error responses) — the
+        in-flight count is the contract that a disconnected or failed
+        request cannot leak capacity.
+        """
+        quota = self.quota
+        state = self._state(tenant)
+        if (
+            quota.max_in_flight is not None
+            and state.in_flight >= quota.max_in_flight
+        ):
+            state.denied += 1
+            raise QuotaDenied(
+                tenant, "in-flight", quota.inflight_retry_hint_s
+            )
+        if quota.qps is not None:
+            now = self.clock()
+            state.tokens = min(
+                float(quota.burst),
+                state.tokens + (now - state.refilled_at) * quota.qps,
+            )
+            state.refilled_at = now
+            if state.tokens < 1.0:
+                state.denied += 1
+                raise QuotaDenied(
+                    tenant, "rate", (1.0 - state.tokens) / quota.qps
+                )
+            state.tokens -= 1.0
+        state.in_flight += 1
+        state.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        state = self._state(tenant)
+        if state.in_flight <= 0:
+            raise RuntimeError(f"release without admit for tenant {tenant!r}")
+        state.in_flight -= 1
+
+    def in_flight(self, tenant: str) -> int:
+        return self._state(tenant).in_flight
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            tenant: {
+                "in_flight": s.in_flight,
+                "admitted": s.admitted,
+                "denied": s.denied,
+            }
+            for tenant, s in sorted(self._tenants.items())
+        }

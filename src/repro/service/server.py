@@ -1,0 +1,449 @@
+"""The schedule-advisor service: sweeps and advice as a shared server.
+
+``AdvisorService`` turns the library's :class:`ScheduleAdvisor` and
+frequency sweeps into a long-running, multi-tenant asyncio server
+(stdlib only).  The paper's question — "which gear schedule meets the
+performance constraint at least energy?" — becomes one line of JSON on
+a socket, and concurrency becomes *shared work* instead of repeated
+work:
+
+1. every request passes the per-tenant :class:`QuotaGate` (in-flight
+   and qps caps — structured denial, never unbounded buffering);
+2. admitted queries enter the :class:`AdmissionBatcher`, which
+   coalesces a window of requests for the same (workload, cluster,
+   seed) into one ``map_sweep`` grid — the batched straightline tiers
+   evaluate the whole grid together, and per-point results fan back to
+   each waiter;
+3. all fills land in one shared, warmed :class:`MeasurementCache`
+   (sharded on-disk slots + the in-process hot LRU), so tenants warm
+   the cache for each other and the keys are exactly the library's —
+   a service deployment can point at a campaign's cache directory and
+   vice versa.
+
+Answers are **bit-identical to serial library calls** by construction:
+the compute path *is* ``ScheduleAdvisor.advise`` /
+``frequency_sweep``'s task grid, routed through a
+:class:`ParallelRunner` whose tiers are pinned bit-for-bit against the
+event engine.  The differential tests in ``tests/service`` hold the
+service to that, field for field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Union
+
+from repro.core.advisor import ScheduleAdvisor
+from repro.core.strategies import ExternalStrategy
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunTask,
+    TaskFailedError,
+    use,
+)
+from repro.experiments.runner import SweepResult
+from repro.experiments.store import MeasurementCache
+from repro.faults.spec import FaultSpec
+from repro.service.batcher import AdmissionBatcher, OverloadedError
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEGRADED,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_QUOTA,
+    OPS,
+    AdviseQuery,
+    BadRequest,
+    SweepQuery,
+    advice_to_dict,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    sweep_to_payload,
+)
+from repro.service.quotas import QuotaDenied, QuotaGate, TenantQuota
+
+__all__ = ["AdvisorService", "ServiceConfig", "run_server"]
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Everything a deployment tunes, in one value-typed bundle."""
+
+    host: str = "127.0.0.1"
+    port: int = 8763
+    #: How long the first query of a window waits for companions to
+    #: coalesce with (the batching latency floor under light load).
+    window_s: float = 0.005
+    #: A window holding this many points flushes early.
+    max_batch: int = 256
+    #: Admission bound: queued points beyond this are shed with a
+    #: structured ``overloaded`` response.
+    max_queue: int = 4096
+    #: Per-tenant caps (shared config; per-tenant buckets).
+    quota: TenantQuota = dataclasses.field(default_factory=TenantQuota)
+    #: Worker processes for the underlying :class:`ParallelRunner`.
+    jobs: int = 1
+    #: Measurement-cache root; ``None`` serves without a disk cache
+    #: (the runner's in-process memo still shares fills).
+    cache_dir: Union[str, Path, None] = None
+    #: On-disk fan-out of the cache (2 = ``ab/cd/<key>.json``), chosen
+    #: for service deployments where one directory holds millions of
+    #: slots.  Reads remain compatible with flatter layouts.
+    shard_depth: int = 2
+    #: Preload the hot LRU from disk at startup.
+    warm_cache: bool = True
+    #: Optional fault environment every simulation runs under.
+    faults: Optional[FaultSpec] = None
+    #: Tenant charged when a request names none.
+    default_tenant: str = "anon"
+
+
+def _first_line(text: str) -> str:
+    return text.splitlines()[0] if text else text
+
+
+class AdvisorService:
+    """Protocol-level service core, independent of any transport.
+
+    ``handle_request`` implements the whole pipeline for one decoded
+    request; the TCP layer (:meth:`start` / :meth:`serve_forever`) and
+    the in-process client used by tests and the load generator both sit
+    on top of it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        runner: Optional[ParallelRunner] = None,
+        schedule: Optional[Callable[[float, Callable[[], None]], Any]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config = config or ServiceConfig()
+        if runner is not None:
+            self.runner = runner
+        else:
+            cache = (
+                MeasurementCache(
+                    config.cache_dir, shard_depth=config.shard_depth
+                )
+                if config.cache_dir is not None
+                else None
+            )
+            self.runner = ParallelRunner(
+                jobs=config.jobs, cache_dir=cache, faults=config.faults
+            )
+        self.warmed = 0
+        if config.warm_cache and self.runner.cache is not None:
+            self.warmed = self.runner.cache.warm()
+        quota_kwargs: dict[str, Any] = {"quota": config.quota}
+        if clock is not None:
+            quota_kwargs["clock"] = clock
+        self.quotas = QuotaGate(**quota_kwargs)
+        self.batcher = AdmissionBatcher(
+            self._run_grid,
+            window_s=config.window_s,
+            max_batch=config.max_batch,
+            max_queue=config.max_queue,
+            schedule=schedule,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # request pipeline
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: bytes) -> dict[str, Any]:
+        try:
+            obj = decode_line(line)
+        except BadRequest as exc:
+            return error_response(None, ERR_BAD_REQUEST, str(exc))
+        return await self.handle_request(obj)
+
+    async def handle_request(
+        self, obj: Mapping[str, Any], tenant: Optional[str] = None
+    ) -> dict[str, Any]:
+        """One request object in, one response object out.
+
+        Never raises: every failure mode maps to a structured error
+        response, and an admitted request always releases its quota
+        slot — a failing grid cannot leak capacity.
+        """
+        request_id = obj.get("id")
+        op = obj.get("op")
+        if op not in OPS:
+            return error_response(
+                request_id,
+                ERR_BAD_REQUEST,
+                f"op must be one of {list(OPS)}, got {op!r}",
+            )
+        if op == "ping":
+            return ok_response(request_id, op, {"pong": True})
+        if op == "stats":
+            return ok_response(request_id, op, self.stats_payload())
+
+        raw_tenant = obj.get("tenant")
+        if raw_tenant is not None and not isinstance(raw_tenant, str):
+            return error_response(
+                request_id, ERR_BAD_REQUEST, "tenant must be a string"
+            )
+        tenant = raw_tenant or tenant or self.config.default_tenant
+        params = obj.get("params") or {}
+        if not isinstance(params, Mapping):
+            return error_response(
+                request_id, ERR_BAD_REQUEST, "params must be an object"
+            )
+        try:
+            query: Union[AdviseQuery, SweepQuery] = (
+                AdviseQuery.from_params(params)
+                if op == "advise"
+                else SweepQuery.from_params(params)
+            )
+        except BadRequest as exc:
+            return error_response(request_id, ERR_BAD_REQUEST, str(exc))
+
+        try:
+            self.quotas.admit(tenant)
+        except QuotaDenied as exc:
+            return error_response(
+                request_id,
+                ERR_QUOTA,
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+            )
+        try:
+            if isinstance(query, AdviseQuery):
+                result = await self.batcher.submit(
+                    query.group_key(), query.point_key(), query
+                )
+            else:
+                result = await self._submit_sweep(query)
+        except OverloadedError as exc:
+            return error_response(
+                request_id,
+                ERR_OVERLOADED,
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+            )
+        except TaskFailedError as exc:
+            # A worker exhausted its retries under this grid.  The
+            # client gets the failing spec (first line; the worker
+            # traceback stays server-side), other grids and windows
+            # are untouched.
+            return error_response(request_id, ERR_DEGRADED, _first_line(str(exc)))
+        except Exception as exc:
+            return error_response(
+                request_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self.quotas.release(tenant)
+        return ok_response(request_id, op, result)
+
+    async def _submit_sweep(self, query: SweepQuery) -> dict[str, Any]:
+        """Admit one point per requested frequency, then fan back in."""
+        group = query.group_key()
+        futures: list[asyncio.Future] = []
+        try:
+            for point_key, mhz in query.point_keys():
+                futures.append(
+                    self.batcher.submit(group, point_key, (query, mhz))
+                )
+        except OverloadedError:
+            # Points admitted before the bound hit still run (another
+            # waiter may share them); this request stops waiting.
+            for future in futures:
+                future.cancel()
+            raise
+        measurements = await asyncio.gather(*futures)
+        frequencies = query.resolved_frequencies()
+        sweep = SweepResult(
+            workload=measurements[0].workload,
+            raw=dict(zip(frequencies, measurements)),
+            baseline_mhz=float(max(frequencies)),
+        )
+        return sweep_to_payload(sweep)
+
+    # ------------------------------------------------------------------
+    # grid execution (the batcher's run_grid callback)
+    # ------------------------------------------------------------------
+    async def _run_grid(
+        self, group_key: str, points: dict[str, Any]
+    ) -> dict[str, Any]:
+        if json.loads(group_key)[0] == "sweep":
+            return await self._run_sweep_grid(points)
+        return await self._run_advise_grid(points)
+
+    async def _run_sweep_grid(
+        self, points: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One ``map_sweep`` grid for every coalesced frequency point.
+
+        All tasks share a single workload instance so the runner's
+        batch tier groups them into one vectorized evaluation.
+        """
+        queries = list(points.values())
+        first: SweepQuery = queries[0][0]
+        workload = first.workload()
+        point_keys = list(points)
+        tasks = [
+            RunTask(workload, ExternalStrategy(mhz=points[pk][1]), first.seed)
+            for pk in point_keys
+        ]
+        measurements = await self.runner.amap_sweep(tasks)
+        return dict(zip(point_keys, measurements))
+
+    async def _run_advise_grid(
+        self, points: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Advisor runs are single-flight per distinct query.
+
+        Points of one group run back to back on the runner, so the
+        sweeps and baselines behind different metrics/seeds of the
+        same workload share fills through the memo and cache.
+        """
+        loop = asyncio.get_running_loop()
+        results: dict[str, Any] = {}
+        for point_key, query in points.items():
+            results[point_key] = await loop.run_in_executor(
+                None, self._advise_sync, query
+            )
+        return results
+
+    def _advise_sync(self, query: AdviseQuery) -> dict[str, Any]:
+        advisor = ScheduleAdvisor(
+            metric=query.metric(),
+            frequencies_mhz=query.frequencies_mhz,
+            include_daemon=query.include_daemon,
+            include_future_daemons=query.include_future_daemons,
+            max_delay_increase=query.max_delay_increase,
+            seed=query.seed,
+        )
+        # Serialized on the runner's submission lock: the advisor's
+        # whole methodology (profile, sweep, candidate grid) routes
+        # through this service's shared runner.
+        with self.runner.submit_lock:
+            with use(self.runner):
+                advice = advisor.advise(query.workload())
+        return advice_to_dict(advice)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict[str, Any]:
+        cache = self.runner.cache
+        return {
+            "runner": dataclasses.asdict(self.runner.stats),
+            "batcher": self.batcher.stats.as_dict(),
+            "quotas": self.quotas.snapshot(),
+            "cache": {
+                "enabled": cache is not None,
+                "hot_entries": cache.hot_size if cache is not None else 0,
+                "shard_depth": cache.shard_depth if cache is not None else None,
+                "warmed": self.warmed,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # TCP transport
+    # ------------------------------------------------------------------
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start serving; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        return self._server
+
+    @property
+    def bound_port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        server = await self.start()
+        async with server:
+            await server.serve_forever()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One task per request line; responses stream back by
+        completion order, correlated by ``id`` (clients may pipeline)."""
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._connections.add(conn_task)
+        write_lock = asyncio.Lock()
+        in_flight: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._respond(line, writer, write_lock)
+                )
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Reaped at shutdown: end normally — on 3.11 the stream
+            # protocol's done-callback would re-raise a cancelled
+            # handler's CancelledError into the loop's exception
+            # handler.
+            for task in in_flight:
+                task.cancel()
+        finally:
+            if conn_task is not None:
+                self._connections.discard(conn_task)
+            writer.close()
+            # CancelledError included: a handler reaped at shutdown
+            # (``aclose`` or loop teardown) must not leave the close
+            # waiter's exception unretrieved.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _respond(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self.handle_line(line)
+        async with write_lock:
+            try:
+                writer.write(encode_line(response))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):  # client went away
+                pass
+
+    async def aclose(self) -> None:
+        """Flush pending windows, stop the TCP server, free the pool."""
+        await self.batcher.flush()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.runner.close()
+
+
+def run_server(config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point (the CLI's ``serve`` target)."""
+    service = AdvisorService(config)
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        service.runner.close()

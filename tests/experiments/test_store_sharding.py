@@ -1,0 +1,280 @@
+"""Sharded cache layouts: migration, compatibility, warming.
+
+The measurement cache grew configurable shard depths (0 = flat,
+1 = the historical ``ab/<key>.json`` default, 2 = the service's
+``ab/cd/<key>.json``).  The invariants:
+
+* reads are layout-agnostic — a key written at ANY depth is found by a
+  store configured at ANY depth, so pointing a service at a campaign's
+  old cache directory (or vice versa) just works;
+* the default layout, the key schema and ``MODEL_VERSION`` are
+  untouched — no historical cache goes cold;
+* ``rehome`` migrates a directory to the canonical layout in place and
+  is idempotent;
+* ``warm`` preloads the hot LRU without touching the stats counters;
+* the corrupt-eviction and hot-LRU semantics from
+  ``test_cache_layers.py`` hold across layouts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.framework import Measurement
+from repro.core.strategies import ExternalStrategy
+from repro.experiments.parallel import ParallelRunner, RunTask
+from repro.experiments.store import (
+    MAX_SHARD_DEPTH,
+    MODEL_VERSION,
+    MeasurementCache,
+    cache_key,
+)
+from repro.workloads import get_workload
+
+
+def _measurement(tag: str = "FT.T.4") -> Measurement:
+    return Measurement(
+        workload=tag,
+        strategy="test",
+        elapsed_s=1.25,
+        energy_j=100.0,
+        per_node_energy_j={0: 50.0, 1: 50.0},
+        dvs_transitions=3,
+        time_at_mhz={1400.0: 2.5},
+        acpi_energy_j=None,
+        baytech_energy_j=None,
+        trace=None,
+        report=None,
+        extras={},
+    )
+
+
+KEY = "abcd" + "0" * 60
+
+
+# ----------------------------------------------------------------------
+# layout compatibility
+# ----------------------------------------------------------------------
+def test_default_layout_is_the_historical_one(tmp_path) -> None:
+    # The default store must keep writing ``ab/<key>.json`` — changing
+    # it would strand every existing cache at a non-canonical depth.
+    cache = MeasurementCache(tmp_path)
+    assert cache.shard_depth == 1
+    path = cache.put(KEY, _measurement())
+    assert path == tmp_path / KEY[:2] / f"{KEY}.json"
+
+
+def test_every_write_depth_readable_at_every_read_depth(tmp_path) -> None:
+    for write_depth in range(MAX_SHARD_DEPTH + 1):
+        for read_depth in range(MAX_SHARD_DEPTH + 1):
+            root = tmp_path / f"w{write_depth}-r{read_depth}"
+            MeasurementCache(root, shard_depth=write_depth).put(
+                KEY, _measurement()
+            )
+            reader = MeasurementCache(root, shard_depth=read_depth)
+            assert reader.get(KEY) is not None
+            assert reader.stats.hits == 1
+            assert reader.stats.misses == 0
+
+
+def test_sharded_store_reads_flat_pre_sharding_cache(tmp_path) -> None:
+    # The exact migration story: a flat (depth-0) directory served by
+    # the service's depth-2 store, without rehoming.
+    flat = MeasurementCache(tmp_path, shard_depth=0)
+    flat.put(KEY, _measurement())
+    assert (tmp_path / f"{KEY}.json").exists()
+    service_store = MeasurementCache(tmp_path, shard_depth=2)
+    assert service_store.get(KEY) is not None
+    assert len(service_store) == 1
+
+
+def test_corrupt_legacy_copy_never_shadows_a_good_entry(tmp_path) -> None:
+    # A good entry at a legacy depth survives a corrupt file sitting at
+    # the canonical location: the probe evicts the corrupt one and
+    # keeps looking.
+    good = MeasurementCache(tmp_path, shard_depth=0)
+    good.put(KEY, _measurement())
+    reader = MeasurementCache(tmp_path, shard_depth=2)
+    canonical = tmp_path / KEY[:2] / KEY[2:4] / f"{KEY}.json"
+    canonical.parent.mkdir(parents=True)
+    canonical.write_text("{truncated")
+    assert reader.get(KEY) is not None
+    assert reader.stats.evicted_corrupt == 1
+    assert reader.stats.hits == 1
+    assert reader.stats.misses == 0
+    assert not canonical.exists()
+
+
+def test_shard_depth_validation(tmp_path) -> None:
+    with pytest.raises(ValueError, match="shard_depth"):
+        MeasurementCache(tmp_path, shard_depth=-1)
+    with pytest.raises(ValueError, match="shard_depth"):
+        MeasurementCache(tmp_path, shard_depth=MAX_SHARD_DEPTH + 1)
+
+
+# ----------------------------------------------------------------------
+# rehome migration
+# ----------------------------------------------------------------------
+def test_rehome_migrates_flat_cache_to_sharded_layout(tmp_path) -> None:
+    keys = [f"{i:02x}{i:02x}" + "1" * 60 for i in range(8)]
+    flat = MeasurementCache(tmp_path, shard_depth=0)
+    for key in keys:
+        flat.put(key, _measurement())
+    store = MeasurementCache(tmp_path, shard_depth=2)
+    assert store.rehome() == len(keys)
+    for key in keys:
+        assert (tmp_path / key[:2] / key[2:4] / f"{key}.json").exists()
+        assert store.get(key) is not None
+    assert len(store) == len(keys)
+    assert store.rehome() == 0  # idempotent
+
+
+def test_rehome_to_flat_prunes_empty_shard_directories(tmp_path) -> None:
+    deep = MeasurementCache(tmp_path, shard_depth=2)
+    deep.put(KEY, _measurement())
+    assert (tmp_path / KEY[:2]).is_dir()
+    flat = MeasurementCache(tmp_path, shard_depth=0)
+    assert flat.rehome() == 1
+    assert (tmp_path / f"{KEY}.json").exists()
+    assert not (tmp_path / KEY[:2]).exists()  # pruned
+
+
+def test_runner_cache_replays_across_layout_migration(tmp_path) -> None:
+    # End to end: fill through a depth-1 runner, rehome to depth 2,
+    # replay through a depth-2 runner — all hits, same bits.
+    tasks = [
+        RunTask(get_workload("FT", klass="T", nprocs=4),
+                ExternalStrategy(mhz=mhz), 0)
+        for mhz in (600.0, 1400.0)
+    ]
+    filled = ParallelRunner(jobs=1, cache_dir=tmp_path, memo=False)
+    before = filled.map_sweep(tasks)
+    assert filled.stats.stores == 2
+
+    migrated = MeasurementCache(tmp_path, shard_depth=2)
+    assert migrated.rehome() == 2
+
+    replay = ParallelRunner(jobs=1, cache_dir=migrated, memo=False)
+    after = replay.map_sweep(tasks)
+    assert replay.stats.hits == 2 and replay.stats.misses == 0
+    assert before == after
+
+
+# ----------------------------------------------------------------------
+# warming the hot layer
+# ----------------------------------------------------------------------
+def test_warm_preloads_hot_lru_without_stats_noise(tmp_path) -> None:
+    writer = MeasurementCache(tmp_path)
+    keys = [f"{i:02d}" + "2" * 62 for i in range(5)]
+    for key in keys:
+        writer.put(key, _measurement())
+    warmed = MeasurementCache(tmp_path)
+    assert warmed.warm() == 5
+    assert warmed.hot_size == 5
+    assert warmed.stats.hits == 0  # warming is not a lookup
+    warmed.get(keys[0])
+    assert warmed.stats.hot_hits == 1  # served without a disk read
+
+
+def test_warm_respects_limit_and_capacity(tmp_path) -> None:
+    writer = MeasurementCache(tmp_path)
+    for i in range(6):
+        writer.put(f"{i:02d}" + "3" * 62, _measurement())
+    assert MeasurementCache(tmp_path).warm(limit=2) == 2
+    tiny = MeasurementCache(tmp_path, hot_capacity=3)
+    assert tiny.warm() == 3  # capacity bounds the preload
+    assert MeasurementCache(tmp_path, hot_capacity=0).warm() == 0
+
+
+def test_warm_skips_corrupt_entries_silently(tmp_path) -> None:
+    writer = MeasurementCache(tmp_path)
+    writer.put(KEY, _measurement())
+    (tmp_path / "zz" / ("zz" + "4" * 62 + ".json")).parent.mkdir()
+    (tmp_path / "zz" / ("zz" + "4" * 62 + ".json")).write_text("{nope")
+    fresh = MeasurementCache(tmp_path)
+    assert fresh.warm() == 1
+    assert fresh.stats.evicted_corrupt == 0  # warm never unlinks
+
+
+# ----------------------------------------------------------------------
+# key schema stability
+# ----------------------------------------------------------------------
+def test_model_version_and_pre_pr_keys_unchanged() -> None:
+    # Sharding changes where a slot lives, never what a slot is: the
+    # pinned pre-PR keys (see test_sweep_batching.py) and the model
+    # version must not move, or every deployed cache goes cold.
+    from repro.core.strategies import InternalStrategy, PhasePolicy, RankPolicy
+
+    assert MODEL_VERSION == 1
+    ft = get_workload("FT", klass="T", nprocs=4)
+    cg = get_workload("CG", klass="T", nprocs=4)
+    assert cache_key(
+        ft, InternalStrategy(PhasePolicy({"alltoall"}, 600, 1400)), 0, {}
+    ) == "c2a3a7a11e922e93949c27665789e612d45546ba3c1de6c33701c5ebeaf9cebd"
+    assert cache_key(
+        cg, InternalStrategy(RankPolicy.split(2, 1400, 800)), 3, {}
+    ) == "885b257d225616e69f38e3bd787e3e3a0983595609faa8d0671e67d225208dd2"
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+_HEX_KEY = st.text(alphabet="0123456789abcdef", min_size=64, max_size=64)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    key=_HEX_KEY,
+    write_depth=st.integers(0, MAX_SHARD_DEPTH),
+    read_depth=st.integers(0, MAX_SHARD_DEPTH),
+    rehome_first=st.booleans(),
+)
+def test_property_any_key_any_layout_round_trips(
+    tmp_path_factory, key, write_depth, read_depth, rehome_first
+) -> None:
+    root = tmp_path_factory.mktemp("shard-prop")
+    original = _measurement()
+    MeasurementCache(root, shard_depth=write_depth).put(key, original)
+    reader = MeasurementCache(root, shard_depth=read_depth)
+    if rehome_first:
+        reader.rehome()
+        assert len(reader) == 1
+    loaded = reader.get(key)
+    assert loaded is not None
+    assert loaded.energy_j == original.energy_j
+    assert loaded.elapsed_s == original.elapsed_s
+    assert reader.stats.hits == 1 and reader.stats.misses == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    keys=st.lists(_HEX_KEY, min_size=1, max_size=8, unique=True),
+    depths=st.lists(st.integers(0, MAX_SHARD_DEPTH), min_size=1, max_size=8),
+    final_depth=st.integers(0, MAX_SHARD_DEPTH),
+)
+def test_property_mixed_layout_directory_rehomes_losslessly(
+    tmp_path_factory, keys, depths, final_depth
+) -> None:
+    # A directory accumulated by stores of *different* depths (the
+    # realistic mid-migration state) rehomes to one canonical layout
+    # with nothing lost and nothing duplicated.
+    root = tmp_path_factory.mktemp("mixed-prop")
+    for i, key in enumerate(keys):
+        depth = depths[i % len(depths)]
+        MeasurementCache(root, shard_depth=depth).put(key, _measurement())
+    store = MeasurementCache(root, shard_depth=final_depth)
+    store.rehome()
+    assert len(store) == len(keys)
+    assert store.rehome() == 0
+    for key in keys:
+        assert store.get(key) is not None

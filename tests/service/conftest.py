@@ -1,0 +1,101 @@
+"""Fixtures for the service concurrency tests.
+
+The service's two time-dependent surfaces — the batching window and
+the quota token bucket — both take injectable time sources, so every
+test here is deterministic: :class:`FakeTimers` captures the window
+timer instead of arming a real one, and :class:`FakeClock` is a
+hand-advanced monotonic clock.  No test sleeps to make a window close.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.service import AdvisorService, ServiceConfig
+
+
+class _Handle:
+    def __init__(self, delay: float, callback: Callable[[], None]) -> None:
+        self.delay = delay
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class FakeTimers:
+    """A ``schedule(delay, cb)`` collaborator the test fires by hand."""
+
+    def __init__(self) -> None:
+        self.handles: list[_Handle] = []
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Handle:
+        handle = _Handle(delay, callback)
+        self.handles.append(handle)
+        return handle
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for h in self.handles if not h.cancelled)
+
+    def fire_all(self) -> int:
+        """Run every armed timer (the batching window elapses)."""
+        fired = 0
+        for handle in self.handles:
+            if not handle.cancelled:
+                handle.cancel()
+                handle.callback()
+                fired += 1
+        return fired
+
+
+class FakeClock:
+    """Hand-advanced monotonic time for the quota token bucket."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def timers() -> FakeTimers:
+    return FakeTimers()
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    """Build in-process services against a per-test cache directory.
+
+    The runner's process pool is freed at teardown even when a test
+    never reaches ``aclose`` (an assertion mid-scenario must not leak
+    workers into the next test).
+    """
+    services: list[AdvisorService] = []
+
+    def make(
+        schedule: Any = None, clock: Any = None, **overrides: Any
+    ) -> AdvisorService:
+        overrides.setdefault("cache_dir", tmp_path / "service-cache")
+        overrides.setdefault("port", 0)
+        service = AdvisorService(
+            ServiceConfig(**overrides), schedule=schedule, clock=clock
+        )
+        services.append(service)
+        return service
+
+    yield make
+    for service in services:
+        service.runner.close()

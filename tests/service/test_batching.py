@@ -1,0 +1,214 @@
+"""AdmissionBatcher semantics under a deterministic fake window timer.
+
+Every scenario drives the batching window by hand (no sleeps): the
+fixture's ``FakeTimers`` captures the ``schedule`` callback the batcher
+would hand to ``loop.call_later``, and ``fire_all`` *is* the window
+elapsing.  The grid runner is a stub that records exactly what was
+asked of it, so coalescing, grouping, early flush, overload shedding
+and error fan-out are all observable at the unit level.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import AdmissionBatcher, OverloadedError
+
+
+class GridRecorder:
+    """A ``run_grid`` stub: records calls, answers ``(group, point)``."""
+
+    def __init__(self, fail_groups: frozenset[str] = frozenset()) -> None:
+        self.calls: list[tuple[str, dict]] = []
+        self.fail_groups = fail_groups
+
+    async def __call__(self, group_key: str, points: dict) -> dict:
+        self.calls.append((group_key, dict(points)))
+        if group_key in self.fail_groups:
+            raise RuntimeError(f"grid {group_key} exploded")
+        return {pk: (group_key, pk) for pk in points}
+
+
+def test_same_point_coalesces_to_one_simulation(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        first = batcher.submit("g", "p", "payload-a")
+        second = batcher.submit("g", "p", "payload-b")
+        assert batcher.queued == 1          # one point, two waiters
+        assert timers.pending == 1
+        assert not first.done() and not second.done()
+        timers.fire_all()
+        results = await asyncio.gather(first, second)
+        assert results == [("g", "p"), ("g", "p")]
+        assert len(grid.calls) == 1
+        # The first submit's payload wins; the coalesced waiter rides it.
+        assert grid.calls[0][1] == {"p": "payload-a"}
+        assert batcher.stats.points_submitted == 1
+        assert batcher.stats.waiters_coalesced == 1
+        assert batcher.stats.windows_flushed == 1
+        assert batcher.stats.grids_run == 1
+
+    asyncio.run(scenario())
+
+
+def test_one_window_groups_points_by_group_key(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        futures = [
+            batcher.submit("ft", "600", 1),
+            batcher.submit("ft", "1400", 2),
+            batcher.submit("cg", "600", 3),
+        ]
+        assert batcher.queued == 3
+        assert timers.pending == 1          # one window for everything
+        timers.fire_all()
+        await asyncio.gather(*futures)
+        assert sorted(gk for gk, _ in grid.calls) == ["cg", "ft"]
+        ft_points = next(p for gk, p in grid.calls if gk == "ft")
+        assert set(ft_points) == {"600", "1400"}
+        assert batcher.stats.windows_flushed == 1
+        assert batcher.stats.grids_run == 2
+
+    asyncio.run(scenario())
+
+
+def test_no_flush_before_the_window_elapses(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        future = batcher.submit("g", "p", None)
+        # Give the loop plenty of chances to (incorrectly) run a grid.
+        for _ in range(5):
+            await asyncio.sleep(0)
+        assert not future.done()
+        assert grid.calls == []
+        timers.fire_all()
+        await future
+
+    asyncio.run(scenario())
+
+
+def test_full_window_flushes_early_without_the_timer(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(
+            grid, max_batch=2, schedule=timers.schedule
+        )
+        a = batcher.submit("g", "p1", None)
+        b = batcher.submit("g", "p2", None)   # hits max_batch
+        await asyncio.gather(a, b)            # no fire_all needed
+        assert len(grid.calls) == 1
+        assert timers.pending == 0            # the armed timer was cancelled
+        assert batcher.queued == 0
+
+    asyncio.run(scenario())
+
+
+def test_admission_bound_sheds_with_retry_hint(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(
+            grid, window_s=0.25, max_queue=1, schedule=timers.schedule
+        )
+        admitted = batcher.submit("g", "p1", None)
+        with pytest.raises(OverloadedError) as excinfo:
+            batcher.submit("g", "p2", None)
+        assert excinfo.value.retry_after_s == 0.25
+        assert excinfo.value.queued == 1
+        # Coalescing onto an already-queued point is NOT new queue load:
+        # it must still be admitted at the bound.
+        rider = batcher.submit("g", "p1", None)
+        assert batcher.queued == 1
+        assert batcher.stats.overloads == 1
+        timers.fire_all()
+        assert await admitted == await rider
+
+    asyncio.run(scenario())
+
+
+def test_queue_drains_then_readmits(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, max_queue=1, schedule=timers.schedule)
+        first = batcher.submit("g", "p1", None)
+        timers.fire_all()
+        await first
+        assert batcher.queued == 0
+        second = batcher.submit("g", "p2", None)  # bound is per window
+        timers.fire_all()
+        await second
+        assert batcher.stats.peak_queue == 1
+
+    asyncio.run(scenario())
+
+
+def test_failing_grid_poisons_only_its_own_waiters(timers) -> None:
+    async def scenario():
+        grid = GridRecorder(fail_groups=frozenset({"bad"}))
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        doomed = batcher.submit("bad", "p", None)
+        doomed_rider = batcher.submit("bad", "p", None)
+        healthy = batcher.submit("good", "p", None)
+        timers.fire_all()
+        assert await healthy == ("good", "p")
+        with pytest.raises(RuntimeError, match="grid bad exploded"):
+            await doomed
+        with pytest.raises(RuntimeError, match="grid bad exploded"):
+            await doomed_rider
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_waiter_does_not_break_fan_out(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        gone = batcher.submit("g", "p", None)
+        stays = batcher.submit("g", "p", None)
+        gone.cancel()
+        timers.fire_all()
+        assert await stays == ("g", "p")
+
+    asyncio.run(scenario())
+
+
+def test_explicit_flush_drains_without_any_timer(timers) -> None:
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, schedule=timers.schedule)
+        future = batcher.submit("g", "p", None)
+        await batcher.flush()
+        assert future.done() and await future == ("g", "p")
+        assert timers.pending == 0
+
+    asyncio.run(scenario())
+
+
+def test_real_event_loop_timer_closes_the_window() -> None:
+    # One integration pass without the fake: the default schedule path
+    # (loop.call_later) must deliver too.
+    async def scenario():
+        grid = GridRecorder()
+        batcher = AdmissionBatcher(grid, window_s=0.001)
+        result = await asyncio.wait_for(
+            batcher.submit("g", "p", None), timeout=5.0
+        )
+        assert result == ("g", "p")
+
+    asyncio.run(scenario())
+
+
+def test_constructor_validation() -> None:
+    async def noop(gk, pts):  # pragma: no cover - never runs
+        return {}
+
+    with pytest.raises(ValueError, match="window_s"):
+        AdmissionBatcher(noop, window_s=-0.1)
+    with pytest.raises(ValueError, match="max_batch"):
+        AdmissionBatcher(noop, max_batch=0)
+    with pytest.raises(ValueError, match="max_batch"):
+        AdmissionBatcher(noop, max_queue=0)

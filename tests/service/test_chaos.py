@@ -1,0 +1,190 @@
+"""Chaos: live fault injection, failing grids, and bad inputs.
+
+A service under injected faults must stay a service: worker-side
+degradation comes back as an *ok* response flagged ``degraded``, a
+grid that genuinely fails comes back as a *structured* error (never a
+hung client), a poisoned group never takes another group's answers
+with it, and every path — success, degraded, failed — releases its
+quota slot.  Zero-rate fault specs are the control group: they must
+change nothing, including the execution tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.experiments.parallel import RunTask, TaskFailedError
+from repro.faults import parse_fault_spec
+from repro.service import InProcessClient
+from repro.workloads import get_workload
+
+SWEEP = {"workload": "FT", "klass": "T", "frequencies_mhz": [600.0, 1400.0]}
+
+
+def test_live_fault_injection_degrades_but_answers(make_service) -> None:
+    """Harsh faults with a worker pool: the injector runs *in* the
+    workers and the client still gets a well-formed, flagged answer."""
+
+    async def scenario():
+        service = make_service(jobs=2, faults=parse_fault_spec("harsh"))
+        client = InProcessClient(service)
+        result = await client.sweep(**SWEEP)
+        assert result["degraded"] is True
+        assert any(
+            m.get("extras", {}).get("faults")
+            for m in result["raw"].values()
+        )
+        assert service.runner.stats.degraded_runs > 0
+        # A degraded answer is still a released slot.
+        assert service.quotas.in_flight("anon") == 0
+        await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_task_failure_is_a_structured_error_not_a_hang(make_service) -> None:
+    """A grid dying with TaskFailedError poisons exactly its own
+    waiters, with the failing spec on one line and the worker traceback
+    kept server-side."""
+
+    async def scenario():
+        service = make_service(jobs=1)
+        real_amap = service.runner.amap_sweep
+
+        async def flaky(tasks, chunk_size=None):
+            if tasks[0].workload.tag.startswith("FT"):
+                raise TaskFailedError(
+                    RunTask(get_workload("FT", klass="T"), None, 0),
+                    attempts=3,
+                    detail="Traceback (worker)...\n  boom",
+                )
+            return await real_amap(tasks, chunk_size)
+
+        service.runner.amap_sweep = flaky
+        ft = InProcessClient(service)
+        cg = InProcessClient(service)
+        failed, healthy = await asyncio.gather(
+            ft.request("sweep", SWEEP),
+            cg.request(
+                "sweep",
+                {"workload": "CG", "klass": "T", "frequencies_mhz": [600.0]},
+            ),
+        )
+        assert failed["ok"] is False
+        assert failed["error"]["code"] == "degraded"
+        assert "\n" not in failed["error"]["message"]
+        assert "workload" in failed["error"]["message"]
+        assert healthy["ok"] is True  # same window, different group
+
+        # The failure released its quota slot and poisoned nothing:
+        # the same query answers once the grid works again.
+        assert service.quotas.in_flight("anon") == 0
+        service.runner.amap_sweep = real_amap
+        recovered = await ft.request("sweep", SWEEP)
+        assert recovered["ok"] is True
+        await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_bad_frequency_is_internal_error_and_service_survives(
+    make_service,
+) -> None:
+    async def scenario():
+        service = make_service()
+        client = InProcessClient(service)
+        bad = await client.request(
+            "sweep",
+            {"workload": "FT", "klass": "T", "frequencies_mhz": [999999.0]},
+        )
+        assert bad["ok"] is False
+        assert bad["error"]["code"] == "internal"
+        assert "operating point" in bad["error"]["message"]
+        assert service.quotas.in_flight("anon") == 0
+        good = await client.request("sweep", SWEEP)
+        assert good["ok"] is True
+        await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_zero_rate_faults_change_nothing_and_stay_on_fast_tiers(
+    tmp_path, make_service
+) -> None:
+    """``FaultSpec.is_noop()`` runs are the no-faults runs: identical
+    bytes on the wire, no degradation, and no event-engine fallback
+    (the batch/straightline tiers keep the grid)."""
+
+    async def scenario(faults):
+        service = make_service(
+            cache_dir=tmp_path / ("zero" if faults else "plain"),
+            faults=faults,
+        )
+        client = InProcessClient(service)
+        result = await client.sweep(**SWEEP)
+        stats = service.runner.stats
+        await service.aclose()
+        return result, stats
+
+    plain, plain_stats = asyncio.run(scenario(None))
+    zero, zero_stats = asyncio.run(scenario(parse_fault_spec("none")))
+    assert json.dumps(zero, sort_keys=True) == json.dumps(plain, sort_keys=True)
+    assert zero["degraded"] is False
+    assert zero_stats.degraded_runs == 0
+    # Fast-tier check: a zero-rate spec must not push points onto the
+    # event engine.
+    assert zero_stats.straightline_fallbacks == 0
+    assert zero_stats.straightline_fallbacks == plain_stats.straightline_fallbacks
+
+    async def stable_slots():
+        # The zero-rate spec's cache slots are stable (the library
+        # contract: the spec keys its own slot, independent of engine):
+        # a second service with the same spec and cache directory
+        # replays everything, stores nothing.
+        service = make_service(
+            cache_dir=tmp_path / "zero", faults=parse_fault_spec("none")
+        )
+        client = InProcessClient(service)
+        await client.sweep(**SWEEP)
+        stats = service.runner.stats
+        assert stats.hits == len(SWEEP["frequencies_mhz"])
+        assert stats.stores == 0
+        await service.aclose()
+
+    asyncio.run(stable_slots())
+
+
+def test_quota_denial_under_fault_storm(make_service, timers) -> None:
+    """Backpressure keeps working while grids are failing."""
+
+    async def scenario():
+        from repro.service import TenantQuota
+
+        service = make_service(
+            schedule=timers.schedule, quota=TenantQuota(max_in_flight=1)
+        )
+
+        async def always_fails(tasks, chunk_size=None):
+            raise TaskFailedError(
+                RunTask(get_workload("FT", klass="T"), None, 0), 3, "boom"
+            )
+
+        service.runner.amap_sweep = always_fails
+        client = InProcessClient(service, tenant="storm")
+        stuck = asyncio.ensure_future(client.request("sweep", SWEEP))
+        await asyncio.sleep(0)
+        denied = await client.request("sweep", SWEEP)
+        assert denied["error"]["code"] == "quota"
+        timers.fire_all()
+        failed = await stuck
+        assert failed["error"]["code"] == "degraded"
+        # The failed request's slot is free again: the retry is
+        # admitted (and fails in the grid), not quota-denied.
+        retry = asyncio.ensure_future(client.request("sweep", SWEEP))
+        await asyncio.sleep(0)
+        timers.fire_all()
+        assert (await retry)["error"]["code"] == "degraded"
+        await service.aclose()
+
+    asyncio.run(scenario())

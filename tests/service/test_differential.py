@@ -1,0 +1,220 @@
+"""Differential tests: service answers pinned to serial library calls.
+
+The service's contract is *bit-identical answers*: whatever admission
+batching, coalescing, caching and fan-back happen on the way, the JSON
+a client receives must equal the serialization of a plain, serial,
+uncached library call — field for field, float for float (``json``
+round-trips doubles exactly).  Deterministic scenarios pin the
+concurrent/coalesced path; the hypothesis properties then draw random
+(workload, frequency subset, seed, metric) queries and hold service
+and library to the same answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScheduleAdvisor
+from repro.experiments.parallel import ParallelRunner, use
+from repro.experiments.runner import frequency_sweep
+from repro.hardware import PENTIUM_M_TABLE
+from repro.service import (
+    AdvisorService,
+    InProcessClient,
+    ServiceConfig,
+    advice_to_dict,
+    sweep_to_payload,
+)
+from repro.service.protocol import resolve_metric
+from repro.workloads import get_workload
+
+CODES = ("FT", "CG", "EP")
+FREQS = tuple(float(f) for f in PENTIUM_M_TABLE.frequencies_mhz())
+
+
+def library_sweep(code: str, freqs, seed: int) -> dict:
+    """The serial, uncached library answer, serialized like the wire."""
+    workload = get_workload(code, klass="T")
+    with use(ParallelRunner(jobs=1, memo=False)):
+        sweep = frequency_sweep(
+            workload, frequencies_mhz=list(freqs), seed=seed
+        )
+    return sweep_to_payload(sweep)
+
+
+def library_advice(code: str, seed: int, metric_spec, include_daemon) -> dict:
+    workload = get_workload(code, klass="T")
+    advisor = ScheduleAdvisor(
+        metric=resolve_metric(metric_spec),
+        seed=seed,
+        include_daemon=include_daemon,
+    )
+    with use(ParallelRunner(jobs=1, memo=False)):
+        return advice_to_dict(advisor.advise(workload))
+
+
+def canon(payload: dict) -> str:
+    """Key-order-independent exact form (floats keep full precision)."""
+    return json.dumps(payload, sort_keys=True)
+
+
+async def _serve_one(cache_dir, op: str, params: dict) -> dict:
+    service = AdvisorService(ServiceConfig(port=0, cache_dir=cache_dir))
+    try:
+        client = InProcessClient(service)
+        if op == "sweep":
+            return await client.sweep(**params)
+        return await client.advise(**params)
+    finally:
+        await service.aclose()
+
+
+# ----------------------------------------------------------------------
+# deterministic pins
+# ----------------------------------------------------------------------
+def test_sweep_answer_equals_serial_library_call(tmp_path) -> None:
+    params = {
+        "workload": "FT",
+        "klass": "T",
+        "frequencies_mhz": [600.0, 1000.0, 1400.0],
+    }
+    served = asyncio.run(_serve_one(tmp_path / "c", "sweep", params))
+    expected = library_sweep("FT", params["frequencies_mhz"], seed=0)
+    assert canon(served) == canon(expected)
+
+
+def test_advise_answer_equals_serial_library_call(tmp_path) -> None:
+    served = asyncio.run(
+        _serve_one(tmp_path / "c", "advise", {"workload": "CG", "klass": "T"})
+    )
+    expected = library_advice("CG", seed=0, metric_spec=None, include_daemon=True)
+    assert served["best"] == expected["best"]
+    assert served["rendered"] == expected["rendered"]
+    assert [c["label"] for c in served["candidates"]] == [
+        c["label"] for c in expected["candidates"]
+    ]
+    assert canon(served) == canon(expected)
+
+
+def test_concurrent_overlapping_queries_all_get_the_serial_answer(
+    tmp_path,
+) -> None:
+    """Coalesced waiters and cache hits change nothing the client sees.
+
+    Three clients race overlapping sweeps into one batching window;
+    afterwards a fourth asks again (pure cache replay).  All four
+    answers must equal the serial library call for their exact point
+    set.
+    """
+
+    async def scenario():
+        service = AdvisorService(
+            ServiceConfig(port=0, cache_dir=tmp_path / "c")
+        )
+        try:
+            clients = [InProcessClient(service) for _ in range(4)]
+            full = list(FREQS)
+            subset = [FREQS[0], FREQS[-1]]
+            first, second, third = await asyncio.gather(
+                clients[0].sweep(workload="FT", klass="T",
+                                 frequencies_mhz=full),
+                clients[1].sweep(workload="FT", klass="T",
+                                 frequencies_mhz=subset),
+                clients[2].sweep(workload="FT", klass="T",
+                                 frequencies_mhz=full),
+            )
+            replay = await clients[3].sweep(
+                workload="FT", klass="T", frequencies_mhz=full
+            )
+            stats = await clients[3].stats()
+            return first, second, third, replay, stats
+
+        finally:
+            await service.aclose()
+
+    first, second, third, replay, stats = asyncio.run(scenario())
+    assert canon(first) == canon(third) == canon(replay)
+    assert canon(first) == canon(library_sweep("FT", FREQS, 0))
+    assert canon(second) == canon(
+        library_sweep("FT", [FREQS[0], FREQS[-1]], 0)
+    )
+    # The race really coalesced: the identical full sweeps shared points.
+    assert stats["batcher"]["waiters_coalesced"] >= len(FREQS)
+
+
+def test_seed_flows_through_to_the_library_call(tmp_path) -> None:
+    # Static external sweeps are seed-invariant by design (the seed
+    # perturbs daemons and faults); the differential contract is that
+    # whatever seed the client names is the seed the library sees.
+    params = {"workload": "CG", "klass": "T", "frequencies_mhz": [600.0]}
+    base = asyncio.run(_serve_one(tmp_path / "a", "sweep", params))
+    other = asyncio.run(
+        _serve_one(tmp_path / "b", "sweep", {**params, "seed": 3})
+    )
+    assert canon(base) == canon(library_sweep("CG", [600.0], 0))
+    assert canon(other) == canon(library_sweep("CG", [600.0], 3))
+
+
+# ----------------------------------------------------------------------
+# property: random queries, same answer
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    code=st.sampled_from(CODES),
+    seed=st.integers(min_value=0, max_value=3),
+    freqs=st.lists(
+        st.sampled_from(FREQS), min_size=1, max_size=len(FREQS), unique=True
+    ),
+)
+def test_sweep_differential_property(tmp_path_factory, code, seed, freqs) -> None:
+    cache_dir = tmp_path_factory.mktemp("sweep-prop")
+    served = asyncio.run(
+        _serve_one(
+            cache_dir,
+            "sweep",
+            {
+                "workload": code,
+                "klass": "T",
+                "seed": seed,
+                "frequencies_mhz": list(freqs),
+            },
+        )
+    )
+    assert canon(served) == canon(library_sweep(code, freqs, seed))
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    code=st.sampled_from(CODES),
+    seed=st.integers(min_value=0, max_value=1),
+    metric=st.sampled_from([None, "EDP", "ED2P", "ED3P", 2.5]),
+    include_daemon=st.booleans(),
+)
+def test_advise_differential_property(
+    tmp_path_factory, code, seed, metric, include_daemon
+) -> None:
+    cache_dir = tmp_path_factory.mktemp("advise-prop")
+    params: dict = {
+        "workload": code,
+        "klass": "T",
+        "seed": seed,
+        "include_daemon": include_daemon,
+    }
+    if metric is not None:
+        params["metric"] = metric
+    served = asyncio.run(_serve_one(cache_dir, "advise", params))
+    expected = library_advice(code, seed, metric, include_daemon)
+    assert served["best"] == expected["best"]
+    assert canon(served) == canon(expected)

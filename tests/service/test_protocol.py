@@ -1,0 +1,154 @@
+"""Wire-protocol units: framing, validation, query normalization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.metrics import ED2P, ED3P, EDP
+from repro.service import BadRequest
+from repro.service.protocol import (
+    AdviseQuery,
+    SweepQuery,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    resolve_metric,
+)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_encode_decode_roundtrip_preserves_floats_exactly() -> None:
+    payload = {"id": 1, "x": 0.1 + 0.2, "y": 1.3591178636190475}
+    decoded = decode_line(encode_line(payload))
+    assert decoded["x"] == payload["x"]
+    assert decoded["y"] == payload["y"]
+
+
+def test_encode_is_one_line() -> None:
+    line = encode_line({"id": 1, "text": "a\nb"})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+
+
+def test_decode_rejects_garbage_and_non_objects() -> None:
+    with pytest.raises(BadRequest, match="not valid JSON"):
+        decode_line(b"{nope")
+    with pytest.raises(BadRequest, match="JSON object"):
+        decode_line(b"[1,2]\n")
+
+
+def test_response_shapes() -> None:
+    ok = ok_response(7, "ping", {"pong": True})
+    assert ok == {"id": 7, "ok": True, "op": "ping", "result": {"pong": True}}
+    err = error_response(8, "quota", "slow down", retry_after_s=0.25)
+    assert err["error"] == {
+        "code": "quota", "message": "slow down", "retry_after_s": 0.25
+    }
+    bare = error_response(None, "bad_request", "what")
+    assert "retry_after_s" not in bare["error"]
+
+
+# ----------------------------------------------------------------------
+# metric resolution
+# ----------------------------------------------------------------------
+def test_resolve_metric_names_weights_and_default() -> None:
+    assert resolve_metric(None) is ED3P
+    assert resolve_metric("edp") is EDP
+    assert resolve_metric("ED2P") is ED2P
+    assert resolve_metric(2.0).delay_weight == ED2P.delay_weight
+
+
+def test_resolve_metric_rejections() -> None:
+    with pytest.raises(BadRequest, match="unknown metric"):
+        resolve_metric("ED9P")
+    with pytest.raises(BadRequest):
+        resolve_metric(True)  # bool is not a weight
+    with pytest.raises(BadRequest):
+        resolve_metric([3])
+
+
+# ----------------------------------------------------------------------
+# sweep queries
+# ----------------------------------------------------------------------
+def test_sweep_query_validates_eagerly() -> None:
+    with pytest.raises(BadRequest, match="unknown sweep params"):
+        SweepQuery.from_params({"workload": "FT", "metric": "EDP"})
+    with pytest.raises(BadRequest, match="workload"):
+        SweepQuery.from_params({})
+    with pytest.raises(BadRequest, match="cannot build workload"):
+        SweepQuery.from_params({"workload": "NOT-A-CODE"})
+    with pytest.raises(BadRequest, match="non-empty list"):
+        SweepQuery.from_params({"workload": "FT", "frequencies_mhz": []})
+    with pytest.raises(BadRequest, match="numbers"):
+        SweepQuery.from_params({"workload": "FT", "frequencies_mhz": ["x"]})
+    with pytest.raises(BadRequest, match="repeat"):
+        SweepQuery.from_params(
+            {"workload": "FT", "frequencies_mhz": [600.0, 600]}
+        )
+
+
+def test_sweep_group_key_ignores_frequencies_but_not_seed() -> None:
+    base = SweepQuery.from_params({"workload": "FT", "klass": "T"})
+    subset = SweepQuery.from_params(
+        {"workload": "ft", "klass": "T", "frequencies_mhz": [600.0]}
+    )
+    reseeded = SweepQuery.from_params(
+        {"workload": "FT", "klass": "T", "seed": 1}
+    )
+    # Same grid: frequency subsets coalesce (and the code is
+    # case-normalized); a different seed is a different grid.
+    assert base.group_key() == subset.group_key()
+    assert base.group_key() != reseeded.group_key()
+
+
+def test_sweep_point_keys_default_to_the_full_table() -> None:
+    from repro.hardware import PENTIUM_M_TABLE
+
+    base = SweepQuery.from_params({"workload": "FT", "klass": "T"})
+    assert [mhz for _, mhz in base.point_keys()] == [
+        float(f) for f in PENTIUM_M_TABLE.frequencies_mhz()
+    ]
+    subset = SweepQuery.from_params(
+        {"workload": "FT", "klass": "T", "frequencies_mhz": [1400.0, 600.0]}
+    )
+    # Client order is preserved (the response raw dict is keyed by it).
+    assert [mhz for _, mhz in subset.point_keys()] == [1400.0, 600.0]
+
+
+# ----------------------------------------------------------------------
+# advise queries
+# ----------------------------------------------------------------------
+def test_advise_query_point_key_is_single_flight_identity() -> None:
+    def q(**extra):
+        return AdviseQuery.from_params(
+            {"workload": "FT", "klass": "T", **extra}
+        )
+
+    assert q().point_key() == q().point_key()
+    assert q().group_key() == q(metric="EDP").group_key()
+    # Anything that changes the advisor run changes the point.
+    assert q().point_key() != q(metric="EDP").point_key()
+    assert q().point_key() != q(seed=1).point_key()
+    assert q().point_key() != q(include_daemon=False).point_key()
+    assert q().point_key() != q(max_delay_increase=0.1).point_key()
+    assert q().point_key() != q(frequencies_mhz=[600.0, 1400.0]).point_key()
+
+
+def test_advise_query_rejects_unknown_params_and_bad_metric() -> None:
+    with pytest.raises(BadRequest, match="unknown advise params"):
+        AdviseQuery.from_params({"workload": "FT", "fequencies_mhz": [1]})
+    with pytest.raises(BadRequest, match="unknown metric"):
+        AdviseQuery.from_params({"workload": "FT", "metric": "nope"})
+
+
+def test_group_keys_are_json_with_op_discriminator() -> None:
+    sweep = SweepQuery.from_params({"workload": "FT", "klass": "T"})
+    advise = AdviseQuery.from_params({"workload": "FT", "klass": "T"})
+    assert json.loads(sweep.group_key())[0] == "sweep"
+    assert json.loads(advise.group_key())[0] == "advise"
+    assert sweep.group_key() != advise.group_key()

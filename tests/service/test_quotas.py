@@ -1,0 +1,188 @@
+"""Per-tenant quota enforcement, against a hand-advanced clock.
+
+Unit layer first (QuotaGate + FakeClock: in-flight caps, token-bucket
+refill arithmetic, tenant isolation), then the pipeline layer: a tenant
+saturating its in-flight cap gets structured ``quota`` denials while
+another tenant's requests are admitted untouched, with the batching
+window held open by the fake timer so saturation is real, not a race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    InProcessClient,
+    QuotaDenied,
+    QuotaGate,
+    TenantQuota,
+)
+
+
+# ----------------------------------------------------------------------
+# unit: in-flight cap
+# ----------------------------------------------------------------------
+def test_in_flight_cap_denies_then_release_frees(fake_clock) -> None:
+    gate = QuotaGate(TenantQuota(max_in_flight=2), clock=fake_clock)
+    gate.admit("a")
+    gate.admit("a")
+    with pytest.raises(QuotaDenied) as excinfo:
+        gate.admit("a")
+    assert excinfo.value.reason == "in-flight"
+    assert excinfo.value.retry_after_s == TenantQuota().inflight_retry_hint_s
+    gate.release("a")
+    gate.admit("a")  # slot freed
+    assert gate.in_flight("a") == 2
+
+
+def test_in_flight_cap_is_per_tenant(fake_clock) -> None:
+    gate = QuotaGate(TenantQuota(max_in_flight=1), clock=fake_clock)
+    gate.admit("a")
+    with pytest.raises(QuotaDenied):
+        gate.admit("a")
+    gate.admit("b")  # a's saturation does not touch b
+    assert gate.in_flight("b") == 1
+
+
+def test_release_without_admit_is_a_bug() -> None:
+    gate = QuotaGate(TenantQuota())
+    with pytest.raises(RuntimeError, match="release without admit"):
+        gate.release("ghost")
+
+
+def test_no_cap_when_disabled(fake_clock) -> None:
+    gate = QuotaGate(TenantQuota(max_in_flight=None), clock=fake_clock)
+    for _ in range(500):
+        gate.admit("a")
+    assert gate.in_flight("a") == 500
+
+
+# ----------------------------------------------------------------------
+# unit: token bucket
+# ----------------------------------------------------------------------
+def test_token_bucket_denies_with_exact_refill_time(fake_clock) -> None:
+    gate = QuotaGate(
+        TenantQuota(max_in_flight=None, qps=2.0, burst=2), clock=fake_clock
+    )
+    gate.admit("a")
+    gate.admit("a")  # burst spent
+    with pytest.raises(QuotaDenied) as excinfo:
+        gate.admit("a")
+    assert excinfo.value.reason == "rate"
+    # Zero tokens at 2 qps: exactly half a second to the next one.
+    assert excinfo.value.retry_after_s == pytest.approx(0.5)
+    fake_clock.advance(0.5)
+    gate.admit("a")  # refilled
+
+
+def test_token_bucket_caps_refill_at_burst(fake_clock) -> None:
+    gate = QuotaGate(
+        TenantQuota(max_in_flight=None, qps=10.0, burst=3), clock=fake_clock
+    )
+    fake_clock.advance(60.0)  # a long idle stretch refills at most burst
+    for _ in range(3):
+        gate.admit("a")
+    with pytest.raises(QuotaDenied):
+        gate.admit("a")
+
+
+def test_rate_is_per_tenant(fake_clock) -> None:
+    gate = QuotaGate(
+        TenantQuota(max_in_flight=None, qps=1.0, burst=1), clock=fake_clock
+    )
+    gate.admit("a")
+    with pytest.raises(QuotaDenied):
+        gate.admit("a")
+    gate.admit("b")
+
+
+def test_snapshot_counts_admissions_and_denials(fake_clock) -> None:
+    gate = QuotaGate(TenantQuota(max_in_flight=1), clock=fake_clock)
+    gate.admit("a")
+    with pytest.raises(QuotaDenied):
+        gate.admit("a")
+    snap = gate.snapshot()
+    assert snap == {"a": {"in_flight": 1, "admitted": 1, "denied": 1}}
+
+
+def test_quota_validation() -> None:
+    with pytest.raises(ValueError, match="max_in_flight"):
+        TenantQuota(max_in_flight=0)
+    with pytest.raises(ValueError, match="qps"):
+        TenantQuota(qps=0.0)
+    with pytest.raises(ValueError, match="burst"):
+        TenantQuota(burst=0)
+
+
+# ----------------------------------------------------------------------
+# pipeline: saturation cannot starve another tenant
+# ----------------------------------------------------------------------
+def test_saturating_tenant_cannot_starve_another(make_service, timers) -> None:
+    async def scenario():
+        service = make_service(
+            schedule=timers.schedule,
+            quota=TenantQuota(max_in_flight=2),
+        )
+        alice = InProcessClient(service, tenant="alice")
+        bob = InProcessClient(service, tenant="bob")
+
+        def sweep(mhz):
+            return {
+                "workload": "FT",
+                "klass": "T",
+                "frequencies_mhz": [mhz],
+            }
+
+        # The window never closes until we say so — alice's first two
+        # requests sit admitted and waiting, genuinely in flight.
+        blocked = [
+            asyncio.ensure_future(alice.request("sweep", sweep(600.0))),
+            asyncio.ensure_future(alice.request("sweep", sweep(800.0))),
+        ]
+        await asyncio.sleep(0)
+        assert service.quotas.in_flight("alice") == 2
+
+        denied = await alice.request("sweep", sweep(1000.0))
+        assert denied["ok"] is False
+        assert denied["error"]["code"] == "quota"
+        assert denied["error"]["retry_after_s"] > 0
+
+        admitted = asyncio.ensure_future(bob.request("sweep", sweep(600.0)))
+        await asyncio.sleep(0)
+        assert service.quotas.in_flight("bob") == 1  # not denied
+
+        timers.fire_all()
+        responses = await asyncio.gather(*blocked, admitted)
+        assert all(r["ok"] for r in responses)
+        # Every slot released — error paths and all.
+        assert service.quotas.in_flight("alice") == 0
+        assert service.quotas.in_flight("bob") == 0
+        snap = service.quotas.snapshot()
+        assert snap["alice"]["denied"] == 1
+        assert snap["bob"]["denied"] == 0
+        await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_denied_request_never_reaches_the_batcher(make_service, timers) -> None:
+    async def scenario():
+        service = make_service(
+            schedule=timers.schedule,
+            quota=TenantQuota(max_in_flight=1),
+        )
+        client = InProcessClient(service, tenant="t")
+        params = {"workload": "FT", "klass": "T", "frequencies_mhz": [600.0]}
+        holder = asyncio.ensure_future(client.request("sweep", params))
+        await asyncio.sleep(0)
+        queued_before = service.batcher.queued
+        denied = await client.request("sweep", params)
+        assert denied["error"]["code"] == "quota"
+        assert service.batcher.queued == queued_before
+        timers.fire_all()
+        assert (await holder)["ok"]
+        await service.aclose()
+
+    asyncio.run(scenario())

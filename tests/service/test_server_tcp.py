@@ -1,0 +1,191 @@
+"""The TCP transport: framing, pipelining, malformed input, lifecycle.
+
+The in-process fixture covers the pipeline; these tests cover what the
+socket adds — line framing, out-of-order completion correlated by
+``id``, a malformed line answered (not dropped) without killing the
+connection, and a clean shutdown that never leaves a client hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service import ServiceClient, ServiceError
+
+
+def test_roundtrip_and_concurrent_pipelining(make_service) -> None:
+    async def scenario():
+        service = make_service()
+        await service.start()
+        client = await ServiceClient.connect(
+            "127.0.0.1", service.bound_port, tenant="tcp-test"
+        )
+        try:
+            assert (await client.ping()) == {"pong": True}
+            # Pipelined concurrent requests on ONE connection.
+            full, subset = await asyncio.gather(
+                client.sweep(workload="FT", klass="T",
+                             frequencies_mhz=[600.0, 1400.0]),
+                client.sweep(workload="FT", klass="T",
+                             frequencies_mhz=[600.0]),
+            )
+            assert set(full["raw"]) == {"600.0", "1400.0"}
+            assert set(subset["raw"]) == {"600.0"}
+            assert full["raw"]["600.0"] == subset["raw"]["600.0"]
+            stats = await client.stats()
+            assert stats["batcher"]["grids_run"] >= 1
+            assert "tcp-test" in stats["quotas"]
+            assert stats["cache"]["enabled"] is True
+        finally:
+            await client.close()
+            await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_line_is_answered_and_connection_survives(
+    make_service,
+) -> None:
+    async def scenario():
+        service = make_service()
+        await service.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", service.bound_port
+        )
+        try:
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] is False
+            assert response["id"] is None
+            assert response["error"]["code"] == "bad_request"
+
+            writer.write(b'[1, 2, 3]\n')  # JSON, but not an object
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["error"]["code"] == "bad_request"
+
+            # The connection is still usable afterwards.
+            writer.write(b'{"id": 9, "op": "ping"}\n')
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response == {
+                "id": 9, "ok": True, "op": "ping", "result": {"pong": True}
+            }
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_blank_lines_are_ignored(make_service) -> None:
+    async def scenario():
+        service = make_service()
+        await service.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", service.bound_port
+        )
+        try:
+            writer.write(b'\n\n{"id": 1, "op": "ping"}\n')
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["id"] == 1 and response["ok"]
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_server_close_fails_outstanding_requests_cleanly(
+    make_service, timers
+) -> None:
+    """aclose flushes the batcher first, so admitted work completes;
+    a client that is simply disconnected gets ConnectionError, not a
+    silent hang."""
+
+    async def scenario():
+        service = make_service(schedule=timers.schedule)
+        await service.start()
+        client = await ServiceClient.connect("127.0.0.1", service.bound_port)
+        pending = asyncio.ensure_future(
+            client.sweep(workload="FT", klass="T", frequencies_mhz=[600.0])
+        )
+        await asyncio.sleep(0.05)  # request reaches the (held) window
+        timers.fire_all()
+        result = await asyncio.wait_for(pending, timeout=30.0)
+        assert set(result["raw"]) == {"600.0"}
+        await service.aclose()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_error_responses_raise_typed_client_errors(make_service) -> None:
+    async def scenario():
+        service = make_service()
+        await service.start()
+        client = await ServiceClient.connect("127.0.0.1", service.bound_port)
+        try:
+            try:
+                await client.sweep(workload="NOT-A-CODE")
+            except ServiceError as exc:
+                assert exc.code == "bad_request"
+            else:  # pragma: no cover
+                raise AssertionError("expected ServiceError")
+        finally:
+            await client.close()
+            await service.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_cli_serve_target_speaks_the_protocol(tmp_path) -> None:
+    """End to end through the CLI entry point, in a subprocess."""
+    import socket
+    import subprocess
+    import sys
+    import time
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--port", str(port), "--cache-dir", str(tmp_path / "cache"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        response = None
+        while time.monotonic() < deadline:
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=5.0
+                ) as sock:
+                    sock.sendall(b'{"id": 1, "op": "ping"}\n')
+                    buf = b""
+                    while not buf.endswith(b"\n"):
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        buf += chunk
+                    response = json.loads(buf)
+                    break
+            except (ConnectionRefusedError, OSError):
+                time.sleep(0.1)
+        assert response == {
+            "id": 1, "ok": True, "op": "ping", "result": {"pong": True}
+        }
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
