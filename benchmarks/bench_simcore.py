@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import time
 from typing import Callable, Optional
 
@@ -360,8 +361,20 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     import tempfile
 
+    import os
+
+    import numpy as np
+
     with tempfile.TemporaryDirectory() as cache_dir:
         payload = {
+            # Machine header: bench-smoke artifacts from different CI
+            # runners are only comparable with these pinned alongside.
+            "machine": {
+                "cpu_count": os.cpu_count(),
+                "numpy_version": np.__version__,
+                "python_version": platform.python_version(),
+                "platform": platform.platform(),
+            },
             "kernel": bench_kernel(args.events, args.repeats),
             "tiers": bench_tiers(args.klass, cache_dir, args.quick),
             "sweep": bench_sweep(args.code, args.klass, args.jobs, cache_dir),

@@ -369,6 +369,9 @@ class ParallelRunner:
         pool path (whose ``engine="auto"`` reaches the event engine)
         and count in ``stats.straightline_fallbacks``.
         """
+        from repro.sim.straightline import lowering_cache_counters
+
+        lower_h0, lower_m0 = lowering_cache_counters()
         groups: dict[tuple, list[int]] = {}
         leftover: list[int] = []
         sampled: list[int] = []
@@ -455,6 +458,11 @@ class ParallelRunner:
                 continue
             for j, m in zip(positions, batch):
                 measured[j] = m
+        # Gear-plan lowering reuse over this call (process-wide counter
+        # deltas: the in-process tiers above are the only lowerers here).
+        lower_h1, lower_m1 = lowering_cache_counters()
+        self.stats.lowering_hits += lower_h1 - lower_h0
+        self.stats.lowering_misses += lower_m1 - lower_m0
         leftover.sort()
         return leftover
 

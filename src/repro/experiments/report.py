@@ -215,9 +215,10 @@ def render_runner_stats(runner) -> str:
     """One-line sweep-engine summary for a :class:`ParallelRunner`.
 
     The runner's own counters (hits/misses and the ``map_sweep`` tier
-    telemetry: straightline fallbacks, batch splits, scalar re-runs)
-    plus the disk cache's health counters, which live on the cache's
-    separate stats object (hot-layer hits, corrupt entries evicted).
+    telemetry: straightline fallbacks, batch splits, scalar re-runs,
+    gear-plan lowering-cache reuse) plus the disk cache's health
+    counters, which live on the cache's separate stats object
+    (hot-layer hits, corrupt entries evicted).
     """
     line = runner.stats.render()
     cache = getattr(runner, "cache", None)

@@ -272,6 +272,11 @@ class CacheStats:
     #: poll/reduction ticks those runs applied.
     controller_runs: int = 0
     reduction_ticks: int = 0
+    #: gear-plan lowering cache reuse across the sweep: hits return a
+    #: previously lowered (plan, opoints) action table; misses lower
+    #: fresh (and may evict, the per-program table is LRU-bounded).
+    lowering_hits: int = 0
+    lowering_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -300,6 +305,11 @@ class CacheStats:
             base += (
                 f"; {self.controller_runs} stateful-controller runs "
                 f"({self.reduction_ticks} reduction ticks)"
+            )
+        if self.lowering_hits or self.lowering_misses:
+            base += (
+                f"; lowering: {self.lowering_hits} reused / "
+                f"{self.lowering_misses} lowered"
             )
         if self.degraded_runs:
             base += (

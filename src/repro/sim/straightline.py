@@ -84,19 +84,37 @@ _LISTS_CACHE: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def _program_lists(compiled: CompiledProgram) -> tuple:
-    """Python-list view of a compiled program, memoized per program."""
+    """Python-list view of a compiled program, memoized per program.
+
+    Grouped ranks share body array objects (see ``CompiledProgram``);
+    each distinct array converts once and its list object is shared —
+    consumers only read them, so the view's memory scales with rank
+    groups, not ranks.
+    """
     lists = _LISTS_CACHE.get(compiled)
     if lists is None:
+        def shared(arrays):
+            memo: dict[int, list] = {}
+            out = []
+            for a in arrays:
+                v = memo.get(id(a))
+                if v is None:
+                    v = memo[id(a)] = a.tolist()
+                out.append(v)
+            return out
+
+        rb = compiled.req_base
         lists = (
-            [a.tolist() for a in compiled.ops],
-            [a.tolist() for a in compiled.iargs],
-            [a.tolist() for a in compiled.fargs],
+            shared(compiled.ops),
+            shared(compiled.iargs),
+            shared(compiled.fargs),
             compiled.req_kind.tolist(),
             compiled.req_owner.tolist(),
             compiled.req_peer.tolist(),
             compiled.req_nbytes.tolist(),
             compiled.req_eager.tolist(),
             compiled.req_match.tolist(),
+            rb.tolist() if rb is not None else [0] * compiled.nprocs,
         )
         _LISTS_CACHE[compiled] = lists
     return lists
@@ -104,8 +122,21 @@ def _program_lists(compiled: CompiledProgram) -> tuple:
 
 #: compiled program -> {(plan, opoints): lowered actions}.  GearPlan is a
 #: frozen dataclass and tables hash by content, so sweeps that revisit a
-#: plan (e.g. the same gear pair across seeds) lower it once.
+#: plan (e.g. the same gear pair across seeds) lower it once.  Each
+#: per-program dict is LRU-bounded at ``_ACTIONS_CACHE_CAP`` entries:
+#: grids with many one-shot plans (the optimizer's candidate search)
+#: would otherwise grow it without limit.
 _ACTIONS_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+_ACTIONS_CACHE_CAP = 64
+
+#: process-wide gear-plan lowering counters (runner telemetry: sweeps
+#: snapshot deltas into ``CacheStats.lowering_hits``/``lowering_misses``).
+_LOWERING_STATS = {"hits": 0, "misses": 0}
+
+
+def lowering_cache_counters() -> tuple[int, int]:
+    """``(hits, misses)`` of the gear-plan lowering cache, process-wide."""
+    return _LOWERING_STATS["hits"], _LOWERING_STATS["misses"]
 
 #: operating-point table -> (frequency_hz array, frequency_mhz array).
 #: Shared read-only across batch executors; only ever indexed.
@@ -132,6 +163,8 @@ def _lower_gear_actions(compiled: CompiledProgram, plan, opoints) -> list[list[t
     key = (plan, opoints)
     cached = per_prog.get(key)
     if cached is not None:
+        _LOWERING_STATS["hits"] += 1
+        per_prog[key] = per_prog.pop(key)  # LRU: refresh recency
         return cached
     exact = {p.frequency_mhz: i for i, p in enumerate(opoints)}
     per_rank: list[list[tuple]] = []
@@ -147,7 +180,10 @@ def _lower_gear_actions(compiled: CompiledProgram, plan, opoints) -> list[list[t
             per_rank.append(acts)
     except (KeyError, IndexError, ValueError) as exc:
         raise CompileError(f"gear plan not executable: {exc!r}") from exc
+    _LOWERING_STATS["misses"] += 1
     per_prog[key] = per_rank
+    while len(per_prog) > _ACTIONS_CACHE_CAP:
+        per_prog.pop(next(iter(per_prog)))  # evict least-recently used
     return per_rank
 
 
@@ -199,10 +235,12 @@ class _Slot:
 
 class _Rank:
     __slots__ = ("rank", "pc", "t", "phase", "wait_req", "coll_seq", "spawn",
-                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i")
+                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i",
+                 "rbase")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
+        self.rbase = 0  # global id of this rank's first request
         self.pc = 0
         self.t = 0.0
         self.phase = "op"  # op | wait | coll | done
@@ -228,13 +266,18 @@ class _Executor:
     def __init__(self, compiled: CompiledProgram, cost, net_params, power_params,
                  nodes: list[_Node], opoints=None,
                  gear_actions: Optional[list[list[tuple]]] = None,
-                 transition_latency_s: float = 20e-6) -> None:
+                 transition_latency_s: float = 20e-6,
+                 coll_n: Optional[int] = None) -> None:
         self.c = compiled
         self.cost = cost
         self.net = net_params
         self.power = power_params
         self.nodes = nodes
         self.n = compiled.nprocs
+        # Collective durations scale with the communicator size.  A
+        # quotient (group-representative) run interprets G rank groups
+        # but models an N-rank job, so the two counts differ there.
+        self.coll_n = coll_n if coll_n is not None else compiled.nprocs
         self.fastest_hz = compiled.fastest_hz
         self.opoints = opoints
         self.transition_latency_s = transition_latency_s
@@ -253,7 +296,7 @@ class _Executor:
         # shared across every point of a sweep.
         (self.ops, self.iargs, self.fargs, self.req_kind, self.req_owner,
          self.req_peer, self.req_nbytes, self.req_eager,
-         self.req_match) = _program_lists(compiled)
+         self.req_match, self.req_base) = _program_lists(compiled)
         nreq = compiled.n_requests
         self.done_t: list[Optional[float]] = [None] * nreq
         self.posted_t: list[Optional[float]] = [None] * nreq
@@ -268,6 +311,7 @@ class _Executor:
             r.ops = self.ops[r.rank]
             r.iargs = self.iargs[r.rank]
             r.fargs = self.fargs[r.rank]
+            r.rbase = self.req_base[r.rank]
             r.node = nodes[r.rank]
             if gear_actions:
                 r.acts = gear_actions[r.rank]
@@ -555,13 +599,13 @@ class _Executor:
             r.t = r.t + r.fargs[pc][0]
             r.pc = pc + 1
         elif code == OP_ISEND:
-            r.spawn.append(r.iargs[pc])
+            r.spawn.append(r.rbase + r.iargs[pc])
             r.pc = pc + 1
         elif code == OP_IRECV:
-            self._post_recv(r, r.iargs[pc])
+            self._post_recv(r, r.rbase + r.iargs[pc])
             r.pc = pc + 1
         elif code == OP_WAIT:
-            self._start_wait(r, r.iargs[pc])
+            self._start_wait(r, r.rbase + r.iargs[pc])
         else:  # OP_COLLECTIVE
             self._start_collective(r)
 
@@ -658,7 +702,7 @@ class _Executor:
                 ratio = max(nd.freq_hz for nd in self.nodes) / self.fastest_hz
             duration = self.cost.collective_seconds(
                 self.c.coll_kinds[seq],
-                self.n,
+                self.coll_n,
                 max(slot.wires.values()),
                 self.net,
                 freq_ratio=ratio,
@@ -1107,7 +1151,7 @@ class _SampledExecutor(_Executor):
         ratio = max(nd.freq_hz for nd in self.nodes) / self.fastest_hz
         duration = self.cost.collective_seconds(
             self.c.coll_kinds[seq],
-            self.n,
+            self.coll_n,
             max(slot.wires.values()),
             self.net,
             freq_ratio=ratio,
@@ -1610,6 +1654,7 @@ def run_straightline(
     opoints=None,
     transition_latency_s: float = 20e-6,
     stats=None,
+    vector: bool = True,
 ):
     """Measure a static- or piecewise-static-gear run on this tier.
 
@@ -1624,9 +1669,17 @@ def run_straightline(
     :class:`StraightlineUnsupported` when the run needs the event
     engine; :func:`try_run_straightline` converts those into ``None``.
 
-    ``stats``, when a dict, receives tier telemetry: currently
-    ``reduction_ticks``, the number of poll/reduction ticks a
-    stateful-controller run applied (absent for gear-plan runs).
+    ``vector`` (default on) lets gear-plan runs without point-to-point
+    traffic execute on the quotient program — one interpreter rank per
+    execution group (see :func:`_vector_partition`) — so interpretation
+    cost scales with distinct rank groups, not ranks.  The result is
+    bit-for-bit identical either way; the flag exists for differential
+    tests and benchmarking the per-rank path.
+
+    ``stats``, when a dict, receives tier telemetry:
+    ``reduction_ticks`` (poll/reduction ticks of a stateful-controller
+    run); for gear-plan runs ``vector`` (whether the grouped path ran)
+    and ``groups`` (execution group count; = nprocs on fallback).
     """
     from repro.core.framework import Measurement
     from repro.core.strategies.base import NoDvsStrategy
@@ -1684,8 +1737,41 @@ def run_straightline(
             stats["reduction_ticks"] = ex.reduction_ticks
     else:
         actions = _lower_gear_actions(compiled, plan, opoints)
+        start_idx = _start_indices(plan, opoints, workload.nprocs)
+        part = None
+        if vector:
+            part = _vector_partition(
+                compiled, lambda r: (start_idx[r], tuple(actions[r]))
+            )
+        if stats is not None:
+            stats["vector"] = part is not None
+            stats["groups"] = (
+                len(part[1]) if part is not None else workload.nprocs
+            )
+        if part is not None:
+            exec_of, members = part
+            qprog = _quotient_program(compiled, exec_of, members)
+            t_end, e_nodes, time_at, transitions = _run_grouped(
+                compiled, members, qprog, workload.cost_model(), net,
+                power, opoints, start_idx, actions, transition_latency_s,
+            )
+            per_node = {nid: float(e_nodes[nid]) for nid in node_ids}
+            return Measurement(
+                workload=workload.tag,
+                strategy=strategy.describe(),
+                elapsed_s=t_end - 0.0,
+                energy_j=sum(per_node.values()),
+                per_node_energy_j=per_node,
+                dvs_transitions=transitions,
+                time_at_mhz=time_at,
+                acpi_energy_j=None,
+                baytech_energy_j=None,
+                trace=None,
+                report=None,
+                extras={},
+            )
         nodes = []
-        for idx in _start_indices(plan, opoints, workload.nprocs):
+        for idx in start_idx:
             op = opoints[idx]
             stall = transition_latency_s if idx != max_idx else 0.0
             nodes.append(_Node(op.frequency_hz, op.frequency_mhz, op, stall, idx))
@@ -1728,6 +1814,7 @@ def try_run_straightline(
     opoints=None,
     transition_latency_s: float = 20e-6,
     stats=None,
+    vector: bool = True,
 ):
     """Like :func:`run_straightline` but returns ``None`` on fallback."""
     try:
@@ -1740,6 +1827,7 @@ def try_run_straightline(
             opoints=opoints,
             transition_latency_s=transition_latency_s,
             stats=stats,
+            vector=vector,
         )
     except (CompileError, StraightlineUnsupported):
         return None
@@ -1770,10 +1858,12 @@ class _BNode:
 
 class _BRank:
     __slots__ = ("rank", "pc", "t", "phase", "wait_req", "coll_seq", "spawn",
-                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i")
+                 "finish", "ops", "iargs", "fargs", "node", "acts", "act_i",
+                 "rbase")
 
     def __init__(self, rank: int, zeros) -> None:
         self.rank = rank
+        self.rbase = 0
         self.pc = 0
         self.t = zeros
         self.phase = "op"
@@ -1819,7 +1909,8 @@ class _BatchExecutor:
 
     def __init__(self, compiled: CompiledProgram, cost, net_params,
                  power_params, opoints, start_idx, gear_actions,
-                 transition_latency_s: float) -> None:
+                 transition_latency_s: float,
+                 coll_n: Optional[int] = None) -> None:
         import numpy as np
 
         self.np = np
@@ -1829,6 +1920,7 @@ class _BatchExecutor:
         self.power = power_params
         self.opoints = opoints
         self.n = compiled.nprocs
+        self.coll_n = coll_n if coll_n is not None else compiled.nprocs
         self.B = B = len(start_idx[0])
         self.fastest_hz = compiled.fastest_hz
         self.transition_latency_s = transition_latency_s
@@ -1856,7 +1948,7 @@ class _BatchExecutor:
         self.freq_ratio = ratio / compiled.fastest_hz
         (self.ops, self.iargs, self.fargs, self.req_kind, self.req_owner,
          self.req_peer, self.req_nbytes, self.req_eager,
-         self.req_match) = _program_lists(compiled)
+         self.req_match, self.req_base) = _program_lists(compiled)
         nreq = compiled.n_requests
         self.done_t: list = [None] * nreq
         self.posted_t: list = [None] * nreq
@@ -1871,6 +1963,7 @@ class _BatchExecutor:
             r.ops = self.ops[r.rank]
             r.iargs = self.iargs[r.rank]
             r.fargs = self.fargs[r.rank]
+            r.rbase = self.req_base[r.rank]
             r.node = self.nodes[r.rank]
             if gear_actions:
                 r.acts = gear_actions[r.rank]
@@ -2005,7 +2098,8 @@ class _BatchExecutor:
             key = (kind, wmax, rk)
             v = memo.get(key)
             if v is None:
-                v = fn(kind, self.n, wmax, self.net, freq_ratio=rk, jitter_s=0.0)
+                v = fn(kind, self.coll_n, wmax, self.net,
+                       freq_ratio=rk, jitter_s=0.0)
                 memo[key] = v
             out[k] = v
         return out
@@ -2218,13 +2312,13 @@ class _BatchExecutor:
             r.t = r.t + r.fargs[pc][0]
             r.pc = pc + 1
         elif code == OP_ISEND:
-            r.spawn.append(r.iargs[pc])
+            r.spawn.append(r.rbase + r.iargs[pc])
             r.pc = pc + 1
         elif code == OP_IRECV:
-            self._post_recv(r, r.iargs[pc])
+            self._post_recv(r, r.rbase + r.iargs[pc])
             r.pc = pc + 1
         elif code == OP_WAIT:
-            self._start_wait(r, r.iargs[pc])
+            self._start_wait(r, r.rbase + r.iargs[pc])
         else:
             self._start_collective(r)
 
@@ -2626,6 +2720,190 @@ def _start_indices(plan, opoints, nprocs: int) -> list[int]:
     return [opoints.max_index] * nprocs
 
 
+# ----------------------------------------------------------------------
+# node-major vectorized tier: one interpreter rank per execution group
+# ----------------------------------------------------------------------
+#: compiled program -> {execution partition: quotient CompiledProgram}.
+#: A quotient program holds one representative rank per execution group
+#: and shares every body array with the original, so it costs a handful
+#: of small objects per distinct partition.
+_QUOTIENT_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _vector_partition(compiled: CompiledProgram, point_key):
+    """Execution groups: body groups refined by per-rank gear state.
+
+    Two ranks may share one interpreter rank only when they share a
+    program body *and* identical gear state at every instant of the run
+    — ``point_key(rank)`` must capture the post-setup operating point
+    and the lowered gear actions.  Returns ``(exec_of, members)`` with
+    group ids in first-rank order, or ``None`` when the refinement
+    degenerates to one rank per group (nothing to share) or the program
+    carries point-to-point traffic (peers are rank-specific, so grouped
+    ranks would not replicate each other's float chains).
+    """
+    if compiled.n_requests or compiled.group_of is None:
+        return None
+    gof = compiled.group_of
+    sig_to_exec: dict = {}
+    exec_of: list[int] = []
+    members: list[list[int]] = []
+    for r in range(compiled.nprocs):
+        sig = (int(gof[r]), point_key(r))
+        e = sig_to_exec.get(sig)
+        if e is None:
+            e = sig_to_exec[sig] = len(members)
+            members.append([])
+        exec_of.append(e)
+        members[e].append(r)
+    if len(members) >= compiled.nprocs:
+        return None
+    return exec_of, members
+
+
+def _quotient_program(compiled: CompiledProgram, exec_of: list[int],
+                      members: list[list[int]]) -> CompiledProgram:
+    """A ``CompiledProgram`` over one representative rank per group.
+
+    Shares the representatives' body arrays (and the original's empty
+    request table) by reference; only the tiny per-rank index vectors
+    are new.  Collective call-site seqs are global already, so every
+    representative arrives at the same slots the full program would.
+    """
+    import numpy as np
+
+    per_prog = _QUOTIENT_CACHE.get(compiled)
+    if per_prog is None:
+        per_prog = _QUOTIENT_CACHE[compiled] = {}
+    key = tuple(exec_of)
+    q = per_prog.get(key)
+    if q is None:
+        reps = [m[0] for m in members]
+        G = len(reps)
+        q = CompiledProgram(
+            nprocs=G,
+            fastest_hz=compiled.fastest_hz,
+            ops=[compiled.ops[r] for r in reps],
+            iargs=[compiled.iargs[r] for r in reps],
+            fargs=[compiled.fargs[r] for r in reps],
+            req_kind=compiled.req_kind,
+            req_owner=compiled.req_owner,
+            req_peer=compiled.req_peer,
+            req_tag=compiled.req_tag,
+            req_nbytes=compiled.req_nbytes,
+            req_eager=compiled.req_eager,
+            req_match=compiled.req_match,
+            coll_kinds=compiled.coll_kinds,
+            markers=tuple(compiled.markers[r] for r in reps),
+            req_base=np.zeros(G, dtype=np.int64),
+            group_of=np.arange(G, dtype=np.int64),
+            group_members=tuple(
+                np.array([g], dtype=np.int64) for g in range(G)
+            ),
+        )
+        per_prog[key] = q
+    return q
+
+
+def _gear_event_counts(node, B=None):
+    """Per-element count of gear transitions recorded on one node.
+
+    The executors increment their transition counters exactly once per
+    emitted ``_EV_GEAR`` event (setup-time speed calls never emit), so
+    counting events recovers the per-node share of the total — which a
+    quotient run needs to weight by group size.  ``B`` selects the
+    batch event layout (masked events count only masked elements).
+    """
+    if B is None:
+        return sum(1 for ev in node.events if ev[2] == _EV_GEAR)
+    import numpy as np
+
+    cnt = np.zeros(B, dtype=np.int64)
+    for ev in node.events:
+        if ev[2] == _EV_GEAR:
+            mask = ev[4]
+            cnt += 1 if mask is None else mask
+    return cnt
+
+
+def _merge_hists_nodewise(nprocs: int, members: list[list[int]],
+                          hists_g: list[dict]) -> dict:
+    """Node-order merge of per-group histograms into one ``time_at``.
+
+    Replicates the scalar tail's fold — ``time_at[mhz] += hists[nid]
+    [mhz]`` for ``nid`` in id order — as one ``np.cumsum`` over an
+    (N,) node-order vector per distinct MHz key.  Exact: ``cumsum`` is
+    the same left-to-right sequential addition chain, and the zeros
+    standing in for nodes without the key add exactly ``+0.0`` (every
+    recorded duration is positive, so no ``-0.0`` can flip sign).
+    """
+    import numpy as np
+
+    keys: list = []
+    seen: set = set()
+    for h in hists_g:
+        for m in h:
+            if m not in seen:
+                seen.add(m)
+                keys.append(m)
+    time_at: dict = {}
+    for m in keys:
+        v = np.zeros(nprocs)
+        for g, mem in enumerate(members):
+            s = hists_g[g].get(m)
+            if s is not None:
+                v[mem] = s
+        time_at[m] = float(np.cumsum(v)[-1])
+    return time_at
+
+
+def _run_grouped(compiled: CompiledProgram, members: list[list[int]],
+                 qprog: CompiledProgram, cost, net, power, opoints,
+                 start_idx: list[int], actions, transition_latency_s: float):
+    """Evaluate a static/piecewise-static run on the quotient program.
+
+    Interprets one representative rank per execution group (``coll_n``
+    keeps collective durations modelling the full N-rank communicator)
+    and broadcasts the per-group results over the member nodes with
+    numpy fancy indexing.  Exactness: with no point-to-point traffic,
+    ranks in one execution group compute identical float chains — the
+    only cross-rank couplings are collective completions, and ``max``
+    over the distinct per-group values equals ``max`` over the full
+    rank set bit-for-bit (the result is always an operand).
+
+    Returns ``(t_end, e_nodes, time_at, transitions)`` with ``e_nodes``
+    an (N,) array of per-node energies.
+    """
+    import numpy as np
+
+    reps = [m[0] for m in members]
+    max_idx = opoints.max_index
+    nodes = []
+    for r in reps:
+        idx = start_idx[r]
+        op = opoints[idx]
+        stall = transition_latency_s if idx != max_idx else 0.0
+        nodes.append(_Node(op.frequency_hz, op.frequency_mhz, op, stall, idx))
+    ex = _Executor(
+        qprog, cost, net, power, nodes, opoints=opoints,
+        gear_actions=[actions[r] for r in reps] if actions else None,
+        transition_latency_s=transition_latency_s,
+        coll_n=compiled.nprocs,
+    )
+    t_end = ex.run()
+    energies_g, hists_g = ex.finalize(t_end)
+
+    counts = np.array([len(m) for m in members], dtype=np.int64)
+    trans_g = np.array([_gear_event_counts(nd) for nd in nodes],
+                       dtype=np.int64)
+    transitions = int(np.dot(counts, trans_g))
+    e_nodes = np.empty(compiled.nprocs)
+    for g, mem in enumerate(members):
+        e_nodes[mem] = energies_g[g]
+    time_at = _merge_hists_nodewise(compiled.nprocs, members, hists_g)
+    return t_end, e_nodes, time_at, transitions
+
+
 def run_batch(
     workload,
     points,
@@ -2634,6 +2912,7 @@ def run_batch(
     power=None,
     opoints=None,
     transition_latency_s: float = 20e-6,
+    vector: bool = True,
 ):
     """Measure many ``(strategy, seed)`` points of one workload at once.
 
@@ -2646,6 +2925,13 @@ def run_batch(
     straightline-eligible run (no fault injection, no jitter — nothing
     draws randomness).  Groups whose control flow diverges across
     elements are split and retried, down to scalar runs.
+
+    With ``vector`` (default on), a batch whose workload has no
+    point-to-point traffic runs on the quotient program — one
+    interpreter rank per execution group shared by *every point of the
+    batch* — so a (B points × N nodes) sweep costs (B × G) work.  A
+    quotient batch that cannot keep a single control flow falls back
+    to the per-rank batch before any splitting.
 
     Raises :class:`StraightlineUnsupported` (dynamic strategy) or
     :class:`~repro.workloads.compile.CompileError` like the scalar
@@ -2694,6 +2980,10 @@ def run_batch(
             transition_latency_s=transition_latency_s,
         )
 
+    quotient_able = (
+        vector and compiled.n_requests == 0 and compiled.group_of is not None
+    )
+
     def evaluate(idxs: list[int]) -> None:
         if len(idxs) == 1:
             results[idxs[0]] = scalar(idxs[0])
@@ -2706,7 +2996,86 @@ def run_batch(
             evaluate(idxs[:mid])
             evaluate(idxs[mid:])
 
+    def grouped_batch(idxs: list[int]) -> bool:
+        """Quotient-program batch: (B, G) work for a (B, N) sweep.
+
+        The execution partition must hold for *every* point of the
+        batch at once (one quotient program serves the whole batch),
+        so body groups are refined by each rank's start index and
+        lowered actions across all points.  Per-group results broadcast
+        to member nodes exactly as the scalar grouped path.
+        """
+        part = _vector_partition(
+            compiled,
+            lambda r: (
+                tuple(prepared[i][0][r] for i in idxs),
+                tuple(tuple(prepared[i][1][r]) for i in idxs),
+            ),
+        )
+        if part is None:
+            return False
+        exec_of, members = part
+        reps = [m[0] for m in members]
+        qprog = _quotient_program(compiled, exec_of, members)
+        B = len(idxs)
+        start_idx = [
+            np.array([prepared[i][0][r] for i in idxs], dtype=np.intp)
+            for r in reps
+        ]
+        gear_actions = []
+        for r in reps:
+            template = prepared[idxs[0]][1][r]
+            acts = []
+            for a, (pos, _t) in enumerate(template):
+                targets = np.array(
+                    [prepared[i][1][r][a][1] for i in idxs], dtype=np.intp
+                )
+                acts.append((pos, targets))
+            gear_actions.append(acts)
+        ex = _BatchExecutor(
+            qprog, cost, net, power, opoints, start_idx, gear_actions,
+            transition_latency_s, coll_n=workload.nprocs,
+        )
+        t_end = ex.run()
+        energies_g, hists_g = ex.finalize(t_end)
+        counts = np.array([len(m) for m in members], dtype=np.int64)
+        trans_mat = np.stack(
+            [_gear_event_counts(nd, B) for nd in ex.nodes]
+        )  # (G, B)
+        trans = counts @ trans_mat
+        node_ids = list(range(workload.nprocs))
+        e_nodes = np.empty((workload.nprocs, B))
+        for g, mem in enumerate(members):
+            e_nodes[mem] = energies_g[g]
+        for k, i in enumerate(idxs):
+            strat, _seed = points[i]
+            per_node = {nid: float(e_nodes[nid][k]) for nid in node_ids}
+            time_at = _merge_hists_nodewise(
+                workload.nprocs, members, [h[k] for h in hists_g]
+            )
+            results[i] = Measurement(
+                workload=workload.tag,
+                strategy=strat.describe(),
+                elapsed_s=float(t_end[k]),
+                energy_j=sum(per_node.values()),
+                per_node_energy_j=per_node,
+                dvs_transitions=int(trans[k]),
+                time_at_mhz=time_at,
+                acpi_energy_j=None,
+                baytech_energy_j=None,
+                trace=None,
+                report=None,
+                extras={},
+            )
+        return True
+
     def batch_measure(idxs: list[int]) -> None:
+        if quotient_able:
+            try:
+                if grouped_batch(idxs):
+                    return
+            except StraightlineUnsupported:
+                pass  # the per-rank batch may still hold a single flow
         B = len(idxs)
         start_idx = [
             np.array([prepared[i][0][r] for i in idxs], dtype=np.intp)

@@ -129,6 +129,12 @@ class _RecordingContext:
         self._fastest_hz = fastest_hz
         self._coll_seq = 0
         self._ops: list[tuple] = []
+        # Ranks record sequentially, so this rank's requests occupy the
+        # contiguous global id block starting here.  The ops stream
+        # stores *rank-local* request indices (global = base + local):
+        # symmetric ranks then record byte-identical op streams and can
+        # share one packed program body.
+        self._req_base = len(recorder.requests)
         # The real context exposes these counters; static programs may
         # read (never usefully write) them.
         self.dvs_calls = 0
@@ -204,7 +210,7 @@ class _RecordingContext:
         eager = self._cost.is_eager(nbytes)
         req = self._recorder.new_request("send", self.rank, dst, tag, float(nbytes))
         req.message = _RecordedMessage(self.rank, dst, tag, float(nbytes), eager)
-        self._ops.append((OP_ISEND, req.req_id, _NO_F))
+        self._ops.append((OP_ISEND, req.req_id - self._req_base, _NO_F))
         return req
 
     def irecv(
@@ -217,13 +223,17 @@ class _RecordingContext:
         if not 0 <= src < self.size:
             raise ValueError(f"source rank {src} out of range")
         req = self._recorder.new_request("recv", self.rank, src, tag, float(nbytes_hint))
-        self._ops.append((OP_IRECV, req.req_id, _NO_F))
+        self._ops.append((OP_IRECV, req.req_id - self._req_base, _NO_F))
         return req
 
     def wait(self, request: _RecordedRequest, _op: Optional[str] = None) -> Generator:
         if not isinstance(request, _RecordedRequest):
             raise CompileError("wait() on a foreign request object")
-        self._ops.append((OP_WAIT, request.req_id, _NO_F))
+        if self._recorder.req_owner[request.req_id] != self.rank:
+            # A rank-local index cannot address another rank's request;
+            # the event engine surfaces the genuine misuse.
+            raise CompileError("wait() on another rank's request")
+        self._ops.append((OP_WAIT, request.req_id - self._req_base, _NO_F))
         return request.message
         yield  # pragma: no cover
 
@@ -361,11 +371,20 @@ class CompiledProgram:
 
     The per-rank arrays are parallel: ``ops[r][k]`` is the op code of
     rank ``r``'s ``k``-th operation, ``iargs[r][k]`` its integer operand
-    (request id / collective seq) and ``fargs[r][k]`` its six float
-    operands (see the ``OP_*`` constants for the layout).
+    (*rank-local* request index / collective seq) and ``fargs[r][k]``
+    its six float operands (see the ``OP_*`` constants for the layout).
+
+    Ranks whose recorded bodies are identical — same op codes, same
+    local operands, same float operands, same hook markers — share one
+    packed body: their entries in ``ops``/``iargs``/``fargs``/``markers``
+    are the *same objects*, so compile time and memory scale with the
+    number of distinct rank groups, not ranks.  ``group_of[r]`` is rank
+    ``r``'s group id (group ids in first-rank order) and
+    ``group_members[g]`` the sorted ranks of group ``g``.
 
     The request table stores one row per isend/irecv across all ranks;
-    ``req_match[i]`` is the request id of the statically matched
+    a rank's ``k``-th request has global id ``req_base[rank] + local``
+    and ``req_match[i]`` is the request id of the statically matched
     opposite side (FIFO per ``(src, dst, tag)`` channel).
     """
 
@@ -386,6 +405,11 @@ class CompiledProgram:
     #: in call order — op position is the index of the first op recorded
     #: *after* the hook fired (== the op count at the hook site).
     markers: tuple[tuple[tuple[int, str, str], ...], ...] = ()
+    #: first global request id per rank (rank-local index offsets).
+    req_base: Optional[np.ndarray] = None
+    #: rank-equivalence classes: group id per rank / ranks per group.
+    group_of: Optional[np.ndarray] = None
+    group_members: tuple[np.ndarray, ...] = ()
 
     @property
     def n_requests(self) -> int:
@@ -394,6 +418,15 @@ class CompiledProgram:
     @property
     def n_collectives(self) -> int:
         return len(self.coll_kinds)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_members) if self.group_members else self.nprocs
+
+    @property
+    def group_reps(self) -> list[int]:
+        """First (lowest) rank of each group, in group-id order."""
+        return [int(m[0]) for m in self.group_members]
 
 
 def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: float,
@@ -441,27 +474,43 @@ def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: f
             match[s_id] = r_id
             match[r_id] = s_id
 
-    ops_arrays, iargs_arrays, fargs_arrays = [], [], []
-    for ctx in contexts:
-        n = len(ctx._ops)
-        ops = np.empty(n, dtype=np.int8)
-        iargs = np.empty(n, dtype=np.int64)
-        fargs = np.empty((n, 6), dtype=np.float64)
-        for k, (code, iarg, f) in enumerate(ctx._ops):
-            ops[k] = code
-            iargs[k] = iarg
-            fargs[k] = f
-        ops_arrays.append(ops)
-        iargs_arrays.append(iargs)
-        fargs_arrays.append(fargs)
+    # -- rank-group deduplication: pack one body per equivalence class -
+    # The ops stream carries rank-local request indices and per-rank
+    # collective seqs, so two ranks with identical recorded programs
+    # (and identical hook sites) produce identical tuples here even
+    # though their request-table rows differ.  Each distinct body is
+    # packed once; grouped ranks share the resulting array objects.
+    marker_tuples = [tuple(markers.sites.get(r, ())) for r in range(nprocs)]
+    sig_to_group: dict = {}
+    group_of = np.empty(nprocs, dtype=np.int64)
+    group_members: list[list[int]] = []
+    bodies: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for rank, ctx in enumerate(contexts):
+        sig = (tuple(ctx._ops), marker_tuples[rank])
+        g = sig_to_group.get(sig)
+        if g is None:
+            g = sig_to_group[sig] = len(bodies)
+            n = len(ctx._ops)
+            ops = np.empty(n, dtype=np.int8)
+            iargs = np.empty(n, dtype=np.int64)
+            fargs = np.empty((n, 6), dtype=np.float64)
+            for k, (code, iarg, f) in enumerate(ctx._ops):
+                ops[k] = code
+                iargs[k] = iarg
+                fargs[k] = f
+            bodies.append((ops, iargs, fargs))
+            group_members.append([])
+        group_of[rank] = g
+        group_members[g].append(rank)
+    gof = group_of.tolist()
 
     reqs = recorder.requests
     return CompiledProgram(
         nprocs=nprocs,
         fastest_hz=fastest_hz,
-        ops=ops_arrays,
-        iargs=iargs_arrays,
-        fargs=fargs_arrays,
+        ops=[bodies[g][0] for g in gof],
+        iargs=[bodies[g][1] for g in gof],
+        fargs=[bodies[g][2] for g in gof],
         req_kind=np.array(
             [REQ_SEND if r.kind == "send" else REQ_RECV for r in reqs], dtype=np.int8
         ),
@@ -475,8 +524,11 @@ def _lower(recorder: _Recorder, contexts: list[_RecordingContext], fastest_hz: f
         ),
         req_match=match,
         coll_kinds=tuple(coll_kinds),
-        markers=tuple(
-            tuple(markers.sites.get(r, ())) for r in range(nprocs)
+        markers=tuple(marker_tuples),
+        req_base=np.array([ctx._req_base for ctx in contexts], dtype=np.int64),
+        group_of=group_of,
+        group_members=tuple(
+            np.array(m, dtype=np.int64) for m in group_members
         ),
     )
 

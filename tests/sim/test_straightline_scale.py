@@ -1,0 +1,226 @@
+"""The quotient (group-representative) tier at scale, bit for bit.
+
+The node-major vectorized path simulates one interpreter rank per
+execution group instead of one per rank, so a thousand-node symmetric
+sweep costs group-count work.  Its contract is the tier's usual one —
+*exact* reproduction of the event engine's arithmetic, ``==`` on raw
+floats, no tolerances — plus pins on everything the speedup must not
+change: cache keys, :data:`MODEL_VERSION`, and honest fallback on
+point-to-point workloads.
+
+Satellite coverage for the gear-plan lowering cache (LRU bound +
+process-wide reuse counters surfaced through ``CacheStats``) lives
+here too: the quotient tier re-lowers per grid point, so the cache is
+what keeps eligibility probing and batched sweeps O(distinct plans).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.framework import run_workload
+from repro.core.strategies.base import GearPlan
+from repro.core.strategies.external import ExternalStrategy
+from repro.core.strategies.internal import InternalStrategy, PhasePolicy
+from repro.experiments.parallel import ParallelRunner, RunTask
+from repro.experiments.store import MODEL_VERSION, cache_key
+from repro.hardware.opoints import PENTIUM_M_TABLE
+from repro.sim.straightline import (
+    _ACTIONS_CACHE,
+    _ACTIONS_CACHE_CAP,
+    _lower_gear_actions,
+    lowering_cache_counters,
+    run_batch,
+    run_straightline,
+)
+from repro.workloads.compile import compile_workload
+from repro.workloads.npb import CG, EP, FT
+
+WORKLOADS = {"EP": EP, "FT": FT, "CG": CG}
+SYMMETRIC = ("EP", "FT")
+
+# Event-engine references get expensive with node count: two seeds
+# where the engine is cheap, one at the N=256 corner.
+MATRIX = [(16, (0, 1)), (64, (0, 1)), (256, (0,))]
+
+
+def strategies(workload):
+    return {
+        "external": ExternalStrategy(mhz=800.0),
+        "internal": InternalStrategy(
+            PhasePolicy({workload.phases[0]}, 600, 1400)
+        ),
+    }
+
+
+def make(code: str, nprocs: int):
+    return WORKLOADS[code](klass="T", nprocs=nprocs)
+
+
+# ----------------------------------------------------------------------
+# the differential matrix: vector tier ≡ event engine at N ∈ {16,64,256}
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", sorted(WORKLOADS))
+@pytest.mark.parametrize("nprocs,seeds", MATRIX)
+@pytest.mark.parametrize("kind", ["external", "internal"])
+def test_vector_matches_event(code, nprocs, seeds, kind) -> None:
+    for seed in seeds:
+        ref = run_workload(
+            make(code, nprocs), strategies(make(code, nprocs))[kind],
+            seed=seed, engine="event",
+        )
+        info: dict = {}
+        fast = run_straightline(
+            make(code, nprocs), strategies(make(code, nprocs))[kind],
+            seed=seed, stats=info,
+        )
+        assert fast == ref
+        if code in SYMMETRIC:
+            assert info["vector"] is True
+            assert info["groups"] == 1
+        else:
+            assert info["vector"] is False  # p2p peers are rank-specific
+            assert info["groups"] == nprocs
+
+
+@pytest.mark.parametrize("code", sorted(WORKLOADS))
+@pytest.mark.parametrize("kind", ["external", "internal"])
+def test_vector_matches_per_rank_scalar(code, kind) -> None:
+    # vector=False pins the pre-group per-rank path; the quotient run
+    # must be indistinguishable from it (they share the accumulator).
+    workload = make(code, 64)
+    strategy = strategies(workload)[kind]
+    fast = run_straightline(make(code, 64), strategy, seed=0)
+    slow = run_straightline(make(code, 64), strategy, seed=0, vector=False)
+    assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# run_batch: the grouped (B × G) path returns per-point bits
+# ----------------------------------------------------------------------
+def grid(workload):
+    points = [
+        (ExternalStrategy(mhz=mhz), seed)
+        for mhz in (600.0, 1000.0, 1400.0)
+        for seed in (0, 1)
+    ]
+    points.append(
+        (InternalStrategy(PhasePolicy({workload.phases[0]}, 600, 1400)), 0)
+    )
+    return points
+
+
+@pytest.mark.parametrize("code", sorted(WORKLOADS))
+@pytest.mark.parametrize("nprocs", [16, 64, 256])
+def test_batch_vector_matches_per_rank_batch(code, nprocs) -> None:
+    workload = make(code, nprocs)
+    points = grid(workload)
+    vec = run_batch(make(code, nprocs), points, vector=True)
+    per_rank = run_batch(make(code, nprocs), points, vector=False)
+    assert vec == per_rank
+
+
+@pytest.mark.parametrize("code", sorted(WORKLOADS))
+def test_batch_vector_matches_scalar(code) -> None:
+    workload = make(code, 64)
+    points = grid(workload)
+    batch = run_batch(workload, points)
+    for (strategy, seed), measured in zip(points, batch):
+        ref = run_straightline(make(code, 64), strategy, seed=seed,
+                               vector=False)
+        assert measured == ref
+
+
+def test_batch_heterogeneous_start_points_refine_groups() -> None:
+    # Per-node start gears split the single body group into per-gear
+    # execution groups; the refined quotient must still match.
+    workload = make("FT", 16)
+    per_node = [600.0, 1400.0] * 8
+    points = [
+        (ExternalStrategy(per_node_mhz=per_node), 0),
+        (ExternalStrategy(mhz=800.0), 0),
+    ]
+    vec = run_batch(make("FT", 16), points, vector=True)
+    per_rank = run_batch(make("FT", 16), points, vector=False)
+    assert vec == per_rank
+    info: dict = {}
+    m = run_straightline(
+        make("FT", 16), ExternalStrategy(per_node_mhz=per_node), stats=info
+    )
+    assert m == vec[0]
+    assert info["vector"] is True
+    assert info["groups"] == 2
+
+
+# ----------------------------------------------------------------------
+# pins: the speedup must be invisible to caching
+# ----------------------------------------------------------------------
+def test_model_version_unchanged() -> None:
+    assert MODEL_VERSION == 1
+
+
+def test_cache_key_still_filters_engine() -> None:
+    workload = make("EP", 16)
+    strategy = ExternalStrategy(mhz=800.0)
+    keys = {
+        cache_key(workload, strategy, 0, {"engine": engine})
+        for engine in ("auto", "event", "straightline", None)
+    }
+    keys.add(cache_key(workload, strategy, 0, {}))
+    assert len(keys) == 1
+
+
+# ----------------------------------------------------------------------
+# gear-plan lowering cache: counters + LRU bound
+# ----------------------------------------------------------------------
+def test_lowering_counters_track_hits_and_misses() -> None:
+    compiled = compile_workload(make("FT", 4), 1.4e9)
+    plan = ExternalStrategy(mhz=800.0).gear_plan(make("FT", 4))
+    h0, m0 = lowering_cache_counters()
+    first = _lower_gear_actions(compiled, plan, PENTIUM_M_TABLE)
+    h1, m1 = lowering_cache_counters()
+    assert (h1, m1) == (h0, m0 + 1)  # fresh program: a miss
+    again = _lower_gear_actions(compiled, plan, PENTIUM_M_TABLE)
+    h2, m2 = lowering_cache_counters()
+    assert (h2, m2) == (h0 + 1, m0 + 1)  # same plan: a hit
+    assert again is first
+
+
+def test_lowering_cache_is_lru_bounded() -> None:
+    compiled = compile_workload(make("FT", 4), 1.4e9)
+    mhzs = [op.frequency_mhz for op in PENTIUM_M_TABLE]
+    plans = [
+        GearPlan(init_calls=tuple((mhz,) for mhz in combo))
+        for combo in itertools.product(mhzs, repeat=4)
+    ][: _ACTIONS_CACHE_CAP + 6]
+    for plan in plans:
+        _lower_gear_actions(compiled, plan, PENTIUM_M_TABLE)
+    per_prog = _ACTIONS_CACHE[compiled]
+    assert len(per_prog) == _ACTIONS_CACHE_CAP
+    # the oldest plans were evicted: re-lowering them is a miss...
+    _, m0 = lowering_cache_counters()
+    _lower_gear_actions(compiled, plans[0], PENTIUM_M_TABLE)
+    _, m1 = lowering_cache_counters()
+    assert m1 == m0 + 1
+    # ...while the newest survived: re-lowering is a hit
+    h0, _ = lowering_cache_counters()
+    _lower_gear_actions(compiled, plans[-1], PENTIUM_M_TABLE)
+    h1, _ = lowering_cache_counters()
+    assert h1 == h0 + 1
+
+
+def test_runner_stats_surface_lowering_reuse() -> None:
+    workload = make("FT", 8)
+    tasks = [
+        RunTask(workload, ExternalStrategy(mhz=mhz), seed)
+        for mhz in (600.0, 800.0)
+        for seed in (0, 1, 2)
+    ]
+    with ParallelRunner(jobs=1, memo=False) as runner:
+        runner.map_sweep(list(tasks), chunk_size=len(tasks))
+        assert runner.stats.lowering_misses >= 1
+        rendered = runner.stats.render()
+    assert "lowering" in rendered
+    assert "reused" in rendered
