@@ -91,6 +91,17 @@ class Advice:
         )
         for i, c in enumerate(self.candidates, start=1):
             marker = " <- recommended" if i == 1 else ""
+            if (
+                self.max_delay_increase is not None
+                and c.delay_increase > self.max_delay_increase + 1e-9
+            ):
+                # Violators already rank after every compliant candidate;
+                # say *why* instead of letting them sit there silently.
+                marker = (
+                    f" !! exceeds delay cap: measured "
+                    f"{c.delay_increase:+.1%} > allowed "
+                    f"{self.max_delay_increase:+.1%}"
+                )
             lines.append(
                 f"{i:<5} {c.label:<34} {c.norm_delay:>7.3f} "
                 f"{c.norm_energy:>7.3f} {c.metric_value:>8.4f}{marker}"
@@ -107,6 +118,7 @@ class ScheduleAdvisor:
         frequencies_mhz: Optional[Sequence[float]] = None,
         include_daemon: bool = True,
         include_future_daemons: bool = False,
+        include_optimal: bool = False,
         max_delay_increase: Optional[float] = None,
         seed: int = 0,
     ) -> None:
@@ -116,6 +128,11 @@ class ScheduleAdvisor:
         #: also evaluate the beyond-the-paper schedulers (predictive and
         #: beta-adaptive daemons).
         self.include_future_daemons = include_future_daemons
+        #: also run the offline gear-plan optimizer
+        #: (:func:`repro.optimize.optimize_gear_plan`) and enter its
+        #: winning plan as a candidate.  The optimizer's delta is the
+        #: advisor's delay cap (default 0.05 when no cap is set).
+        self.include_optimal = include_optimal
         #: optional hard performance constraint: candidates above this
         #: normalized-delay increase are ranked after all compliant ones.
         self.max_delay_increase = max_delay_increase
@@ -161,6 +178,14 @@ class ScheduleAdvisor:
             candidates.append(
                 (f"beta daemon (delta={delta:g})",
                  BetaDaemonStrategy(BetaConfig(delta=delta)))
+            )
+        if self.include_optimal and workload.phases:
+            from repro.optimize import optimize_gear_plan
+
+            delta = self.max_delay_increase if self.max_delay_increase else 0.05
+            plan = optimize_gear_plan(workload, delta=delta, seed=self.seed)
+            candidates.append(
+                (f"computed plan (delta={delta:g})", plan.strategy)
             )
 
         # Candidate evaluation is one grid through the current runner:

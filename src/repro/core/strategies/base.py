@@ -41,6 +41,13 @@ class GearPlan:
     begin_calls / end_calls:
         ``(phase, (mhz, ...))`` pairs: the ``set_cpuspeed`` calls issued
         when the named phase begins / ends on any rank.
+    rank_begin_calls / rank_end_calls:
+        ``(phase, ((mhz, ...) per rank))`` pairs: heterogeneous phase
+        calls — the calls a *specific rank* issues when the named phase
+        begins / ends on it.  This is the shape the optimizer's
+        per-rank-group, per-phase plans lower to; ranks the table
+        covers take precedence over the homogeneous
+        ``begin_calls``/``end_calls`` entry for the same phase.
     """
 
     start_mhz: Optional[float] = None
@@ -48,6 +55,12 @@ class GearPlan:
     init_calls: tuple[tuple[float, ...], ...] = ()
     begin_calls: tuple[tuple[str, tuple[float, ...]], ...] = ()
     end_calls: tuple[tuple[str, tuple[float, ...]], ...] = ()
+    rank_begin_calls: tuple[
+        tuple[str, tuple[tuple[float, ...], ...]], ...
+    ] = ()
+    rank_end_calls: tuple[
+        tuple[str, tuple[tuple[float, ...], ...]], ...
+    ] = ()
 
     @property
     def static(self) -> bool:
@@ -56,12 +69,22 @@ class GearPlan:
             any(self.init_calls)
             or any(calls for _, calls in self.begin_calls)
             or any(calls for _, calls in self.end_calls)
+            or any(
+                any(per_rank)
+                for _, per_rank in self.rank_begin_calls + self.rank_end_calls
+            )
         )
 
     def calls_at(self, kind: str, phase: str, rank: int) -> tuple[float, ...]:
         """The ``set_cpuspeed`` MHz calls at one hook site."""
         if kind == "init":
             return self.init_calls[rank] if self.init_calls else ()
+        rank_table = (
+            self.rank_begin_calls if kind == "begin" else self.rank_end_calls
+        )
+        for name, per_rank in rank_table:
+            if name == phase:
+                return per_rank[rank]
         table = self.begin_calls if kind == "begin" else self.end_calls
         for name, calls in table:
             if name == phase:

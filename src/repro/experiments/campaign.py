@@ -39,6 +39,7 @@ def run_campaign(
     seed: int = 0,
     codes: Optional[Sequence[str]] = None,
     with_charts: bool = True,
+    with_optimal: bool = False,
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     faults: Optional["FaultSpec"] = None,
@@ -50,11 +51,16 @@ def run_campaign(
     identical to a serial, uncached campaign in either case.  A
     ``faults`` spec reruns the whole campaign inside that deterministic
     fault environment and appends a degradation section to the report.
+    ``with_optimal`` appends the offline gear-plan optimizer's computed
+    frontiers for FT and CG (docs/optimizer.md) — extra simulation work
+    beyond the paper's own figures, so off by default.
     """
     with ParallelRunner(
         jobs=jobs, cache_dir=cache_dir, faults=faults
     ) as runner, use(runner):
-        return _run_campaign_body(runner, klass, seed, codes, with_charts, faults)
+        return _run_campaign_body(
+            runner, klass, seed, codes, with_charts, faults, with_optimal
+        )
 
 
 def _run_campaign_body(
@@ -64,6 +70,7 @@ def _run_campaign_body(
     codes: Optional[Sequence[str]],
     with_charts: bool,
     faults: Optional["FaultSpec"] = None,
+    with_optimal: bool = False,
 ) -> str:
     t_start = time.perf_counter()
     parts: list[str] = []
@@ -156,6 +163,15 @@ def _run_campaign_body(
         ),
     ))
 
+    if with_optimal:
+        for code in ("FT", "CG"):
+            parts.append(_section(
+                f"Computed frontier — {code} (beyond the paper)",
+                report.render_optimal(
+                    figures.figure_optimal_frontier(code, klass=klass, seed=seed)
+                ),
+            ))
+
     if faults is not None:
         parts.append(_section(
             "Fault injection",
@@ -181,11 +197,12 @@ def write_report(
     jobs: int = 1,
     cache_dir: Union[str, Path, None] = None,
     faults: Optional["FaultSpec"] = None,
+    with_optimal: bool = False,
 ) -> Path:
     path = Path(path)
     path.write_text(run_campaign(klass=klass, seed=seed, codes=codes,
                                  jobs=jobs, cache_dir=cache_dir,
-                                 faults=faults))
+                                 faults=faults, with_optimal=with_optimal))
     return path
 
 
@@ -204,11 +221,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="deterministic fault spec, e.g. 'mild,seed=3' "
                              "(see docs/faults.md)")
+    parser.add_argument("--optimal", action="store_true",
+                        help="append the computed FT/CG gear-plan frontiers "
+                             "(docs/optimizer.md)")
     args = parser.parse_args(argv)
     faults = parse_fault_spec(args.faults) if args.faults else None
     path = write_report(args.out, klass=args.klass, seed=args.seed,
                         codes=args.codes, jobs=args.jobs,
-                        cache_dir=args.cache_dir, faults=faults)
+                        cache_dir=args.cache_dir, faults=faults,
+                        with_optimal=args.optimal)
     print(f"report written to {path}")
     return 0
 

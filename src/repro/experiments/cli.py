@@ -43,6 +43,7 @@ KNOWN = (
     "fig14",
     "ablations",
     "advise",
+    "optimize",
     "report",
     "serve",
     "all",
@@ -109,6 +110,23 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also archive the raw sweep measurements to a JSON file",
+    )
+    optimize = parser.add_argument_group(
+        "optimize", "options for the offline gear-plan optimizer (docs/optimizer.md)"
+    )
+    optimize.add_argument(
+        "--delta",
+        type=float,
+        default=0.05,
+        help=(
+            "performance constraint for 'optimize': allowed slowdown over "
+            "the no-DVS baseline (default 0.05 = 5%%)"
+        ),
+    )
+    optimize.add_argument(
+        "--optimal",
+        action="store_true",
+        help="also enter the computed optimal plan as an 'advise' candidate",
     )
     service = parser.add_argument_group(
         "serve", "options for the schedule-advisor service (docs/service.md)"
@@ -180,12 +198,31 @@ def _run_advisor(args) -> str:
     from repro.workloads import get_workload
     from repro.experiments.tables import NPB_CODES
 
-    advisor = ScheduleAdvisor()
+    advisor = ScheduleAdvisor(
+        include_optimal=args.optimal,
+        max_delay_increase=args.delta if args.optimal else None,
+    )
     out = []
     for code in args.codes or ("FT", "CG", "EP"):
         code = code.upper()
         workload = get_workload(code, klass=args.klass, nprocs=NPB_CODES.get(code, 8))
         out.append(advisor.advise(workload).render())
+    return "\n\n".join(out)
+
+
+def _run_optimize(args) -> str:
+    from repro.experiments.figures import figure_optimal_frontier
+    from repro.experiments.report import render_optimal
+
+    out = []
+    for code in args.codes or ("FT", "CG"):
+        out.append(
+            render_optimal(
+                figure_optimal_frontier(
+                    code, klass=args.klass, seed=args.seed, delta=args.delta
+                )
+            )
+        )
     return "\n\n".join(out)
 
 
@@ -195,7 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "all" in targets:
         targets = [
             t for t in KNOWN
-            if t not in ("all", "ablations", "advise", "report", "serve")
+            if t not in ("all", "ablations", "advise", "optimize", "report", "serve")
         ]
     if "serve" in targets and len(targets) != 1:
         print("serve runs forever and cannot be combined with other targets")
@@ -340,6 +377,8 @@ def _dispatch(args, targets, runner) -> int:
             out.append(_run_ablations(args))
         elif target == "advise":
             out.append(_run_advisor(args))
+        elif target == "optimize":
+            out.append(_run_optimize(args))
         elif target == "report":
             from repro.experiments.campaign import write_report
 
@@ -347,6 +386,7 @@ def _dispatch(args, targets, runner) -> int:
                 "REPORT.md", klass=args.klass, seed=args.seed, codes=args.codes,
                 jobs=args.jobs,
                 cache_dir=runner.cache.root if runner.cache is not None else None,
+                with_optimal=args.optimal,
             )
             out.append(f"[full reproduction report written to {path}]")
 

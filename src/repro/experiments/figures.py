@@ -45,6 +45,8 @@ __all__ = [
     "figure12_cg_trace",
     "figure14_cg_internal",
     "InternalComparison",
+    "OptimalFrontierFigure",
+    "figure_optimal_frontier",
 ]
 
 
@@ -402,4 +404,61 @@ def figure14_cg_internal(
         external=sweep.normalized,
         auto=auto.normalized_against(baseline),
         measurements=measurements,
+    )
+
+
+# ----------------------------------------------------------------------
+# Beyond the paper: Figure 11/14 candidates vs the computed frontier
+# ----------------------------------------------------------------------
+@dataclass
+class OptimalFrontierFigure:
+    """Hand-picked Figure 11/14 schedules against the optimizer's frontier.
+
+    ``comparison`` holds the paper's shipped candidates (INTERNAL
+    policies, the EXTERNAL sweep, CPUSPEED); ``result`` the offline
+    optimizer's energy-delay frontier and winner at the same delta.
+    Everything is normalized against the same full-speed baseline.
+    """
+
+    code: str
+    delta: float
+    comparison: InternalComparison
+    result: "OptimizeResult"  # noqa: F821 — repro.optimize import is lazy
+
+
+def figure_optimal_frontier(
+    code: str = "FT",
+    klass: str = "C",
+    seed: int = 0,
+    delta: float = 0.05,
+) -> OptimalFrontierFigure:
+    """Compare the shipped Figure 11/14 schedules with the computed plan.
+
+    Runs the paper figure for ``code`` (Figure 11 for FT, Figure 14 for
+    CG; a sweep-plus-CPUSPEED comparison for other codes) and the
+    offline gear-plan optimizer at the same performance constraint.
+    """
+    from repro.optimize import optimize_gear_plan
+
+    code = code.upper()
+    if code == "FT":
+        comparison = figure11_ft_internal(klass=klass, seed=seed)
+    elif code == "CG":
+        comparison = figure14_cg_internal(klass=klass, seed=seed)
+    else:
+        w = get_workload(code, klass=klass, nprocs=NPB_CODES.get(code, 8))
+        sweep = frequency_sweep(w, FREQUENCIES_MHZ, seed=seed)
+        baseline = sweep.raw[sweep.baseline_mhz]
+        (auto,) = current_runner().map([RunTask(w, CpuspeedDaemonStrategy(), seed)])
+        comparison = InternalComparison(
+            code=code,
+            internal={},
+            external=sweep.normalized,
+            auto=auto.normalized_against(baseline),
+            measurements={"auto": auto},
+        )
+    w = get_workload(code, klass=klass, nprocs=NPB_CODES.get(code, 8))
+    result = optimize_gear_plan(w, delta=delta, seed=seed)
+    return OptimalFrontierFigure(
+        code=code, delta=delta, comparison=comparison, result=result
     )

@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     CrescendoFigure,
     InternalComparison,
     MetricSelectionResult,
+    OptimalFrontierFigure,
     PowerBreakdownResult,
     StrategyComparison,
     TraceFigure,
@@ -30,6 +31,7 @@ __all__ = [
     "render_crescendos",
     "render_trace_observations",
     "render_internal",
+    "render_optimal",
     "render_breakdown",
     "render_fault_summary",
     "render_runner_stats",
@@ -171,6 +173,48 @@ def render_internal(fig: InternalComparison) -> str:
         ["Schedule", "Norm delay", "Norm energy"],
         rows,
         f"INTERNAL vs EXTERNAL vs CPUSPEED: {fig.code}",
+    )
+
+
+def render_optimal(fig: OptimalFrontierFigure) -> str:
+    """The shipped Figure 11/14 candidates against the computed frontier."""
+    res = fig.result
+    cap = 1.0 + fig.delta
+
+    def status(delay: float) -> str:
+        return "ok" if delay <= cap + 1e-9 else "exceeds cap"
+
+    rows = []
+    for label, (d, e) in fig.comparison.internal.items():
+        rows.append((label, f"{d:.3f}", f"{e:.3f}", status(d)))
+    for mhz, (d, e) in sorted(fig.comparison.external.items()):
+        rows.append((f"external {mhz:.0f}", f"{d:.3f}", f"{e:.3f}", status(d)))
+    d, e = fig.comparison.auto
+    rows.append(("auto (cpuspeed)", f"{d:.3f}", f"{e:.3f}", status(d)))
+    for c in res.frontier:
+        tag = "frontier"
+        if c.assignment == res.best.assignment:
+            tag = "frontier <- optimal"
+        gears = "  ".join(
+            f"{g}:" + "/".join(f"{m:g}" for m in row)
+            for g, row in enumerate(c.strategy.table)
+        )
+        rows.append(
+            (f"computed [{gears}]", f"{c.norm_delay:.3f}",
+             f"{c.norm_energy:.3f}", tag)
+        )
+    t = res.telemetry
+    table = render_table(
+        ["Schedule", "Norm delay", "Norm energy", "Status"],
+        rows,
+        f"Computed frontier vs shipped schedules: {fig.code} "
+        f"(delay cap {cap:.3f})",
+    )
+    return table + (
+        f"\nsearch: {t.space_size} plans over {res.n_groups} group(s) x "
+        f"{len(res.phases)} phase(s); evaluated {t.candidates_evaluated} "
+        f"({t.candidates_pruned} pruned) in {t.batches} batches"
+        + (" [exhaustive]" if t.exhaustive else f" [{t.rounds} rounds]")
     )
 
 

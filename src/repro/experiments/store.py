@@ -277,6 +277,13 @@ class CacheStats:
     #: fresh (and may evict, the per-program table is LRU-bounded).
     lowering_hits: int = 0
     lowering_misses: int = 0
+    #: gear-plan optimizer telemetry (:mod:`repro.optimize.search`):
+    #: candidate plans measured, how many the dominance/constraint
+    #: pruning discarded, and the ``run_batch`` calls that scored them.
+    opt_candidates: int = 0
+    opt_pruned: int = 0
+    opt_batches: int = 0
+    opt_max_batch: int = 0
 
     @property
     def lookups(self) -> int:
@@ -310,6 +317,12 @@ class CacheStats:
             base += (
                 f"; lowering: {self.lowering_hits} reused / "
                 f"{self.lowering_misses} lowered"
+            )
+        if self.opt_candidates:
+            base += (
+                f"; optimizer: {self.opt_candidates} candidates "
+                f"({self.opt_pruned} pruned) in {self.opt_batches} "
+                f"batches (largest {self.opt_max_batch})"
             )
         if self.degraded_runs:
             base += (

@@ -1,0 +1,417 @@
+"""Offline gear-plan optimizer: batched frontier search.
+
+The paper's EXTERNAL/INTERNAL schedules are hand-picked; this module
+*computes* the schedule from the same simulation the figures run on.
+The search space is the quotient of the per-rank, per-phase plan space
+by rank equivalence: a candidate assigns one operating-point index to
+every ``(rank group, phase)`` cell, so a symmetric N-rank workload
+searches ``G x P`` dimensions with ``G << N`` (FT collapses to one
+group; CG to its two asymmetric halves).
+
+Candidates are scored in large :func:`repro.sim.straightline.run_batch`
+calls — thousands of plans per second on the quotient batch path — and
+kept only when they satisfy the paper's hard performance constraint
+(``time <= (1 + delta) x no-DVS baseline``) and are not energy-delay
+dominated by an already-known plan.  The search refines the surviving
+frontier with coordinate-descent/beam steps (every single-cell variant
+of every frontier plan) until a round discovers nothing new; spaces
+small enough to enumerate are searched exhaustively instead, which
+doubles as the brute-force-verified fallback.
+
+The winner is an :class:`~repro.optimize.plan.OptimalPlanStrategy` — a
+plain ``gear_plan()`` strategy that runs on the existing
+piecewise-static/quotient tiers (and the event engine) unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.framework import Measurement
+from repro.optimize.plan import OptimalPlanStrategy
+from repro.workloads.base import Workload
+
+__all__ = [
+    "PlanCandidate",
+    "SearchTelemetry",
+    "OptimizeResult",
+    "optimize_gear_plan",
+]
+
+#: relative slack on the hard constraint, absorbing float summation
+#: noise only — never a real schedule change.
+_EPS = 1e-9
+
+
+@dataclass
+class PlanCandidate:
+    """One evaluated plan: its assignment, strategy and measurement."""
+
+    #: gear index per ``(group, phase)`` cell, row-major by group.
+    assignment: tuple[int, ...]
+    strategy: OptimalPlanStrategy
+    measurement: Measurement
+    norm_delay: float
+    norm_energy: float
+    feasible: bool
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.measurement.elapsed_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.measurement.energy_j
+
+
+@dataclass
+class SearchTelemetry:
+    """How the search ran — surfaced through ``CacheStats`` and reports."""
+
+    candidates_evaluated: int = 0
+    #: evaluated plans that ended infeasible or energy-delay dominated
+    #: (everything not on the final frontier).
+    candidates_pruned: int = 0
+    #: ``run_batch`` calls issued and the largest single batch.
+    batches: int = 0
+    max_batch: int = 0
+    rounds: int = 0
+    exhaustive: bool = False
+    space_size: int = 0
+    #: candidates evaluated per point through the event engine because
+    #: the batch tier declined the workload (0 on every NPB shape).
+    scalar_fallbacks: int = 0
+
+
+@dataclass
+class OptimizeResult:
+    """The optimizer's output: winner, frontier and provenance."""
+
+    workload: str
+    delta: float
+    baseline: Measurement
+    best: PlanCandidate
+    #: feasible, non-dominated plans sorted by normalized delay — the
+    #: computed energy-delay frontier under the constraint.
+    frontier: list[PlanCandidate] = field(default_factory=list)
+    phases: tuple[str, ...] = ()
+    n_groups: int = 0
+    telemetry: SearchTelemetry = field(default_factory=SearchTelemetry)
+
+    @property
+    def strategy(self) -> OptimalPlanStrategy:
+        return self.best.strategy
+
+    def render(self) -> str:
+        t = self.telemetry
+        lines = [
+            f"Optimal gear plan for {self.workload} "
+            f"(delta={self.delta:g}: delay cap {1 + self.delta:.3f})",
+            f"  search space: {t.space_size} plans over {self.n_groups} "
+            f"group(s) x {len(self.phases)} phase(s)"
+            + (" [exhaustive]" if t.exhaustive else
+               f" [{t.rounds} frontier rounds]"),
+            f"  evaluated {t.candidates_evaluated} candidates "
+            f"({t.candidates_pruned} pruned) in {t.batches} batches "
+            f"(largest {t.max_batch})",
+            f"  winner: {self.best.strategy.describe()} -> "
+            f"delay {self.best.norm_delay:.3f}, "
+            f"energy {self.best.norm_energy:.3f}",
+            f"  frontier ({len(self.frontier)} plans):",
+        ]
+        for c in self.frontier:
+            gears = ", ".join(
+                f"{g}:" + "/".join(f"{m:g}" for m in row)
+                for g, row in enumerate(c.strategy.table)
+            )
+            lines.append(
+                f"    delay {c.norm_delay:.3f} energy {c.norm_energy:.3f}  "
+                f"[{gears}]"
+            )
+        return "\n".join(lines)
+
+
+def _prune(candidates: Sequence[PlanCandidate]) -> list[PlanCandidate]:
+    """Feasible, energy-delay non-dominated subset, sorted by delay.
+
+    A plan is dominated when another feasible plan has lower-or-equal
+    elapsed time *and* energy (strictly better in at least one) — the
+    same rule as :func:`repro.core.metrics.pareto_front`.
+    """
+    feasible = sorted(
+        (c for c in candidates if c.feasible),
+        key=lambda c: (c.elapsed_s, c.energy_j),
+    )
+    front: list[PlanCandidate] = []
+    best_energy = float("inf")
+    for c in feasible:
+        if c.energy_j < best_energy:
+            front.append(c)
+            best_energy = c.energy_j
+    return front
+
+
+def optimize_gear_plan(
+    workload: Workload,
+    delta: float = 0.05,
+    *,
+    seed: int = 0,
+    opoints=None,
+    network_params=None,
+    power=None,
+    transition_latency_s: float = 20e-6,
+    exhaustive_limit: int = 4096,
+    beam_width: int = 8,
+    max_rounds: int = 32,
+    batch_cap: int = 512,
+    group_seed_limit: int = 128,
+    label: Optional[str] = None,
+    stats=None,
+) -> OptimizeResult:
+    """Search per-group, per-phase gear plans under the delta constraint.
+
+    Parameters
+    ----------
+    delta:
+        The paper's performance constraint: only plans with
+        ``elapsed <= (1 + delta) x baseline`` are eligible (baseline =
+        the all-fastest plan, i.e. no-DVS).  The winner minimizes
+        energy among eligible plans (ties break toward lower delay).
+    exhaustive_limit:
+        Spaces up to this many plans are enumerated outright (the
+        verified fallback); larger spaces run the frontier search.
+    beam_width:
+        How many frontier plans (lowest energy first) seed each
+        coordinate-descent round.
+    batch_cap:
+        Largest single ``run_batch`` call; bigger rounds split.
+    group_seed_limit:
+        When ``gears ** groups`` is at most this, every per-group
+        uniform plan (the whole EXTERNAL + split-INTERNAL family) is
+        seeded outright, guaranteeing the winner is at least as good
+        as any such hand-picked schedule.
+    stats:
+        A :class:`~repro.experiments.store.CacheStats` to receive the
+        ``opt_*`` telemetry; defaults to the current runner's.
+    """
+    from repro.hardware.opoints import PENTIUM_M_TABLE
+    from repro.hardware.power import NEMO_POWER
+
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if not workload.phases:
+        raise ValueError(
+            f"{workload.tag} announces no phases; the optimizer schedules "
+            "phase programs (use an EXTERNAL frequency sweep instead)"
+        )
+    opoints = PENTIUM_M_TABLE if opoints is None else opoints
+    power = NEMO_POWER if power is None else power
+    mhzs = opoints.frequencies_mhz()  # slow -> fast
+    K = len(mhzs)
+    phases = tuple(workload.phases)
+    P = len(phases)
+
+    group_of, G, batchable = _rank_groups(workload, opoints)
+    n_cells = G * P
+    space_size = K**n_cells
+
+    if stats is None:
+        from repro.experiments.parallel import current_runner
+
+        stats = current_runner().stats
+
+    from repro.sim.straightline import run_batch
+
+    telemetry = SearchTelemetry(space_size=space_size)
+    run_kwargs = dict(
+        network_params=network_params,
+        power=power,
+        opoints=opoints,
+        transition_latency_s=transition_latency_s,
+    )
+
+    memo: dict[tuple[int, ...], Measurement] = {}
+
+    def make_strategy(assignment: tuple[int, ...]) -> OptimalPlanStrategy:
+        table = [
+            [mhzs[assignment[g * P + p]] for p in range(P)] for g in range(G)
+        ]
+        return OptimalPlanStrategy(group_of, phases, table, label=label)
+
+    def evaluate(assignments: Sequence[tuple[int, ...]]) -> None:
+        """Measure every unseen assignment into ``memo``.
+
+        Quotient-eligible workloads (no point-to-point traffic) score in
+        large ``run_batch`` calls — the B x G structure-of-arrays path,
+        thousands of plans per second.  Workloads the quotient tier
+        declines go per point through the scalar straightline tier
+        instead: their candidates diverge at rank-specific waits, so a
+        batch would just split itself back to scalar with extra re-runs.
+        """
+        fresh = [a for a in dict.fromkeys(assignments) if a not in memo]
+        if not batchable:
+            for a in fresh:
+                memo[a] = _measure_scalar(
+                    workload, make_strategy(a), seed, run_kwargs
+                )
+                telemetry.scalar_fallbacks += 1
+            telemetry.candidates_evaluated += len(fresh)
+            return
+        for lo in range(0, len(fresh), batch_cap):
+            chunk = fresh[lo : lo + batch_cap]
+            strategies = [make_strategy(a) for a in chunk]
+            telemetry.batches += 1
+            telemetry.max_batch = max(telemetry.max_batch, len(chunk))
+            try:
+                measured = run_batch(
+                    workload,
+                    [(s, seed) for s in strategies],
+                    **run_kwargs,
+                )
+            except Exception:
+                # The batch tier declined the whole workload at run
+                # time: measure per point instead.  Genuine plan errors
+                # resurface from the per-point path.
+                measured = [
+                    _measure_scalar(workload, s, seed, run_kwargs)
+                    for s in strategies
+                ]
+                telemetry.scalar_fallbacks += len(chunk)
+            for a, m in zip(chunk, measured):
+                memo[a] = m
+            telemetry.candidates_evaluated += len(chunk)
+
+    baseline_assignment = (K - 1,) * n_cells
+    evaluate([baseline_assignment])
+    baseline = memo[baseline_assignment]
+    cap = (1.0 + delta) * baseline.elapsed_s
+
+    def candidate(assignment: tuple[int, ...]) -> PlanCandidate:
+        m = memo[assignment]
+        d, e = m.normalized_against(baseline)
+        feasible = m.elapsed_s <= cap * (1.0 + _EPS)
+        return PlanCandidate(assignment, make_strategy(assignment), m, d, e, feasible)
+
+    if space_size <= exhaustive_limit:
+        telemetry.exhaustive = True
+        everything = [
+            tuple(a) for a in itertools.product(range(K), repeat=n_cells)
+        ]
+        evaluate(everything)
+        frontier = _prune([candidate(a) for a in everything])
+    else:
+        evaluate(_seed_assignments(G, P, K, group_seed_limit))
+        frontier = _prune([candidate(a) for a in memo])
+        while telemetry.rounds < max_rounds:
+            telemetry.rounds += 1
+            seeds = sorted(frontier, key=lambda c: c.energy_j)[:beam_width]
+            neighbors = [
+                n
+                for c in seeds
+                for n in _neighbors(c.assignment, K)
+                if n not in memo
+            ]
+            if not neighbors:
+                break
+            evaluate(neighbors)
+            before = {c.assignment for c in frontier}
+            frontier = _prune(
+                frontier + [candidate(a) for a in dict.fromkeys(neighbors)]
+            )
+            if {c.assignment for c in frontier} == before:
+                break  # converged: the round changed nothing
+
+    telemetry.candidates_pruned = telemetry.candidates_evaluated - len(frontier)
+    best = min(frontier, key=lambda c: (c.energy_j, c.elapsed_s))
+    stats.opt_candidates += telemetry.candidates_evaluated
+    stats.opt_pruned += telemetry.candidates_pruned
+    stats.opt_batches += telemetry.batches
+    stats.opt_max_batch = max(stats.opt_max_batch, telemetry.max_batch)
+
+    frontier.sort(key=lambda c: c.norm_delay)
+    return OptimizeResult(
+        workload=workload.tag,
+        delta=delta,
+        baseline=baseline,
+        best=best,
+        frontier=frontier,
+        phases=phases,
+        n_groups=G,
+        telemetry=telemetry,
+    )
+
+
+def _measure_scalar(workload, strategy, seed, run_kwargs) -> Measurement:
+    """One candidate on the scalar straightline tier (event-engine
+    fallback when even that declines)."""
+    from repro.core.framework import run_workload
+    from repro.sim.straightline import StraightlineUnsupported, run_straightline
+
+    try:
+        return run_straightline(workload, strategy, seed=seed, **run_kwargs)
+    except StraightlineUnsupported:
+        return run_workload(workload, strategy, seed=seed, **run_kwargs)
+
+
+def _rank_groups(
+    workload: Workload, opoints
+) -> tuple[tuple[int, ...], int, bool]:
+    """Rank → group mapping plus batch eligibility, from the compiler.
+
+    The third element says whether candidates should be scored in
+    ``run_batch`` calls: true for programs without point-to-point
+    traffic (the quotient path applies).  Falls back to one group per
+    rank, unbatched, when the workload does not compile (the search
+    then runs per rank — correct, just without the quotient reduction).
+    """
+    from repro.workloads.compile import CompileError, compile_workload
+
+    try:
+        compiled = compile_workload(workload, opoints.fastest.frequency_hz)
+    except CompileError:
+        return tuple(range(workload.nprocs)), workload.nprocs, False
+    if compiled.group_of is None:
+        return tuple(range(workload.nprocs)), workload.nprocs, False
+    group_of = tuple(int(g) for g in compiled.group_of)
+    return group_of, compiled.n_groups, compiled.n_requests == 0
+
+
+def _seed_assignments(
+    G: int, P: int, K: int, group_seed_limit: int
+) -> list[tuple[int, ...]]:
+    """Starting points for the frontier search.
+
+    Always the K uniform plans (the EXTERNAL family).  When the
+    per-group uniform space is small (``K ** G`` plans), all of it —
+    every split-speed INTERNAL shape is then a seed, so the search can
+    only improve on hand-picked candidates.  Otherwise, one-group
+    deviations from fastest approximate the same coverage.
+    """
+    seeds = [(k,) * (G * P) for k in range(K)]
+    if K**G <= group_seed_limit:
+        for combo in itertools.product(range(K), repeat=G):
+            seeds.append(
+                tuple(combo[g] for g in range(G) for _ in range(P))
+            )
+    else:
+        fastest = K - 1
+        for g in range(G):
+            for k in range(K - 1):
+                a = [fastest] * (G * P)
+                a[g * P : (g + 1) * P] = [k] * P
+                seeds.append(tuple(a))
+    return list(dict.fromkeys(seeds))
+
+
+def _neighbors(assignment: tuple[int, ...], K: int) -> list[tuple[int, ...]]:
+    """Every single-cell variant of one assignment (coordinate moves)."""
+    out = []
+    for cell, current in enumerate(assignment):
+        for k in range(K):
+            if k != current:
+                a = list(assignment)
+                a[cell] = k
+                out.append(tuple(a))
+    return out

@@ -2949,6 +2949,8 @@ def run_batch(
     opoints = PENTIUM_M_TABLE if opoints is None else opoints
     net = network_params if network_params is not None else NetworkParameters()
     points = [(s or NoDvsStrategy(), seed) for s, seed in points]
+    if not points:
+        return []
     compiled = compile_workload(workload, opoints.fastest.frequency_hz)
 
     groups: dict[tuple, list[int]] = {}

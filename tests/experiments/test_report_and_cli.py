@@ -85,3 +85,22 @@ class TestCli:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["figNaN"])
+
+
+class TestOptimizeCli:
+    def test_optimize_target(self, capsys):
+        assert main(
+            ["optimize", "--codes", "FT", "--class", "T", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Computed frontier vs shipped schedules: FT" in out
+        assert "<- optimal" in out
+        assert "optimizer:" in out  # CacheStats telemetry line
+
+    def test_optimize_respects_delta(self, capsys):
+        assert main(
+            ["optimize", "--codes", "FT", "--class", "T", "--no-cache",
+             "--delta", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delay cap 1.200" in out

@@ -1,0 +1,67 @@
+"""Advisor integration: optimal candidate row and delta-violation flags."""
+
+from __future__ import annotations
+
+from repro.core.advisor import Advice, CandidateResult, ScheduleAdvisor
+from repro.core.framework import Measurement
+from repro.core.strategies.base import NoDvsStrategy
+from repro.optimize import OptimalPlanStrategy
+from tests.optimize.conftest import TwoGroupWorkload
+
+
+def _candidate(label: str, delay: float, energy: float) -> CandidateResult:
+    m = Measurement(
+        workload="X.T.4",
+        strategy=label,
+        elapsed_s=delay,
+        energy_j=energy,
+        per_node_energy_j={},
+        dvs_transitions=0,
+        time_at_mhz={},
+    )
+    return CandidateResult(label, NoDvsStrategy(), delay, energy,
+                           energy * delay, m)
+
+
+def test_render_flags_delay_cap_violators() -> None:
+    advice = Advice(
+        workload="X.T.4",
+        metric="ED3P",
+        candidates=[
+            _candidate("compliant", 1.02, 0.80),
+            _candidate("violator", 1.12, 0.60),
+        ],
+        profile=None,
+        max_delay_increase=0.05,
+    )
+    text = advice.render()
+    lines = text.splitlines()
+    assert "<- recommended" in lines[2]
+    assert "exceeds delay cap" in lines[3]
+    assert "+12.0%" in lines[3]  # the measured delay increase
+    assert "+5.0%" in lines[3]  # the configured cap
+
+
+def test_render_no_flags_without_cap() -> None:
+    advice = Advice(
+        workload="X.T.4",
+        metric="ED3P",
+        candidates=[_candidate("anything", 1.50, 0.40)],
+        profile=None,
+    )
+    assert "exceeds delay cap" not in advice.render()
+
+
+def test_advisor_includes_computed_plan() -> None:
+    advisor = ScheduleAdvisor(
+        include_daemon=False, include_optimal=True, max_delay_increase=0.05
+    )
+    advice = advisor.advise(TwoGroupWorkload(nprocs=4, steps=2))
+    labels = [c.label for c in advice.candidates]
+    assert any(label.startswith("computed plan") for label in labels)
+    computed = next(
+        c for c in advice.candidates if c.label.startswith("computed plan")
+    )
+    assert isinstance(computed.strategy, OptimalPlanStrategy)
+    # the computed plan honours the advisor's own delay cap
+    assert computed.delay_increase <= 0.05 + 1e-9

@@ -117,3 +117,8 @@ def test_single_point_batch() -> None:
     assert_batch_matches_scalar(
         lambda: CG(klass="T", nprocs=4), [(ExternalStrategy(mhz=1000.0), 2)]
     )
+
+
+def test_empty_batch_returns_empty_list() -> None:
+    """Regression: an empty points list must not reach the compiler."""
+    assert run_batch(FT(klass="T", nprocs=4), []) == []
