@@ -78,11 +78,12 @@ def shipped_candidates(code: str):
 
 
 def rank_groups(workload):
-    from repro.workloads.compile import compile_workload
+    from repro.workloads.compile import classify_channels, compile_workload
 
     compiled = compile_workload(workload, PENTIUM_M_TABLE.fastest.frequency_hz)
     groups = tuple(int(g) for g in compiled.group_of)
-    return groups, compiled.n_groups, compiled.n_requests == 0
+    batchable = compiled.n_requests == 0 or classify_channels(compiled).exact
+    return groups, compiled.n_groups, batchable
 
 
 def bench_row(make_workload, code: str, *, sample: int, repeats: int) -> dict:
@@ -160,7 +161,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--nprocs", type=int, default=None,
                         help="rank count for both shapes (default: 64 for "
                              "FT where the quotient advantage lives, 16 for "
-                             "the per-rank-simulated CG)")
+                             "CG, whose halo-exchange channel classes now "
+                             "quotient to its two rank-halves)")
     parser.add_argument("--sample", type=int, default=128,
                         help="candidate plans in the throughput sample")
     parser.add_argument("--repeats", type=int, default=3)

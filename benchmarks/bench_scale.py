@@ -7,9 +7,13 @@ the NPB shapes that bracket the tier's eligibility spectrum:
   one program body, the whole cluster collapses to one execution group;
 * **FT** — symmetric alltoall/allreduce: same collapse, heavier
   collectives;
-* **CG** — asymmetric halves with sendrecv point-to-point traffic: the
-  vector path declines (peers are rank-specific) and every point runs
-  the per-rank tier — the fallback row keeps the comparison honest.
+* **CG** — asymmetric halves with sendrecv point-to-point traffic:
+  the channel classifier proves the halo exchange quotients onto the
+  two rank-halves, so the whole grid runs on two interpreter lanes;
+* **MG** — xor-neighbor exchanges that cross the sin-profile body
+  groups: the classifier declines honestly (``p2p_unclassifiable``)
+  and every point rides the per-rank batch tier — the decline row
+  keeps the comparison honest.
 
 Per (workload, N) row the benchmark measures **uncached points/s** of
 ``run_batch`` with the quotient (group-representative) path on, the
@@ -18,10 +22,12 @@ same grid with it off (the pre-group per-rank tier; skipped above
 and the compile-side sharing stats: execution groups vs ranks and
 shared vs dense program-body bytes.
 
-``fallbacks`` counts grid points that the vectorized path would
-decline (probed from the compiled program, mirroring the tier's own
-eligibility test) — zero on the symmetric workloads, the full grid on
-CG.
+``fallbacks`` counts grid points whose quotient eligibility probe
+declines (from the compiled program, mirroring the tier's own test) —
+zero on the symmetric and classified workloads, the full grid on MG —
+and ``fallback_reasons`` histograms the typed decline codes.  The
+``batch`` block reports what ``run_batch`` actually did (quotient /
+per-rank / scalar point counts, splits, and its own reason histogram).
 
 Runs standalone and emits machine-readable JSON::
 
@@ -29,8 +35,9 @@ Runs standalone and emits machine-readable JSON::
     PYTHONPATH=src python benchmarks/bench_scale.py --quick
 
 The full run is the reference for the ">= 3x uncached points/s at
-N=256" and "groups/ranks compression < 0.25 on symmetric workloads"
-claims in ``docs/performance.md``.
+N=256" (symmetric), ">= 5x on CG at N=256" (classified p2p), and
+"groups/ranks compression < 0.25 on symmetric workloads" claims in
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -54,10 +61,11 @@ from repro.sim.straightline import (
     run_batch,
 )
 from repro.workloads.compile import compile_workload
-from repro.workloads.npb import CG, EP, FT
+from repro.workloads.npb import CG, EP, FT, MG
 
-WORKLOADS = {"EP": EP, "FT": FT, "CG": CG}
+WORKLOADS = {"EP": EP, "FT": FT, "CG": CG, "MG": MG}
 SYMMETRIC = ("EP", "FT")
+CLASSIFIED = ("CG",)
 
 
 def make_grid(workload) -> list[tuple]:
@@ -100,70 +108,77 @@ def compile_stats(workload) -> dict:
     }
 
 
-def vector_telemetry(workload, points) -> tuple[int, int]:
-    """(fallbacks, execution groups) for a grid, from the compiler.
+def vector_telemetry(workload, points) -> tuple[int, int, dict]:
+    """(fallbacks, execution groups, reason histogram) for a grid.
 
     Mirrors the tier's own eligibility decision — body groups refined
-    by each point's start index and lowered actions — without paying
-    for a simulation per point, so the probe is O(compile), not
-    O(run).  ``groups`` is the smallest execution-group count any
-    eligible point achieves (= nprocs when every point falls back).
+    by each point's start index and lowered actions, then the channel
+    classifier's lane proof — without paying for a simulation per
+    point, so the probe is O(compile), not O(run).  ``groups`` is the
+    smallest execution-group count any eligible point achieves
+    (= nprocs when every point falls back); the histogram counts the
+    typed decline codes (``p2p_unclassifiable``, ``p2p_zero_byte``,
+    ...) per declining point.
     """
     compiled = compile_workload(workload, PENTIUM_M_TABLE.fastest.frequency_hz)
     fallbacks = 0
     groups = workload.nprocs
+    reasons: dict[str, int] = {}
     for strategy, _seed in points:
         plan = strategy.gear_plan(workload)
         actions = _lower_gear_actions(compiled, plan, PENTIUM_M_TABLE)
         start = _start_indices(plan, PENTIUM_M_TABLE, workload.nprocs)
-        part = _vector_partition(
+        part, reason = _vector_partition(
             compiled, lambda r: (start[r], tuple(actions[r]))
         )
         if part is None:
             fallbacks += 1
+            reasons[reason] = reasons.get(reason, 0) + 1
         else:
             groups = min(groups, len(part[1]))
-    return fallbacks, groups
+    return fallbacks, groups, reasons
 
 
 def bench_row(name: str, nprocs: int, *, repeats: int,
               baseline_max_nprocs: int) -> dict:
     workload = WORKLOADS[name](nprocs=nprocs)
     points = make_grid(workload)
-    fallbacks, groups = vector_telemetry(workload, points)
+    fallbacks, groups, reasons = vector_telemetry(workload, points)
 
     timing_skipped = False
     if fallbacks == len(points) and nprocs > baseline_max_nprocs:
-        # Every point runs the per-rank tier, whose cost grows
-        # superlinearly with N — timing it here would burn many
-        # minutes to restate what the smaller all-fallback rows
-        # already show (speedup ~1.0x).  Keep the row for its
-        # telemetry (fallbacks, groups, compile stats), say so, and
-        # skip the timing.
+        # Every point declines the quotient and runs the per-rank
+        # batch tier, whose cost grows superlinearly with N — timing
+        # it here would burn many minutes to restate what the smaller
+        # all-decline rows already show (speedup ~1.0x).  Keep the row
+        # for its telemetry (fallbacks, reasons, groups, compile
+        # stats), say so, and skip the timing.
         timing_skipped = True
-        print(f"[{workload.tag}: all-fallback row above the baseline "
+        print(f"[{workload.tag}: all-decline row above the baseline "
               f"cap — timing skipped]")
 
     pps: Optional[float] = None
     baseline_pps: Optional[float] = None
+    batch_info: dict = {}
     if not timing_skipped:
         # Warm the program compilation + lowering caches so the
         # timings measure simulation throughput, not one-time compile
         # cost (which the compile stats report separately).
         run_batch(workload, points[:2])
 
-        def timed(vector: bool) -> float:
+        def timed(vector: bool, collect: Optional[dict] = None) -> float:
             best = float("inf")
-            for _ in range(repeats):
+            for i in range(repeats):
                 t0 = time.perf_counter()
-                run_batch(workload, points, vector=vector)
+                run_batch(workload, points, vector=vector,
+                          stats=collect if i == 0 else None)
                 dt = time.perf_counter() - t0
                 best = min(best, dt)
                 if dt > 5.0:
                     break  # slow row: one measurement is representative
             return len(points) / best
 
-        pps = timed(vector=True)
+        pps = timed(vector=True, collect=batch_info)
         if nprocs <= baseline_max_nprocs:
             baseline_pps = timed(vector=False)
 
@@ -183,6 +198,14 @@ def bench_row(name: str, nprocs: int, *, repeats: int,
         "ranks": nprocs,
         "compression": round(groups / nprocs, 4),
         "fallbacks": fallbacks,
+        "fallback_reasons": reasons,
+        "batch": {
+            "quotient_points": batch_info.get("quotient_points", 0),
+            "per_rank_points": batch_info.get("per_rank_points", 0),
+            "scalar_points": batch_info.get("scalar_points", 0),
+            "splits": batch_info.get("splits", 0),
+            "fallback_reasons": batch_info.get("fallback_reasons", {}),
+        } if batch_info else None,
         "timing_skipped": timing_skipped,
         "compile": compile_stats(workload),
     }
@@ -232,6 +255,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             pps = row["points_per_sec"]
             rate = (f"{pps:>9,.1f} pts/s" if pps is not None
                     else "   (not timed)")
+            reason_txt = (
+                "  reasons[" + ", ".join(
+                    f"{k} x{v}"
+                    for k, v in sorted(row["fallback_reasons"].items())
+                ) + "]"
+                if row["fallback_reasons"] else ""
+            )
             print(
                 f"{row['workload']:>10s} N={nprocs:<5d} {rate}"
                 + (f"  ({speed:.2f}x vs per-rank {base:,.1f})"
@@ -239,17 +269,31 @@ def main(argv: Optional[list[str]] = None) -> int:
                    else "  (baseline skipped)")
                 + f"  groups={row['groups']}/{nprocs}"
                 f"  fallbacks={row['fallbacks']}/{row['points']}"
+                + reason_txt
             )
 
     sym = [
         r for r in payload["rows"]
         if r["workload"].split(".")[0] in SYMMETRIC
     ]
+    classified = [
+        r for r in payload["rows"]
+        if r["workload"].split(".")[0] in CLASSIFIED
+    ]
     payload["summary"] = {
         "max_symmetric_compression": max(r["compression"] for r in sym),
         "symmetric_fallbacks": sum(r["fallbacks"] for r in sym),
         "min_speedup_vs_per_rank": min(
             (r["speedup_vs_per_rank"] for r in sym
+             if r["speedup_vs_per_rank"] is not None),
+            default=None,
+        ),
+        "classified_fallbacks": sum(r["fallbacks"] for r in classified),
+        "classified_per_rank_points": sum(
+            r["batch"]["per_rank_points"] for r in classified if r["batch"]
+        ),
+        "min_classified_speedup_vs_per_rank": min(
+            (r["speedup_vs_per_rank"] for r in classified
              if r["speedup_vs_per_rank"] is not None),
             default=None,
         ),

@@ -429,6 +429,7 @@ class ParallelRunner:
             )
             if fast is None:
                 self.stats.straightline_fallbacks += 1
+                self.stats.count_fallback(info.get("fallback_reason"))
                 leftover.append(j)
             else:
                 measured[j] = fast
@@ -449,13 +450,30 @@ class ParallelRunner:
             points = [
                 (pending[j][1].strategy, pending[j][1].seed) for j in positions
             ]
+            batch_info: dict = {}
             try:
-                batch = run_batch(first.workload, points, **run_kwargs)
-            except Exception:
+                batch = run_batch(
+                    first.workload, points, stats=batch_info, **run_kwargs
+                )
+            except Exception as exc:
+                from repro.workloads.compile import CompileError
+
                 self.stats.batch_splits += 1
                 self.stats.batch_scalar_reruns += len(positions)
+                reason = getattr(exc, "reason", None) or (
+                    "compile_error" if isinstance(exc, CompileError)
+                    else "unsupported"
+                )
+                self.stats.count_fallback(reason)
                 leftover.extend(positions)
                 continue
+            finally:
+                # Quotient declines inside a successful batch (points
+                # re-run per-rank or split) surface per reason too.
+                for reason, n in batch_info.get(
+                    "fallback_reasons", {}
+                ).items():
+                    self.stats.count_fallback(reason, n)
             for j, m in zip(positions, batch):
                 measured[j] = m
         # Gear-plan lowering reuse over this call (process-wide counter

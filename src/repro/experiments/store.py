@@ -284,6 +284,18 @@ class CacheStats:
     opt_pruned: int = 0
     opt_batches: int = 0
     opt_max_batch: int = 0
+    #: why runs paid event-engine or per-rank cost: stable reason code
+    #: (``p2p_unclassifiable``, ``divergent_control``, ``dvs_in_flight``,
+    #: …) → occurrence count, from scalar straightline declines and
+    #: batch-tier quotient declines alike.
+    fallback_reasons: dict = dataclasses.field(default_factory=dict)
+
+    def count_fallback(self, reason, n: int = 1) -> None:
+        """Bump the per-reason fallback counter (``None`` is ignored)."""
+        if reason:
+            self.fallback_reasons[reason] = (
+                self.fallback_reasons.get(reason, 0) + n
+            )
 
     @property
     def lookups(self) -> int:
@@ -308,6 +320,12 @@ class CacheStats:
                 f"fallbacks, {self.batch_splits} batch splits "
                 f"({self.batch_scalar_reruns} points re-run scalar)"
             )
+        if self.fallback_reasons:
+            detail = ", ".join(
+                f"{reason} x{count}"
+                for reason, count in sorted(self.fallback_reasons.items())
+            )
+            base += f"; fallback reasons: {detail}"
         if self.controller_runs:
             base += (
                 f"; {self.controller_runs} stateful-controller runs "

@@ -243,12 +243,14 @@ def optimize_gear_plan(
     def evaluate(assignments: Sequence[tuple[int, ...]]) -> None:
         """Measure every unseen assignment into ``memo``.
 
-        Quotient-eligible workloads (no point-to-point traffic) score in
-        large ``run_batch`` calls — the B x G structure-of-arrays path,
-        thousands of plans per second.  Workloads the quotient tier
-        declines go per point through the scalar straightline tier
-        instead: their candidates diverge at rank-specific waits, so a
-        batch would just split itself back to scalar with extra re-runs.
+        Quotient-eligible workloads — no point-to-point traffic, or
+        p2p whose channel classes the compiler certifies exact (CG's
+        halo exchange) — score in large ``run_batch`` calls: the B x G
+        structure-of-arrays path, thousands of plans per second.
+        Workloads the classifier declines go per point through the
+        scalar straightline tier instead: their candidates diverge at
+        rank-specific waits, so a batch would just split itself back
+        to scalar with extra re-runs.
         """
         fresh = [a for a in dict.fromkeys(assignments) if a not in memo]
         if not batchable:
@@ -362,11 +364,20 @@ def _rank_groups(
 
     The third element says whether candidates should be scored in
     ``run_batch`` calls: true for programs without point-to-point
-    traffic (the quotient path applies).  Falls back to one group per
-    rank, unbatched, when the workload does not compile (the search
-    then runs per rank — correct, just without the quotient reduction).
+    traffic, and for programs whose p2p requests classify into exact
+    group-level channel classes over the body partition
+    (:func:`repro.workloads.compile.classify_channels`) — the search's
+    candidates are group-uniform, so their execution partition *is*
+    the body partition and the quotient path applies.  Falls back to
+    one group per rank, unbatched, when the workload does not compile
+    (the search then runs per rank — correct, just without the
+    quotient reduction).
     """
-    from repro.workloads.compile import CompileError, compile_workload
+    from repro.workloads.compile import (
+        CompileError,
+        classify_channels,
+        compile_workload,
+    )
 
     try:
         compiled = compile_workload(workload, opoints.fastest.frequency_hz)
@@ -375,7 +386,10 @@ def _rank_groups(
     if compiled.group_of is None:
         return tuple(range(workload.nprocs)), workload.nprocs, False
     group_of = tuple(int(g) for g in compiled.group_of)
-    return group_of, compiled.n_groups, compiled.n_requests == 0
+    batchable = (
+        compiled.n_requests == 0 or classify_channels(compiled).exact
+    )
+    return group_of, compiled.n_groups, batchable
 
 
 def _seed_assignments(

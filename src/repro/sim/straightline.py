@@ -41,6 +41,7 @@ from typing import Optional
 from weakref import WeakKeyDictionary
 
 from repro.workloads.compile import (
+    classify_channels,
     OP_COLLECTIVE,
     OP_COMPUTE,
     OP_IDLE,
@@ -68,7 +69,17 @@ class StraightlineUnsupported(RuntimeError):
     faults, tracing) or when execution hits an ordering the direct
     accumulator cannot reproduce deterministically.  Callers fall back
     to the event engine.
+
+    ``reason`` is a stable telemetry code (``dvs_in_flight``,
+    ``out_of_order_channel``, ``divergent_control``, ``deadlock``,
+    ``wait_order``, ``no_plan``, or the generic ``unsupported``)
+    suitable for per-reason fallback counters; the message stays the
+    human-readable diagnosis.
     """
+
+    def __init__(self, message: str, reason: str = "unsupported") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 # Event kinds in the per-node breakpoint list.
@@ -401,7 +412,8 @@ class _Executor:
         if node.cpu_free > t:
             # The engine would retime the queued/active segment around
             # the transition; the straightline FIFO cannot.
-            raise StraightlineUnsupported("DVS call while a segment is in flight")
+            raise StraightlineUnsupported("DVS call while a segment is in flight",
+                                    reason="dvs_in_flight")
         overhead = self.dvs_overhead_s
         if overhead != 0.0:
             base = node.stall_until if node.stall_until > t else t
@@ -426,7 +438,8 @@ class _Executor:
             # A request earlier than one already granted while the
             # channel is busy: the engine would have granted this one
             # first.  The straightline order is wrong — bail out.
-            raise StraightlineUnsupported("out-of-order network channel demand")
+            raise StraightlineUnsupported("out-of-order network channel demand",
+                                          reason="out_of_order_channel")
         if t_req > chan.max_req:
             chan.max_req = t_req
         return t_req if t_req > chan.free else chan.free
@@ -457,7 +470,6 @@ class _Executor:
     def _run_send_chain(self, s_id: int, ft: float) -> None:
         self._dirty = True  # may resolve the peer's recv request
         src = self.req_owner[s_id]
-        dst = self.req_peer[s_id]
         nbytes = self.req_nbytes[s_id]
         node = self.nodes[src]
         ratio = node.freq_hz / self.fastest_hz
@@ -465,6 +477,13 @@ class _Executor:
         sw_end = self._run_seg(
             node, ft, self._send_cycles(nbytes), 0.0, 1.0, 1.0, 0.0, 0.4
         )
+        self._finish_send(s_id, sw_end)
+
+    def _finish_send(self, s_id: int, sw_end: float) -> None:
+        """Transfer/RTS tail of a send chain, from the send-work end."""
+        self._dirty = True
+        src = self.req_owner[s_id]
+        dst = self.req_peer[s_id]
         r_id = self.req_match[s_id]
         if self.req_eager[s_id]:
             # MPI_Send may return once the buffer is copied out.
@@ -541,7 +560,8 @@ class _Executor:
                 # Every live rank blocked on an unresolved dependency:
                 # the program would deadlock (or needs an ordering this
                 # tier cannot establish).  Let the event engine decide.
-                raise StraightlineUnsupported("no runnable rank (program deadlock?)")
+                raise StraightlineUnsupported("no runnable rank (program deadlock?)",
+                                              reason="deadlock")
             # Burst: keep stepping the chosen rank without rescanning
             # while the order is provably unchanged.  Exactness: no
             # other rank's next-time can move unless a step resolves a
@@ -655,7 +675,8 @@ class _Executor:
             # The request completed before we decided to block — the
             # engine would not have pushed the wait state.  Our
             # worklist order diverged; refuse rather than guess.
-            raise StraightlineUnsupported("wait resolved before block point")
+            raise StraightlineUnsupported("wait resolved before block point",
+                                          reason="wait_order")
         node = r.node
         self._emit(node, d, _EV_POP, self.wait_sig)
         r.t = d
@@ -1094,22 +1115,7 @@ class _SampledExecutor(_Executor):
             return
         self._finish_send(s_id, sw_end)
 
-    def _finish_send(self, s_id: int, sw_end: float) -> None:
-        self._dirty = True
-        src = self.req_owner[s_id]
-        dst = self.req_peer[s_id]
-        r_id = self.req_match[s_id]
-        if self.req_eager[s_id]:
-            self.done_t[s_id] = sw_end
-            delivered = self._transfer(src, dst, self.wire[s_id], sw_end)
-            self.delivered_t[s_id] = delivered
-            pt = self.posted_t[r_id]
-            if pt is not None:
-                self.done_t[r_id] = pt if pt > delivered else delivered
-        else:
-            self.rts_t[s_id] = sw_end + self.net.latency_s
-            if self.posted_t[r_id] is not None:
-                self._complete_rndv(s_id)
+    # (the transfer/RTS tail is the inherited ``_Executor._finish_send``)
 
     # -- deferrable collectives ----------------------------------------
     def _start_collective(self, r: _Rank) -> None:
@@ -1604,7 +1610,7 @@ class _SampledExecutor(_Executor):
                 continue
             if not (any_resolvable or self._defer_sends or self._defer_colls):
                 raise StraightlineUnsupported(
-                    "no runnable rank (program deadlock?)"
+                    "no runnable rank (program deadlock?)", reason="deadlock"
                 )
             snap = self.transitions
             self._apply_tick(horizon)
@@ -1694,7 +1700,8 @@ def run_straightline(
         controller = strategy.controller()
         if controller is None:
             raise StraightlineUnsupported(
-                "strategy has no static gear plan (dynamic DVS)"
+                "strategy has no static gear plan (dynamic DVS)",
+                reason="no_plan",
             )
     power = NEMO_POWER if power is None else power
     opoints = PENTIUM_M_TABLE if opoints is None else opoints
@@ -1738,13 +1745,13 @@ def run_straightline(
     else:
         actions = _lower_gear_actions(compiled, plan, opoints)
         start_idx = _start_indices(plan, opoints, workload.nprocs)
-        part = None
+        part, fallback_reason = None, "vector_disabled"
         if vector:
-            part = _vector_partition(
+            part, fallback_reason = _vector_partition(
                 compiled, lambda r: (start_idx[r], tuple(actions[r]))
             )
         if stats is not None:
-            stats["vector"] = part is not None
+            stats["fallback_reason"] = fallback_reason
             stats["groups"] = (
                 len(part[1]) if part is not None else workload.nprocs
             )
@@ -1816,7 +1823,13 @@ def try_run_straightline(
     stats=None,
     vector: bool = True,
 ):
-    """Like :func:`run_straightline` but returns ``None`` on fallback."""
+    """Like :func:`run_straightline` but returns ``None`` on fallback.
+
+    On a decline, ``stats`` (when given) records the telemetry code
+    under ``"fallback_reason"`` — the exception's ``reason`` for
+    :class:`StraightlineUnsupported`, ``"compile_error"`` for programs
+    the compiler rejects.
+    """
     try:
         return run_straightline(
             workload,
@@ -1829,7 +1842,13 @@ def try_run_straightline(
             stats=stats,
             vector=vector,
         )
-    except (CompileError, StraightlineUnsupported):
+    except StraightlineUnsupported as exc:
+        if stats is not None:
+            stats["fallback_reason"] = getattr(exc, "reason", "unsupported")
+        return None
+    except CompileError:
+        if stats is not None:
+            stats["fallback_reason"] = "compile_error"
         return None
 
 
@@ -2030,7 +2049,8 @@ class _BatchExecutor:
         node = r.node
         t = r.t
         if bool(np.any(node.cpu_free > t)):
-            raise StraightlineUnsupported("DVS call while a segment is in flight")
+            raise StraightlineUnsupported("DVS call while a segment is in flight",
+                                    reason="dvs_in_flight")
         overhead = self.dvs_overhead_s
         if overhead != 0.0:
             node.stall_until = np.maximum(node.stall_until, t) + overhead
@@ -2057,7 +2077,8 @@ class _BatchExecutor:
     def _grant(self, chan, t_req):
         np = self.np
         if bool(np.any((t_req < chan.max_req) & (t_req < chan.free))):
-            raise StraightlineUnsupported("out-of-order network channel demand")
+            raise StraightlineUnsupported("out-of-order network channel demand",
+                                          reason="out_of_order_channel")
         chan.max_req = np.maximum(chan.max_req, t_req)
         return np.maximum(t_req, chan.free)
 
@@ -2072,21 +2093,31 @@ class _BatchExecutor:
         rx.free = ser_end
         return ser_end + self.net.latency_s
 
-    def _wire_vec(self, nbytes, ratio):
-        """Per-element ``p2p_wire_bytes`` (branchy → scalar + memo)."""
+    def _wire_vec(self, nbytes, node):
+        """Per-element ``p2p_wire_bytes`` for one sender node.
+
+        Memoized per ``(nbytes, freq array object)``: ``node.freq_hz``
+        is *replaced* (never mutated) by ``_apply_gear``, so one cached
+        (B,) result serves every message of that byte count until the
+        node's next gear change — the entry keeps the frequency array
+        alive, pinning its ``id``.  On a miss the branchy scalar
+        formula runs once per *distinct* ratio instead of once per
+        element.
+        """
         if not self.cost.collision_applies_p2p:
             return nbytes  # scalar: broadcasts exactly
         np = self.np
         memo = self._wire_memo
+        key = (nbytes, id(node.freq_hz))
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[1]
         fn = self.cost.p2p_wire_bytes
-        out = np.empty(self.B)
-        for k, rk in enumerate(ratio.tolist()):
-            key = (nbytes, rk)
-            v = memo.get(key)
-            if v is None:
-                v = fn(nbytes, rk)
-                memo[key] = v
-            out[k] = v
+        ratio = node.freq_hz / self.fastest_hz
+        uniq, inv = np.unique(ratio, return_inverse=True)
+        vals = np.array([fn(nbytes, rk) for rk in uniq.tolist()])
+        out = vals[inv]
+        memo[key] = (node.freq_hz, out)
         return out
 
     def _coll_vec(self, kind: str, wmax: float, ratio):
@@ -2119,8 +2150,7 @@ class _BatchExecutor:
         dst = self.req_peer[s_id]
         nbytes = self.req_nbytes[s_id]
         node = self.nodes[src]
-        ratio = node.freq_hz / self.fastest_hz
-        self.wire[s_id] = self._wire_vec(nbytes, ratio)
+        self.wire[s_id] = self._wire_vec(nbytes, node)
         sw_end = self._run_seg(
             node, ft, self._send_cycles(nbytes), 0.0, 1.0, 1.0, 0.0, 0.4
         )
@@ -2183,7 +2213,8 @@ class _BatchExecutor:
             if all_done:
                 break
             if not rows:
-                raise StraightlineUnsupported("no runnable rank (program deadlock?)")
+                raise StraightlineUnsupported("no runnable rank (program deadlock?)",
+                                              reason="deadlock")
             if len(cands) == 1:
                 # Only one resolvable rank: a rescan would pick it again
                 # until it parks or resolves someone else's request.
@@ -2201,7 +2232,8 @@ class _BatchExecutor:
             # must hold in EVERY element, or the batch's single control
             # flow would mis-order some element's schedule.
             if not (M >= mb).all() or (b > 0 and not (M[:b] > mb).all()):
-                raise StraightlineUnsupported("rank schedule diverges across batch")
+                raise StraightlineUnsupported("rank schedule diverges across batch",
+                                              reason="divergent_control")
             best = cands[b]
             # Ranks fully tied with the winner (equal next-time in every
             # element) run consecutively in rank order — the engine's
@@ -2351,7 +2383,8 @@ class _BatchExecutor:
                 # Already-triggered in some elements, blocking in others:
                 # the wait-state push would apply to only part of the
                 # batch and the two schedules diverge from here.
-                raise StraightlineUnsupported("wait readiness diverges across batch")
+                raise StraightlineUnsupported("wait readiness diverges across batch",
+                                              reason="divergent_control")
         self._emit(node, r.t, _EV_PUSH, self.wait_sig)
         if r.spawn:
             self._flush(r)
@@ -2365,7 +2398,8 @@ class _BatchExecutor:
     def _complete_wait(self, r, req_id: int, d) -> None:
         np = self.np
         if bool(np.any(d < r.t)):
-            raise StraightlineUnsupported("wait resolved before block point")
+            raise StraightlineUnsupported("wait resolved before block point",
+                                          reason="wait_order")
         node = r.node
         self._emit(node, d, _EV_POP, self.wait_sig)
         r.t = d
@@ -2462,7 +2496,8 @@ class _BatchExecutor:
                 if T.shape[0] > 1:
                     if bool(np.any(T[1:] < T[:-1])):
                         raise StraightlineUnsupported(
-                            "event order diverges across batch"
+                            "event order diverges across batch",
+                            reason="divergent_control",
                         )
                     # Same-time events order by seq; where the sort put a
                     # higher seq first (its element-0 time was smaller),
@@ -2471,7 +2506,8 @@ class _BatchExecutor:
                     desc = seqs[:-1] > seqs[1:]
                     if bool(np.any(desc & np.any(T[1:] <= T[:-1], axis=1))):
                         raise StraightlineUnsupported(
-                            "event order diverges across batch"
+                            "event order diverges across batch",
+                            reason="divergent_control",
                         )
             if self._partial_gear:
                 energy, node_hists = self._integrate_masked(node, events, t_end)
@@ -2736,14 +2772,16 @@ def _vector_partition(compiled: CompiledProgram, point_key):
     Two ranks may share one interpreter rank only when they share a
     program body *and* identical gear state at every instant of the run
     — ``point_key(rank)`` must capture the post-setup operating point
-    and the lowered gear actions.  Returns ``(exec_of, members)`` with
-    group ids in first-rank order, or ``None`` when the refinement
-    degenerates to one rank per group (nothing to share) or the program
-    carries point-to-point traffic (peers are rank-specific, so grouped
-    ranks would not replicate each other's float chains).
+    and the lowered gear actions.  Returns ``((exec_of, members), None)``
+    with group ids in first-rank order, or ``(None, reason)`` when the
+    refinement degenerates to one rank per group (nothing to share,
+    ``no_compression``), the compiler found no groups (``no_groups``),
+    or the program's point-to-point traffic does not classify into
+    exact group-level channel classes (the classifier's ``p2p_*``
+    code — see :func:`repro.workloads.compile.classify_channels`).
     """
-    if compiled.n_requests or compiled.group_of is None:
-        return None
+    if compiled.group_of is None:
+        return None, "no_groups"
     gof = compiled.group_of
     sig_to_exec: dict = {}
     exec_of: list[int] = []
@@ -2757,18 +2795,32 @@ def _vector_partition(compiled: CompiledProgram, point_key):
         exec_of.append(e)
         members[e].append(r)
     if len(members) >= compiled.nprocs:
-        return None
-    return exec_of, members
+        return None, "no_compression"
+    if compiled.n_requests:
+        verdict = classify_channels(compiled, exec_of, members)
+        if not verdict.exact:
+            return None, verdict.reason
+    return (exec_of, members), None
 
 
 def _quotient_program(compiled: CompiledProgram, exec_of: list[int],
                       members: list[list[int]]) -> CompiledProgram:
     """A ``CompiledProgram`` over one representative rank per group.
 
-    Shares the representatives' body arrays (and the original's empty
-    request table) by reference; only the tiny per-rank index vectors
-    are new.  Collective call-site seqs are global already, so every
-    representative arrives at the same slots the full program would.
+    Shares the representatives' body arrays by reference; only the tiny
+    per-rank index vectors are new.  Collective call-site seqs are
+    global already, so every representative arrives at the same slots
+    the full program would.
+
+    When the program carries point-to-point traffic (admitted only
+    after :func:`repro.workloads.compile.classify_channels` certified
+    the partition), the request table is *remapped*: the quotient keeps
+    each representative's request rows, re-bases them contiguously, and
+    rewrites peers to the peer's execution group — sound because every
+    lane holds one member per group, so "the peer's group's rank" in
+    the quotient plays exactly the peer's role in the representative's
+    lane, and matched requests sit at the same rank-local index in
+    every lane.
     """
     import numpy as np
 
@@ -2780,26 +2832,62 @@ def _quotient_program(compiled: CompiledProgram, exec_of: list[int],
     if q is None:
         reps = [m[0] for m in members]
         G = len(reps)
+        if compiled.n_requests:
+            base = compiled.req_base
+            counts = np.diff(base, append=compiled.n_requests)
+            rep_counts = counts[reps]
+            new_base = np.zeros(G, dtype=np.int64)
+            np.cumsum(rep_counts[:-1], out=new_base[1:])
+            sel = (
+                np.concatenate(
+                    [
+                        np.arange(base[r], base[r] + counts[r])
+                        for r in reps
+                    ]
+                )
+                if int(rep_counts.sum())
+                else np.zeros(0, dtype=np.int64)
+            )
+            eo = np.asarray(exec_of, dtype=np.int64)
+            peers = compiled.req_peer[sel]
+            req_rows = dict(
+                req_kind=compiled.req_kind[sel],
+                req_owner=np.repeat(np.arange(G, dtype=np.int64),
+                                    rep_counts),
+                req_peer=eo[peers],
+                req_tag=compiled.req_tag[sel],
+                req_nbytes=compiled.req_nbytes[sel],
+                req_eager=compiled.req_eager[sel],
+                req_match=(
+                    new_base[eo[peers]]
+                    + (compiled.req_match[sel] - base[peers])
+                ),
+            )
+        else:
+            new_base = np.zeros(G, dtype=np.int64)
+            req_rows = dict(
+                req_kind=compiled.req_kind,
+                req_owner=compiled.req_owner,
+                req_peer=compiled.req_peer,
+                req_tag=compiled.req_tag,
+                req_nbytes=compiled.req_nbytes,
+                req_eager=compiled.req_eager,
+                req_match=compiled.req_match,
+            )
         q = CompiledProgram(
             nprocs=G,
             fastest_hz=compiled.fastest_hz,
             ops=[compiled.ops[r] for r in reps],
             iargs=[compiled.iargs[r] for r in reps],
             fargs=[compiled.fargs[r] for r in reps],
-            req_kind=compiled.req_kind,
-            req_owner=compiled.req_owner,
-            req_peer=compiled.req_peer,
-            req_tag=compiled.req_tag,
-            req_nbytes=compiled.req_nbytes,
-            req_eager=compiled.req_eager,
-            req_match=compiled.req_match,
             coll_kinds=compiled.coll_kinds,
             markers=tuple(compiled.markers[r] for r in reps),
-            req_base=np.zeros(G, dtype=np.int64),
+            req_base=new_base,
             group_of=np.arange(G, dtype=np.int64),
             group_members=tuple(
                 np.array([g], dtype=np.int64) for g in range(G)
             ),
+            **req_rows,
         )
         per_prog[key] = q
     return q
@@ -2913,6 +3001,7 @@ def run_batch(
     opoints=None,
     transition_latency_s: float = 20e-6,
     vector: bool = True,
+    stats: Optional[dict] = None,
 ):
     """Measure many ``(strategy, seed)`` points of one workload at once.
 
@@ -2926,12 +3015,21 @@ def run_batch(
     draws randomness).  Groups whose control flow diverges across
     elements are split and retried, down to scalar runs.
 
-    With ``vector`` (default on), a batch whose workload has no
-    point-to-point traffic runs on the quotient program — one
-    interpreter rank per execution group shared by *every point of the
-    batch* — so a (B points × N nodes) sweep costs (B × G) work.  A
-    quotient batch that cannot keep a single control flow falls back
+    With ``vector`` (default on), a batch whose execution partition the
+    classifier certifies (including point-to-point traffic with exact
+    group-level channel classes — see
+    :func:`repro.workloads.compile.classify_channels`) runs on the
+    quotient program — one interpreter rank per execution group shared
+    by *every point of the batch* — so a (B points × N nodes) sweep
+    costs (B × G) work.  A quotient batch whose control flow diverges
+    *across batch elements* splits directly (the per-rank batch would
+    diverge on the same lanes); one the classifier declines falls back
     to the per-rank batch before any splitting.
+
+    ``stats``, when given, accumulates tier telemetry: points measured
+    per tier (``quotient_points`` / ``per_rank_points`` /
+    ``scalar_points``), bisection ``splits``, and a
+    ``fallback_reasons`` histogram of every quotient decline.
 
     Raises :class:`StraightlineUnsupported` (dynamic strategy) or
     :class:`~repro.workloads.compile.CompileError` like the scalar
@@ -2959,7 +3057,8 @@ def run_batch(
         plan = strat.gear_plan(workload)
         if plan is None:
             raise StraightlineUnsupported(
-                "strategy has no static gear plan (dynamic DVS)"
+                "strategy has no static gear plan (dynamic DVS)",
+                reason="no_plan",
             )
         acts = _lower_gear_actions(compiled, plan, opoints)
         start = _start_indices(plan, opoints, workload.nprocs)
@@ -2970,7 +3069,17 @@ def run_batch(
     cost = workload.cost_model()
     results: list = [None] * len(points)
 
+    def _note(key: str, n: int = 1) -> None:
+        if stats is not None:
+            stats[key] = stats.get(key, 0) + n
+
+    def _note_reason(reason: Optional[str]) -> None:
+        if stats is not None and reason:
+            hist = stats.setdefault("fallback_reasons", {})
+            hist[reason] = hist.get(reason, 0) + 1
+
     def scalar(i: int):
+        _note("scalar_points")
         strat, seed = points[i]
         return run_straightline(
             workload,
@@ -2982,9 +3091,7 @@ def run_batch(
             transition_latency_s=transition_latency_s,
         )
 
-    quotient_able = (
-        vector and compiled.n_requests == 0 and compiled.group_of is not None
-    )
+    quotient_able = vector and compiled.group_of is not None
 
     def evaluate(idxs: list[int]) -> None:
         if len(idxs) == 1:
@@ -2994,6 +3101,7 @@ def run_batch(
             batch_measure(idxs)
         except StraightlineUnsupported:
             # Divergent control flow: smaller batches share more of it.
+            _note("splits")
             mid = len(idxs) // 2
             evaluate(idxs[:mid])
             evaluate(idxs[mid:])
@@ -3007,7 +3115,7 @@ def run_batch(
         lowered actions across all points.  Per-group results broadcast
         to member nodes exactly as the scalar grouped path.
         """
-        part = _vector_partition(
+        part, reason = _vector_partition(
             compiled,
             lambda r: (
                 tuple(prepared[i][0][r] for i in idxs),
@@ -3015,6 +3123,7 @@ def run_batch(
             ),
         )
         if part is None:
+            _note_reason(reason)
             return False
         exec_of, members = part
         reps = [m[0] for m in members]
@@ -3075,9 +3184,17 @@ def run_batch(
         if quotient_able:
             try:
                 if grouped_batch(idxs):
+                    _note("quotient_points", len(idxs))
                     return
-            except StraightlineUnsupported:
-                pass  # the per-rank batch may still hold a single flow
+            except StraightlineUnsupported as exc:
+                _note_reason(getattr(exc, "reason", "unsupported"))
+                if getattr(exc, "reason", "") == "divergent_control":
+                    # The quotient lanes diverged across batch elements;
+                    # the per-rank batch interprets those same lanes, so
+                    # split right away instead of paying an N-rank
+                    # attempt that is all but certain to diverge too.
+                    raise
+                # Anything else: the per-rank batch may still hold.
         B = len(idxs)
         start_idx = [
             np.array([prepared[i][0][r] for i in idxs], dtype=np.intp)
@@ -3121,6 +3238,7 @@ def run_batch(
                 report=None,
                 extras={},
             )
+        _note("per_rank_points", len(idxs))
 
     for idxs in groups.values():
         evaluate(idxs)

@@ -43,6 +43,9 @@ from repro.mpi.costmodel import CostModel
 from repro.workloads.base import PhaseHooks, Workload
 
 __all__ = [
+    "ChannelClass",
+    "ChannelClassification",
+    "classify_channels",
     "CompileError",
     "CompiledProgram",
     "compile_workload",
@@ -585,3 +588,218 @@ def compile_workload(workload: Workload, fastest_hz: float) -> CompiledProgram:
         raise CompileError(f"program not statically recordable: {exc!r}") from exc
     per_hz[fastest_hz] = compiled
     return compiled
+
+
+# ---------------------------------------------------------------------------
+# group-level channel classes (the quotient tier's p2p eligibility proof)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChannelClass:
+    """One group-level point-to-point channel equivalence class.
+
+    Every lane (see :func:`classify_channels`) carries ``count``
+    messages of ``nbytes`` bytes from its ``src_group`` member to its
+    ``dst_group`` member on tag ``tag``; ``eager`` is the protocol the
+    cost model selected.  ``lanes`` is how many rank-level channels the
+    class stands for.
+    """
+
+    src_group: int
+    dst_group: int
+    tag: int
+    nbytes: float
+    eager: bool
+    count: int
+    lanes: int
+
+
+@dataclass(frozen=True)
+class ChannelClassification:
+    """Verdict of :func:`classify_channels`.
+
+    ``exact`` means the program's request stream decomposes into
+    disjoint *lanes* — one member of every participating group each,
+    pairwise isomorphic — so running one representative lane reproduces
+    every lane's times bit-for-bit.  When it is ``False``, ``reason``
+    is a stable fallback code (``p2p_self_send``, ``p2p_zero_byte`` or
+    ``p2p_unclassifiable``) naming the first disqualifier found.
+    """
+
+    exact: bool
+    reason: Optional[str] = None
+    classes: tuple[ChannelClass, ...] = ()
+    n_lanes: int = 0
+
+
+def _decline(reason: str) -> ChannelClassification:
+    return ChannelClassification(exact=False, reason=reason)
+
+
+#: compiled program -> {tuple(exec_of): ChannelClassification}.
+_CLASSIFY_CACHE: "weakref.WeakKeyDictionary[CompiledProgram, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def classify_channels(
+    compiled: CompiledProgram,
+    exec_of: Optional[Sequence[int]] = None,
+    members: Optional[Sequence[Sequence[int]]] = None,
+) -> ChannelClassification:
+    """Classify a program's p2p requests into group-level channel classes.
+
+    ``exec_of``/``members`` describe an execution partition of the
+    ranks (a refinement of the compiler's body groups — e.g. the
+    quotient tier's per-point partition); they default to the body
+    partition itself.  The classification is *exact* when:
+
+    * every member of a group issues, slot for slot, requests with the
+      same tag/byte-count/protocol (bodies already pin kind and order);
+    * each slot's peers stay inside one fixed other group of the same
+      size, hitting every member of it exactly once — so the slot is a
+      bijection between the two groups;
+    * the statically matched opposite request sits at the same
+      rank-local index for every member (FIFO order is the same
+      channel subsequence in every lane);
+    * the per-slot bijections knit the ranks into disjoint *lanes*
+      containing at most one member per group, and within every lane
+      the members' rank order agrees with the group representatives'
+      rank order (the interpreter breaks same-time channel ties by
+      rank id, so the quotient's tie order must be every lane's).
+
+    Self-sends, intra-group channels and zero-byte payloads decline
+    (their timing/ordering does not quotient); so does anything the
+    proof above cannot certify.  Results are memoized per
+    ``(compiled, tuple(exec_of))``.
+    """
+    if compiled.n_requests == 0:
+        return ChannelClassification(exact=True, classes=(), n_lanes=0)
+    if exec_of is None:
+        if compiled.group_of is None:
+            return _decline("p2p_unclassifiable")
+        exec_of = [int(g) for g in compiled.group_of]
+        members = [list(map(int, m)) for m in compiled.group_members]
+    assert members is not None
+    key = tuple(exec_of)
+    try:
+        per_part = _CLASSIFY_CACHE.setdefault(compiled, {})
+    except TypeError:  # pragma: no cover - exotic compiled object
+        per_part = {}
+    hit = per_part.get(key)
+    if hit is not None:
+        return hit
+    result = _classify(compiled, list(key), [list(m) for m in members])
+    per_part[key] = result
+    return result
+
+
+def _classify(
+    compiled: CompiledProgram,
+    exec_of: list[int],
+    members: list[list[int]],
+) -> ChannelClassification:
+    if compiled.req_base is None:
+        return _decline("p2p_unclassifiable")
+    base = compiled.req_base
+    counts = np.diff(base, append=compiled.n_requests)
+    eo = np.asarray(exec_of, dtype=np.int64)
+    sizes = np.array([len(m) for m in members], dtype=np.int64)
+    member_arrs = [np.asarray(m, dtype=np.int64) for m in members]
+
+    classes: dict[tuple, list[int]] = {}
+    for g, mem in enumerate(member_arrs):
+        c = int(counts[mem[0]])
+        if c == 0:
+            continue
+        if bool(np.any(counts[mem] != c)):
+            # Shared bodies make this impossible; guard anyway.
+            return _decline("p2p_unclassifiable")
+        idx = base[mem][:, None] + np.arange(c)[None, :]  # (S, c)
+        peers = compiled.req_peer[idx]
+        if bool(np.any(peers == mem[:, None])):
+            return _decline("p2p_self_send")
+        tags = compiled.req_tag[idx]
+        kinds = compiled.req_kind[idx]
+        nbytes = compiled.req_nbytes[idx]
+        eager = compiled.req_eager[idx]
+        if (
+            bool(np.any(tags != tags[0]))
+            or bool(np.any(kinds != kinds[0]))
+            or bool(np.any(nbytes != nbytes[0]))
+            or bool(np.any(eager != eager[0]))
+        ):
+            return _decline("p2p_unclassifiable")
+        send_slots = kinds[0] == REQ_SEND
+        if bool(np.any(nbytes[0][send_slots] <= 0.0)):
+            return _decline("p2p_zero_byte")
+        pg = eo[peers]
+        if bool(np.any(pg != pg[0])):
+            return _decline("p2p_unclassifiable")
+        slot_groups = pg[0]
+        if bool(np.any(slot_groups == g)):
+            # An intra-group channel folds two lane nodes onto one
+            # quotient rank (a self-send there) — decline.
+            return _decline("p2p_unclassifiable")
+        if bool(np.any(sizes[slot_groups] != len(mem))):
+            return _decline("p2p_unclassifiable")
+        # Each slot must hit every member of its peer group once.
+        expected = np.stack(
+            [member_arrs[h] for h in slot_groups.tolist()], axis=1
+        )
+        if bool(np.any(np.sort(peers, axis=0) != expected)):
+            return _decline("p2p_unclassifiable")
+        local_match = compiled.req_match[idx] - base[peers]
+        if bool(np.any(local_match != local_match[0])):
+            return _decline("p2p_unclassifiable")
+        for j in np.flatnonzero(send_slots).tolist():
+            ck = (g, int(slot_groups[j]), int(tags[0][j]),
+                  float(nbytes[0][j]), bool(eager[0][j]))
+            classes.setdefault(ck, [0, len(mem)])[0] += 1
+
+    # -- lane decomposition: union-find over the (owner, peer) graph --
+    touched = np.flatnonzero(counts > 0)
+    pair_codes = np.unique(
+        compiled.req_owner * np.int64(compiled.nprocs) + compiled.req_peer
+    )
+    parent = list(range(compiled.nprocs))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for code in pair_codes.tolist():
+        a, b = find(code // compiled.nprocs), find(code % compiled.nprocs)
+        if a != b:
+            parent[b] = a
+
+    lanes: dict[int, list[int]] = {}
+    for r in touched.tolist():  # ascending rank order
+        lanes.setdefault(find(r), []).append(r)
+    seen_groups: set[tuple[int, int]] = set()
+    for rs in lanes.values():
+        rep_order = []
+        for r in rs:
+            lane_key = (find(r), exec_of[r])
+            if lane_key in seen_groups:
+                # Two members of one group inside one lane: the lane
+                # is not one-rank-per-group, so no quotient rank can
+                # stand for it.
+                return _decline("p2p_unclassifiable")
+            seen_groups.add(lane_key)
+            rep_order.append(members[exec_of[r]][0])
+        if rep_order != sorted(rep_order):
+            # Same-time channel ties break by rank id; a lane ordered
+            # unlike the representatives would tie-break differently.
+            return _decline("p2p_unclassifiable")
+
+    out = tuple(
+        ChannelClass(src_group=k[0], dst_group=k[1], tag=k[2],
+                     nbytes=k[3], eager=k[4], count=v[0], lanes=v[1])
+        for k, v in sorted(classes.items())
+    )
+    return ChannelClassification(exact=True, classes=out, n_lanes=len(lanes))

@@ -137,6 +137,26 @@ def test_stats_render_mentions_new_counters() -> None:
     assert "4 points re-run scalar" in text
 
 
+def test_stats_render_lists_fallback_reasons() -> None:
+    stats = CacheStats(straightline_fallbacks=3)
+    stats.count_fallback("p2p_unclassifiable", 2)
+    stats.count_fallback("divergent_control")
+    stats.count_fallback(None)  # successes carry no reason: ignored
+    stats.count_fallback("")  # defensive: empty codes are ignored too
+    assert stats.fallback_reasons == {
+        "p2p_unclassifiable": 2,
+        "divergent_control": 1,
+    }
+    text = stats.render()
+    assert "fallback reasons" in text
+    assert "p2p_unclassifiable x2" in text
+    assert "divergent_control x1" in text
+
+
+def test_stats_render_silent_without_fallback_reasons() -> None:
+    assert "fallback reasons" not in CacheStats(hits=1).render()
+
+
 def test_render_runner_stats_includes_disk_line(tmp_path) -> None:
     class FakeRunner:
         def __init__(self, cache):

@@ -83,6 +83,38 @@ def test_batch_results_fill_cache_slots(tmp_path) -> None:
         assert x == y
 
 
+def test_sweep_surfaces_structured_fallback_reasons() -> None:
+    # MG's xor-neighbor exchange crosses its body groups, so the batch
+    # tier's quotient probe declines with a typed code that must flow
+    # from run_batch telemetry into the runner's CacheStats.
+    mg = get_workload("MG", klass="T", nprocs=8)
+    tasks = [
+        RunTask(mg, ExternalStrategy(mhz=mhz), 0)
+        for mhz in (600.0, 1000.0, 1400.0)
+    ]
+    runner = ParallelRunner(jobs=1, memo=False)
+    runner.map_sweep(tasks)
+    assert runner.stats.fallback_reasons.get("p2p_unclassifiable", 0) >= 1
+    assert "p2p_unclassifiable" in runner.stats.render()
+
+
+def test_sweep_classified_p2p_never_declines_on_classification() -> None:
+    # CG's halo exchange classifies exactly: batches may still split on
+    # cross-point control divergence (and record `divergent_control` on
+    # the way), but no p2p decline code ever appears and every point is
+    # simulated on a vector tier — zero event-engine fallbacks.
+    cg = get_workload("CG", klass="T", nprocs=8)
+    tasks = [
+        RunTask(cg, ExternalStrategy(mhz=mhz), 0)
+        for mhz in (600.0, 1000.0, 1400.0)
+    ]
+    runner = ParallelRunner(jobs=1, memo=False)
+    runner.map_sweep(tasks)
+    assert not any(r.startswith("p2p_") for r in runner.stats.fallback_reasons)
+    assert runner.stats.straightline_fallbacks == 0
+    assert runner.stats.batch_scalar_reruns == 0
+
+
 def test_pre_pr_cache_keys_unchanged() -> None:
     # Cache slots captured before the piecewise tier existed: adding
     # Strategy.gear_plan and the batch path must not move a single key,

@@ -36,10 +36,17 @@ from repro.sim.straightline import (
     run_straightline,
 )
 from repro.workloads.compile import compile_workload
-from repro.workloads.npb import CG, EP, FT
+from repro.workloads.npb import CG, EP, FT, MG
 
-WORKLOADS = {"EP": EP, "FT": FT, "CG": CG}
+WORKLOADS = {"EP": EP, "FT": FT, "CG": CG, "MG": MG}
+#: no p2p at all: one execution group.
 SYMMETRIC = ("EP", "FT")
+#: p2p that classifies into exact group-level channel classes: the
+#: quotient runs CG on its two rank-halves.
+CLASSIFIED = ("CG",)
+#: p2p the classifier must decline (MG's xor-neighbor pairing crosses
+#: its sin-profile body groups): honest per-rank fallback.
+DECLINED = ("MG",)
 
 # Event-engine references get expensive with node count: two seeds
 # where the engine is cheap, one at the N=256 corner.
@@ -78,10 +85,13 @@ def test_vector_matches_event(code, nprocs, seeds, kind) -> None:
         )
         assert fast == ref
         if code in SYMMETRIC:
-            assert info["vector"] is True
+            assert info["fallback_reason"] is None
             assert info["groups"] == 1
+        elif code in CLASSIFIED:
+            assert info["fallback_reason"] is None
+            assert info["groups"] == 2  # heavy / light rank halves
         else:
-            assert info["vector"] is False  # p2p peers are rank-specific
+            assert info["fallback_reason"] == "p2p_unclassifiable"
             assert info["groups"] == nprocs
 
 
@@ -150,7 +160,7 @@ def test_batch_heterogeneous_start_points_refine_groups() -> None:
         make("FT", 16), ExternalStrategy(per_node_mhz=per_node), stats=info
     )
     assert m == vec[0]
-    assert info["vector"] is True
+    assert info["fallback_reason"] is None
     assert info["groups"] == 2
 
 
